@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared harness utilities for the paper-reproduction benchmarks.
+//
+// Workload scaling: the paper simulates Darknet at a 608x608 network input
+// on gem5, which takes hours per data point. These harnesses default to a
+// reduced input resolution (96x96, --input=N to change). Crucially, the
+// GEMM K dimension (channels x kernel area) and the vector-length-dependent
+// working sets (K x VL strips) are *independent of resolution*, so the
+// VL/cache-capacity interactions of Tables II/III and Figs 6-10 are
+// preserved; only absolute cycle counts shrink. EXPERIMENTS.md records the
+// mapping and the paper-vs-measured comparison for every experiment.
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/codesign.hpp"
+#include "core/conv_engine.hpp"
+#include "core/roofline.hpp"
+#include "dnn/models.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vlacnn::bench {
+
+struct BenchOptions {
+  int input_hw = 96;       ///< network input resolution (paper: 608)
+  int vgg_input_hw = 64;   ///< VGG16 input resolution (paper: 224)
+  bool quick = false;      ///< trim sweeps for smoke runs
+  std::uint64_t seed = 1234;
+
+  static BenchOptions from_cli(int argc, char** argv) {
+    CliArgs args(argc, argv);
+    BenchOptions o;
+    o.input_hw = static_cast<int>(args.get_int("input", 96));
+    o.vgg_input_hw = static_cast<int>(args.get_int("vgg-input", 64));
+    o.quick = args.get_bool("quick", false);
+    o.seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+    return o;
+  }
+};
+
+inline void print_header(const std::string& title, const std::string& paper_ref,
+                         const BenchOptions& o) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("workload scale: input %dx%d (paper: 608x608); see EXPERIMENTS.md\n\n",
+              o.input_hw, o.input_hw);
+  std::fflush(stdout);
+}
+
+/// Cycle count formatted in units of 1e6 for readability.
+inline std::string mcycles(std::uint64_t c) {
+  return Table::fmt(static_cast<double>(c) / 1e6, 1);
+}
+
+inline std::string ratio(std::uint64_t base, std::uint64_t v) {
+  return Table::fmt(static_cast<double>(base) / static_cast<double>(v), 2) + "x";
+}
+
+/// The paper's L2 sweep points (Figs 7-10).
+inline std::vector<std::uint64_t> l2_sweep_bytes(bool quick) {
+  if (quick)
+    return {1ull << 20, 8ull << 20};
+  return {1ull << 20, 8ull << 20, 64ull << 20, 256ull << 20};
+}
+
+}  // namespace vlacnn::bench

@@ -1,0 +1,42 @@
+// Fig. 10: impact of vector length and L2 cache size with Winograd on
+// ARM-SVE @ gem5 for VGG16 (all 13 conv layers are 3x3/stride-1, so the
+// entire network runs through Winograd).
+//
+// Paper finding: 1.4x from 512 -> 2048-bit; 1.4x from 1 MB -> 64 MB and
+// flat beyond — Winograd has smaller cache requirements than im2col+GEMM.
+
+#include "bench_common.hpp"
+
+using namespace vlacnn;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::from_cli(argc, argv);
+  bench::print_header("Fig. 10 — VL x L2 sweep, Winograd VGG16 (ARM-SVE @ gem5)",
+                      "Fig. 10", opt);
+  std::printf("VGG16 input: %dx%d (paper: 224x224)\n\n", opt.vgg_input_hw,
+              opt.vgg_input_hw);
+
+  const unsigned vlens[] = {512, 1024, 2048};
+  const auto l2s = bench::l2_sweep_bytes(opt.quick);
+  const core::EnginePolicy policy = core::EnginePolicy::winograd();
+
+  std::uint64_t base = 0;
+  Table table({"vector length", "L2 size", "cycles (M)",
+               "speedup vs 512b/1MB", "L2 miss rate %"});
+  for (unsigned vl : vlens) {
+    for (std::uint64_t l2 : l2s) {
+      auto net = dnn::build_vgg16(opt.vgg_input_hw, -1, opt.seed);
+      const core::RunResult r = core::run_simulated(
+          *net, sim::sve_gem5().with_vlen(vl).with_l2_size(l2), policy);
+      if (base == 0) base = r.cycles;
+      table.add_row({std::to_string(vl) + "-bit",
+                     std::to_string(l2 >> 20) + "MB", bench::mcycles(r.cycles),
+                     bench::ratio(base, r.cycles),
+                     Table::fmt(100.0 * r.l2_miss_rate, 1)});
+    }
+  }
+  table.print();
+  std::printf("\nShape check: cache gains flatten at moderate sizes (paper: "
+              "no benefit beyond 64MB) — Winograd's working set is compact.\n");
+  return 0;
+}

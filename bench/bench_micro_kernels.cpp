@@ -1,0 +1,121 @@
+// Native-speed micro-benchmarks (google-benchmark): host wall-clock cost of
+// the functional kernels themselves — GEMM variants, im2col, Winograd
+// transforms and full Winograd convolution. These measure the library's
+// own efficiency (no simulator attached), complementing the simulated
+// paper-reproduction harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dnn/im2col.hpp"
+#include "gemm/gemm.hpp"
+#include "winograd/f6x3.hpp"
+#include "winograd/winograd_conv.hpp"
+
+namespace {
+
+using namespace vlacnn;
+
+std::vector<float> rand_vec(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+  return v;
+}
+
+void BM_GemmRef(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = rand_vec(static_cast<std::size_t>(n) * n, 1);
+  auto b = rand_vec(static_cast<std::size_t>(n) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    gemm::gemm_ref(n, n, n, 1.0f, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmRef)->Arg(64)->Arg(128)->Arg(256);
+
+template <gemm::GemmVariant V>
+void BM_GemmVariant(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const unsigned vlen = static_cast<unsigned>(state.range(1));
+  auto a = rand_vec(static_cast<std::size_t>(n) * n, 1);
+  auto b = rand_vec(static_cast<std::size_t>(n) * n, 2);
+  std::vector<float> c(static_cast<std::size_t>(n) * n, 0.0f);
+  vla::VectorEngine eng(vlen);
+  auto fn = gemm::make_gemm_fn(V);
+  for (auto _ : state) {
+    fn(eng, n, n, n, 1.0f, a.data(), n, b.data(), n, c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_GemmVariant<gemm::GemmVariant::Opt3Loop>)
+    ->Args({128, 512})
+    ->Args({128, 2048})
+    ->Args({128, 16384})
+    ->Args({256, 2048});
+BENCHMARK(BM_GemmVariant<gemm::GemmVariant::Opt6Loop>)
+    ->Args({128, 512})
+    ->Args({128, 2048})
+    ->Args({256, 2048});
+
+void BM_Im2col(benchmark::State& state) {
+  dnn::ConvDesc d;
+  d.in_c = 64;
+  d.in_h = d.in_w = static_cast<int>(state.range(0));
+  d.out_c = 1;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  auto in = rand_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 3);
+  std::vector<float> col(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n());
+  vla::VectorEngine eng(2048);
+  for (auto _ : state) {
+    dnn::im2col_vla(eng, d, in.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(col.size()) * 4);
+}
+BENCHMARK(BM_Im2col)->Arg(32)->Arg(64);
+
+void BM_WinogradInputTransformRef(benchmark::State& state) {
+  auto d = rand_vec(64, 4);
+  float out[64];
+  for (auto _ : state) {
+    winograd::input_transform_ref(d.data(), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_WinogradInputTransformRef);
+
+void BM_WinogradConvFull(benchmark::State& state) {
+  dnn::ConvDesc d;
+  d.in_c = static_cast<int>(state.range(0));
+  d.in_h = d.in_w = 48;
+  d.out_c = d.in_c;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  auto in = rand_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 5);
+  auto w = rand_vec(static_cast<std::size_t>(d.weight_count()), 6);
+  std::vector<float> out(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                         d.out_w());
+  vla::VectorEngine eng(2048);
+  winograd::WinogradConv wino;
+  for (auto _ : state) {
+    wino.run(eng, d, in.data(), w.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(d.flops()));
+}
+BENCHMARK(BM_WinogradConvFull)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

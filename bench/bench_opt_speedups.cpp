@@ -1,0 +1,111 @@
+// Scalar headline speedups of §VI-A / §VI-C:
+//   * optimized 3-loop vs naive Darknet GEMM: 14x (YOLOv3-tiny, RVV @ gem5)
+//   * 6-loop vs 3-loop: ~1.0x on RVV @ gem5, ~1.15x on ARM-SVE @ gem5
+//     (512-bit, no prefetch), ~2x on A64FX (prefetch + OoO)
+//   * 6-loop vs naive: ~32x (YOLOv3, A64FX)
+
+#include "bench_common.hpp"
+
+using namespace vlacnn;
+
+namespace {
+
+std::uint64_t run_conv_cycles(std::unique_ptr<dnn::Network> net,
+                              const sim::MachineConfig& m,
+                              const core::EnginePolicy& p) {
+  const core::RunResult r = core::run_simulated(*net, m, p);
+  return core::conv_cycles(r);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::BenchOptions::from_cli(argc, argv);
+  bench::print_header("§VI-A/§VI-C — optimization speedup summary",
+                      "Sections VI-A and VI-C (scalar results)", opt);
+  // The naive baseline is extremely slow to simulate; use a smaller input.
+  const int tiny_hw = opt.quick ? 64 : 128;
+  const int yolo_layers = opt.quick ? 6 : 12;
+
+  Table table({"comparison", "machine", "workload", "speedup (ours)",
+               "speedup (paper)"});
+
+  {  // 3-loop vs naive on RVV, YOLOv3-tiny.
+    const auto naive = run_conv_cycles(dnn::build_yolov3_tiny(tiny_hw),
+                                       sim::rvv_gem5(),
+                                       core::EnginePolicy::naive());
+    const auto opt3 = run_conv_cycles(dnn::build_yolov3_tiny(tiny_hw),
+                                      sim::rvv_gem5(),
+                                      core::EnginePolicy::opt3loop());
+    table.add_row({"opt 3-loop vs naive", "RVV @ gem5", "YOLOv3-tiny",
+                   bench::ratio(naive, opt3), "14x"});
+  }
+  {  // 6-loop vs 3-loop on the three machines, YOLOv3 prefix.
+    struct Row {
+      sim::MachineConfig machine;
+      const char* paper;
+    };
+    const Row rows[] = {
+        {sim::rvv_gem5(), "~1.0x (Table II)"},
+        {sim::sve_gem5(), "1.15x"},
+        {sim::a64fx(), "2x"},
+    };
+    for (const auto& row : rows) {
+      const auto c3 =
+          run_conv_cycles(dnn::build_yolov3(opt.input_hw, yolo_layers),
+                          row.machine, core::EnginePolicy::opt3loop());
+      gemm::Opt6Config o6;
+      o6.blocks = gemm::tune_block_sizes(row.machine);
+      const auto c6 =
+          run_conv_cycles(dnn::build_yolov3(opt.input_hw, yolo_layers),
+                          row.machine, core::EnginePolicy::opt6loop(o6));
+      table.add_row({"opt 6-loop vs opt 3-loop", row.machine.name,
+                     "YOLOv3 (" + std::to_string(yolo_layers) + " layers)",
+                     bench::ratio(c3, c6), row.paper});
+    }
+  }
+  {  // Isolated GEMM kernel (YOLOv3 L10 shape, N reduced): the paper's 2x
+     // refers to the GEMM kernel itself; whole-network numbers above are
+     // diluted by im2col and the auxiliary kernels.
+    const int m = 256, n = 1444, k = 1152;
+    auto run_kernel = [&](gemm::GemmVariant v) {
+      AlignedBuffer<float> a(static_cast<std::size_t>(m) * k);
+      AlignedBuffer<float> b(static_cast<std::size_t>(k) * n);
+      AlignedBuffer<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+      Rng rng(3);
+      for (auto& x : a) x = rng.uniform(-1.0f, 1.0f);
+      for (auto& x : b) x = rng.uniform(-1.0f, 1.0f);
+      sim::RegisteredRange ra(a.data(), a.size() * 4),
+          rb(b.data(), b.size() * 4), rc(c.data(), c.size() * 4);
+      sim::SimContext sctx(sim::a64fx());
+      vla::VectorEngine eng(sctx);
+      gemm::Opt6Config o6;
+      o6.blocks = gemm::tune_block_sizes(sim::a64fx());
+      auto fn = gemm::make_gemm_fn(v, {}, o6);
+      fn(eng, m, n, k, 1.0f, a.data(), k, b.data(), n, c.data(), n);
+      return sctx.cycles();
+    };
+    const auto c3 = run_kernel(gemm::GemmVariant::Opt3Loop);
+    const auto c6 = run_kernel(gemm::GemmVariant::Opt6Loop);
+    table.add_row({"opt 6-loop vs opt 3-loop", "a64fx",
+                   "GEMM kernel (L10 shape)", bench::ratio(c3, c6), "2x"});
+  }
+  {  // 6-loop vs naive on A64FX.
+    const auto naive =
+        run_conv_cycles(dnn::build_yolov3(tiny_hw, yolo_layers), sim::a64fx(),
+                        core::EnginePolicy::naive());
+    gemm::Opt6Config o6;
+    o6.blocks = gemm::tune_block_sizes(sim::a64fx());
+    const auto opt6 =
+        run_conv_cycles(dnn::build_yolov3(tiny_hw, yolo_layers), sim::a64fx(),
+                        core::EnginePolicy::opt6loop(o6));
+    table.add_row({"opt 6-loop vs naive", "a64fx",
+                   "YOLOv3 (" + std::to_string(yolo_layers) + " layers)",
+                   bench::ratio(naive, opt6), "32x"});
+  }
+
+  table.print();
+  std::printf("\nShape check: vectorized+optimized beats naive by an order "
+              "of magnitude; the 6-loop only pays off on A64FX.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Hardware-designer scenario: a custom co-design sweep over the
+// (vector length x L2 size) plane for a user-chosen workload, printing a
+// grid of cycles — the tool a hardware architect would use to pick design
+// points, built from the same API as the paper-reproduction benches.
+//
+//   ./codesign_sweep [--model=yolov3|tiny|vgg16] [--input=64] [--layers=12]
+//                    [--machine=rvv|sve] [--winograd]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/codesign.hpp"
+#include "dnn/models.hpp"
+
+using namespace vlacnn;
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string model = args.get("model", "yolov3");
+  const int input = static_cast<int>(args.get_int("input", 64));
+  const int layers = static_cast<int>(args.get_int("layers", 12));
+  const std::string machine_name = args.get("machine", "rvv");
+  const bool winograd = args.get_bool("winograd", false);
+
+  sim::MachineConfig base =
+      machine_name == "sve" ? sim::sve_gem5() : sim::rvv_gem5();
+  const std::vector<unsigned> vlens =
+      machine_name == "sve" ? std::vector<unsigned>{512, 1024, 2048}
+                            : std::vector<unsigned>{512, 2048, 8192};
+  const std::vector<std::uint64_t> l2s = {1ull << 20, 8ull << 20, 64ull << 20};
+
+  auto build = [&]() -> std::unique_ptr<dnn::Network> {
+    if (model == "tiny") return dnn::build_yolov3_tiny(input, layers);
+    if (model == "vgg16") return dnn::build_vgg16(input, layers);
+    return dnn::build_yolov3(input, layers);
+  };
+  const core::EnginePolicy policy = winograd ? core::EnginePolicy::winograd()
+                                             : core::EnginePolicy::opt3loop();
+
+  std::printf("co-design sweep: %s (%d layers) at %dx%d on %s%s\n\n",
+              model.c_str(), layers, input, input, base.name.c_str(),
+              winograd ? " with Winograd" : "");
+
+  std::vector<std::string> headers = {"VL \\ L2"};
+  for (auto l2 : l2s) headers.push_back(std::to_string(l2 >> 20) + "MB");
+  Table table(headers);
+  std::uint64_t best = UINT64_MAX;
+  std::string best_point;
+  for (unsigned vl : vlens) {
+    std::vector<std::string> row = {std::to_string(vl) + "-bit"};
+    for (auto l2 : l2s) {
+      auto net = build();
+      const core::RunResult r =
+          core::run_simulated(*net, base.with_vlen(vl).with_l2_size(l2), policy);
+      row.push_back(Table::fmt(static_cast<double>(r.cycles) / 1e6, 1));
+      if (r.cycles < best) {
+        best = r.cycles;
+        best_point = std::to_string(vl) + "-bit / " +
+                     std::to_string(l2 >> 20) + "MB";
+      }
+    }
+    table.add_row(row);
+  }
+  table.print("cycles (millions):");
+  std::printf("\nbest design point: %s (%.1f Mcycles)\n", best_point.c_str(),
+              static_cast<double>(best) / 1e6);
+  return 0;
+}

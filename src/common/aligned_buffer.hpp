@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace vlacnn {
+
+/// Cache-line / vector-register aligned owning buffer of trivially copyable
+/// elements. Alignment defaults to 256 bytes — enough for a full A64FX cache
+/// line and any SIMD width we model.
+template <typename T, std::size_t Alignment = 256>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer requires trivially copyable element types");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+  AlignedBuffer(std::size_t n, T fill_value) {
+    resize(n);
+    fill(fill_value);
+  }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    resize(other.size_);
+    if (size_ != 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+  }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    resize(other.size_);
+    if (size_ != 0) std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(T));
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::move(other.data_)), size_(other.size_) {
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      data_ = std::move(other.data_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  /// Reallocates to exactly `n` elements. Contents are NOT preserved.
+  void resize(std::size_t n) {
+    if (n == size_) return;
+    if (n == 0) {
+      data_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    data_.reset(static_cast<T*>(p));
+    size_ = n;
+  }
+
+  void fill(T value) {
+    for (std::size_t i = 0; i < size_; ++i) data_.get()[i] = value;
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.get(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_.get()[i]; }
+  const T& operator[](std::size_t i) const { return data_.get()[i]; }
+
+  T* begin() noexcept { return data_.get(); }
+  T* end() noexcept { return data_.get() + size_; }
+  const T* begin() const noexcept { return data_.get(); }
+  const T* end() const noexcept { return data_.get() + size_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<T, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace vlacnn

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace vlacnn {
+
+/// Thrown on violated API preconditions (bad shapes, out-of-range configs).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::string full = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  if (std::string(kind) == "precondition") throw InvalidArgument(full);
+  throw InternalError(full);
+}
+}  // namespace detail
+
+}  // namespace vlacnn
+
+/// Precondition check on public API boundaries; throws InvalidArgument.
+#define VLACNN_REQUIRE(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::vlacnn::detail::check_failed("precondition", #expr, __FILE__,    \
+                                     __LINE__, (msg));                   \
+  } while (0)
+
+/// Internal invariant check; throws InternalError.
+#define VLACNN_ASSERT(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::vlacnn::detail::check_failed("invariant", #expr, __FILE__,       \
+                                     __LINE__, (msg));                   \
+  } while (0)

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace vlacnn {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
+/// std::mt19937 so that synthetic weights/inputs are bit-identical across
+/// platforms and standard-library versions — benchmark and test outputs must
+/// be reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding of the four state words.
+    std::uint64_t z = seed;
+    for (auto& w : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      w = x ^ (x >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next_u64() % bound;
+  }
+
+  /// Approximately normal via sum of uniforms (Irwin–Hall, 12 draws);
+  /// adequate for synthetic network weights.
+  float normal(float mean = 0.0f, float stddev = 1.0f) {
+    float s = 0.0f;
+    for (int i = 0; i < 12; ++i) s += next_float();
+    return mean + stddev * (s - 6.0f);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace vlacnn

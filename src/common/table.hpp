@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vlacnn {
+
+/// Minimal aligned-column table printer used by all benchmark harnesses to
+/// emit the rows/series of the paper's tables and figures in a uniform,
+/// grep-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(std::int64_t v);
+
+  /// Renders with column alignment, a header underline, and an optional
+  /// caption line above.
+  [[nodiscard]] std::string render(const std::string& caption = "") const;
+
+  void print(const std::string& caption = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vlacnn

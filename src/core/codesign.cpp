@@ -1,0 +1,82 @@
+#include "core/codesign.hpp"
+
+#include <chrono>
+
+namespace vlacnn::core {
+
+RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
+                        const EnginePolicy& policy, std::uint64_t input_seed) {
+  sim::SimContext sctx(machine);
+  vla::VectorEngine eng(sctx);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(policy);
+  engine.install(ctx);
+
+  dnn::Tensor input(net.in_c(), net.in_h(), net.in_w());
+  Rng rng(input_seed);
+  input.randomize(rng, 0.0f, 1.0f);
+
+  // Warm the Winograd weight cache outside the timed region (the paper
+  // excludes the offline weight transform, §VII-A).
+  if (policy.winograd_stride1 || policy.winograd_stride2) {
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      auto* conv = dynamic_cast<dnn::ConvLayer*>(&net.layer(i));
+      if (conv != nullptr && winograd::WinogradConv::supports(conv->desc()))
+        engine.winograd_impl().transformed_weights(conv->desc(),
+                                                   conv->weights());
+    }
+  }
+
+  net.forward(ctx, input);
+
+  RunResult r;
+  r.machine = machine.name;
+  r.vlen_bits = machine.vlen_bits;
+  r.lanes = machine.effective_lanes();
+  r.l2_bytes = machine.l2.size_bytes;
+  r.cycles = sctx.cycles();
+  r.seconds = sctx.seconds();
+  r.total_flops = net.total_flops();
+  r.gflops_sustained = r.seconds > 0 ? r.total_flops / r.seconds / 1e9 : 0.0;
+
+  const sim::TimingStats& ts = sctx.timing().stats();
+  r.avg_vl_elems = ts.avg_vector_length_elems();
+  r.avg_vl_bits = r.avg_vl_elems * 32.0;
+  r.vector_instructions = ts.vector_instructions;
+  r.scalar_ops = ts.scalar_ops;
+
+  const sim::CacheStats& l2 = sctx.memory().l2_stats();
+  r.l2_accesses = l2.accesses;
+  r.l2_misses = l2.misses;
+  r.l2_miss_rate = l2.miss_rate();
+  r.dram_lines = sctx.memory().dram_line_fills();
+
+  r.layers = std::move(ctx.records);
+  return r;
+}
+
+double run_native(dnn::Network& net, unsigned vlen_bits,
+                  const EnginePolicy& policy, std::uint64_t input_seed) {
+  vla::VectorEngine eng(vlen_bits);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(policy);
+  engine.install(ctx);
+
+  dnn::Tensor input(net.in_c(), net.in_h(), net.in_w());
+  Rng rng(input_seed);
+  input.randomize(rng, 0.0f, 1.0f);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.forward(ctx, input);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::uint64_t conv_cycles(const RunResult& r) {
+  std::uint64_t total = 0;
+  for (const auto& rec : r.layers)
+    if (rec.name.rfind("conv", 0) == 0) total += rec.cycles;
+  return total;
+}
+
+}  // namespace vlacnn::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/network.hpp"
+#include "sim/sim_context.hpp"
+
+namespace vlacnn::core {
+
+/// Result of one simulated inference run — the quantities the paper reports
+/// in its tables and figures.
+struct RunResult {
+  std::string machine;
+  unsigned vlen_bits = 0;
+  unsigned lanes = 0;
+  std::uint64_t l2_bytes = 0;
+
+  std::uint64_t cycles = 0;
+  double seconds = 0.0;
+  double total_flops = 0.0;
+  double gflops_sustained = 0.0;
+
+  double avg_vl_elems = 0.0;  ///< Table III "average vector length"
+  double avg_vl_bits = 0.0;
+  double l2_miss_rate = 0.0;  ///< Table III "L2 cache miss rate"
+  std::uint64_t l2_accesses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_lines = 0;
+  std::uint64_t vector_instructions = 0;
+  std::uint64_t scalar_ops = 0;
+
+  std::vector<dnn::LayerRecord> layers;
+};
+
+/// Runs one forward pass of `net` on the simulated `machine` with the given
+/// algorithm policy, on a deterministic synthetic input image. Network
+/// setup (weight generation, Winograd weight transform) is excluded from
+/// the cycle count, matching the paper's measurement protocol (§VI).
+RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
+                        const EnginePolicy& policy,
+                        std::uint64_t input_seed = 7);
+
+/// Runs one forward pass functionally (no simulator attached), returning
+/// wall-clock seconds — used by the native micro-benchmarks and tests.
+double run_native(dnn::Network& net, unsigned vlen_bits,
+                  const EnginePolicy& policy, std::uint64_t input_seed = 7);
+
+/// Convenience: cycles spent in convolutional layers only (the paper's
+/// figures exclude setup; conv dominates at >93%, but this makes the
+/// ratios exact for GEMM-focused comparisons).
+std::uint64_t conv_cycles(const RunResult& r);
+
+}  // namespace vlacnn::core

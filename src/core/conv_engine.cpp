@@ -1,0 +1,32 @@
+#include "core/conv_engine.hpp"
+
+namespace vlacnn::core {
+
+ConvolutionEngine::ConvolutionEngine(const EnginePolicy& policy)
+    : policy_(policy) {
+  gemm_fn_ = gemm::make_gemm_fn(policy.gemm_variant, policy.opt3, policy.opt6);
+}
+
+void ConvolutionEngine::install(dnn::ExecContext& ctx) {
+  ctx.gemm = gemm_fn_;
+  ctx.vectorize_aux_kernels = policy_.vectorize_aux;
+  if (policy_.winograd_stride1 || policy_.winograd_stride2) {
+    const bool s1 = policy_.winograd_stride1;
+    const bool s2 = policy_.winograd_stride2;
+    winograd::WinogradConv* impl = &winograd_;
+    ctx.conv_override = [impl, s1, s2](vla::VectorEngine& eng,
+                                       const dnn::ConvDesc& d,
+                                       const float* input,
+                                       const float* weights, float* output) {
+      if (!winograd::WinogradConv::supports(d)) return false;
+      if (d.stride == 1 && !s1) return false;
+      if (d.stride == 2 && !s2) return false;
+      impl->run(eng, d, input, weights, output);
+      return true;
+    };
+  } else {
+    ctx.conv_override = nullptr;
+  }
+}
+
+}  // namespace vlacnn::core

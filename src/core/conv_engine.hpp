@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+
+#include "dnn/exec_context.hpp"
+#include "gemm/gemm.hpp"
+#include "winograd/winograd_conv.hpp"
+
+namespace vlacnn::core {
+
+/// Per-layer algorithm-selection policy (paper §VII: "convolutional layers
+/// require careful algorithmic selection related to kernel sizes and
+/// strides").
+struct EnginePolicy {
+  gemm::GemmVariant gemm_variant = gemm::GemmVariant::Opt3Loop;
+  gemm::Opt3Config opt3{};
+  gemm::Opt6Config opt6{};
+  /// Use Winograd for 3x3 stride-1 layers (falls back to GEMM elsewhere).
+  bool winograd_stride1 = false;
+  /// Additionally use Winograd for 3x3 stride-2 layers (the paper measures
+  /// this slower than GEMM; kept for reproducing that comparison).
+  bool winograd_stride2 = false;
+  /// Vectorize the auxiliary conv-layer kernels (im2col, bias, norm, act).
+  bool vectorize_aux = true;
+
+  [[nodiscard]] static EnginePolicy naive() {
+    EnginePolicy p;
+    p.gemm_variant = gemm::GemmVariant::Naive;
+    p.vectorize_aux = false;
+    return p;
+  }
+  [[nodiscard]] static EnginePolicy opt3loop(int unroll = 16) {
+    EnginePolicy p;
+    p.gemm_variant = gemm::GemmVariant::Opt3Loop;
+    p.opt3.unroll_factor = unroll;
+    return p;
+  }
+  [[nodiscard]] static EnginePolicy opt6loop(const gemm::Opt6Config& cfg = {}) {
+    EnginePolicy p;
+    p.gemm_variant = gemm::GemmVariant::Opt6Loop;
+    p.opt6 = cfg;
+    return p;
+  }
+  /// Winograd where profitable (3x3/s1), optimized GEMM elsewhere — the
+  /// paper's best configuration (§VII-B).
+  [[nodiscard]] static EnginePolicy winograd(
+      gemm::GemmVariant fallback = gemm::GemmVariant::Opt6Loop) {
+    EnginePolicy p;
+    p.gemm_variant = fallback;
+    p.winograd_stride1 = true;
+    return p;
+  }
+};
+
+/// Owns the algorithm implementations (packed-buffer GEMM state, Winograd
+/// scratch and weight cache) and installs them into a dnn::ExecContext.
+class ConvolutionEngine {
+ public:
+  explicit ConvolutionEngine(const EnginePolicy& policy);
+
+  void install(dnn::ExecContext& ctx);
+
+  [[nodiscard]] const EnginePolicy& policy() const { return policy_; }
+  [[nodiscard]] winograd::WinogradConv& winograd_impl() { return winograd_; }
+
+ private:
+  EnginePolicy policy_;
+  dnn::GemmFn gemm_fn_;
+  winograd::WinogradConv winograd_;
+};
+
+}  // namespace vlacnn::core

@@ -1,0 +1,96 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/aligned_buffer.hpp"
+#include "common/rng.hpp"
+#include "sim/sim_context.hpp"
+
+namespace vlacnn::core {
+
+namespace {
+/// Paper Table IV rows: conv-ordinal label, M (filters), K (k·k·c), and the
+/// downsampling factor of the layer's feature map relative to the input.
+struct Table4Row {
+  const char* label;
+  int m, k, downsample;
+};
+constexpr Table4Row kTable4[] = {
+    {"L1", 32, 27, 1},     {"L2", 64, 288, 2},    {"L3", 32, 64, 2},
+    {"L5", 128, 576, 4},   {"L6", 64, 128, 4},    {"L10", 256, 1152, 8},
+    {"L11", 128, 256, 8},  {"L38", 256, 512, 16}, {"L44", 1024, 4608, 32},
+    {"L45", 512, 1024, 32},{"L59", 255, 1024, 32},{"L61", 256, 768, 16},
+    {"L62", 512, 2304, 16},{"L75", 255, 256, 8},
+};
+}  // namespace
+
+std::vector<dnn::ConvDesc> table4_layers(int input_hw) {
+  std::vector<dnn::ConvDesc> out;
+  for (const auto& row : kTable4) {
+    dnn::ConvDesc d;
+    const int spatial = input_hw / row.downsample;
+    const bool is3x3 = row.k % 9 == 0 && row.k / 9 > 2;  // K = 9c vs K = c
+    d.ksize = is3x3 ? 3 : 1;
+    d.pad = is3x3 ? 1 : 0;
+    d.stride = 1;
+    d.in_c = row.k / (d.ksize * d.ksize);
+    d.in_h = d.in_w = spatial;
+    d.out_c = row.m;
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<std::string> table4_labels() {
+  std::vector<std::string> labels;
+  for (const auto& row : kTable4) labels.emplace_back(row.label);
+  return labels;
+}
+
+std::vector<RooflineEntry> run_roofline(const sim::MachineConfig& machine,
+                                        const EnginePolicy& policy,
+                                        int input_hw, int n_scale) {
+  std::vector<RooflineEntry> out;
+  const auto descs = table4_layers(input_hw);
+  const auto labels = table4_labels();
+  const double peak = machine.peak_gflops();
+
+  for (std::size_t i = 0; i < descs.size(); ++i) {
+    const dnn::ConvDesc& d = descs[i];
+    const int m = d.gemm_m(), k = d.gemm_k();
+    const int n_full = d.gemm_n();
+    const int n = std::max(machine.elements_per_vreg() * 2u,
+                           static_cast<unsigned>(n_full / std::max(1, n_scale)));
+
+    // Isolated GEMM of this layer's shape through the simulated machine.
+    AlignedBuffer<float> a(static_cast<std::size_t>(m) * k);
+    AlignedBuffer<float> b(static_cast<std::size_t>(k) * n);
+    AlignedBuffer<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+    Rng rng(17 + i);
+    for (auto& v : a) v = rng.uniform(-1.0f, 1.0f);
+    for (auto& v : b) v = rng.uniform(-1.0f, 1.0f);
+    sim::RegisteredRange ra(a.data(), a.size() * sizeof(float));
+    sim::RegisteredRange rb(b.data(), b.size() * sizeof(float));
+    sim::RegisteredRange rc(c.data(), c.size() * sizeof(float));
+
+    sim::SimContext sctx(machine);
+    vla::VectorEngine eng(sctx);
+    auto fn = gemm::make_gemm_fn(policy.gemm_variant, policy.opt3, policy.opt6);
+    fn(eng, m, n, k, 1.0f, a.data(), k, b.data(), n, c.data(), n);
+
+    RooflineEntry e;
+    e.label = labels[i];
+    e.m = m;
+    e.n = n_full;
+    e.k = k;
+    e.arithmetic_intensity = d.arithmetic_intensity();
+    const double secs = sctx.seconds();
+    const double flops = 2.0 * m * static_cast<double>(n) * k;
+    e.gflops = secs > 0 ? flops / secs / 1e9 : 0.0;
+    e.pct_of_peak = peak > 0 ? 100.0 * e.gflops / peak : 0.0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vlacnn::core

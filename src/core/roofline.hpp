@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/conv_desc.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vlacnn::core {
+
+/// One row of the paper's Table IV: a discrete YOLOv3 convolutional layer
+/// with its GEMM dimensions, arithmetic intensity, and sustained fraction
+/// of single-core peak.
+struct RooflineEntry {
+  std::string label;  // paper numbering: L1, L2, L3, L5, ...
+  int m = 0, n = 0, k = 0;
+  double arithmetic_intensity = 0.0;
+  double gflops = 0.0;
+  double pct_of_peak = 0.0;
+};
+
+/// The 14 discrete (unique-shape) YOLOv3 convolutional layers of Table IV,
+/// with the paper's conv-ordinal labels, at the given input resolution
+/// (608 reproduces the paper's N values exactly).
+std::vector<dnn::ConvDesc> table4_layers(int input_hw = 608);
+std::vector<std::string> table4_labels();
+
+/// Runs each layer's GEMM on the simulated machine and fills in measured
+/// sustained performance. `n_scale` divides the GEMM N dimension to bound
+/// simulation time (AI is always reported for the full-resolution shape).
+std::vector<RooflineEntry> run_roofline(const sim::MachineConfig& machine,
+                                        const EnginePolicy& policy,
+                                        int input_hw = 608, int n_scale = 16);
+
+}  // namespace vlacnn::core

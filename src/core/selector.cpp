@@ -1,0 +1,195 @@
+#include "core/selector.hpp"
+
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dnn/direct_conv.hpp"
+#include "dnn/im2col.hpp"
+#include "dnn/kernels.hpp"
+#include "sim/sim_context.hpp"
+
+namespace vlacnn::core {
+
+const char* to_string(ConvAlgo a) {
+  switch (a) {
+    case ConvAlgo::Im2colGemm3: return "im2col+gemm3";
+    case ConvAlgo::Im2colGemm6: return "im2col+gemm6";
+    case ConvAlgo::Winograd: return "winograd";
+    case ConvAlgo::Direct: return "direct";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shape key for matching plan entries to layers at execution time.
+std::uint64_t desc_key(const dnn::ConvDesc& d) {
+  std::uint64_t k = 1469598103934665603ull;
+  for (int v : {d.in_c, d.in_h, d.in_w, d.out_c, d.ksize, d.stride, d.pad}) {
+    k ^= static_cast<std::uint64_t>(v);
+    k *= 1099511628211ull;
+  }
+  return k;
+}
+
+/// Scratch bundle for one isolated-layer simulation.
+struct LayerBench {
+  AlignedBuffer<float> input, weights, output, workspace;
+  sim::RegisteredRange ri, rw, ro, rs;
+
+  explicit LayerBench(const dnn::ConvDesc& d) {
+    Rng rng(desc_key(d));
+    input.resize(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w);
+    for (auto& v : input) v = rng.uniform(-1.0f, 1.0f);
+    weights.resize(static_cast<std::size_t>(d.weight_count()));
+    for (auto& v : weights) v = rng.uniform(-0.5f, 0.5f);
+    output.resize(static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
+    workspace.resize(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n());
+    ri = sim::RegisteredRange(input.data(), input.size() * 4);
+    rw = sim::RegisteredRange(weights.data(), weights.size() * 4);
+    ro = sim::RegisteredRange(output.data(), output.size() * 4);
+    rs = sim::RegisteredRange(workspace.data(), workspace.size() * 4);
+  }
+};
+
+void run_algo(ConvAlgo algo, vla::VectorEngine& eng, const dnn::ConvDesc& d,
+              const float* input, const float* weights, float* output,
+              float* workspace, winograd::WinogradConv& wino,
+              gemm::Gemm6& gemm6) {
+  switch (algo) {
+    case ConvAlgo::Winograd:
+      wino.run(eng, d, input, weights, output);
+      return;
+    case ConvAlgo::Direct:
+      dnn::fill_cpu(eng, static_cast<std::size_t>(d.out_c) * d.out_h() *
+                             d.out_w(),
+                    0.0f, output);
+      dnn::direct_conv_vla(eng, d, input, weights, output);
+      return;
+    case ConvAlgo::Im2colGemm3:
+    case ConvAlgo::Im2colGemm6: {
+      dnn::fill_cpu(eng, static_cast<std::size_t>(d.out_c) * d.out_h() *
+                             d.out_w(),
+                    0.0f, output);
+      const float* b = input;
+      if (!(d.ksize == 1 && d.stride == 1 && d.pad == 0)) {
+        dnn::im2col_vla(eng, d, input, workspace);
+        b = workspace;
+      }
+      if (algo == ConvAlgo::Im2colGemm3)
+        gemm::gemm_opt3_default(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), 1.0f,
+                                weights, d.gemm_k(), b, d.gemm_n(), output,
+                                d.gemm_n());
+      else
+        gemm6(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), 1.0f, weights,
+              d.gemm_k(), b, d.gemm_n(), output, d.gemm_n());
+      return;
+    }
+  }
+}
+
+bool eligible(ConvAlgo algo, const dnn::ConvDesc& d) {
+  if (algo == ConvAlgo::Winograd) return winograd::WinogradConv::supports(d);
+  return true;
+}
+
+}  // namespace
+
+std::vector<LayerChoice> select_per_layer(dnn::Network& net,
+                                          const sim::MachineConfig& machine,
+                                          std::uint64_t /*input_seed*/) {
+  std::vector<LayerChoice> plan;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
+    if (conv == nullptr) continue;
+    const dnn::ConvDesc& d = conv->desc();
+
+    LayerChoice choice;
+    choice.layer_index = static_cast<int>(i);
+    choice.layer_name = conv->name();
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+
+    for (ConvAlgo algo : {ConvAlgo::Im2colGemm3, ConvAlgo::Im2colGemm6,
+                          ConvAlgo::Winograd, ConvAlgo::Direct}) {
+      if (!eligible(algo, d)) continue;
+      LayerBench bench(d);
+      sim::SimContext sctx(machine);
+      vla::VectorEngine eng(sctx);
+      winograd::WinogradConv wino;
+      gemm::Opt6Config o6;
+      o6.blocks = gemm::tune_block_sizes(machine);
+      gemm::Gemm6 gemm6(o6);
+      run_algo(algo, eng, d, bench.input.data(), bench.weights.data(),
+               bench.output.data(), bench.workspace.data(), wino, gemm6);
+      const std::uint64_t cycles = sctx.cycles();
+      choice.candidates.emplace_back(algo, cycles);
+      if (cycles < best) {
+        best = cycles;
+        choice.algo = algo;
+        choice.cycles = cycles;
+      }
+    }
+    plan.push_back(std::move(choice));
+  }
+  return plan;
+}
+
+void apply_plan(const std::vector<LayerChoice>& plan,
+                ConvolutionEngine& engine, dnn::ExecContext& ctx) {
+  auto algo_by_shape = std::make_shared<std::map<std::uint64_t, ConvAlgo>>();
+  // Later layers win on shape collisions; identical shapes get identical
+  // choices anyway because the candidate simulations are deterministic.
+  struct State {
+    winograd::WinogradConv wino;
+    std::unique_ptr<gemm::Gemm6> gemm6;
+    AlignedBuffer<float> workspace;
+    sim::RegisteredRange ws_reg;
+  };
+  auto state = std::make_shared<State>();
+  state->gemm6 = std::make_unique<gemm::Gemm6>(engine.policy().opt6);
+  // Plan entries were produced against ConvLayer descs; recover shape keys
+  // from the candidates' cycle table is unnecessary — the network is
+  // re-walked at install time by the caller, so the plan is keyed by the
+  // layer names' shapes instead.
+  (void)engine;
+  // Build the shape->algo map from the plan via the network is not possible
+  // here without the network; instead the ConvOverrideFn closes over the
+  // plan and matches by the layer's shape key computed on the fly.
+  auto plan_copy = std::make_shared<std::vector<LayerChoice>>(plan);
+
+  ctx.conv_override = [state, plan_copy](vla::VectorEngine& eng,
+                                         const dnn::ConvDesc& d,
+                                         const float* input,
+                                         const float* weights,
+                                         float* output) -> bool {
+    // Match by geometry: find a plan entry whose recorded name encodes the
+    // same out_c/ksize/stride and whose eligibility matches.
+    const std::string want = "conv " + std::to_string(d.out_c) + " " +
+                             std::to_string(d.ksize) + "x" +
+                             std::to_string(d.ksize) + "/" +
+                             std::to_string(d.stride);
+    const LayerChoice* hit = nullptr;
+    for (const auto& c : *plan_copy)
+      if (c.layer_name == want) {
+        hit = &c;
+        break;
+      }
+    if (hit == nullptr) return false;  // fall back to ctx.gemm
+    if (hit->algo == ConvAlgo::Im2colGemm3) return false;  // default path
+    if (state->workspace.size() <
+        static_cast<std::size_t>(d.gemm_k()) * d.gemm_n()) {
+      state->ws_reg = {};
+      state->workspace.resize(static_cast<std::size_t>(d.gemm_k()) *
+                              d.gemm_n());
+      state->ws_reg = sim::RegisteredRange(state->workspace.data(),
+                                           state->workspace.size() * 4);
+    }
+    run_algo(hit->algo, eng, d, input, weights, output,
+             state->workspace.data(), state->wino, *state->gemm6);
+    return true;
+  };
+}
+
+}  // namespace vlacnn::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cmath>
+
+namespace vlacnn::dnn {
+
+/// Activation functions used by the Darknet layers this study covers.
+enum class Activation { Linear, Relu, Leaky, Logistic };
+
+inline const char* to_string(Activation a) {
+  switch (a) {
+    case Activation::Linear: return "linear";
+    case Activation::Relu: return "relu";
+    case Activation::Leaky: return "leaky";
+    case Activation::Logistic: return "logistic";
+  }
+  return "?";
+}
+
+/// Scalar reference semantics (Darknet's activate()).
+inline float activate_scalar(float x, Activation a) {
+  switch (a) {
+    case Activation::Linear: return x;
+    case Activation::Relu: return x > 0.0f ? x : 0.0f;
+    case Activation::Leaky: return x > 0.0f ? x : 0.1f * x;
+    case Activation::Logistic: return 1.0f / (1.0f + std::exp(-x));
+  }
+  return x;
+}
+
+}  // namespace vlacnn::dnn

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "dnn/activation.hpp"
+
+namespace vlacnn::dnn {
+
+/// Geometry of one convolutional layer and its im2col+GEMM view.
+///
+/// With a k×k kernel over c input channels producing n filters on an
+/// h×w input, GEMM sees a weight matrix A of M×K and an input matrix B of
+/// K×N where M = n, K = k·k·c, N = out_h·out_w (paper §IV-A).
+struct ConvDesc {
+  int in_c = 0, in_h = 0, in_w = 0;
+  int out_c = 0;
+  int ksize = 3;
+  int stride = 1;
+  int pad = 1;
+  bool batch_norm = true;
+  Activation act = Activation::Leaky;
+
+  [[nodiscard]] int out_h() const { return (in_h + 2 * pad - ksize) / stride + 1; }
+  [[nodiscard]] int out_w() const { return (in_w + 2 * pad - ksize) / stride + 1; }
+
+  [[nodiscard]] int gemm_m() const { return out_c; }
+  [[nodiscard]] int gemm_k() const { return ksize * ksize * in_c; }
+  [[nodiscard]] int gemm_n() const { return out_h() * out_w(); }
+
+  [[nodiscard]] std::int64_t weight_count() const {
+    return static_cast<std::int64_t>(out_c) * in_c * ksize * ksize;
+  }
+
+  /// Multiply-add FLOPs of the direct/GEMM formulation.
+  [[nodiscard]] double flops() const {
+    return 2.0 * gemm_m() * static_cast<double>(gemm_n()) * gemm_k();
+  }
+
+  /// Arithmetic intensity per the paper's Table IV formula:
+  /// AI = 2MNK / (4 (MN + KN + MK)).
+  [[nodiscard]] double arithmetic_intensity() const {
+    const double m = gemm_m(), n = gemm_n(), k = gemm_k();
+    return (2.0 * m * n * k) / (4.0 * (m * n + k * n + m * k));
+  }
+
+  void validate() const {
+    VLACNN_REQUIRE(in_c > 0 && in_h > 0 && in_w > 0, "bad conv input dims");
+    VLACNN_REQUIRE(out_c > 0, "bad conv output channels");
+    VLACNN_REQUIRE(ksize >= 1 && stride >= 1 && pad >= 0, "bad conv params");
+    VLACNN_REQUIRE(out_h() > 0 && out_w() > 0, "conv output collapses to zero");
+  }
+};
+
+}  // namespace vlacnn::dnn

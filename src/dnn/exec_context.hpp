@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "dnn/conv_desc.hpp"
+#include "sim/address_map.hpp"
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::dnn {
+
+/// C(M×N) += alpha · A(M×K) · B(K×N); row-major with leading dimensions.
+/// This matches Darknet's gemm_nn contract used by the convolutional layer.
+using GemmFn = std::function<void(vla::VectorEngine&, int M, int N, int K,
+                                  float alpha, const float* A, int lda,
+                                  const float* B, int ldb, float* C, int ldc)>;
+
+/// Whole-convolution override (e.g. Winograd). Returns false to decline the
+/// layer (wrong kernel size / stride), in which case the layer falls back to
+/// im2col+GEMM — mirroring the paper's per-layer algorithm selection (§VII).
+using ConvOverrideFn =
+    std::function<bool(vla::VectorEngine&, const ConvDesc&, const float* input,
+                       const float* weights, float* output)>;
+
+/// Per-layer record filled during a forward pass.
+struct LayerRecord {
+  std::string name;
+  std::string algo;          // "im2col+gemm", "winograd", "maxpool", ...
+  double flops = 0.0;
+  std::uint64_t cycles = 0;  // simulated cycles spent in this layer (0 if
+                             // running without a SimContext)
+};
+
+/// Everything a layer needs to run: the vector engine (and through it the
+/// optional simulator), the GEMM implementation, the optional convolution
+/// override, and a shared im2col workspace.
+class ExecContext {
+ public:
+  explicit ExecContext(vla::VectorEngine& engine) : engine_(&engine) {}
+
+  [[nodiscard]] vla::VectorEngine& engine() { return *engine_; }
+
+  GemmFn gemm;                    // required before running conv layers
+  ConvOverrideFn conv_override;   // optional
+  bool vectorize_aux_kernels = true;  // paper vectorizes all conv-layer kernels
+
+  /// Grows (never shrinks) the shared im2col scratch buffer.
+  float* workspace(std::size_t floats) {
+    if (workspace_.size() < floats) {
+      workspace_reg_ = {};
+      workspace_.resize(floats);
+      workspace_reg_ = sim::RegisteredRange(workspace_.data(),
+                                            workspace_.size() * sizeof(float));
+    }
+    return workspace_.data();
+  }
+
+  std::vector<LayerRecord> records;
+
+ private:
+  vla::VectorEngine* engine_;
+  AlignedBuffer<float> workspace_;
+  sim::RegisteredRange workspace_reg_;
+};
+
+}  // namespace vlacnn::dnn

@@ -1,0 +1,111 @@
+#include "dnn/im2col.hpp"
+
+#include <algorithm>
+
+namespace vlacnn::dnn {
+
+void im2col_ref(const ConvDesc& d, const float* input, float* col) {
+  const int oh = d.out_h(), ow = d.out_w();
+  const std::size_t n = static_cast<std::size_t>(oh) * ow;
+  for (int c = 0; c < d.in_c; ++c) {
+    for (int kh = 0; kh < d.ksize; ++kh) {
+      for (int kw = 0; kw < d.ksize; ++kw) {
+        const std::size_t row =
+            (static_cast<std::size_t>(c) * d.ksize + kh) * d.ksize + kw;
+        float* out_row = col + row * n;
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * d.stride + kh - d.pad;
+          for (int x = 0; x < ow; ++x) {
+            const int ix = x * d.stride + kw - d.pad;
+            float v = 0.0f;
+            if (iy >= 0 && iy < d.in_h && ix >= 0 && ix < d.in_w)
+              v = input[(static_cast<std::size_t>(c) * d.in_h + iy) * d.in_w + ix];
+            out_row[static_cast<std::size_t>(y) * ow + x] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+constexpr vla::Vreg kV0 = 0;
+
+/// Fills col[first..last) with zeros using vector broadcasts.
+void vfill_zero(vla::VectorEngine& eng, float* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n;) {
+    const std::size_t vl = eng.setvl(n - i);
+    eng.vbroadcast(kV0, 0.0f);
+    eng.vstore(kV0, dst + i);
+    eng.scalar_ops(1);
+    i += vl;
+  }
+}
+}  // namespace
+
+void im2col_vla(vla::VectorEngine& eng, const ConvDesc& d, const float* input,
+                float* col) {
+  const int oh = d.out_h(), ow = d.out_w();
+  const std::size_t n = static_cast<std::size_t>(oh) * ow;
+  for (int c = 0; c < d.in_c; ++c) {
+    const float* in_c = input + static_cast<std::size_t>(c) * d.in_h * d.in_w;
+    for (int kh = 0; kh < d.ksize; ++kh) {
+      for (int kw = 0; kw < d.ksize; ++kw) {
+        const std::size_t row =
+            (static_cast<std::size_t>(c) * d.ksize + kh) * d.ksize + kw;
+        float* out_row = col + row * n;
+        eng.scalar_ops(3);  // row setup
+        for (int y = 0; y < oh; ++y) {
+          const int iy = y * d.stride + kh - d.pad;
+          float* dst = out_row + static_cast<std::size_t>(y) * ow;
+          eng.scalar_ops(3);  // per-output-row bookkeeping
+          if (iy < 0 || iy >= d.in_h) {
+            vfill_zero(eng, dst, static_cast<std::size_t>(ow));
+            continue;
+          }
+          // Valid x range: x*stride + kw - pad in [0, in_w).
+          const int x_lo = std::max(0, (d.pad - kw + d.stride - 1) / d.stride);
+          int x_hi = ow;  // exclusive
+          {
+            // largest x with x*stride + kw - pad <= in_w - 1
+            const int top = d.in_w - 1 - kw + d.pad;
+            if (top < 0)
+              x_hi = 0;
+            else
+              x_hi = std::min(ow, top / d.stride + 1);
+          }
+          if (x_lo > 0) vfill_zero(eng, dst, static_cast<std::size_t>(std::min(x_lo, ow)));
+          if (x_hi < ow)
+            vfill_zero(eng, dst + x_hi,
+                       static_cast<std::size_t>(ow - std::max(x_hi, 0)));
+          if (x_hi <= x_lo) continue;
+          const float* src_base =
+              in_c + static_cast<std::size_t>(iy) * d.in_w +
+              (static_cast<std::ptrdiff_t>(x_lo) * d.stride + kw - d.pad);
+          const std::size_t count = static_cast<std::size_t>(x_hi - x_lo);
+          if (d.stride == 1) {
+            for (std::size_t i = 0; i < count;) {
+              const std::size_t vl = eng.setvl(count - i);
+              eng.vload(kV0, src_base + i);
+              eng.vstore(kV0, dst + x_lo + i);
+              eng.scalar_ops(2);
+              i += vl;
+            }
+          } else {
+            for (std::size_t i = 0; i < count;) {
+              const std::size_t vl = eng.setvl(count - i);
+              eng.vload_strided(kV0,
+                                src_base + static_cast<std::ptrdiff_t>(i) * d.stride,
+                                d.stride);
+              eng.vstore(kV0, dst + x_lo + i);
+              eng.scalar_ops(2);
+              i += vl;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace vlacnn::dnn

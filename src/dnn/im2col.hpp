@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dnn/conv_desc.hpp"
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::dnn {
+
+/// Darknet-layout im2col: expands the padded input image (c×h×w) into the
+/// GEMM input matrix B of K×N, K = c·k·k, N = out_h·out_w; row index is
+/// (c·k·k + kh·k + kw), column index is (oh·out_w + ow).
+///
+/// Scalar reference (Darknet's im2col_cpu).
+void im2col_ref(const ConvDesc& d, const float* input, float* col);
+
+/// VLA-vectorized im2col: for stride-1 layers each (c,kh,kw,oh) row segment
+/// is a contiguous run of the input and is moved with unit-stride vector
+/// copies; strided layers use strided vector loads. Zero padding is filled
+/// with vector broadcasts.
+void im2col_vla(vla::VectorEngine& eng, const ConvDesc& d, const float* input,
+                float* col);
+
+}  // namespace vlacnn::dnn

@@ -1,0 +1,320 @@
+#include "dnn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dnn/im2col.hpp"
+#include "dnn/kernels.hpp"
+
+namespace vlacnn::dnn {
+
+// ---------------------------------------------------------------- ConvLayer
+
+ConvLayer::ConvLayer(const ConvDesc& desc, std::uint64_t weight_seed)
+    : desc_(desc) {
+  desc_.validate();
+  output_.reshape(desc_.out_c, desc_.out_h(), desc_.out_w());
+
+  const auto wn = static_cast<std::size_t>(desc_.weight_count());
+  weights_.resize(wn);
+  biases_.resize(static_cast<std::size_t>(desc_.out_c));
+  bn_scales_.resize(static_cast<std::size_t>(desc_.out_c));
+  bn_mean_.resize(static_cast<std::size_t>(desc_.out_c));
+  bn_var_.resize(static_cast<std::size_t>(desc_.out_c));
+
+  // He-style scaling keeps activations O(1) through deep stacks so that the
+  // 75-conv YOLOv3 forward pass stays in a numerically healthy range.
+  Rng rng(weight_seed);
+  const float scale = std::sqrt(2.0f / static_cast<float>(desc_.gemm_k()));
+  for (std::size_t i = 0; i < wn; ++i) weights_[i] = rng.normal(0.0f, scale);
+  for (int i = 0; i < desc_.out_c; ++i) {
+    biases_[static_cast<std::size_t>(i)] = rng.uniform(-0.1f, 0.1f);
+    bn_scales_[static_cast<std::size_t>(i)] = rng.uniform(0.9f, 1.1f);
+    bn_mean_[static_cast<std::size_t>(i)] = rng.uniform(-0.05f, 0.05f);
+    bn_var_[static_cast<std::size_t>(i)] = rng.uniform(0.8f, 1.2f);
+  }
+  w_reg_ = sim::RegisteredRange(weights_.data(), wn * sizeof(float));
+  b_reg_ = sim::RegisteredRange(biases_.data(), biases_.size() * sizeof(float));
+  s_reg_ = sim::RegisteredRange(bn_scales_.data(), bn_scales_.size() * sizeof(float));
+  m_reg_ = sim::RegisteredRange(bn_mean_.data(), bn_mean_.size() * sizeof(float));
+  v_reg_ = sim::RegisteredRange(bn_var_.data(), bn_var_.size() * sizeof(float));
+}
+
+std::string ConvLayer::name() const {
+  return "conv " + std::to_string(desc_.out_c) + " " +
+         std::to_string(desc_.ksize) + "x" + std::to_string(desc_.ksize) + "/" +
+         std::to_string(desc_.stride);
+}
+
+void ConvLayer::forward(ExecContext& ctx,
+                        const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1 && inputs[0] != nullptr,
+                 "conv expects one input");
+  const Tensor& in = *inputs[0];
+  VLACNN_REQUIRE(in.c() == desc_.in_c && in.h() == desc_.in_h &&
+                     in.w() == desc_.in_w,
+                 "conv input shape mismatch");
+  vla::VectorEngine& eng = ctx.engine();
+  const int m = desc_.gemm_m(), k = desc_.gemm_k(), n = desc_.gemm_n();
+
+  std::string algo = "im2col+gemm";
+  bool done = false;
+  if (ctx.conv_override) {
+    // Winograd path computes the raw convolution; bias/BN/activation below
+    // are shared with the GEMM path (fill is unnecessary — the override
+    // overwrites the output completely).
+    done = ctx.conv_override(eng, desc_, in.data(), weights_.data(),
+                             output_.data());
+    if (done) algo = "winograd";
+  }
+  if (!done) {
+    fill_cpu(eng, output_.size(), 0.0f, output_.data());
+    const float* b_matrix = nullptr;
+    if (desc_.ksize == 1 && desc_.stride == 1 && desc_.pad == 0) {
+      // Darknet skips im2col entirely for 1x1/s1 convolutions.
+      b_matrix = in.data();
+    } else {
+      float* ws = ctx.workspace(static_cast<std::size_t>(k) * n);
+      if (ctx.vectorize_aux_kernels) {
+        im2col_vla(eng, desc_, in.data(), ws);
+      } else {
+        im2col_ref(desc_, in.data(), ws);
+        // Scalar im2col: ~2 ops per expanded element plus the buffer write
+        // traffic (the unvectorized baseline pays for this too).
+        eng.scalar_ops(static_cast<std::uint64_t>(k) * n * 2);
+        eng.scalar_mem(ws, static_cast<std::size_t>(k) * n * sizeof(float),
+                       true);
+      }
+      b_matrix = ws;
+    }
+    VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
+                   "ExecContext has no GEMM implementation");
+    ctx.gemm(eng, m, n, k, 1.0f, weights_.data(), k, b_matrix, n,
+             output_.data(), n);
+  }
+
+  const int spatial = desc_.out_h() * desc_.out_w();
+  if (ctx.vectorize_aux_kernels) {
+    if (desc_.batch_norm) {
+      normalize_cpu(eng, output_.data(), bn_mean_.data(), bn_var_.data(),
+                    desc_.out_c, spatial);
+      scale_bias(eng, output_.data(), bn_scales_.data(), desc_.out_c, spatial);
+    }
+    add_bias(eng, output_.data(), biases_.data(), desc_.out_c, spatial);
+    activate_array(eng, output_.data(), output_.size(), desc_.act);
+  } else {
+    if (desc_.batch_norm) {
+      normalize_ref(output_.data(), bn_mean_.data(), bn_var_.data(),
+                    desc_.out_c, spatial);
+      scale_bias_ref(output_.data(), bn_scales_.data(), desc_.out_c, spatial);
+    }
+    add_bias_ref(output_.data(), biases_.data(), desc_.out_c, spatial);
+    activate_ref(output_.data(), output_.size(), desc_.act);
+    // Charge the scalar work of the unvectorized kernels.
+    eng.scalar_ops(output_.size() * (desc_.batch_norm ? 6 : 3));
+  }
+}
+
+// ------------------------------------------------------------- MaxPoolLayer
+
+MaxPoolLayer::MaxPoolLayer(int in_c, int in_h, int in_w, int size, int stride)
+    : in_c_(in_c), in_h_(in_h), in_w_(in_w), size_(size), stride_(stride),
+      pad_(size - 1) {
+  VLACNN_REQUIRE(size >= 1 && stride >= 1, "bad pool params");
+  output_.reshape(in_c, out_h(), out_w());
+}
+
+std::string MaxPoolLayer::name() const {
+  return "maxpool " + std::to_string(size_) + "x" + std::to_string(size_) +
+         "/" + std::to_string(stride_);
+}
+
+double MaxPoolLayer::flops() const {
+  return static_cast<double>(output_.size()) * size_ * size_;
+}
+
+void MaxPoolLayer::forward(ExecContext& ctx,
+                           const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "maxpool expects one input");
+  const Tensor& in = *inputs[0];
+  vla::VectorEngine& eng = ctx.engine();
+  const int oh = out_h(), ow = out_w();
+  const int w_offset = -pad_ / 2, h_offset = -pad_ / 2;
+
+  for (int c = 0; c < in_c_; ++c) {
+    for (int y = 0; y < oh; ++y) {
+      float* out_row = &output_.at(c, y, 0);
+      for (int x = 0; x < ow; ++x) {
+        float best = -std::numeric_limits<float>::max();
+        for (int ky = 0; ky < size_; ++ky) {
+          const int iy = y * stride_ + ky + h_offset;
+          if (iy < 0 || iy >= in_h_) continue;
+          for (int kx = 0; kx < size_; ++kx) {
+            const int ix = x * stride_ + kx + w_offset;
+            if (ix < 0 || ix >= in_w_) continue;
+            best = std::max(best, in.at(c, iy, ix));
+          }
+        }
+        out_row[x] = best;
+      }
+      // Bulk-charge the scalar comparisons and the row traffic.
+      eng.scalar_ops(static_cast<std::uint64_t>(ow) * size_ * size_);
+      eng.scalar_mem(out_row, static_cast<std::size_t>(ow) * sizeof(float), true);
+      eng.scalar_mem(&in.at(c, std::min(y * stride_, in_h_ - 1), 0),
+                     static_cast<std::size_t>(in_w_) * sizeof(float), false);
+    }
+  }
+}
+
+// --------------------------------------------------------------- RouteLayer
+
+RouteLayer::RouteLayer(std::vector<int> from, int out_c, int h, int w)
+    : from_(std::move(from)) {
+  VLACNN_REQUIRE(!from_.empty(), "route needs at least one source");
+  output_.reshape(out_c, h, w);
+}
+
+void RouteLayer::forward(ExecContext& ctx,
+                         const std::vector<const Tensor*>& inputs) {
+  vla::VectorEngine& eng = ctx.engine();
+  std::size_t offset = 0;
+  for (const Tensor* t : inputs) {
+    VLACNN_REQUIRE(t != nullptr, "route input missing");
+    copy_cpu(eng, t->size(), t->data(), output_.data() + offset);
+    offset += t->size();
+  }
+  VLACNN_REQUIRE(offset == output_.size(), "route size mismatch");
+}
+
+// ------------------------------------------------------------ ShortcutLayer
+
+ShortcutLayer::ShortcutLayer(int from, int c, int h, int w, Activation act)
+    : from_(from), act_(act) {
+  output_.reshape(c, h, w);
+}
+
+void ShortcutLayer::forward(ExecContext& ctx,
+                            const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 2, "shortcut expects two inputs");
+  const Tensor& prev = *inputs[0];
+  const Tensor& skip = *inputs[1];
+  VLACNN_REQUIRE(prev.size() == output_.size() && skip.size() == output_.size(),
+                 "shortcut shape mismatch");
+  vla::VectorEngine& eng = ctx.engine();
+  copy_cpu(eng, prev.size(), prev.data(), output_.data());
+  axpy_cpu(eng, skip.size(), 1.0f, skip.data(), output_.data());
+  activate_array(eng, output_.data(), output_.size(), act_);
+}
+
+// ------------------------------------------------------------ UpsampleLayer
+
+UpsampleLayer::UpsampleLayer(int c, int in_h, int in_w) {
+  output_.reshape(c, in_h * 2, in_w * 2);
+  gather_idx_.resize(static_cast<std::size_t>(in_w) * 2);
+  for (int x = 0; x < in_w * 2; ++x)
+    gather_idx_[static_cast<std::size_t>(x)] = x / 2;
+}
+
+void UpsampleLayer::forward(ExecContext& ctx,
+                            const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "upsample expects one input");
+  const Tensor& in = *inputs[0];
+  vla::VectorEngine& eng = ctx.engine();
+  const int ow = output_.w(), oh = output_.h();
+  for (int c = 0; c < output_.c(); ++c) {
+    for (int y = 0; y < oh; ++y) {
+      const float* src = &in.at(c, y / 2, 0);
+      float* dst = &output_.at(c, y, 0);
+      for (int x = 0; x < ow;) {
+        const std::size_t vl = eng.setvl(static_cast<std::size_t>(ow - x));
+        eng.vgather(0, src, gather_idx_.data() + x);
+        eng.vstore(0, dst + x);
+        eng.scalar_ops(2);
+        x += static_cast<int>(vl);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- ConnectedLayer
+
+ConnectedLayer::ConnectedLayer(int in_n, int out_n, Activation act,
+                               std::uint64_t seed)
+    : in_n_(in_n), out_n_(out_n), act_(act) {
+  VLACNN_REQUIRE(in_n > 0 && out_n > 0, "bad connected dims");
+  output_.reshape(out_n, 1, 1);
+  weights_.resize(static_cast<std::size_t>(in_n) * out_n);
+  biases_.resize(static_cast<std::size_t>(out_n));
+  Rng rng(seed);
+  const float scale = std::sqrt(2.0f / static_cast<float>(in_n));
+  for (auto& w : weights_) w = rng.normal(0.0f, scale);
+  for (auto& b : biases_) b = rng.uniform(-0.1f, 0.1f);
+  w_reg_ = sim::RegisteredRange(weights_.data(), weights_.size() * sizeof(float));
+  b_reg_ = sim::RegisteredRange(biases_.data(), biases_.size() * sizeof(float));
+}
+
+void ConnectedLayer::forward(ExecContext& ctx,
+                             const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "connected expects one input");
+  const Tensor& in = *inputs[0];
+  VLACNN_REQUIRE(in.size() == static_cast<std::size_t>(in_n_),
+                 "connected input size mismatch");
+  vla::VectorEngine& eng = ctx.engine();
+  constexpr vla::Vreg kAcc = 0, kW = 1, kX = 2;
+  for (int o = 0; o < out_n_; ++o) {
+    const float* wrow = weights_.data() + static_cast<std::size_t>(o) * in_n_;
+    eng.setvl(static_cast<std::size_t>(in_n_));
+    eng.vbroadcast(kAcc, 0.0f);
+    float total = 0.0f;
+    for (int i = 0; i < in_n_;) {
+      const std::size_t vl = eng.setvl(static_cast<std::size_t>(in_n_ - i));
+      eng.vload(kW, wrow + i);
+      eng.vload(kX, in.data() + i);
+      eng.vfma(kAcc, kW, kX);
+      eng.scalar_ops(2);
+      i += static_cast<int>(vl);
+    }
+    eng.setvl(eng.vlmax());
+    total = eng.vredsum(kAcc);
+    output_[static_cast<std::size_t>(o)] =
+        activate_scalar(total + biases_[static_cast<std::size_t>(o)], act_);
+    eng.scalar_ops(3);
+  }
+  eng.scalar_mem(output_.data(), output_.size() * sizeof(float), true);
+}
+
+// ------------------------------------------------------------- SoftmaxLayer
+
+SoftmaxLayer::SoftmaxLayer(int c, int h, int w) { output_.reshape(c, h, w); }
+
+void SoftmaxLayer::forward(ExecContext& ctx,
+                           const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "softmax expects one input");
+  const Tensor& in = *inputs[0];
+  VLACNN_REQUIRE(in.size() == output_.size(), "softmax size mismatch");
+  vla::VectorEngine& eng = ctx.engine();
+  float maxv = -std::numeric_limits<float>::max();
+  for (std::size_t i = 0; i < in.size(); ++i) maxv = std::max(maxv, in[i]);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    output_[i] = std::exp(in[i] - maxv);
+    sum += static_cast<double>(output_[i]);
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::size_t i = 0; i < in.size(); ++i) output_[i] *= inv;
+  eng.scalar_ops(in.size() * 6);
+  eng.scalar_mem(output_.data(), output_.size() * sizeof(float), true);
+}
+
+// ---------------------------------------------------------------- YoloLayer
+
+YoloLayer::YoloLayer(int c, int h, int w) { output_.reshape(c, h, w); }
+
+void YoloLayer::forward(ExecContext& ctx,
+                        const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "yolo expects one input");
+  copy_cpu(ctx.engine(), inputs[0]->size(), inputs[0]->data(), output_.data());
+}
+
+}  // namespace vlacnn::dnn

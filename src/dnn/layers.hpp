@@ -1,0 +1,172 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "dnn/conv_desc.hpp"
+#include "dnn/exec_context.hpp"
+#include "dnn/tensor.hpp"
+
+namespace vlacnn::dnn {
+
+/// Base class of all network layers. Inputs are resolved by the Network and
+/// passed to forward(); each layer owns its output tensor.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual void forward(ExecContext& ctx,
+                       const std::vector<const Tensor*>& inputs) = 0;
+
+  /// Indices of the layers whose outputs this layer consumes; -1 denotes the
+  /// network input. Default: the previous layer.
+  [[nodiscard]] virtual std::vector<int> input_indices() const {
+    return {self_index_ - 1};
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual double flops() const { return 0.0; }
+  [[nodiscard]] const Tensor& output() const { return output_; }
+  [[nodiscard]] Tensor& output() { return output_; }
+
+  void set_self_index(int i) { self_index_ = i; }
+  [[nodiscard]] int self_index() const { return self_index_; }
+
+ protected:
+  Tensor output_;
+  int self_index_ = -1;
+};
+
+/// Convolutional layer: im2col + GEMM (or the ExecContext's convolution
+/// override, e.g. Winograd), then batch-norm / bias / activation — exactly
+/// the Darknet kernel sequence the paper profiles (§II-B).
+class ConvLayer final : public Layer {
+ public:
+  ConvLayer(const ConvDesc& desc, std::uint64_t weight_seed);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double flops() const override { return desc_.flops(); }
+
+  [[nodiscard]] const ConvDesc& desc() const { return desc_; }
+  [[nodiscard]] const float* weights() const { return weights_.data(); }
+  [[nodiscard]] float* mutable_weights() { return weights_.data(); }
+
+ private:
+  ConvDesc desc_;
+  AlignedBuffer<float> weights_;  // out_c × in_c × k × k
+  AlignedBuffer<float> biases_;
+  AlignedBuffer<float> bn_scales_;
+  AlignedBuffer<float> bn_mean_;
+  AlignedBuffer<float> bn_var_;
+  sim::RegisteredRange w_reg_, b_reg_, s_reg_, m_reg_, v_reg_;
+};
+
+/// Max-pooling layer (Darknet semantics: pad = (size-1)/2 style windows,
+/// -FLT_MAX identity).
+class MaxPoolLayer final : public Layer {
+ public:
+  MaxPoolLayer(int in_c, int in_h, int in_w, int size, int stride);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double flops() const override;
+
+  [[nodiscard]] int out_h() const { return (in_h_ + pad_ - size_) / stride_ + 1; }
+  [[nodiscard]] int out_w() const { return (in_w_ + pad_ - size_) / stride_ + 1; }
+
+ private:
+  int in_c_, in_h_, in_w_, size_, stride_, pad_;
+};
+
+/// Channel-concatenation (Darknet "route") layer.
+class RouteLayer final : public Layer {
+ public:
+  RouteLayer(std::vector<int> from, int out_c, int h, int w);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::vector<int> input_indices() const override { return from_; }
+  [[nodiscard]] std::string name() const override { return "route"; }
+
+ private:
+  std::vector<int> from_;
+};
+
+/// Residual addition (Darknet "shortcut") layer: out = prev + layers[from].
+class ShortcutLayer final : public Layer {
+ public:
+  ShortcutLayer(int from, int c, int h, int w, Activation act);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::vector<int> input_indices() const override {
+    return {self_index_ - 1, from_};
+  }
+  [[nodiscard]] std::string name() const override { return "shortcut"; }
+  [[nodiscard]] double flops() const override { return output_.size(); }
+
+ private:
+  int from_;
+  Activation act_;
+};
+
+/// Nearest-neighbour 2x upsampling.
+class UpsampleLayer final : public Layer {
+ public:
+  UpsampleLayer(int c, int in_h, int in_w);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override { return "upsample"; }
+
+ private:
+  AlignedBuffer<std::int32_t> gather_idx_;  // per-output-row source indices
+};
+
+/// Fully connected layer (Darknet "connected").
+class ConnectedLayer final : public Layer {
+ public:
+  ConnectedLayer(int in_n, int out_n, Activation act, std::uint64_t seed);
+
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override { return "connected"; }
+  [[nodiscard]] double flops() const override {
+    return 2.0 * in_n_ * static_cast<double>(out_n_);
+  }
+
+ private:
+  int in_n_, out_n_;
+  Activation act_;
+  AlignedBuffer<float> weights_;  // out_n × in_n row-major
+  AlignedBuffer<float> biases_;
+  sim::RegisteredRange w_reg_, b_reg_;
+};
+
+/// Softmax over the flattened input.
+class SoftmaxLayer final : public Layer {
+ public:
+  SoftmaxLayer(int c, int h, int w);
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override { return "softmax"; }
+};
+
+/// YOLO detection head. For this performance study it forwards its input
+/// unchanged (box decoding contributes negligible time and is excluded, as
+/// in the paper's kernel breakdown); it exists so the model zoo preserves
+/// YOLOv3's 107-layer structure.
+class YoloLayer final : public Layer {
+ public:
+  YoloLayer(int c, int h, int w);
+  void forward(ExecContext& ctx,
+               const std::vector<const Tensor*>& inputs) override;
+  [[nodiscard]] std::string name() const override { return "yolo"; }
+};
+
+}  // namespace vlacnn::dnn

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/aligned_buffer.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/address_map.hpp"
+
+namespace vlacnn::dnn {
+
+/// Single-batch CHW fp32 tensor (inference framework, batch = 1 as in the
+/// paper's Darknet runs). Storage is 256-byte aligned and registered with the
+/// simulator's AddressMap so cache behaviour is deterministic across runs.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  Tensor(int c, int h, int w) { reshape(c, h, w); }
+
+  /// Flat 1-D tensor (used for FC layers and weights).
+  explicit Tensor(std::size_t n) { reshape(static_cast<int>(n), 1, 1); }
+
+  void reshape(int c, int h, int w) {
+    VLACNN_REQUIRE(c > 0 && h > 0 && w > 0, "tensor dims must be positive");
+    c_ = c;
+    h_ = h;
+    w_ = w;
+    reg_ = {};  // unregister the old range before the buffer is reallocated
+    data_.resize(static_cast<std::size_t>(c) * h * w);
+    data_.fill(0.0f);
+    reg_ = sim::RegisteredRange(data_.data(), data_.size() * sizeof(float));
+  }
+
+  [[nodiscard]] int c() const { return c_; }
+  [[nodiscard]] int h() const { return h_; }
+  [[nodiscard]] int w() const { return w_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+
+  float& at(int ch, int y, int x) {
+    return data_[(static_cast<std::size_t>(ch) * h_ + y) * w_ + x];
+  }
+  [[nodiscard]] const float& at(int ch, int y, int x) const {
+    return data_[(static_cast<std::size_t>(ch) * h_ + y) * w_ + x];
+  }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  void fill(float v) { data_.fill(v); }
+
+  /// Deterministic pseudo-random content (weights / synthetic inputs).
+  void randomize(Rng& rng, float lo = -1.0f, float hi = 1.0f) {
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      data_[i] = rng.uniform(lo, hi);
+  }
+
+  [[nodiscard]] std::string shape_str() const {
+    return std::to_string(c_) + "x" + std::to_string(h_) + "x" +
+           std::to_string(w_);
+  }
+
+ private:
+  int c_ = 0, h_ = 0, w_ = 0;
+  AlignedBuffer<float> data_;
+  sim::RegisteredRange reg_;
+};
+
+}  // namespace vlacnn::dnn

@@ -1,0 +1,35 @@
+#include "gemm/blocking.hpp"
+
+#include <algorithm>
+
+namespace vlacnn::gemm {
+
+BlockSizes tune_block_sizes(const sim::MachineConfig& cfg, int unroll) {
+  BlockSizes b;
+  b.block_m = unroll;
+
+  // blockN: a multiple of the vector length, sized so that the packed B
+  // panel (blockK x blockN) occupies at most half the L2.
+  const int vl_elems = static_cast<int>(cfg.elements_per_vreg());
+  b.block_n = std::max(vl_elems, 512 / vl_elems * vl_elems);
+  if (b.block_n < vl_elems) b.block_n = vl_elems;
+
+  // blockK: packed A (blockM x blockK) in half the L1; packed B in half L2.
+  const auto l1_budget = static_cast<std::size_t>(cfg.l1.size_bytes / 2);
+  const auto l2_budget = static_cast<std::size_t>(cfg.l2.size_bytes / 2);
+  int bk = 128;
+  while (static_cast<std::size_t>(b.block_m) * (bk * 2) * sizeof(float) <=
+             l1_budget &&
+         static_cast<std::size_t>(bk * 2) * b.block_n * sizeof(float) <=
+             l2_budget &&
+         bk < 2048)
+    bk *= 2;
+  while ((static_cast<std::size_t>(b.block_m) * bk * sizeof(float) > l1_budget ||
+          static_cast<std::size_t>(bk) * b.block_n * sizeof(float) > l2_budget) &&
+         bk > 16)
+    bk /= 2;
+  b.block_k = bk;
+  return b;
+}
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "sim/machine_config.hpp"
+
+namespace vlacnn::gemm {
+
+/// Cache-blocking parameters of the 6-loop BLIS-like GEMM (paper Fig. 3:
+/// blockM, blockN, blockK). The paper's Table II explores candidates such as
+/// 128x1024x256 and finds 16x512x128 best on RISC-V Vector.
+struct BlockSizes {
+  int block_m = 16;
+  int block_n = 512;
+  int block_k = 128;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(block_m) + "x" + std::to_string(block_n) + "x" +
+           std::to_string(block_k);
+  }
+
+  /// Bytes of the packed B panel (the block BLIS keeps L2-resident).
+  [[nodiscard]] std::size_t packed_b_bytes() const {
+    return static_cast<std::size_t>(block_k) * block_n * sizeof(float);
+  }
+  /// Bytes of the packed A panel (kept L1-resident in BLIS).
+  [[nodiscard]] std::size_t packed_a_bytes() const {
+    return static_cast<std::size_t>(block_m) * block_k * sizeof(float);
+  }
+};
+
+/// BLIS-style block-size heuristic: fit the packed B panel in half the L2
+/// and the packed A panel in half the L1, with blockM equal to the register
+/// unroll and blockN a multiple of the hardware vector length.
+BlockSizes tune_block_sizes(const sim::MachineConfig& cfg, int unroll = 16);
+
+}  // namespace vlacnn::gemm

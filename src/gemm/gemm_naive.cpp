@@ -1,0 +1,30 @@
+#include "gemm/gemm_naive.hpp"
+
+#include <cstddef>
+
+namespace vlacnn::gemm {
+
+void gemm_naive(vla::VectorEngine& eng, int M, int N, int K, float alpha,
+                const float* A, int lda, const float* B, int ldb, float* C,
+                int ldc) {
+  for (int i = 0; i < M; ++i) {
+    float* crow = C + static_cast<std::size_t>(i) * ldc;
+    for (int k = 0; k < K; ++k) {
+      const float a = alpha * A[static_cast<std::size_t>(i) * lda + k];
+      const float* brow = B + static_cast<std::size_t>(k) * ldb;
+      for (int j = 0; j < N; ++j) crow[j] += a * brow[j];
+
+      // Simulated cost of the scalar inner loop: one load of A, and per
+      // element a B load, C load, FMA, C store, address updates and the
+      // loop branch (~7 ops, what -O3 -fno-vectorize emits), plus the row
+      // traffic of B (read) and C (read-modify-write) through L1.
+      eng.scalar_mem(&A[static_cast<std::size_t>(i) * lda + k], sizeof(float),
+                     false);
+      eng.scalar_ops(static_cast<std::uint64_t>(N) * 7);
+      eng.scalar_mem(brow, static_cast<std::size_t>(N) * sizeof(float), false);
+      eng.scalar_mem(crow, static_cast<std::size_t>(N) * sizeof(float), true);
+    }
+  }
+}
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::gemm {
+
+/// The naive Darknet GEMM of the paper's Fig. 1, modelling the baseline
+/// build (`-O3 -fno-vectorize`, no manual vectorization): a scalar i/k/j
+/// triple loop. Numerics are computed natively; the simulated cost charges
+/// two scalar ALU ops per inner multiply-add plus the B/C row traffic
+/// through the scalar (L1) path.
+void gemm_naive(vla::VectorEngine& eng, int M, int N, int K, float alpha,
+                const float* A, int lda, const float* B, int ldb, float* C,
+                int ldc);
+
+}  // namespace vlacnn::gemm

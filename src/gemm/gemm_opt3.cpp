@@ -1,0 +1,70 @@
+#include "gemm/gemm_opt3.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vlacnn::gemm {
+
+namespace {
+constexpr int kMaxAccRegs = 30;  // v0..v29 accumulators, v30 = B row
+constexpr vla::Vreg kVB = 30;
+}  // namespace
+
+void gemm_opt3(vla::VectorEngine& eng, const Opt3Config& cfg, int M, int N,
+               int K, float alpha, const float* A, int lda, const float* B,
+               int ldb, float* C, int ldc) {
+  VLACNN_REQUIRE(cfg.unroll_factor >= 1 && cfg.unroll_factor <= 64,
+                 "unroll factor out of range");
+  const int unroll = cfg.unroll_factor;
+  const int in_regs = std::min(unroll, kMaxAccRegs);
+
+  for (int j = 0; j < N;) {
+    const auto gvl = static_cast<int>(eng.setvl(static_cast<std::size_t>(N - j)));
+    eng.scalar_ops(2);  // strip-mine bookkeeping
+    for (int i = 0; i < M; i += unroll) {
+      const int rows = std::min(unroll, M - i);
+      const int reg_rows = std::min(rows, in_regs);
+      eng.scalar_ops(3);  // i-loop bookkeeping + address setup
+
+      // Load the C tile into vector accumulators (v0..v(reg_rows-1)).
+      for (int u = 0; u < reg_rows; ++u)
+        eng.vload(u, C + static_cast<std::size_t>(i + u) * ldc + j);
+
+      for (int k = 0; k < K; ++k) {
+        eng.vload(kVB, B + static_cast<std::size_t>(k) * ldb + j);
+        eng.scalar_ops(2);  // k-loop bookkeeping
+        for (int u = 0; u < rows; ++u) {
+          const float* a_ptr = A + static_cast<std::size_t>(i + u) * lda + k;
+          eng.scalar_mem(a_ptr, sizeof(float), false);
+          float a = *a_ptr;
+          if (alpha != 1.0f) {  // paper: skip the multiply when ALPHA == 1
+            a *= alpha;
+            eng.scalar_ops(1);
+          }
+          if (u < reg_rows) {
+            eng.vfma_scalar(u, a, kVB);
+          } else {
+            // Spilled accumulator: round-trips through memory every FMA.
+            float* crow = C + static_cast<std::size_t>(i + u) * ldc + j;
+            eng.vload(31, crow);
+            eng.vfma_scalar(31, a, kVB);
+            eng.vstore(31, crow);
+          }
+        }
+      }
+
+      for (int u = 0; u < reg_rows; ++u)
+        eng.vstore(u, C + static_cast<std::size_t>(i + u) * ldc + j);
+    }
+    j += gvl;
+  }
+}
+
+void gemm_opt3_default(vla::VectorEngine& eng, int M, int N, int K,
+                       float alpha, const float* A, int lda, const float* B,
+                       int ldb, float* C, int ldc) {
+  gemm_opt3(eng, Opt3Config{}, M, N, K, alpha, A, lda, B, ldb, C, ldc);
+}
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,183 @@
+#include "gemm/gemm_opt6.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vlacnn::gemm {
+
+namespace {
+constexpr int kMaxAccRegs = 30;
+constexpr vla::Vreg kVB = 30;
+constexpr vla::Vreg kVTmp = 31;
+}  // namespace
+
+Gemm6::Gemm6(const Opt6Config& cfg) : cfg_(cfg) {
+  VLACNN_REQUIRE(cfg.blocks.block_m >= 1 && cfg.blocks.block_n >= 1 &&
+                     cfg.blocks.block_k >= 1,
+                 "block sizes must be positive");
+  VLACNN_REQUIRE(cfg.unroll_factor >= 1 && cfg.unroll_factor <= kMaxAccRegs,
+                 "6-loop unroll must fit the register file");
+  pack_a_buf_.resize(static_cast<std::size_t>(cfg.blocks.block_m) *
+                     cfg.blocks.block_k);
+  pack_b_buf_.resize(static_cast<std::size_t>(cfg.blocks.block_k) *
+                     cfg.blocks.block_n);
+  pa_reg_ = sim::RegisteredRange(pack_a_buf_.data(),
+                                 pack_a_buf_.size() * sizeof(float));
+  pb_reg_ = sim::RegisteredRange(pack_b_buf_.data(),
+                                 pack_b_buf_.size() * sizeof(float));
+}
+
+void Gemm6::pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb,
+                         int k0, int kc, int j0, int nc) {
+  // BLIS-style micro-panel layout: the panel is split into strips of NR =
+  // VLMAX columns; within a strip, the kc rows are stored contiguously so
+  // that the micro-kernel's k-walk is perfectly sequential (this is what
+  // lets the A64FX stream prefetcher hide the panel traffic — and why the
+  // packing buys nothing on the L2-connected RVV vector unit).
+  const int panel_w = static_cast<int>(eng.vlmax());
+  for (int jp = 0, strip = 0; jp < nc; jp += panel_w, ++strip) {
+    const int w = std::min(panel_w, nc - jp);
+    float* strip_base = pack_b_buf_.data() +
+                        static_cast<std::size_t>(strip) * kc * panel_w;
+    eng.scalar_ops(2);
+    for (int k = 0; k < kc; ++k) {
+      const float* src = B + static_cast<std::size_t>(k0 + k) * ldb + j0 + jp;
+      eng.setvl(static_cast<std::size_t>(w));
+      eng.vload(kVTmp, src);
+      eng.vstore(kVTmp, strip_base + static_cast<std::size_t>(k) * panel_w);
+      eng.scalar_ops(2);
+    }
+  }
+}
+
+void Gemm6::pack_a_panel(vla::VectorEngine& eng, const float* A, int lda,
+                         int i0, int mc, int k0, int kc) {
+  // Row-major mc x kc panel so the micro-kernel's scalar A loads walk
+  // contiguous memory.
+  for (int i = 0; i < mc; ++i) {
+    const float* src = A + static_cast<std::size_t>(i0 + i) * lda + k0;
+    float* dst = pack_a_buf_.data() + static_cast<std::size_t>(i) * kc;
+    eng.scalar_ops(2);
+    for (int k = 0; k < kc;) {
+      const auto vl = static_cast<int>(eng.setvl(static_cast<std::size_t>(kc - k)));
+      eng.vload(kVTmp, src + k);
+      eng.vstore(kVTmp, dst + k);
+      eng.scalar_ops(2);
+      k += vl;
+    }
+  }
+}
+
+void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
+                         float alpha, const float* a_panel, int a_stride,
+                         const float* b_panel, int b_stride, float* C,
+                         int ldc, int i0, int j0) {
+  const int unroll = cfg_.unroll_factor;
+  // b_stride == -1 flags the packed micro-panel layout (see pack_b_panel).
+  const bool b_packed = b_stride < 0;
+  const int panel_w = static_cast<int>(eng.vlmax());
+  for (int j = 0; j < nc;) {
+    const auto gvl = static_cast<int>(eng.setvl(static_cast<std::size_t>(nc - j)));
+    eng.scalar_ops(2);
+    for (int i = 0; i < mc; i += unroll) {
+      const int rows = std::min(unroll, mc - i);
+      eng.scalar_ops(3);
+
+      if (cfg_.prefetch) {
+        // Paper Fig. 3 lines 11-13: C tile into L1, packed panels into L2.
+        for (int u = 0; u < rows; ++u)
+          eng.prefetch(C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j,
+                       static_cast<std::size_t>(gvl) * sizeof(float), 1);
+        eng.prefetch(a_panel + static_cast<std::size_t>(i) * a_stride,
+                     static_cast<std::size_t>(rows) * a_stride * sizeof(float),
+                     2);
+        eng.prefetch(b_panel + static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(gvl) * sizeof(float), 2);
+      }
+
+      for (int u = 0; u < rows; ++u)
+        eng.vload(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+
+      for (int k = 0; k < kc; ++k) {
+        const float* b_addr =
+            b_packed ? b_panel + (static_cast<std::size_t>(j) / panel_w) * kc *
+                                     panel_w +
+                           static_cast<std::size_t>(k) * panel_w
+                     : b_panel + static_cast<std::size_t>(k) * b_stride + j;
+        if (cfg_.prefetch && (k & 15) == 0) {
+          // Fig. 3 lines 16-17: stream the next packed lines into L1.
+          eng.prefetch(b_addr, 64, 1);
+          eng.prefetch(a_panel + static_cast<std::size_t>(i) * a_stride + k,
+                       64, 1);
+        }
+        eng.vload(kVB, b_addr);
+        eng.scalar_ops(2);
+        for (int u = 0; u < rows; ++u) {
+          const float* a_ptr =
+              a_panel + static_cast<std::size_t>(i + u) * a_stride + k;
+          eng.scalar_mem(a_ptr, sizeof(float), false);
+          float a = *a_ptr;
+          if (alpha != 1.0f) {
+            a *= alpha;
+            eng.scalar_ops(1);
+          }
+          eng.vfma_scalar(u, a, kVB);
+        }
+      }
+
+      for (int u = 0; u < rows; ++u)
+        eng.vstore(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+    }
+    j += gvl;
+  }
+}
+
+void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
+                       float alpha, const float* A, int lda, const float* B,
+                       int ldb, float* C, int ldc) {
+  const BlockSizes& bs = cfg_.blocks;
+  for (int j1 = 0; j1 < N; j1 += bs.block_n) {
+    const int nc = std::min(bs.block_n, N - j1);
+    for (int k1 = 0; k1 < K; k1 += bs.block_k) {
+      const int kc = std::min(bs.block_k, K - k1);
+      const float* b_panel;
+      int b_stride;
+      if (cfg_.pack_b) {
+        // Micro-panel layout needs kc x round_up(nc, VLMAX) floats.
+        const std::size_t panel_w = eng.vlmax();
+        const std::size_t strips = (static_cast<std::size_t>(nc) + panel_w - 1) / panel_w;
+        const std::size_t needed = strips * panel_w * static_cast<std::size_t>(kc);
+        if (pack_b_buf_.size() < needed) {
+          pb_reg_ = {};
+          pack_b_buf_.resize(needed);
+          pb_reg_ = sim::RegisteredRange(pack_b_buf_.data(),
+                                         pack_b_buf_.size() * sizeof(float));
+        }
+        pack_b_panel(eng, B, ldb, k1, kc, j1, nc);
+        b_panel = pack_b_buf_.data();
+        b_stride = -1;  // packed micro-panel layout
+      } else {
+        b_panel = B + static_cast<std::size_t>(k1) * ldb + j1;
+        b_stride = ldb;
+      }
+      for (int i1 = 0; i1 < M; i1 += bs.block_m) {
+        const int mc = std::min(bs.block_m, M - i1);
+        const float* a_panel;
+        int a_stride;
+        if (cfg_.pack_a) {
+          pack_a_panel(eng, A, lda, i1, mc, k1, kc);
+          a_panel = pack_a_buf_.data();
+          a_stride = kc;
+        } else {
+          a_panel = A + static_cast<std::size_t>(i1) * lda + k1;
+          a_stride = lda;
+        }
+        micro_kernel(eng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
+                     b_stride, C, ldc, i1, j1);
+      }
+    }
+  }
+}
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "common/aligned_buffer.hpp"
+#include "gemm/blocking.hpp"
+#include "sim/address_map.hpp"
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::gemm {
+
+/// Feature toggles of the 6-loop implementation, for the ablation study:
+/// the paper's Fig. 3 applies all of them together.
+struct Opt6Config {
+  BlockSizes blocks{};
+  int unroll_factor = 16;
+  bool pack_a = true;
+  bool pack_b = true;
+  bool prefetch = true;  // emits prefetch hints (effective only on A64FX)
+};
+
+/// Optimized 6-loop BLIS-like GEMM (paper Fig. 3): tiles A/B/C into
+/// blockM x blockN x blockK panels, packs the A and B panels into
+/// contiguous buffers with vectorized copies, prefetches the C tile into L1
+/// and the packed panels into L2/L1, and runs the same unrolled
+/// vector-scalar-FMA micro-kernel as the 3-loop implementation on the
+/// packed data.
+class Gemm6 {
+ public:
+  explicit Gemm6(const Opt6Config& cfg = {});
+
+  /// C(MxN) += alpha * A(MxK) * B(KxN).
+  void operator()(vla::VectorEngine& eng, int M, int N, int K, float alpha,
+                  const float* A, int lda, const float* B, int ldb, float* C,
+                  int ldc);
+
+  [[nodiscard]] const Opt6Config& config() const { return cfg_; }
+
+ private:
+  void pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb, int k0,
+                    int kc, int j0, int nc);
+  void pack_a_panel(vla::VectorEngine& eng, const float* A, int lda, int i0,
+                    int mc, int k0, int kc);
+  void micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
+                    float alpha, const float* a_panel, int a_stride,
+                    const float* b_panel, int b_stride, float* C, int ldc,
+                    int i0, int j0);
+
+  Opt6Config cfg_;
+  AlignedBuffer<float> pack_a_buf_;
+  AlignedBuffer<float> pack_b_buf_;
+  sim::RegisteredRange pa_reg_, pb_reg_;
+};
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,19 @@
+#include "gemm/gemm_ref.hpp"
+
+#include <cstddef>
+
+namespace vlacnn::gemm {
+
+void gemm_ref(int M, int N, int K, float alpha, const float* A, int lda,
+              const float* B, int ldb, float* C, int ldc) {
+  for (int i = 0; i < M; ++i) {
+    for (int k = 0; k < K; ++k) {
+      const float a = alpha * A[static_cast<std::size_t>(i) * lda + k];
+      const float* brow = B + static_cast<std::size_t>(k) * ldb;
+      float* crow = C + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < N; ++j) crow[j] += a * brow[j];
+    }
+  }
+}
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace vlacnn::gemm {
+
+/// Plain scalar reference GEMM: C(M×N) += alpha · A(M×K) · B(K×N),
+/// row-major with leading dimensions. Used as the numerical oracle in tests;
+/// it does not touch the vector engine or the simulator.
+void gemm_ref(int M, int N, int K, float alpha, const float* A, int lda,
+              const float* B, int ldb, float* C, int ldc);
+
+}  // namespace vlacnn::gemm

@@ -1,0 +1,64 @@
+#include "sim/address_map.hpp"
+
+#include "common/error.hpp"
+
+namespace vlacnn::sim {
+
+AddressMap& AddressMap::instance() {
+  static AddressMap map;
+  return map;
+}
+
+std::uint64_t AddressMap::register_range(const void* host, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto base = reinterpret_cast<std::uint64_t>(host);
+  // Round each allocation to a 4 KiB simulated page so neighbouring buffers
+  // never share a cache line in the simulated space.
+  const std::uint64_t sim_base = next_base_;
+  next_base_ += (bytes + 4095) & ~std::uint64_t{4095};
+  next_base_ += 4096;  // guard page
+  by_host_base_[base] = Range{base, bytes, sim_base};
+  return sim_base;
+}
+
+void AddressMap::unregister_range(const void* host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_host_base_.erase(reinterpret_cast<std::uint64_t>(host));
+}
+
+std::uint64_t AddressMap::translate(const void* host) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto addr = reinterpret_cast<std::uint64_t>(host);
+  // Find the registered range with the greatest base <= addr.
+  auto it = by_host_base_.upper_bound(addr);
+  if (it != by_host_base_.begin()) {
+    --it;
+    const Range& r = it->second;
+    if (addr >= r.host_base && addr < r.host_base + r.bytes)
+      return r.sim_base + (addr - r.host_base);
+  }
+  // Unregistered pointer: map its 64 B line deterministically by first-seen
+  // order into the scratch region.
+  const std::uint64_t line = addr >> 6;
+  auto [sit, inserted] = scratch_.try_emplace(line, 0);
+  if (inserted) {
+    sit->second = next_scratch_;
+    next_scratch_ += 64;
+  }
+  return sit->second + (addr & 63);
+}
+
+void AddressMap::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  by_host_base_.clear();
+  scratch_.clear();
+  next_base_ = 0x1000;
+  next_scratch_ = 0x4000'0000'0000ULL;
+}
+
+std::size_t AddressMap::live_ranges() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_host_base_.size();
+}
+
+}  // namespace vlacnn::sim

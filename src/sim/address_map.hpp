@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+namespace vlacnn::sim {
+
+/// Translates host pointers into a stable simulated physical address space.
+///
+/// Host heap addresses differ across runs (ASLR), which would make cache
+/// set-index mapping — and therefore simulated miss rates — nondeterministic.
+/// Every simulation-visible buffer registers its range here and is assigned
+/// a sequential simulated base address, so cache behaviour is bit-identical
+/// across runs given the same allocation order.
+///
+/// Unregistered pointers (e.g. small stack temporaries used by kernels) are
+/// mapped into a dedicated deterministic "scratch" region keyed by their
+/// first-seen order, which keeps them from aliasing registered buffers.
+class AddressMap {
+ public:
+  static AddressMap& instance();
+
+  /// Registers [host, host+bytes) and returns the simulated base address.
+  std::uint64_t register_range(const void* host, std::uint64_t bytes);
+
+  /// Removes a registration (called from buffer destructors).
+  void unregister_range(const void* host);
+
+  /// Translates a host pointer to its simulated address.
+  std::uint64_t translate(const void* host);
+
+  /// Drops all registrations and resets the bump allocator. Intended for
+  /// test isolation only.
+  void reset();
+
+  /// Number of live registered ranges (for tests).
+  std::size_t live_ranges();
+
+ private:
+  AddressMap() = default;
+
+  struct Range {
+    std::uint64_t host_base;
+    std::uint64_t bytes;
+    std::uint64_t sim_base;
+  };
+
+  std::mutex mu_;
+  std::map<std::uint64_t, Range> by_host_base_;  // keyed by host base address
+  std::map<std::uint64_t, std::uint64_t> scratch_;  // host line -> sim addr
+  std::uint64_t next_base_ = 0x1000;            // skip simulated page zero
+  std::uint64_t next_scratch_ = 0x4000'0000'0000ULL;
+};
+
+/// RAII registration of a host buffer with the global AddressMap.
+class RegisteredRange {
+ public:
+  RegisteredRange() = default;
+  RegisteredRange(const void* host, std::uint64_t bytes) : host_(host) {
+    if (host != nullptr && bytes != 0)
+      AddressMap::instance().register_range(host, bytes);
+    else
+      host_ = nullptr;
+  }
+  ~RegisteredRange() {
+    if (host_ != nullptr) AddressMap::instance().unregister_range(host_);
+  }
+  RegisteredRange(const RegisteredRange&) = delete;
+  RegisteredRange& operator=(const RegisteredRange&) = delete;
+  RegisteredRange(RegisteredRange&& other) noexcept : host_(other.host_) {
+    other.host_ = nullptr;
+  }
+  RegisteredRange& operator=(RegisteredRange&& other) noexcept {
+    if (this != &other) {
+      if (host_ != nullptr) AddressMap::instance().unregister_range(host_);
+      host_ = other.host_;
+      other.host_ = nullptr;
+    }
+    return *this;
+  }
+
+ private:
+  const void* host_ = nullptr;
+};
+
+}  // namespace vlacnn::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine_config.hpp"
+
+namespace vlacnn::sim {
+
+/// Outcome of a single cache-line access.
+enum class AccessResult { Hit, Miss };
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t prefetch_fills = 0;
+
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+  void reset() { *this = CacheStats{}; }
+};
+
+/// Set-associative, write-back, write-allocate cache with true-LRU
+/// replacement. Simulates tag state only — data always lives in host memory
+/// (the functional VLA engine reads/writes host buffers directly).
+class CacheModel {
+ public:
+  explicit CacheModel(const CacheConfig& cfg);
+
+  /// Looks up (and on miss, fills) the line containing `addr`.
+  /// `is_write` marks the line dirty; evicted dirty lines count writebacks.
+  AccessResult access(std::uint64_t addr, bool is_write);
+
+  /// Inserts the line without counting a demand access (prefetch fill).
+  /// Returns true if the line was newly inserted (i.e. it was absent).
+  bool prefetch_fill(std::uint64_t addr);
+
+  /// True if the line containing `addr` is currently resident.
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// Invalidates all lines and clears statistics.
+  void reset();
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru_stamp = 0;  // larger = more recently used
+  };
+
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const;
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const;
+  /// Returns way of the line within its set, or -1.
+  [[nodiscard]] int find_way(std::uint64_t set, std::uint64_t tag) const;
+  /// Returns the victim way in `set` (invalid first, else LRU).
+  [[nodiscard]] int victim_way(std::uint64_t set) const;
+
+  CacheConfig cfg_;
+  std::uint64_t num_sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;  // num_sets_ * associativity, row-major by set
+  std::uint64_t stamp_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace vlacnn::sim

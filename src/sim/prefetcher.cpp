@@ -1,0 +1,70 @@
+#include "sim/prefetcher.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "sim/cache.hpp"
+
+namespace vlacnn::sim {
+
+StreamPrefetcher::StreamPrefetcher(unsigned line_bytes, unsigned depth,
+                                   unsigned table_entries)
+    : line_shift_(static_cast<unsigned>(
+          std::countr_zero(static_cast<std::uint64_t>(line_bytes)))),
+      depth_(depth),
+      table_(table_entries) {
+  VLACNN_REQUIRE((line_bytes & (line_bytes - 1)) == 0, "line size must be pow2");
+  VLACNN_REQUIRE(depth >= 1 && depth <= 64, "prefetch depth out of range");
+}
+
+void StreamPrefetcher::observe(std::uint64_t addr, CacheModel& target) {
+  const std::uint64_t region = addr >> 12;
+  const auto line = static_cast<std::int64_t>(addr >> line_shift_);
+  ++tick_;
+
+  // Find the tracking entry for this region, or allocate the LRU one.
+  StreamEntry* entry = nullptr;
+  StreamEntry* lru = &table_[0];
+  for (auto& e : table_) {
+    if (e.region == region) {
+      entry = &e;
+      break;
+    }
+    if (e.lru < lru->lru) lru = &e;
+  }
+  if (entry == nullptr) {
+    *lru = StreamEntry{region, line, 0, 0, tick_};
+    return;
+  }
+  entry->lru = tick_;
+
+  const std::int64_t stride = line - entry->last_line;
+  if (stride == 0) return;  // same line, nothing to learn
+  if (stride == entry->stride) {
+    if (entry->confidence < 4) ++entry->confidence;
+    if (entry->confidence == 2) ++stats_.trained_streams;
+  } else {
+    entry->stride = stride;
+    entry->confidence = 1;
+  }
+  entry->last_line = line;
+
+  if (entry->confidence >= 2) {
+    for (unsigned d = 1; d <= depth_; ++d) {
+      const std::int64_t target_line = line + entry->stride * static_cast<std::int64_t>(d);
+      if (target_line < 0) break;
+      const std::uint64_t pf_addr = static_cast<std::uint64_t>(target_line)
+                                    << line_shift_;
+      ++stats_.issued;
+      if (target.prefetch_fill(pf_addr)) ++stats_.useful_fills;
+    }
+  }
+}
+
+void StreamPrefetcher::reset() {
+  for (auto& e : table_) e = StreamEntry{};
+  tick_ = 0;
+  stats_.reset();
+}
+
+}  // namespace vlacnn::sim

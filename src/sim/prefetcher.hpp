@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vlacnn::sim {
+
+class CacheModel;
+
+struct PrefetcherStats {
+  std::uint64_t trained_streams = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t useful_fills = 0;  // fills of lines that were absent
+  void reset() { *this = PrefetcherStats{}; }
+};
+
+/// Stride-based stream prefetcher modelled after the A64FX hardware
+/// prefetch engine. Tracks per-region (4 KiB) access streams; once a stride
+/// is confirmed twice, it prefetches `depth` lines ahead into the attached
+/// cache on every subsequent stream access.
+class StreamPrefetcher {
+ public:
+  StreamPrefetcher(unsigned line_bytes, unsigned depth = 4,
+                   unsigned table_entries = 32);
+
+  /// Observes a demand access and issues prefetch fills into `target`.
+  void observe(std::uint64_t addr, CacheModel& target);
+
+  void reset();
+  [[nodiscard]] const PrefetcherStats& stats() const { return stats_; }
+
+ private:
+  struct StreamEntry {
+    std::uint64_t region = UINT64_MAX;  // addr >> 12
+    std::int64_t last_line = 0;
+    std::int64_t stride = 0;  // in lines
+    int confidence = 0;
+    std::uint64_t lru = 0;
+  };
+
+  unsigned line_shift_;
+  unsigned depth_;
+  std::vector<StreamEntry> table_;
+  std::uint64_t tick_ = 0;
+  PrefetcherStats stats_;
+};
+
+}  // namespace vlacnn::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+
+#include "sim/address_map.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/timing_model.hpp"
+
+namespace vlacnn::sim {
+
+/// Bundles one simulated machine instance: its configuration, memory
+/// hierarchy, and core timing model. A `SimContext*` is attached to a
+/// `vla::VectorEngine`; a null context runs the engine functionally at full
+/// host speed with no instrumentation.
+class SimContext {
+ public:
+  explicit SimContext(const MachineConfig& cfg)
+      : cfg_(cfg), memory_(cfg), timing_(cfg) {}
+
+  [[nodiscard]] const MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] MemorySystem& memory() { return memory_; }
+  [[nodiscard]] const MemorySystem& memory() const { return memory_; }
+  [[nodiscard]] VectorTimingModel& timing() { return timing_; }
+  [[nodiscard]] const VectorTimingModel& timing() const { return timing_; }
+
+  /// Completion horizon in cycles (flushes the pipeline).
+  std::uint64_t cycles() { return timing_.finish(); }
+
+  /// Seconds at the configured clock.
+  double seconds() {
+    return static_cast<double>(cycles()) / (cfg_.freq_ghz * 1e9);
+  }
+
+  /// Clears timing and cache state (keeps the configuration).
+  void reset() {
+    memory_.reset();
+    timing_.reset();
+  }
+
+ private:
+  MachineConfig cfg_;
+  MemorySystem memory_;
+  VectorTimingModel timing_;
+};
+
+}  // namespace vlacnn::sim

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/sim_context.hpp"
+
+namespace vlacnn::vla {
+
+/// Architectural vector register number (v0..v31).
+using Vreg = int;
+/// Architectural predicate register number (p0..p15, SVE only).
+using Preg = int;
+
+/// Vector-length-agnostic vector engine: the substitute for RVV / SVE
+/// hardware intrinsics.
+///
+/// Kernels are written against this class exactly as they would be written
+/// with EPI builtins (RVV) or ACLE (SVE): the author allocates architectural
+/// registers v0..v31 explicitly, strip-mines loops with `setvl` (RVV style)
+/// or `whilelt` predicates (SVE style), and uses contiguous / strided /
+/// gather-scatter memory operations and vector-scalar FMAs.
+///
+/// The engine executes every operation functionally on host memory. When a
+/// `sim::SimContext` is attached, each operation additionally feeds the
+/// scoreboard timing model and the cache hierarchy, so the same kernel code
+/// yields both numerics and simulated cycles.
+class VectorEngine {
+ public:
+  static constexpr unsigned kNumVregs = 32;
+  static constexpr unsigned kNumPregs = 16;
+
+  /// Functional-only engine with the given hardware vector length.
+  explicit VectorEngine(unsigned vlen_bits);
+  /// Instrumented engine; vector length comes from the machine config.
+  explicit VectorEngine(sim::SimContext& ctx);
+
+  [[nodiscard]] unsigned vlen_bits() const { return vlen_bits_; }
+  /// VLMAX for 32-bit elements (svcntw() in SVE terms).
+  [[nodiscard]] std::size_t vlmax() const { return vlen_bits_ / 32; }
+  [[nodiscard]] sim::SimContext* context() const { return ctx_; }
+
+  // ---------------- RVV-style strip mining ----------------
+
+  /// `vsetvl`: returns the granted vector length min(requested, VLMAX) and
+  /// makes it the implicit element count of subsequent unpredicated ops.
+  std::size_t setvl(std::size_t requested);
+  [[nodiscard]] std::size_t gvl() const { return gvl_; }
+
+  // ---------------- SVE-style predication ----------------
+
+  /// `whilelt p, i, n`: lane l is active iff i + l < n. Returns active count.
+  std::size_t whilelt(Preg p, std::size_t i, std::size_t n);
+  /// `ptrue`: all VLMAX lanes active.
+  void ptrue(Preg p);
+  [[nodiscard]] std::size_t active_lanes(Preg p) const;
+
+  // ---------------- memory operations ----------------
+
+  /// Unit-stride load of gvl() elements.
+  void vload(Vreg vd, const float* src);
+  /// Unit-stride store of gvl() elements.
+  void vstore(Vreg vs, float* dst);
+  /// Predicated unit-stride load/store (SVE): inactive lanes are zeroed /
+  /// skipped.
+  void vload_pred(Vreg vd, Preg p, const float* src);
+  void vstore_pred(Vreg vs, Preg p, float* dst);
+  /// Strided load/store (stride in elements); gvl() elements.
+  void vload_strided(Vreg vd, const float* base, std::ptrdiff_t stride_elems);
+  void vstore_strided(Vreg vs, float* base, std::ptrdiff_t stride_elems);
+  /// Gather / scatter with per-element indices (in elements from base).
+  void vgather(Vreg vd, const float* base, const std::int32_t* indices);
+  void vscatter(Vreg vs, float* base, const std::int32_t* indices);
+
+  /// Structured gather/scatter over a small cache-resident region — the
+  /// cost model of SVE tuple loads + register transposes (ld4/st4 + trn/zip,
+  /// the intrinsics the paper's Winograd uses, §IV-B/§VII). Functionally
+  /// identical to vgather/vscatter; billed as one unit-stride access over
+  /// the touched footprint plus an in-register permute, instead of
+  /// per-element address generation.
+  void vgather_local(Vreg vd, const float* base, const std::int32_t* indices);
+  void vscatter_local(Vreg vs, float* base, const std::int32_t* indices);
+
+  /// Software prefetch hint (level 1 = L1, 2 = L2). Honoured only on
+  /// machines with `sw_prefetch_effective` (paper §IV-A).
+  void prefetch(const void* addr, std::size_t bytes, int level);
+
+  // ---------------- arithmetic ----------------
+
+  void vbroadcast(Vreg vd, float x);
+  /// vd[i] = a[i] + b[i], etc. All use gvl() elements.
+  void vadd(Vreg vd, Vreg va, Vreg vb);
+  void vsub(Vreg vd, Vreg va, Vreg vb);
+  void vmul(Vreg vd, Vreg va, Vreg vb);
+  void vdiv(Vreg vd, Vreg va, Vreg vb);
+  void vmax(Vreg vd, Vreg va, Vreg vb);
+  void vmin(Vreg vd, Vreg va, Vreg vb);
+  /// vacc[i] += va[i] * vb[i]   (vfmacc.vv)
+  void vfma(Vreg vacc, Vreg va, Vreg vb);
+  /// vacc[i] += a * vb[i]       (vfmacc.vf — vector-scalar FMA; the compiler
+  /// pattern the paper relies on to avoid explicit broadcasts)
+  void vfma_scalar(Vreg vacc, float a, Vreg vb);
+  void vadd_scalar(Vreg vd, Vreg va, float b);
+  void vmul_scalar(Vreg vd, Vreg va, float b);
+  void vmax_scalar(Vreg vd, Vreg va, float b);
+  /// Predicated FMA (SVE): only active lanes update.
+  void vfma_pred(Vreg vacc, Preg p, Vreg va, Vreg vb);
+  void vfma_scalar_pred(Vreg vacc, Preg p, float a, Vreg vb);
+
+  /// Horizontal sum of gvl() elements.
+  float vredsum(Vreg v);
+  float vredmax(Vreg v);
+
+  // ---------------- permutes (Winograd transposes) ----------------
+
+  /// vd[i] = vs[idx[i]] for gvl() elements (tbl / vrgather).
+  void vpermute(Vreg vd, Vreg vs, const std::int32_t* idx);
+  /// Interleave even/odd (zip1/zip2-like) helpers used by the Winograd
+  /// tuple transpose.
+  void vzip_lo(Vreg vd, Vreg va, Vreg vb);
+  void vzip_hi(Vreg vd, Vreg va, Vreg vb);
+
+  // ---------------- scalar-side accounting ----------------
+
+  /// Charges `n` scalar bookkeeping operations (loop control, address
+  /// arithmetic) to the scalar pipe. No functional effect.
+  void scalar_ops(std::uint64_t n);
+  /// Charges a scalar load/store of `bytes` at `addr`.
+  void scalar_mem(const void* addr, std::size_t bytes, bool write);
+
+  // ---------------- test access ----------------
+
+  [[nodiscard]] float lane(Vreg v, std::size_t i) const;
+  void set_lane(Vreg v, std::size_t i, float x);
+
+ private:
+  float* reg(Vreg v);
+  const float* reg(Vreg v) const;
+  void check_vreg(Vreg v) const;
+  void check_preg(Preg p) const;
+  void note_vop(sim::VopClass cls, int dst, std::initializer_list<int> srcs,
+                std::size_t elements);
+  void note_vmem(sim::VopClass cls, int dst, std::initializer_list<int> srcs,
+                 std::size_t elements, const void* addr, std::size_t bytes,
+                 bool write);
+  void note_vmem_strided(sim::VopClass cls, int dst, const void* base,
+                         std::ptrdiff_t stride_bytes, std::size_t n,
+                         bool write);
+
+  sim::SimContext* ctx_ = nullptr;
+  unsigned vlen_bits_;
+  std::size_t gvl_;
+  std::vector<float> regfile_;               // kNumVregs * vlmax()
+  std::vector<std::uint8_t> predfile_;       // kNumPregs * vlmax()
+};
+
+}  // namespace vlacnn::vla

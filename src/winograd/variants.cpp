@@ -1,0 +1,194 @@
+#include "winograd/variants.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "winograd/f6x3.hpp"
+
+namespace vlacnn::winograd {
+
+const WinogradVariant& f2x3() {
+  static const WinogradVariant v = [] {
+    WinogradVariant w;
+    w.name = "F(2x2,3x3)";
+    w.out_tile = 2;
+    w.in_tile = 4;
+    w.bt = {1, 0, -1, 0,  //
+            0, 1, 1, 0,   //
+            0, -1, 1, 0,  //
+            0, 1, 0, -1};
+    w.g = {1, 0, 0,          //
+           0.5, 0.5, 0.5,    //
+           0.5, -0.5, 0.5,   //
+           0, 0, 1};
+    w.at = {1, 1, 1, 0,  //
+            0, 1, -1, -1};
+    return w;
+  }();
+  return v;
+}
+
+const WinogradVariant& f4x3() {
+  static const WinogradVariant v = [] {
+    WinogradVariant w;
+    w.name = "F(4x4,3x3)";
+    w.out_tile = 4;
+    w.in_tile = 6;
+    w.bt = {4, 0,  -5, 0,  1, 0,  //
+            0, -4, -4, 1,  1, 0,  //
+            0, 4,  -4, -1, 1, 0,  //
+            0, -2, -1, 2,  1, 0,  //
+            0, 2,  -1, -2, 1, 0,  //
+            0, 4,  0,  -5, 0, 1};
+    w.g = {1.0 / 4,  0,         0,          //
+           -1.0 / 6, -1.0 / 6,  -1.0 / 6,   //
+           -1.0 / 6, 1.0 / 6,   -1.0 / 6,   //
+           1.0 / 24, 1.0 / 12,  1.0 / 6,    //
+           1.0 / 24, -1.0 / 12, 1.0 / 6,    //
+           0,        0,         1};
+    w.at = {1, 1, 1,  1, 1,  0,  //
+            0, 1, -1, 2, -2, 0,  //
+            0, 1, 1,  4, 4,  0,  //
+            0, 1, -1, 8, -8, 1};
+    return w;
+  }();
+  return v;
+}
+
+const WinogradVariant& f6x3_variant() {
+  static const WinogradVariant v = [] {
+    WinogradVariant w;
+    w.name = "F(6x6,3x3)";
+    w.out_tile = 6;
+    w.in_tile = 8;
+    for (const auto& row : kBT)
+      w.bt.insert(w.bt.end(), row.begin(), row.end());
+    for (const auto& row : kG) w.g.insert(w.g.end(), row.begin(), row.end());
+    for (const auto& row : kAT)
+      w.at.insert(w.at.end(), row.begin(), row.end());
+    return w;
+  }();
+  return v;
+}
+
+namespace {
+
+/// out(rows x cols) = T(rows x inner) * in(inner x cols); fp32 accumulation
+/// to mirror the production kernels' rounding behaviour.
+void matmul_f32(const double* t, int rows, int inner, const float* in,
+                int cols, float* out) {
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      float acc = 0.0f;
+      for (int k = 0; k < inner; ++k)
+        acc += static_cast<float>(t[r * inner + k]) * in[k * cols + c];
+      out[r * cols + c] = acc;
+    }
+  }
+}
+
+void transpose_f32(const float* in, int rows, int cols, float* out) {
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) out[c * rows + r] = in[r * cols + c];
+}
+
+}  // namespace
+
+void variant_tile_conv(const WinogradVariant& v, const float* d_tile,
+                       const float* g3x3, float* out_tile) {
+  const int t = v.in_tile, m = v.out_tile;
+  std::vector<float> tmp1(static_cast<std::size_t>(t) * t);
+  std::vector<float> tmp2(static_cast<std::size_t>(t) * t);
+  std::vector<float> dv(static_cast<std::size_t>(t) * t);
+  std::vector<float> uv(static_cast<std::size_t>(t) * t);
+
+  // V = Bt d B  (via Bt d, transpose, Bt (.)t, transpose).
+  matmul_f32(v.bt.data(), t, t, d_tile, t, tmp1.data());
+  transpose_f32(tmp1.data(), t, t, tmp2.data());
+  matmul_f32(v.bt.data(), t, t, tmp2.data(), t, tmp1.data());
+  transpose_f32(tmp1.data(), t, t, dv.data());
+
+  // U = G g Gt.
+  std::vector<float> gg(static_cast<std::size_t>(t) * 3);
+  matmul_f32(v.g.data(), t, 3, g3x3, 3, gg.data());
+  std::vector<float> ggt(static_cast<std::size_t>(3) * t);
+  transpose_f32(gg.data(), t, 3, ggt.data());
+  matmul_f32(v.g.data(), t, 3, ggt.data(), t, tmp1.data());
+  transpose_f32(tmp1.data(), t, t, uv.data());
+
+  // M = U ⊙ V, then Y = At M A.
+  for (int i = 0; i < t * t; ++i) tmp1[static_cast<std::size_t>(i)] = uv[static_cast<std::size_t>(i)] * dv[static_cast<std::size_t>(i)];
+  std::vector<float> s(static_cast<std::size_t>(m) * t);
+  matmul_f32(v.at.data(), m, t, tmp1.data(), t, s.data());
+  std::vector<float> st(static_cast<std::size_t>(t) * m);
+  transpose_f32(s.data(), m, t, st.data());
+  std::vector<float> y(static_cast<std::size_t>(m) * m);
+  matmul_f32(v.at.data(), m, t, st.data(), m, y.data());
+  transpose_f32(y.data(), m, m, out_tile);
+}
+
+void variant_conv2d(const WinogradVariant& v, const float* image, int h,
+                    int w, const float* g3x3, float* out) {
+  VLACNN_REQUIRE(h >= 3 && w >= 3, "image too small");
+  const int m = v.out_tile, t = v.in_tile, pad = 1;
+  const int oh = h, ow = w;  // 3x3, stride 1, pad 1
+  std::vector<float> d(static_cast<std::size_t>(t) * t);
+  std::vector<float> y(static_cast<std::size_t>(m) * m);
+  for (int ty = 0; ty * m < oh; ++ty) {
+    for (int tx = 0; tx * m < ow; ++tx) {
+      const int y0 = ty * m - pad, x0 = tx * m - pad;
+      for (int i = 0; i < t; ++i) {
+        for (int j = 0; j < t; ++j) {
+          const int yy = y0 + i, xx = x0 + j;
+          d[static_cast<std::size_t>(i) * t + j] =
+              (yy >= 0 && yy < h && xx >= 0 && xx < w)
+                  ? image[static_cast<std::size_t>(yy) * w + xx]
+                  : 0.0f;
+        }
+      }
+      variant_tile_conv(v, d.data(), g3x3, y.data());
+      for (int r = 0; r < m && ty * m + r < oh; ++r)
+        for (int c = 0; c < m && tx * m + c < ow; ++c)
+          out[static_cast<std::size_t>(ty * m + r) * ow + tx * m + c] =
+              y[static_cast<std::size_t>(r) * m + c];
+    }
+  }
+}
+
+double variant_max_error(const WinogradVariant& v, int h, int w,
+                         std::uint64_t seed, float magnitude) {
+  Rng rng(seed);
+  std::vector<float> image(static_cast<std::size_t>(h) * w);
+  for (auto& x : image) x = rng.uniform(-magnitude, magnitude);
+  float g[9];
+  for (auto& x : g) x = rng.uniform(-magnitude, magnitude);
+
+  std::vector<float> wino(image.size()), direct(image.size(), 0.0f);
+  variant_conv2d(v, image.data(), h, w, g, wino.data());
+
+  // Direct reference in double precision.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int ky = 0; ky < 3; ++ky) {
+        for (int kx = 0; kx < 3; ++kx) {
+          const int yy = y + ky - 1, xx = x + kx - 1;
+          if (yy < 0 || yy >= h || xx < 0 || xx >= w) continue;
+          acc += static_cast<double>(g[ky * 3 + kx]) *
+                 image[static_cast<std::size_t>(yy) * w + xx];
+        }
+      }
+      direct[static_cast<std::size_t>(y) * w + x] = static_cast<float>(acc);
+    }
+  }
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < image.size(); ++i)
+    max_err = std::max(max_err,
+                       std::fabs(static_cast<double>(wino[i]) - direct[i]));
+  return max_err;
+}
+
+}  // namespace vlacnn::winograd

@@ -1,0 +1,428 @@
+#include "winograd/winograd_conv.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "winograd/f6x3.hpp"
+
+namespace vlacnn::winograd {
+
+namespace {
+// Register allocation of the transform kernels: packed tile rows live in
+// v0..v15 (v[half*8+row]), stage outputs in v16..v31, lane-compaction
+// scratch in v30 is only used after outputs 16..29 are final.
+constexpr vla::Vreg kStageOutBase = 16;
+constexpr vla::Vreg kCompact = 30;
+constexpr vla::Vreg kURow = 8;     // tuple multiply: U operand
+constexpr vla::Vreg kVRowBase = 9; // tuple multiply: V operands (9..16)
+}  // namespace
+
+bool WinogradConv::supports(const dnn::ConvDesc& d) {
+  return d.ksize == 3 && d.pad == 1 && (d.stride == 1 || d.stride == 2);
+}
+
+WinogradConv::Plan WinogradConv::make_plan(const dnn::ConvDesc& d) const {
+  Plan p;
+  VLACNN_ASSERT(d.stride == 1, "plans are built for the stride-1 kernel");
+  p.tiles_x = (d.out_w() + kOutTile - 1) / kOutTile;
+  p.tiles_y = (d.out_h() + kOutTile - 1) / kOutTile;
+  p.tiles = p.tiles_x * p.tiles_y;
+  return p;
+}
+
+WinogradConv::IndexTables WinogradConv::make_tables(const dnn::ConvDesc& d,
+                                                    const Plan& plan) const {
+  IndexTables t;
+  const int g = plan.group;
+  const auto vecw = static_cast<int>(plan.vecw);
+  const int in_ch_stride = d.in_h * d.in_w;
+  const int out_ch_stride = d.out_h() * d.out_w();
+  const int tile_stride = plan.tiles * kTileElems;
+
+  // Image gather for interior input tiles: lane (k,j) -> channel k, col j.
+  t.in_pack_idx.resize(static_cast<std::size_t>(vecw));
+  for (int k = 0; k < g; ++k)
+    for (int j = 0; j < 4; ++j)
+      t.in_pack_idx[static_cast<std::size_t>(k * 4 + j)] = k * in_ch_stride + j;
+
+  // V scatter / M gather: lane (k,j) of packed row (h,i) -> element
+  // e = i*8 + h*4 + j of channel k's tile t.
+  t.chan_idx.resize(static_cast<std::size_t>(16) * vecw);
+  for (int h = 0; h < 2; ++h)
+    for (int i = 0; i < 8; ++i)
+      for (int k = 0; k < g; ++k)
+        for (int j = 0; j < 4; ++j)
+          t.chan_idx[(static_cast<std::size_t>(h * 8 + i)) * vecw + k * 4 + j] =
+              k * tile_stride + i * 8 + h * 4 + j;
+
+  // Transpose gather (between the two transform passes): packed transposed
+  // row (h,j), lane (k,j') <- scratch row ((j/4)*8 + 4h+j'), lane (k, j%4).
+  t.transpose_idx.resize(static_cast<std::size_t>(16) * vecw);
+  for (int h = 0; h < 2; ++h)
+    for (int j = 0; j < 8; ++j)
+      for (int k = 0; k < g; ++k)
+        for (int jp = 0; jp < 4; ++jp)
+          t.transpose_idx[(static_cast<std::size_t>(h * 8 + j)) * vecw + k * 4 +
+                          jp] =
+              ((j / 4) * 8 + (4 * h + jp)) * vecw + k * 4 + (j % 4);
+
+  // Output scatter, cols 0..3 (half 1) and the compacted cols 4..5.
+  t.out_scatter1.resize(static_cast<std::size_t>(vecw));
+  for (int k = 0; k < g; ++k)
+    for (int j = 0; j < 4; ++j)
+      t.out_scatter1[static_cast<std::size_t>(k * 4 + j)] =
+          k * out_ch_stride + j;
+  t.out_compact.resize(static_cast<std::size_t>(2) * g);
+  t.out_scatter2.resize(static_cast<std::size_t>(2) * g);
+  for (int l = 0; l < 2 * g; ++l) {
+    t.out_compact[static_cast<std::size_t>(l)] = (l / 2) * 4 + (l % 2);
+    t.out_scatter2[static_cast<std::size_t>(l)] =
+        (l / 2) * out_ch_stride + 4 + (l % 2);
+  }
+  return t;
+}
+
+void WinogradConv::stage_pass(vla::VectorEngine& eng, const double (*t)[8],
+                              int rows_out, std::size_t vecw) {
+  eng.setvl(vecw);
+  for (int half = 0; half < 2; ++half) {
+    const int in_base = half * 8;
+    const int out_base = kStageOutBase + half * 8;
+    for (int r = 0; r < rows_out; ++r) {
+      bool first = true;
+      for (int k = 0; k < 8; ++k) {
+        const auto c = static_cast<float>(t[r][k]);
+        if (c == 0.0f) continue;  // exploit transform-matrix sparsity
+        if (first) {
+          eng.vmul_scalar(out_base + r, in_base + k, c);
+          first = false;
+        } else {
+          eng.vfma_scalar(out_base + r, c, in_base + k);
+        }
+      }
+      eng.scalar_ops(1);
+    }
+  }
+}
+
+const float* WinogradConv::transformed_weights(const dnn::ConvDesc& d,
+                                               const float* weights) {
+  auto it = weight_cache_.find(weights);
+  if (it != weight_cache_.end()) return it->second.data();
+
+  // Offline (uninstrumented) scalar weight transform, stored in the
+  // transposed element orientation used throughout the pipeline.
+  AlignedBuffer<float> u(static_cast<std::size_t>(d.out_c) * d.in_c *
+                         kTileElems);
+  float tile[kTileElems];
+  for (int oc = 0; oc < d.out_c; ++oc) {
+    for (int ic = 0; ic < d.in_c; ++ic) {
+      const float* g =
+          weights + (static_cast<std::size_t>(oc) * d.in_c + ic) * 9;
+      weight_transform_ref(g, tile);
+      float* dst =
+          u.data() + (static_cast<std::size_t>(oc) * d.in_c + ic) * kTileElems;
+      for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j) dst[i * 8 + j] = tile[j * 8 + i];
+    }
+  }
+  auto [pos, inserted] = weight_cache_.emplace(weights, std::move(u));
+  return pos->second.data();
+}
+
+void WinogradConv::transform_input(vla::VectorEngine& eng,
+                                   const dnn::ConvDesc& d, const Plan& plan,
+                                   const IndexTables& tbl, const float* input) {
+  const int ch_stride = d.in_h * d.in_w;
+  const auto vecw = plan.vecw;
+  for (int ic0 = 0; ic0 < d.in_c; ic0 += plan.group) {
+    const int gr = std::min(plan.group, d.in_c - ic0);
+    const std::size_t active = static_cast<std::size_t>(4) * gr;
+    for (int ty = 0; ty < plan.tiles_y; ++ty) {
+      for (int tx = 0; tx < plan.tiles_x; ++tx) {
+        const int tile = ty * plan.tiles_x + tx;
+        const int y0 = ty * kOutTile - d.pad;
+        const int x0 = tx * kOutTile - d.pad;
+        const bool interior = y0 >= 0 && x0 >= 0 && y0 + kTile <= d.in_h &&
+                              x0 + kTile <= d.in_w;
+        eng.setvl(active);
+        eng.scalar_ops(4);  // tile/group loop bookkeeping
+        if (interior) {
+          // Structured tuple load: one 4-float run per channel (SVE ld4 +
+          // interleave), not a per-element gather.
+          for (int h = 0; h < 2; ++h)
+            for (int i = 0; i < 8; ++i)
+              eng.vgather_local(h * 8 + i,
+                                input + static_cast<std::size_t>(ic0) * ch_stride +
+                                    static_cast<std::size_t>(y0 + i) * d.in_w +
+                                    x0 + 4 * h,
+                                tbl.in_pack_idx.data());
+        } else {
+          // Edge tile: scalar zero-padded packing (Fig. 4's fallback path).
+          for (int k = 0; k < gr; ++k) {
+            const float* chan =
+                input + static_cast<std::size_t>(ic0 + k) * ch_stride;
+            for (int i = 0; i < 8; ++i) {
+              const int y = y0 + i;
+              for (int c = 0; c < 8; ++c) {
+                const int x = x0 + c;
+                const float v = (y >= 0 && y < d.in_h && x >= 0 && x < d.in_w)
+                                    ? chan[static_cast<std::size_t>(y) * d.in_w + x]
+                                    : 0.0f;
+                pack_buf_[((static_cast<std::size_t>(c) / 4) * 8 + i) * vecw +
+                          static_cast<std::size_t>(k) * 4 + (c % 4)] = v;
+              }
+            }
+            eng.scalar_ops(kTileElems);
+            // Charge the (clipped) tile footprint read through the scalar path.
+            const std::size_t off =
+                static_cast<std::size_t>(std::max(y0, 0)) * d.in_w;
+            const std::size_t avail =
+                static_cast<std::size_t>(ch_stride) - std::min<std::size_t>(
+                    off, static_cast<std::size_t>(ch_stride));
+            eng.scalar_mem(chan + off,
+                           std::min<std::size_t>(kTileElems * sizeof(float),
+                                                 std::max<std::size_t>(avail, 1) *
+                                                     sizeof(float)),
+                           false);
+          }
+          for (int s = 0; s < 16; ++s)
+            eng.vload(s, pack_buf_.data() + static_cast<std::size_t>(s) * vecw);
+        }
+
+        stage_pass(eng, reinterpret_cast<const double(*)[8]>(kBT.data()), 8,
+                   active);
+        for (int s = 0; s < 16; ++s)
+          eng.vstore(kStageOutBase + s,
+                     scratch_.data() + static_cast<std::size_t>(s) * vecw);
+        for (int s = 0; s < 16; ++s)
+          eng.vgather_local(s, scratch_.data(),
+                            tbl.transpose_idx.data() + static_cast<std::size_t>(s) * vecw);
+        stage_pass(eng, reinterpret_cast<const double(*)[8]>(kBT.data()), 8,
+                   active);
+
+        float* v_base = v_buf_.data() +
+                        (static_cast<std::size_t>(ic0) * plan.tiles + tile) *
+                            kTileElems;
+        for (int s = 0; s < 16; ++s)
+          eng.vscatter_local(kStageOutBase + s, v_base,
+                             tbl.chan_idx.data() + static_cast<std::size_t>(s) * vecw);
+      }
+    }
+  }
+}
+
+void WinogradConv::tuple_multiply(vla::VectorEngine& eng,
+                                  const dnn::ConvDesc& d, const Plan& plan,
+                                  const float* u) {
+  // Vectorize across the 64 tuple elements (16 blocks x 4 elements, paper
+  // §IV-B); register-unroll over 4 tiles to overlap the FMA chains. The
+  // batched GEMM is cache-blocked over tiles so the V panel of a tile block
+  // stays resident across the whole output-channel loop (NNPACK's tuple
+  // GEMM blocking): otherwise V would re-stream from memory per output
+  // channel, which is exactly the traffic Winograd exists to avoid.
+  const std::size_t vec_e = std::min<std::size_t>(eng.vlmax(), kTileElems);
+  // Eight accumulator chains hide the load-to-FMA latency (v0..v7 accs,
+  // v8 = U, v9..v16 = V operands).
+  constexpr int kTileUnroll = 8;
+  // V panel for one block: in_c * kTileBlock * 64 floats; 16 tiles keep it
+  // within a few hundred KB for the paper's layer widths.
+  constexpr int kTileBlock = 16;
+
+  for (int tb0 = 0; tb0 < plan.tiles; tb0 += kTileBlock) {
+    const int tb_end = std::min(tb0 + kTileBlock, plan.tiles);
+    for (std::size_t e0 = 0; e0 < kTileElems; e0 += vec_e) {
+      for (int oc = 0; oc < d.out_c; ++oc) {
+        const float* u_oc =
+            u + static_cast<std::size_t>(oc) * d.in_c * kTileElems;
+        float* m_oc = m_buf_.data() +
+                      static_cast<std::size_t>(oc) * plan.tiles * kTileElems;
+        for (int t0 = tb0; t0 < tb_end; t0 += kTileUnroll) {
+          const int tn = std::min(kTileUnroll, tb_end - t0);
+          eng.setvl(std::min(vec_e, kTileElems - e0));
+          for (int tt = 0; tt < tn; ++tt) eng.vbroadcast(tt, 0.0f);
+          for (int ic = 0; ic < d.in_c; ++ic) {
+            eng.vload(kURow,
+                      u_oc + static_cast<std::size_t>(ic) * kTileElems + e0);
+            eng.scalar_ops(2);
+            for (int tt = 0; tt < tn; ++tt) {
+              eng.vload(kVRowBase + tt,
+                        v_buf_.data() +
+                            (static_cast<std::size_t>(ic) * plan.tiles + t0 +
+                             tt) *
+                                kTileElems +
+                            e0);
+              eng.vfma(tt, kURow, kVRowBase + tt);
+            }
+          }
+          for (int tt = 0; tt < tn; ++tt)
+            eng.vstore(tt, m_oc + (static_cast<std::size_t>(t0) + tt) *
+                                       kTileElems +
+                               e0);
+          eng.scalar_ops(3);
+        }
+      }
+    }
+  }
+}
+
+void WinogradConv::transform_output(vla::VectorEngine& eng,
+                                    const dnn::ConvDesc& d, const Plan& plan,
+                                    const IndexTables& tbl, float* output) {
+  const int out_h = d.out_h(), out_w = d.out_w();
+  const int ch_stride = out_h * out_w;
+  const auto vecw = plan.vecw;
+  for (int oc0 = 0; oc0 < d.out_c; oc0 += plan.group) {
+    const int gr = std::min(plan.group, d.out_c - oc0);
+    const std::size_t active = static_cast<std::size_t>(4) * gr;
+    for (int ty = 0; ty < plan.tiles_y; ++ty) {
+      for (int tx = 0; tx < plan.tiles_x; ++tx) {
+        const int tile = ty * plan.tiles_x + tx;
+        eng.setvl(active);
+        eng.scalar_ops(4);
+        const float* m_base =
+            m_buf_.data() +
+            (static_cast<std::size_t>(oc0) * plan.tiles + tile) * kTileElems;
+        for (int s = 0; s < 16; ++s)
+          eng.vgather_local(s, m_base,
+                            tbl.chan_idx.data() + static_cast<std::size_t>(s) * vecw);
+
+        stage_pass(eng, reinterpret_cast<const double(*)[8]>(kAT.data()), 6,
+                   active);
+        for (int half = 0; half < 2; ++half)
+          for (int r = 0; r < 6; ++r)
+            eng.vstore(kStageOutBase + half * 8 + r,
+                       scratch_.data() +
+                           (static_cast<std::size_t>(half) * 8 + r) * vecw);
+        for (int s = 0; s < 16; ++s)
+          eng.vgather_local(s, scratch_.data(),
+                            tbl.transpose_idx.data() + static_cast<std::size_t>(s) * vecw);
+        stage_pass(eng, reinterpret_cast<const double(*)[8]>(kAT.data()), 6,
+                   active);
+
+        const bool interior =
+            ty * kOutTile + kOutTile <= out_h && tx * kOutTile + kOutTile <= out_w;
+        if (interior) {
+          for (int r = 0; r < 6; ++r) {
+            float* base = output + static_cast<std::size_t>(oc0) * ch_stride +
+                          static_cast<std::size_t>(ty * kOutTile + r) * out_w +
+                          tx * kOutTile;
+            eng.vscatter_local(kStageOutBase + r, base, tbl.out_scatter1.data());
+            eng.setvl(static_cast<std::size_t>(2) * gr);
+            eng.vpermute(kCompact, kStageOutBase + 8 + r, tbl.out_compact.data());
+            eng.vscatter_local(kCompact, base, tbl.out_scatter2.data());
+            eng.setvl(active);
+          }
+        } else {
+          // Edge output tile: stage registers -> pack buffer -> clipped
+          // scalar unpack.
+          for (int half = 0; half < 2; ++half)
+            for (int r = 0; r < 6; ++r)
+              eng.vstore(kStageOutBase + half * 8 + r,
+                         pack_buf_.data() +
+                             (static_cast<std::size_t>(half) * 8 + r) * vecw);
+          for (int k = 0; k < gr; ++k) {
+            float* chan = output + static_cast<std::size_t>(oc0 + k) * ch_stride;
+            for (int r = 0; r < 6; ++r) {
+              const int y = ty * kOutTile + r;
+              if (y >= out_h) break;
+              for (int c = 0; c < 6; ++c) {
+                const int x = tx * kOutTile + c;
+                if (x >= out_w) break;
+                chan[static_cast<std::size_t>(y) * out_w + x] =
+                    pack_buf_[((static_cast<std::size_t>(c) / 4) * 8 + r) * vecw +
+                              static_cast<std::size_t>(k) * 4 + (c % 4)];
+              }
+            }
+            eng.scalar_ops(36);
+          }
+          eng.scalar_mem(output, 36 * sizeof(float), true);
+        }
+      }
+    }
+  }
+}
+
+void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                       const float* input, const float* weights,
+                       float* output) {
+  VLACNN_REQUIRE(supports(d), "unsupported conv shape for Winograd");
+
+  if (d.stride == 2) {
+    // Dense stride-1 Winograd followed by 2x subsampling. The redundant
+    // work is why the paper finds Winograd 1.4x slower than im2col+GEMM on
+    // stride-2 layers (§VII-A).
+    dnn::ConvDesc s1 = d;
+    s1.stride = 1;
+    const std::size_t dense =
+        static_cast<std::size_t>(d.out_c) * s1.out_h() * s1.out_w();
+    if (s1_out_.size() < dense) {
+      s1_reg_ = {};
+      s1_out_.resize(dense);
+      s1_reg_ = sim::RegisteredRange(s1_out_.data(), dense * sizeof(float));
+    }
+    run(eng, s1, input, weights, s1_out_.data());
+    const int ow = d.out_w(), oh = d.out_h(), s1w = s1.out_w();
+    for (int oc = 0; oc < d.out_c; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        const float* src = s1_out_.data() +
+                           (static_cast<std::size_t>(oc) * s1.out_h() + 2 * y) *
+                               s1w;
+        float* dst = output + (static_cast<std::size_t>(oc) * oh + y) * ow;
+        for (int x = 0; x < ow;) {
+          const auto vl =
+              static_cast<int>(eng.setvl(static_cast<std::size_t>(ow - x)));
+          eng.vload_strided(0, src + 2 * static_cast<std::size_t>(x), 2);
+          eng.vstore(0, dst + x);
+          eng.scalar_ops(2);
+          x += vl;
+        }
+      }
+    }
+    return;
+  }
+
+  Plan plan = make_plan(d);
+  plan.group = static_cast<int>(std::clamp<std::size_t>(eng.vlmax() / 4, 1, 16));
+  plan.group = std::min(plan.group, std::max(d.in_c, d.out_c));
+  plan.vecw = static_cast<std::size_t>(4) * plan.group;
+
+  const std::size_t v_n =
+      static_cast<std::size_t>(d.in_c) * plan.tiles * kTileElems;
+  const std::size_t m_n =
+      static_cast<std::size_t>(d.out_c) * plan.tiles * kTileElems;
+  if (v_buf_.size() < v_n) {
+    v_reg_ = {};
+    v_buf_.resize(v_n);
+    v_reg_ = sim::RegisteredRange(v_buf_.data(), v_n * sizeof(float));
+  }
+  if (m_buf_.size() < m_n) {
+    m_reg_ = {};
+    m_buf_.resize(m_n);
+    m_reg_ = sim::RegisteredRange(m_buf_.data(), m_n * sizeof(float));
+  }
+  if (pack_buf_.size() < 16 * plan.vecw) {
+    pack_reg_ = {};
+    pack_buf_.resize(16 * plan.vecw);
+    pack_buf_.fill(0.0f);
+    pack_reg_ =
+        sim::RegisteredRange(pack_buf_.data(), pack_buf_.size() * sizeof(float));
+  }
+  if (scratch_.size() < 16 * plan.vecw) {
+    scratch_reg_ = {};
+    scratch_.resize(16 * plan.vecw);
+    scratch_.fill(0.0f);
+    scratch_reg_ =
+        sim::RegisteredRange(scratch_.data(), scratch_.size() * sizeof(float));
+  }
+
+  const IndexTables tbl = make_tables(d, plan);
+  const float* u = transformed_weights(d, weights);
+
+  transform_input(eng, d, plan, tbl, input);
+  tuple_multiply(eng, d, plan, u);
+  transform_output(eng, d, plan, tbl, output);
+}
+
+}  // namespace vlacnn::winograd

@@ -1,0 +1,114 @@
+// Set-associative cache model: geometry, LRU replacement, write-back
+// accounting, prefetch fills, and capacity/conflict behaviour.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/cache.hpp"
+
+namespace vlacnn::sim {
+namespace {
+
+CacheConfig small_cache() {
+  // 4 sets x 2 ways x 64 B lines = 512 B.
+  return CacheConfig{512, 2, 64, 4};
+}
+
+TEST(Cache, ColdMissThenHit) {
+  CacheModel c(small_cache());
+  EXPECT_EQ(c.access(0x1000, false), AccessResult::Miss);
+  EXPECT_EQ(c.access(0x1000, false), AccessResult::Hit);
+  EXPECT_EQ(c.access(0x1020, false), AccessResult::Hit);  // same line
+  EXPECT_EQ(c.stats().accesses, 3u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsOldestWay) {
+  CacheModel c(small_cache());
+  // Three lines mapping to the same set (set stride = 4 sets * 64 B = 256 B).
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  c.access(0x0000, false);  // touch A again; B is now LRU
+  EXPECT_EQ(c.access(0x0200, false), AccessResult::Miss);  // evicts B
+  EXPECT_EQ(c.access(0x0000, false), AccessResult::Hit);   // A survives
+  EXPECT_EQ(c.access(0x0100, false), AccessResult::Miss);  // B was evicted
+}
+
+TEST(Cache, WritebackOnlyForDirtyLines) {
+  CacheModel c(small_cache());
+  c.access(0x0000, true);   // dirty
+  c.access(0x0100, false);  // clean
+  c.access(0x0200, false);  // evicts dirty 0x0000 (LRU)
+  c.access(0x0300, false);  // evicts clean 0x0100
+  EXPECT_EQ(c.stats().evictions, 2u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CapacityHoldsExactlyItsSize) {
+  CacheConfig cfg{64 * 1024, 8, 64, 4};
+  CacheModel c(cfg);
+  const int lines = static_cast<int>(cfg.size_bytes / cfg.line_bytes);
+  for (int i = 0; i < lines; ++i) c.access(static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_EQ(c.stats().misses, static_cast<std::uint64_t>(lines));
+  // Second sweep over the same footprint: fully resident.
+  for (int i = 0; i < lines; ++i) c.access(static_cast<std::uint64_t>(i) * 64, false);
+  EXPECT_EQ(c.stats().misses, static_cast<std::uint64_t>(lines));
+  EXPECT_DOUBLE_EQ(c.stats().miss_rate(), 0.5);
+}
+
+TEST(Cache, StreamLargerThanCapacityAlwaysMisses) {
+  CacheConfig cfg{4096, 4, 64, 4};
+  CacheModel c(cfg);
+  const int lines = 4 * static_cast<int>(cfg.size_bytes / cfg.line_bytes);
+  for (int rep = 0; rep < 2; ++rep)
+    for (int i = 0; i < lines; ++i)
+      c.access(static_cast<std::uint64_t>(i) * 64, false);
+  // Cyclic sweep of 4x capacity under LRU: every access misses.
+  EXPECT_EQ(c.stats().misses, c.stats().accesses);
+}
+
+TEST(Cache, PrefetchFillMakesDemandHit) {
+  CacheModel c(small_cache());
+  EXPECT_TRUE(c.prefetch_fill(0x4000));
+  EXPECT_FALSE(c.prefetch_fill(0x4000));  // already resident
+  EXPECT_EQ(c.access(0x4000, false), AccessResult::Hit);
+  EXPECT_EQ(c.stats().prefetch_fills, 1u);
+  EXPECT_EQ(c.stats().misses, 0u);
+}
+
+TEST(Cache, ContainsReflectsResidency) {
+  CacheModel c(small_cache());
+  EXPECT_FALSE(c.contains(0x2000));
+  c.access(0x2000, false);
+  EXPECT_TRUE(c.contains(0x2000));
+  EXPECT_TRUE(c.contains(0x203F));   // same line
+  EXPECT_FALSE(c.contains(0x2040));  // next line
+}
+
+TEST(Cache, ResetClearsStateAndStats) {
+  CacheModel c(small_cache());
+  c.access(0x0, true);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.contains(0x0));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(CacheModel(CacheConfig{500, 2, 64, 4}), InvalidArgument);
+  EXPECT_THROW(CacheModel(CacheConfig{512, 2, 63, 4}), InvalidArgument);
+  EXPECT_THROW(CacheModel(CacheConfig{512, 0, 64, 4}), InvalidArgument);
+}
+
+TEST(Cache, PaperGeometriesConstruct) {
+  // Table I: 64 kB 4-way L1; L2 from 1 MB 8-way up to 256 MB; A64FX 8 MB
+  // 16-way with 256 B lines.
+  CacheModel l1(CacheConfig{64 * 1024, 4, 64, 4});
+  CacheModel l2(CacheConfig{1024 * 1024, 8, 64, 12});
+  CacheModel big(CacheConfig{256ull * 1024 * 1024, 8, 64, 12});
+  CacheModel a64(CacheConfig{8 * 1024 * 1024, 16, 256, 40});
+  EXPECT_EQ(l1.config().num_sets(), 256u);
+  EXPECT_EQ(a64.config().num_sets(), 2048u);
+}
+
+}  // namespace
+}  // namespace vlacnn::sim

@@ -1,0 +1,129 @@
+// Co-design study runner: the simulated trends the paper's figures rely on
+// must emerge from the model (longer VL faster at fixed cache; larger L2
+// not slower; determinism; stats plumbing).
+
+#include <gtest/gtest.h>
+
+#include "core/codesign.hpp"
+#include "dnn/models.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+// Small workload keeping each simulated run fast.
+std::unique_ptr<dnn::Network> tiny_workload() {
+  return dnn::build_yolov3(48, 4);
+}
+
+TEST(Codesign, RunProducesPopulatedResult) {
+  auto net = tiny_workload();
+  const RunResult r =
+      run_simulated(*net, sim::rvv_gem5(), EnginePolicy::opt3loop());
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.total_flops, 0.0);
+  EXPECT_GT(r.vector_instructions, 0u);
+  EXPECT_GT(r.l2_accesses, 0u);
+  EXPECT_EQ(r.layers.size(), net->num_layers());
+  EXPECT_EQ(r.machine, "riscv-vector-gem5");
+}
+
+TEST(Codesign, DeterministicAcrossRuns) {
+  auto net1 = tiny_workload();
+  const RunResult a =
+      run_simulated(*net1, sim::rvv_gem5(), EnginePolicy::opt3loop());
+  auto net2 = tiny_workload();
+  const RunResult b =
+      run_simulated(*net2, sim::rvv_gem5(), EnginePolicy::opt3loop());
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.vector_instructions, b.vector_instructions);
+}
+
+TEST(Codesign, LongerVectorsFasterAtFixedCache) {
+  // Fig. 6 headline: 512-bit -> long vectors speeds up the conv layers.
+  auto net = tiny_workload();
+  const auto short_vl = run_simulated(*net, sim::rvv_gem5().with_vlen(512),
+                                      EnginePolicy::opt3loop());
+  const auto long_vl = run_simulated(*net, sim::rvv_gem5().with_vlen(4096),
+                                     EnginePolicy::opt3loop());
+  EXPECT_LT(long_vl.cycles, short_vl.cycles);
+}
+
+TEST(Codesign, LargerL2NeverSlower) {
+  auto net = tiny_workload();
+  const auto cfg = sim::rvv_gem5().with_vlen(2048);
+  const auto small =
+      run_simulated(*net, cfg.with_l2_size(256 * 1024), EnginePolicy::opt3loop());
+  const auto big = run_simulated(*net, cfg.with_l2_size(8 << 20),
+                                 EnginePolicy::opt3loop());
+  EXPECT_LE(big.cycles, small.cycles);
+  EXPECT_LE(big.l2_miss_rate, small.l2_miss_rate + 1e-9);
+}
+
+TEST(Codesign, MoreLanesNeverSlower) {
+  auto net = tiny_workload();
+  const auto cfg = sim::rvv_gem5().with_vlen(8192);
+  const auto lanes2 =
+      run_simulated(*net, cfg.with_lanes(2), EnginePolicy::opt3loop());
+  const auto lanes8 =
+      run_simulated(*net, cfg.with_lanes(8), EnginePolicy::opt3loop());
+  EXPECT_LE(lanes8.cycles, lanes2.cycles);
+}
+
+TEST(Codesign, AvgVectorLengthNearlyFullAtLongVl) {
+  // Table III: granted VL stays close to the hardware VL (tails only).
+  auto net = tiny_workload();
+  const auto r = run_simulated(*net, sim::rvv_gem5().with_vlen(1024),
+                               EnginePolicy::opt3loop());
+  EXPECT_GT(r.avg_vl_bits, 1024.0 * 0.85);
+  EXPECT_LE(r.avg_vl_bits, 1024.0 + 1e-6);
+}
+
+TEST(Codesign, MissRateGrowsWithVectorLength) {
+  // Table III: L2 miss rate increases with VL at fixed 1 MB L2.
+  auto net = dnn::build_yolov3(64, 8);
+  const auto short_vl = run_simulated(*net, sim::rvv_gem5().with_vlen(512),
+                                      EnginePolicy::opt3loop());
+  const auto long_vl = run_simulated(*net, sim::rvv_gem5().with_vlen(8192),
+                                     EnginePolicy::opt3loop());
+  EXPECT_GE(long_vl.l2_miss_rate, short_vl.l2_miss_rate);
+}
+
+TEST(Codesign, OptimizedBeatsNaiveByALot) {
+  // §VI-A: vectorized+optimized im2col+GEMM is an order of magnitude
+  // faster than the scalar baseline.
+  auto net = dnn::build_yolov3_tiny(48, 5);
+  const auto naive =
+      run_simulated(*net, sim::rvv_gem5(), EnginePolicy::naive());
+  const auto opt =
+      run_simulated(*net, sim::rvv_gem5(), EnginePolicy::opt3loop());
+  EXPECT_GT(static_cast<double>(naive.cycles) / static_cast<double>(opt.cycles),
+            5.0);
+}
+
+TEST(Codesign, NativeRunReturnsWallClock) {
+  auto net = tiny_workload();
+  const double secs = run_native(*net, 512, EnginePolicy::opt3loop());
+  EXPECT_GT(secs, 0.0);
+  EXPECT_LT(secs, 60.0);
+}
+
+TEST(Codesign, ConvCyclesDominant) {
+  auto net = tiny_workload();
+  const auto r =
+      run_simulated(*net, sim::rvv_gem5(), EnginePolicy::opt3loop());
+  EXPECT_GT(static_cast<double>(conv_cycles(r)),
+            0.7 * static_cast<double>(r.cycles));
+}
+
+TEST(Codesign, WinogradPolicyRunsSimulated) {
+  auto net = dnn::build_vgg16(24, 2);
+  const auto r = run_simulated(*net, sim::sve_gem5().with_vlen(512),
+                               EnginePolicy::winograd());
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.machine, "arm-sve-gem5");
+}
+
+}  // namespace
+}  // namespace vlacnn::core

@@ -1,0 +1,121 @@
+// Common utilities: deterministic RNG, aligned buffers, table printer, CLI.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace vlacnn {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, FloatsInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = r.next_float();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = r.uniform(-2.5f, 7.5f);
+    ASSERT_GE(f, -2.5f);
+    ASSERT_LT(f, 7.5f);
+  }
+}
+
+TEST(Rng, NormalHasSaneMoments) {
+  Rng r(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(1.0f, 2.0f);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  AlignedBuffer<float> buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 256, 0u);
+}
+
+TEST(AlignedBuffer, FillAndCopy) {
+  AlignedBuffer<float> buf(64, 3.5f);
+  for (auto v : buf) ASSERT_EQ(v, 3.5f);
+  AlignedBuffer<float> copy = buf;
+  copy[0] = -1.0f;
+  EXPECT_EQ(buf[0], 3.5f);
+  EXPECT_EQ(copy[0], -1.0f);
+}
+
+TEST(AlignedBuffer, MoveLeavesSourceEmpty) {
+  AlignedBuffer<float> buf(16, 1.0f);
+  AlignedBuffer<float> moved = std::move(buf);
+  EXPECT_EQ(moved.size(), 16u);
+  EXPECT_TRUE(buf.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, ZeroSize) {
+  AlignedBuffer<float> buf(0);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string s = t.render("caption");
+  EXPECT_NE(s.find("caption"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(Cli, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--vlen=1024", "--verbose", "pos1",
+                        "--scale=0.5"};
+  CliArgs args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("vlen", 0), 1024);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+}  // namespace
+}  // namespace vlacnn

@@ -1,0 +1,75 @@
+// Algorithm-selection policy: which layers go to Winograd, which fall back.
+
+#include <gtest/gtest.h>
+
+#include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+dnn::ConvDesc desc_of(int k, int s, int pad) {
+  dnn::ConvDesc d;
+  d.in_c = 4;
+  d.in_h = d.in_w = 16;
+  d.out_c = 4;
+  d.ksize = k;
+  d.stride = s;
+  d.pad = pad;
+  return d;
+}
+
+bool override_taken(const EnginePolicy& policy, const dnn::ConvDesc& d) {
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  if (!ctx.conv_override) return false;
+  auto input = test::random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
+  auto weights = test::random_vec(static_cast<std::size_t>(d.weight_count()), 2);
+  std::vector<float> out(static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
+  return ctx.conv_override(eng, d, input.data(), weights.data(), out.data());
+}
+
+TEST(ConvEngine, WinogradPolicySelects3x3Stride1) {
+  const EnginePolicy p = EnginePolicy::winograd();
+  EXPECT_TRUE(override_taken(p, desc_of(3, 1, 1)));
+  EXPECT_FALSE(override_taken(p, desc_of(1, 1, 0)));   // 1x1 -> GEMM
+  EXPECT_FALSE(override_taken(p, desc_of(3, 2, 1)));   // stride-2 off by default
+}
+
+TEST(ConvEngine, Stride2OptIn) {
+  EnginePolicy p = EnginePolicy::winograd();
+  p.winograd_stride2 = true;
+  EXPECT_TRUE(override_taken(p, desc_of(3, 2, 1)));
+}
+
+TEST(ConvEngine, GemmOnlyPoliciesInstallNoOverride) {
+  for (const auto& p : {EnginePolicy::naive(), EnginePolicy::opt3loop(),
+                        EnginePolicy::opt6loop()}) {
+    vla::VectorEngine eng(512);
+    dnn::ExecContext ctx(eng);
+    ConvolutionEngine engine(p);
+    engine.install(ctx);
+    EXPECT_FALSE(static_cast<bool>(ctx.conv_override));
+    EXPECT_TRUE(static_cast<bool>(ctx.gemm));
+  }
+}
+
+TEST(ConvEngine, NaivePolicyDisablesAuxVectorization) {
+  EXPECT_FALSE(EnginePolicy::naive().vectorize_aux);
+  EXPECT_TRUE(EnginePolicy::opt3loop().vectorize_aux);
+}
+
+TEST(ConvEngine, PolicyFactoriesCarryParameters) {
+  EXPECT_EQ(EnginePolicy::opt3loop(24).opt3.unroll_factor, 24);
+  gemm::Opt6Config o6;
+  o6.blocks = {32, 512, 128};
+  EXPECT_EQ(EnginePolicy::opt6loop(o6).opt6.blocks.block_m, 32);
+  EXPECT_EQ(EnginePolicy::winograd().gemm_variant,
+            gemm::GemmVariant::Opt6Loop);
+}
+
+}  // namespace
+}  // namespace vlacnn::core

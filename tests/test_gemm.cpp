@@ -1,0 +1,165 @@
+// GEMM variants vs the scalar reference: naive (Fig 1), optimized 3-loop
+// (Fig 2) including the register-spilling path, optimized 6-loop BLIS-like
+// (Fig 3) with every feature toggle, across vector lengths and shapes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gemm/gemm.hpp"
+#include "test_util.hpp"
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::gemm {
+namespace {
+
+using test::allclose;
+using test::random_vec;
+
+struct Shape {
+  int m, n, k;
+};
+
+void run_variant_and_check(GemmVariant variant, unsigned vlen, Shape s,
+                           float alpha, const Opt3Config& o3 = {},
+                           const Opt6Config& o6 = {}) {
+  auto a = random_vec(static_cast<std::size_t>(s.m) * s.k, 1);
+  auto b = random_vec(static_cast<std::size_t>(s.k) * s.n, 2);
+  auto c0 = random_vec(static_cast<std::size_t>(s.m) * s.n, 3);
+  auto c_ref = c0, c_got = c0;
+
+  gemm_ref(s.m, s.n, s.k, alpha, a.data(), s.k, b.data(), s.n, c_ref.data(),
+           s.n);
+
+  vla::VectorEngine eng(vlen);
+  auto fn = make_gemm_fn(variant, o3, o6);
+  fn(eng, s.m, s.n, s.k, alpha, a.data(), s.k, b.data(), s.n, c_got.data(),
+     s.n);
+
+  EXPECT_TRUE(allclose(c_ref.data(), c_got.data(), c_ref.size(), 1e-4f, 1e-4f))
+      << to_string(variant) << " vlen=" << vlen << " m=" << s.m
+      << " n=" << s.n << " k=" << s.k;
+}
+
+TEST(GemmRef, OneByOne) {
+  float a = 3.0f, b = 4.0f, c = 5.0f;
+  gemm_ref(1, 1, 1, 2.0f, &a, 1, &b, 1, &c, 1);
+  EXPECT_FLOAT_EQ(c, 5.0f + 2.0f * 3.0f * 4.0f);
+}
+
+TEST(GemmRef, AccumulatesIntoC) {
+  // C must be updated (+=), not overwritten.
+  auto a = random_vec(4 * 3, 10);
+  auto b = random_vec(3 * 5, 11);
+  std::vector<float> c(4 * 5, 1.0f);
+  gemm_ref(4, 5, 3, 1.0f, a.data(), 3, b.data(), 5, c.data(), 5);
+  std::vector<float> c2(4 * 5, 0.0f);
+  gemm_ref(4, 5, 3, 1.0f, a.data(), 3, b.data(), 5, c2.data(), 5);
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_FLOAT_EQ(c[i], c2[i] + 1.0f);
+}
+
+TEST(GemmNaive, MatchesReference) {
+  run_variant_and_check(GemmVariant::Naive, 512, {7, 13, 5}, 1.0f);
+  run_variant_and_check(GemmVariant::Naive, 512, {16, 64, 32}, 1.0f);
+}
+
+TEST(GemmOpt3, MatchesReferenceBasic) {
+  run_variant_and_check(GemmVariant::Opt3Loop, 512, {16, 64, 32}, 1.0f);
+}
+
+TEST(GemmOpt3, AlphaNotOne) {
+  run_variant_and_check(GemmVariant::Opt3Loop, 512, {8, 40, 12}, 0.5f);
+  run_variant_and_check(GemmVariant::Opt6Loop, 512, {8, 40, 12}, -2.0f);
+}
+
+TEST(GemmOpt3, RaggedEdges) {
+  // M not divisible by unroll, N not divisible by VL, K = 1.
+  run_variant_and_check(GemmVariant::Opt3Loop, 512, {17, 33, 1}, 1.0f);
+  run_variant_and_check(GemmVariant::Opt3Loop, 512, {1, 1, 1}, 1.0f);
+  run_variant_and_check(GemmVariant::Opt3Loop, 2048, {3, 200, 7}, 1.0f);
+}
+
+TEST(GemmOpt3, UnrollFactorSweepStaysCorrect) {
+  for (int unroll : {1, 2, 4, 8, 16, 24, 30}) {
+    Opt3Config cfg;
+    cfg.unroll_factor = unroll;
+    run_variant_and_check(GemmVariant::Opt3Loop, 512, {37, 65, 19}, 1.0f, cfg);
+  }
+}
+
+TEST(GemmOpt3, SpilledAccumulatorsStayCorrect) {
+  // unroll 32 exceeds the 30 architectural accumulators; the spill path
+  // must still produce exact results (paper: 32 regs spill and cost ~15%).
+  Opt3Config cfg;
+  cfg.unroll_factor = 32;
+  run_variant_and_check(GemmVariant::Opt3Loop, 512, {64, 48, 9}, 1.0f, cfg);
+}
+
+TEST(GemmOpt6, MatchesReferenceBasic) {
+  run_variant_and_check(GemmVariant::Opt6Loop, 512, {32, 96, 48}, 1.0f);
+}
+
+TEST(GemmOpt6, ShapesSmallerThanBlocks) {
+  Opt6Config cfg;
+  cfg.blocks = {16, 512, 128};
+  run_variant_and_check(GemmVariant::Opt6Loop, 512, {5, 9, 3}, 1.0f, {}, cfg);
+}
+
+TEST(GemmOpt6, ShapesLargerThanBlocks) {
+  Opt6Config cfg;
+  cfg.blocks = {8, 32, 16};
+  run_variant_and_check(GemmVariant::Opt6Loop, 512, {33, 130, 70}, 1.0f, {},
+                        cfg);
+}
+
+TEST(GemmOpt6, FeatureTogglesStayCorrect) {
+  for (bool pack_a : {false, true}) {
+    for (bool pack_b : {false, true}) {
+      for (bool prefetch : {false, true}) {
+        Opt6Config cfg;
+        cfg.blocks = {8, 64, 32};
+        cfg.pack_a = pack_a;
+        cfg.pack_b = pack_b;
+        cfg.prefetch = prefetch;
+        run_variant_and_check(GemmVariant::Opt6Loop, 1024, {20, 100, 50}, 1.0f,
+                              {}, cfg);
+      }
+    }
+  }
+}
+
+TEST(GemmOpt6, PaperBlockSizeCandidates) {
+  // The six block-size candidates of Table II must all be numerically
+  // correct (their difference is purely a performance property).
+  const BlockSizes candidates[] = {{128, 1024, 256}, {16, 1024, 128},
+                                   {16, 512, 128},   {16, 512, 256},
+                                   {32, 512, 128},   {64, 1024, 128}};
+  for (const auto& bs : candidates) {
+    Opt6Config cfg;
+    cfg.blocks = bs;
+    run_variant_and_check(GemmVariant::Opt6Loop, 512, {40, 70, 30}, 1.0f, {},
+                          cfg);
+  }
+}
+
+TEST(BlockTuning, PanelsFitCaches) {
+  const auto machines = {sim::rvv_gem5(), sim::sve_gem5(), sim::a64fx()};
+  for (const auto& m : machines) {
+    const BlockSizes bs = tune_block_sizes(m);
+    EXPECT_LE(bs.packed_a_bytes(), m.l1.size_bytes / 2) << m.name;
+    EXPECT_LE(bs.packed_b_bytes(), m.l2.size_bytes / 2) << m.name;
+    EXPECT_GE(bs.block_k, 16);
+  }
+}
+
+TEST(BlockTuning, BlockNIsVectorMultiple) {
+  for (unsigned vl : {512u, 2048u, 8192u}) {
+    auto m = sim::rvv_gem5().with_vlen(vl);
+    const BlockSizes bs = tune_block_sizes(m);
+    EXPECT_EQ(bs.block_n % static_cast<int>(m.elements_per_vreg()), 0);
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn::gemm

@@ -1,0 +1,107 @@
+// im2col: Darknet layout, padding/stride handling, and equivalence of the
+// VLA-vectorized version with the scalar reference on a shape sweep.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dnn/im2col.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::dnn {
+namespace {
+
+using test::random_vec;
+
+ConvDesc make_desc(int c, int h, int w, int k, int s, int p) {
+  ConvDesc d;
+  d.in_c = c;
+  d.in_h = h;
+  d.in_w = w;
+  d.out_c = 1;
+  d.ksize = k;
+  d.stride = s;
+  d.pad = p;
+  return d;
+}
+
+TEST(Im2colRef, IdentityFor1x1) {
+  const ConvDesc d = make_desc(3, 4, 5, 1, 1, 0);
+  auto in = random_vec(static_cast<std::size_t>(3) * 4 * 5, 1);
+  std::vector<float> col(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n());
+  im2col_ref(d, in.data(), col.data());
+  EXPECT_EQ(col.size(), in.size());
+  EXPECT_EQ(col, in);
+}
+
+TEST(Im2colRef, KnownTinyCase) {
+  // 1 channel, 3x3 input, 3x3 kernel, pad 1, stride 1 -> 9x9 matrix.
+  const ConvDesc d = make_desc(1, 3, 3, 3, 1, 1);
+  std::vector<float> in = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<float> col(81);
+  im2col_ref(d, in.data(), col.data());
+  // Row (kh=1,kw=1) (the center tap) is the unshifted image.
+  const float* center = col.data() + 4 * 9;
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(center[i], in[static_cast<std::size_t>(i)]);
+  // Row (kh=0,kw=0): image shifted down-right, first row/col zero-padded.
+  const float* tl = col.data();
+  EXPECT_EQ(tl[0], 0.0f);  // output (0,0) reads input (-1,-1)
+  EXPECT_EQ(tl[4], 1.0f);  // output (1,1) reads input (0,0)
+  EXPECT_EQ(tl[8], 5.0f);  // output (2,2) reads input (1,1)
+}
+
+TEST(Im2colRef, StrideTwoSelectsAlternatePixels) {
+  const ConvDesc d = make_desc(1, 4, 4, 1, 2, 0);
+  std::vector<float> in(16);
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  std::vector<float> col(static_cast<std::size_t>(d.gemm_n()));
+  im2col_ref(d, in.data(), col.data());
+  EXPECT_EQ(d.gemm_n(), 4);
+  EXPECT_EQ(col[0], 0.0f);
+  EXPECT_EQ(col[1], 2.0f);
+  EXPECT_EQ(col[2], 8.0f);
+  EXPECT_EQ(col[3], 10.0f);
+}
+
+class Im2colEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colEquivalence, VlaMatchesReference) {
+  const auto [hw, k, s, p] = GetParam();
+  const ConvDesc d = make_desc(3, hw, hw + 2, k, s, p);
+  if (d.out_h() <= 0 || d.out_w() <= 0) GTEST_SKIP();
+  auto in = random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 42);
+  std::vector<float> ref(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n(), -1.0f);
+  std::vector<float> got(ref.size(), -2.0f);
+  im2col_ref(d, in.data(), ref.data());
+  for (unsigned vlen : {512u, 2048u}) {
+    vla::VectorEngine eng(vlen);
+    im2col_vla(eng, d, in.data(), got.data());
+    ASSERT_EQ(ref, got) << "hw=" << hw << " k=" << k << " s=" << s
+                        << " p=" << p << " vlen=" << vlen;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Im2colEquivalence,
+    ::testing::Values(std::make_tuple(8, 3, 1, 1), std::make_tuple(8, 3, 2, 1),
+                      std::make_tuple(13, 3, 1, 1),
+                      std::make_tuple(13, 5, 1, 2),
+                      std::make_tuple(9, 5, 2, 2), std::make_tuple(7, 1, 1, 0),
+                      std::make_tuple(6, 3, 1, 0),
+                      std::make_tuple(16, 7, 3, 3)));
+
+TEST(Im2colVla, LargePaddingBeyondImage) {
+  // Pathological: pad > image extent exercises the all-zero row paths.
+  const ConvDesc d = make_desc(2, 3, 3, 3, 1, 3);
+  auto in = random_vec(18, 9);
+  std::vector<float> ref(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n());
+  std::vector<float> got(ref.size());
+  im2col_ref(d, in.data(), ref.data());
+  vla::VectorEngine eng(512);
+  im2col_vla(eng, d, in.data(), got.data());
+  EXPECT_EQ(ref, got);
+}
+
+}  // namespace
+}  // namespace vlacnn::dnn

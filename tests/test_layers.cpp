@@ -1,0 +1,194 @@
+// Individual layer forward semantics against hand-computed references.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dnn/layers.hpp"
+#include "gemm/gemm.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::dnn {
+namespace {
+
+using test::allclose;
+using test::conv_direct_ref;
+
+struct Env {
+  vla::VectorEngine eng{512};
+  ExecContext ctx{eng};
+  Env() { ctx.gemm = gemm::make_gemm_fn(gemm::GemmVariant::Opt3Loop); }
+};
+
+TEST(ConvLayerTest, MatchesDirectConvolutionWithoutBnBias) {
+  Env env;
+  ConvDesc d;
+  d.in_c = 3;
+  d.in_h = d.in_w = 10;
+  d.out_c = 4;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  d.batch_norm = false;
+  d.act = Activation::Linear;
+  ConvLayer layer(d, 99);
+
+  // Zero the bias so the output is the raw convolution.
+  Tensor in(3, 10, 10);
+  Rng rng(1);
+  in.randomize(rng);
+  // Recompute the expected result including the layer's own bias.
+  std::vector<float> want(static_cast<std::size_t>(d.out_c) * 10 * 10);
+  conv_direct_ref(d, in.data(), layer.weights(), want.data());
+
+  layer.forward(env.ctx, {&in});
+  // Subtract the per-channel bias the layer added.
+  std::vector<float> got(layer.output().data(),
+                         layer.output().data() + layer.output().size());
+  for (int c = 0; c < d.out_c; ++c) {
+    const float b = got[static_cast<std::size_t>(c) * 100] -
+                    want[static_cast<std::size_t>(c) * 100];
+    for (int i = 0; i < 100; ++i)
+      got[static_cast<std::size_t>(c) * 100 + i] -= b;
+  }
+  EXPECT_TRUE(allclose(want.data(), got.data(), got.size(), 2e-3f, 2e-3f));
+}
+
+TEST(ConvLayerTest, OneByOneSkipsIm2col) {
+  Env env;
+  ConvDesc d;
+  d.in_c = 8;
+  d.in_h = d.in_w = 6;
+  d.out_c = 4;
+  d.ksize = 1;
+  d.stride = 1;
+  d.pad = 0;
+  d.batch_norm = false;
+  d.act = Activation::Linear;
+  ConvLayer layer(d, 5);
+  Tensor in(8, 6, 6);
+  Rng rng(2);
+  in.randomize(rng);
+  layer.forward(env.ctx, {&in});
+  EXPECT_EQ(layer.output().c(), 4);
+  EXPECT_EQ(layer.output().h(), 6);
+  // Smoke: output must not be all zeros.
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < layer.output().size(); ++i)
+    sum += std::fabs(layer.output()[i]);
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(MaxPoolLayerTest, TwoByTwoStride2) {
+  Env env;
+  MaxPoolLayer pool(1, 4, 4, 2, 2);
+  Tensor in(1, 4, 4);
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  pool.forward(env.ctx, {&in});
+  // Darknet pads with size-1 (offset -pad/2 = 0 for size 2): windows are
+  // {(0,0)..(1,1)} etc.
+  EXPECT_EQ(pool.output().h(), 2);
+  EXPECT_EQ(pool.output().at(0, 0, 0), 5.0f);
+  EXPECT_EQ(pool.output().at(0, 0, 1), 7.0f);
+  EXPECT_EQ(pool.output().at(0, 1, 0), 13.0f);
+  EXPECT_EQ(pool.output().at(0, 1, 1), 15.0f);
+}
+
+TEST(MaxPoolLayerTest, Stride1KeepsSize) {
+  Env env;
+  MaxPoolLayer pool(2, 5, 5, 2, 1);
+  EXPECT_EQ(pool.out_h(), 5);
+  EXPECT_EQ(pool.out_w(), 5);
+  Tensor in(2, 5, 5);
+  Rng rng(3);
+  in.randomize(rng);
+  pool.forward(env.ctx, {&in});
+  // Every output is >= the corresponding input (max over window incl. self
+  // for in-bounds windows).
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x)
+      EXPECT_GE(pool.output().at(0, y, x), in.at(0, y, x));
+}
+
+TEST(RouteLayerTest, ConcatenatesChannels) {
+  Env env;
+  Tensor a(2, 3, 3), b(1, 3, 3);
+  a.fill(1.0f);
+  b.fill(2.0f);
+  RouteLayer route({0, 1}, 3, 3, 3);
+  route.forward(env.ctx, {&a, &b});
+  EXPECT_EQ(route.output().c(), 3);
+  EXPECT_EQ(route.output().at(0, 0, 0), 1.0f);
+  EXPECT_EQ(route.output().at(1, 2, 2), 1.0f);
+  EXPECT_EQ(route.output().at(2, 1, 1), 2.0f);
+}
+
+TEST(ShortcutLayerTest, AddsSkipConnection) {
+  Env env;
+  Tensor prev(1, 2, 2), skip(1, 2, 2);
+  prev.fill(3.0f);
+  skip.fill(4.0f);
+  ShortcutLayer sc(0, 1, 2, 2, Activation::Linear);
+  sc.forward(env.ctx, {&prev, &skip});
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(sc.output()[i], 7.0f);
+}
+
+TEST(UpsampleLayerTest, NearestNeighbourDoubling) {
+  Env env;
+  Tensor in(1, 2, 2);
+  in.at(0, 0, 0) = 1;
+  in.at(0, 0, 1) = 2;
+  in.at(0, 1, 0) = 3;
+  in.at(0, 1, 1) = 4;
+  UpsampleLayer up(1, 2, 2);
+  up.forward(env.ctx, {&in});
+  EXPECT_EQ(up.output().h(), 4);
+  EXPECT_EQ(up.output().at(0, 0, 0), 1.0f);
+  EXPECT_EQ(up.output().at(0, 0, 1), 1.0f);
+  EXPECT_EQ(up.output().at(0, 1, 1), 1.0f);
+  EXPECT_EQ(up.output().at(0, 0, 2), 2.0f);
+  EXPECT_EQ(up.output().at(0, 3, 3), 4.0f);
+}
+
+TEST(ConnectedLayerTest, ComputesDotProducts) {
+  Env env;
+  ConnectedLayer fc(4, 2, Activation::Linear, 77);
+  Tensor in(4, 1, 1);
+  for (int i = 0; i < 4; ++i) in[static_cast<std::size_t>(i)] = static_cast<float>(i + 1);
+  fc.forward(env.ctx, {&in});
+  EXPECT_EQ(fc.output().size(), 2u);
+  // The result must be finite and deterministic.
+  ConnectedLayer fc2(4, 2, Activation::Linear, 77);
+  fc2.forward(env.ctx, {&in});
+  EXPECT_EQ(fc.output()[0], fc2.output()[0]);
+  EXPECT_EQ(fc.output()[1], fc2.output()[1]);
+}
+
+TEST(SoftmaxLayerTest, NormalizesToOne) {
+  Env env;
+  SoftmaxLayer sm(5, 1, 1);
+  Tensor in(5, 1, 1);
+  Rng rng(4);
+  in.randomize(rng, -2.0f, 2.0f);
+  sm.forward(env.ctx, {&in});
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GT(sm.output()[i], 0.0f);
+    sum += sm.output()[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(YoloLayerTest, PassesThrough) {
+  Env env;
+  YoloLayer yolo(2, 3, 3);
+  Tensor in(2, 3, 3);
+  Rng rng(5);
+  in.randomize(rng);
+  yolo.forward(env.ctx, {&in});
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_EQ(yolo.output()[i], in[i]);
+}
+
+}  // namespace
+}  // namespace vlacnn::dnn

@@ -1,0 +1,123 @@
+// Memory hierarchy paths: RVV VectorCache->L2 vs SVE L1->L2, software
+// prefetch gating, strided-access costing, DRAM accounting.
+
+#include <gtest/gtest.h>
+
+#include "sim/memory_system.hpp"
+
+namespace vlacnn::sim {
+namespace {
+
+TEST(MemorySystem, RvvVectorPathBypassesL1) {
+  MemorySystem mem(rvv_gem5());
+  mem.vector_access(0x10000, 256, false);
+  EXPECT_EQ(mem.l1_stats().accesses, 0u);  // vector data never touches L1
+  EXPECT_GT(mem.l2_stats().accesses, 0u);
+  ASSERT_NE(mem.vector_cache_stats(), nullptr);
+  EXPECT_GT(mem.vector_cache_stats()->accesses, 0u);
+}
+
+TEST(MemorySystem, SvePathGoesThroughL1) {
+  MemorySystem mem(sve_gem5());
+  mem.vector_access(0x10000, 256, false);
+  EXPECT_GT(mem.l1_stats().accesses, 0u);
+  EXPECT_EQ(mem.vector_cache_stats(), nullptr);
+}
+
+TEST(MemorySystem, RepeatAccessHitsAndCostsLess) {
+  MemorySystem mem(sve_gem5());
+  const MemCost cold = mem.vector_access(0x20000, 64, false);
+  const MemCost warm = mem.vector_access(0x20000, 64, false);
+  EXPECT_GT(cold.overlappable_cycles, warm.overlappable_cycles);
+  EXPECT_EQ(warm.overlappable_cycles, 0u);  // L1 hit: only serial cost
+}
+
+TEST(MemorySystem, MultiLineAccessTouchesCorrectLineCount) {
+  MemorySystem mem(sve_gem5());
+  const MemCost c = mem.vector_access(0x30000, 64 * 7, false);
+  EXPECT_EQ(c.lines, 7u);
+  // Unaligned span crossing one extra line:
+  const MemCost c2 = mem.vector_access(0x40020, 64, false);
+  EXPECT_EQ(c2.lines, 2u);
+}
+
+TEST(MemorySystem, StridedCostsPerElementLine) {
+  MemorySystem mem(sve_gem5());
+  // 16 elements, stride 256 B: every element its own line.
+  const MemCost c = mem.vector_access_strided(0x80000, 256, 4, 16, false);
+  EXPECT_EQ(c.lines, 16u);
+  // Contiguous equivalent touches just one line.
+  mem.reset();
+  const MemCost c2 = mem.vector_access(0x80000, 16 * 4, false);
+  EXPECT_EQ(c2.lines, 1u);
+}
+
+TEST(MemorySystem, DramLinesCountedOnL2Miss) {
+  MemorySystem mem(rvv_gem5());
+  mem.vector_access(0x100000, 64, false);
+  EXPECT_EQ(mem.dram_line_fills(), 1u);
+  mem.vector_access(0x100000, 64, false);  // now resident
+  EXPECT_EQ(mem.dram_line_fills(), 1u);
+}
+
+TEST(MemorySystem, SoftwarePrefetchIsNoOpWhenUnsupported) {
+  // RVV and gem5-SVE ignore prefetch instructions (paper §IV-A).
+  for (const auto& cfg : {rvv_gem5(), sve_gem5()}) {
+    MemorySystem mem(cfg);
+    mem.software_prefetch(0x50000, 256, 2);
+    const MemCost c = mem.vector_access(0x50000, 64, false);
+    EXPECT_GT(c.overlappable_cycles, 0u) << cfg.name;  // still a cold miss
+  }
+}
+
+TEST(MemorySystem, SoftwarePrefetchEffectiveOnA64fx) {
+  MemorySystem mem(a64fx());
+  mem.software_prefetch(0x50000, 256, 1);
+  const MemCost c = mem.vector_access(0x50000, 64, false);
+  EXPECT_EQ(c.overlappable_cycles, 0u);  // L1 hit thanks to the prefetch
+}
+
+TEST(MemorySystem, HwPrefetcherActiveOnlyOnA64fx) {
+  MemorySystem a(a64fx());
+  EXPECT_NE(a.prefetcher_stats(), nullptr);
+  MemorySystem r(rvv_gem5());
+  EXPECT_EQ(r.prefetcher_stats(), nullptr);
+}
+
+TEST(MemorySystem, ScalarPathUsesL1OnBothIsas) {
+  for (const auto& cfg : {rvv_gem5(), sve_gem5()}) {
+    MemorySystem mem(cfg);
+    mem.scalar_access(0x60000, 4, false);
+    EXPECT_EQ(mem.l1_stats().accesses, 1u) << cfg.name;
+  }
+}
+
+TEST(MemorySystem, LargerL2ReducesMissesOnCyclicSweep) {
+  // Property backing Fig. 7: a working set cycled repeatedly misses less
+  // in a larger L2.
+  auto run = [](std::uint64_t l2_bytes) {
+    MachineConfig cfg = rvv_gem5().with_l2_size(l2_bytes);
+    MemorySystem mem(cfg);
+    const std::uint64_t footprint = 4ull * 1024 * 1024;  // 4 MiB
+    for (int rep = 0; rep < 3; ++rep)
+      for (std::uint64_t a = 0; a < footprint; a += 64)
+        mem.vector_access(a, 64, false);
+    return mem.l2_stats().miss_rate();
+  };
+  const double small = run(1 * 1024 * 1024);
+  const double big = run(8 * 1024 * 1024);
+  EXPECT_GT(small, big);
+  EXPECT_LT(big, 0.5);
+}
+
+TEST(MemorySystem, ResetClearsEverything) {
+  MemorySystem mem(a64fx());
+  mem.vector_access(0x0, 1024, true);
+  mem.reset();
+  EXPECT_EQ(mem.l1_stats().accesses, 0u);
+  EXPECT_EQ(mem.l2_stats().accesses, 0u);
+  EXPECT_EQ(mem.dram_line_fills(), 0u);
+}
+
+}  // namespace
+}  // namespace vlacnn::sim

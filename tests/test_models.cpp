@@ -1,0 +1,142 @@
+// Model zoo structure: layer counts, conv ordinals and GEMM shapes must
+// match the paper's description of YOLOv3 / YOLOv3-tiny / VGG16.
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hpp"
+
+namespace vlacnn::dnn {
+namespace {
+
+const ConvLayer* conv_at_ordinal(const Network& net, int ordinal_1based) {
+  int seen = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const ConvLayer*>(&net.layer(i));
+    if (conv != nullptr && ++seen == ordinal_1based) return conv;
+  }
+  return nullptr;
+}
+
+TEST(Yolov3, LayerCountsMatchPaper) {
+  // §II-B: 107 layers, 75 convolutional.
+  auto net = build_yolov3(608);
+  EXPECT_EQ(net->num_layers(), 107u);
+  EXPECT_EQ(net->num_conv_layers(), 75u);
+}
+
+TEST(Yolov3, Prefix20Has15ConvLayers) {
+  auto net = build_yolov3_prefix_20(96);
+  EXPECT_EQ(net->num_layers(), 20u);
+  EXPECT_EQ(net->num_conv_layers(), 15u);
+}
+
+TEST(Yolov3, First4ConvPrefix) {
+  auto net = build_yolov3_first4conv(96);
+  EXPECT_EQ(net->num_layers(), 4u);
+  EXPECT_EQ(net->num_conv_layers(), 4u);
+}
+
+TEST(Yolov3, Table4GemmShapesExact) {
+  // Spot-check the discrete layers of Table IV at 608x608 input.
+  auto net = build_yolov3(608);
+  struct Want {
+    int ordinal, m, n, k;
+  };
+  const Want wants[] = {
+      {1, 32, 369664, 27},   {2, 64, 92416, 288},  {3, 32, 92416, 64},
+      {5, 128, 23104, 576},  {6, 64, 23104, 128},  {10, 256, 5776, 1152},
+      {11, 128, 5776, 256},  {38, 256, 1444, 512}, {44, 1024, 361, 4608},
+      {45, 512, 361, 1024},  {59, 255, 361, 1024}, {61, 256, 1444, 768},
+      {62, 512, 1444, 2304}, {75, 255, 5776, 256},
+  };
+  for (const auto& w : wants) {
+    const ConvLayer* conv = conv_at_ordinal(*net, w.ordinal);
+    ASSERT_NE(conv, nullptr) << "L" << w.ordinal;
+    EXPECT_EQ(conv->desc().gemm_m(), w.m) << "L" << w.ordinal;
+    EXPECT_EQ(conv->desc().gemm_n(), w.n) << "L" << w.ordinal;
+    EXPECT_EQ(conv->desc().gemm_k(), w.k) << "L" << w.ordinal;
+  }
+}
+
+TEST(Yolov3, StrideAndKernelMix) {
+  // §VII-A: 38 of the 75 conv layers are 3x3; the rest are 1x1. The
+  // canonical yolov3.cfg has 33 stride-1 + 5 stride-2 3x3 convs (the paper
+  // text says 32+6; the 3x3 total of 38 agrees).
+  auto net = build_yolov3(608);
+  int k3s1 = 0, k3s2 = 0, k1 = 0;
+  for (std::size_t i = 0; i < net->num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const ConvLayer*>(&net->layer(i));
+    if (conv == nullptr) continue;
+    if (conv->desc().ksize == 3 && conv->desc().stride == 1) ++k3s1;
+    if (conv->desc().ksize == 3 && conv->desc().stride == 2) ++k3s2;
+    if (conv->desc().ksize == 1) ++k1;
+  }
+  EXPECT_EQ(k3s1, 33);
+  EXPECT_EQ(k3s2, 5);
+  EXPECT_EQ(k1, 75 - 38);
+}
+
+TEST(Yolov3Tiny, Has13ConvLayers) {
+  auto net = build_yolov3_tiny(416);
+  EXPECT_EQ(net->num_conv_layers(), 13u);
+  EXPECT_EQ(net->num_layers(), 24u);
+}
+
+TEST(Vgg16, StructureMatchesPaper) {
+  // §II-B: 13 convolutional + 3 fully-connected layers; all convs 3x3/s1.
+  auto net = build_vgg16(224);
+  EXPECT_EQ(net->num_conv_layers(), 13u);
+  int fc = 0;
+  for (std::size_t i = 0; i < net->num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const ConvLayer*>(&net->layer(i));
+    if (conv != nullptr) {
+      EXPECT_EQ(conv->desc().ksize, 3);
+      EXPECT_EQ(conv->desc().stride, 1);
+    }
+    if (dynamic_cast<const ConnectedLayer*>(&net->layer(i)) != nullptr) ++fc;
+  }
+  EXPECT_EQ(fc, 3);
+}
+
+TEST(Vgg16, AllConvLayersAreWinogradEligible) {
+  // §VII-A: "all convolutional layers [of VGG16] use 3x3 kernel-sized
+  // filters" -> the whole network runs through Winograd.
+  auto net = build_vgg16(64);
+  for (std::size_t i = 0; i < net->num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const ConvLayer*>(&net->layer(i));
+    if (conv == nullptr) continue;
+    EXPECT_EQ(conv->desc().ksize, 3);
+    EXPECT_EQ(conv->desc().stride, 1);
+    EXPECT_EQ(conv->desc().pad, 1);
+  }
+}
+
+TEST(Models, ScaledInputsProduceConsistentShapes) {
+  for (int hw : {96, 160, 320}) {
+    auto net = build_yolov3(hw);
+    EXPECT_EQ(net->num_layers(), 107u) << hw;
+    // Detection head output spatial = input/32 at scale 1.
+    EXPECT_EQ(net->layer(82).output().h(), hw / 32) << hw;
+  }
+}
+
+TEST(Models, WeightsDeterministicAcrossBuilds) {
+  auto a = build_yolov3(96, 10, 42);
+  auto b = build_yolov3(96, 10, 42);
+  const auto* ca = dynamic_cast<const ConvLayer*>(&a->layer(0));
+  const auto* cb = dynamic_cast<const ConvLayer*>(&b->layer(0));
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  for (std::int64_t i = 0; i < ca->desc().weight_count(); ++i)
+    ASSERT_EQ(ca->weights()[i], cb->weights()[i]);
+}
+
+TEST(Models, TotalFlopsPositiveAndScaleQuadratically) {
+  auto small = build_yolov3(96);
+  auto big = build_yolov3(192);
+  EXPECT_GT(small->total_flops(), 0.0);
+  EXPECT_NEAR(big->total_flops() / small->total_flops(), 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace vlacnn::dnn

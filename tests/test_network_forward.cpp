@@ -1,0 +1,129 @@
+// Whole-network forward passes: numerical equivalence across every
+// convolution algorithm (the core cross-validation of the reproduction),
+// determinism, and bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/codesign.hpp"
+#include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+using test::allclose;
+
+std::vector<float> forward_with(dnn::Network& net, const EnginePolicy& policy,
+                                unsigned vlen = 512) {
+  vla::VectorEngine eng(vlen);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  dnn::Tensor input(net.in_c(), net.in_h(), net.in_w());
+  Rng rng(7);
+  input.randomize(rng, 0.0f, 1.0f);
+  const dnn::Tensor& out = net.forward(ctx, input);
+  return std::vector<float>(out.data(), out.data() + out.size());
+}
+
+TEST(NetworkForward, AllGemmVariantsAgreeOnYoloPrefix) {
+  auto net = dnn::build_yolov3(96, 12);
+  const auto naive = forward_with(*net, EnginePolicy::naive());
+  const auto opt3 = forward_with(*net, EnginePolicy::opt3loop());
+  gemm::Opt6Config o6;
+  o6.blocks = {16, 128, 64};
+  const auto opt6 = forward_with(*net, EnginePolicy::opt6loop(o6));
+  ASSERT_EQ(naive.size(), opt3.size());
+  EXPECT_TRUE(allclose(naive.data(), opt3.data(), naive.size(), 2e-3f, 2e-3f));
+  EXPECT_TRUE(allclose(naive.data(), opt6.data(), naive.size(), 2e-3f, 2e-3f));
+}
+
+TEST(NetworkForward, WinogradPolicyMatchesGemmOnYoloPrefix) {
+  // The prefix contains 3x3/s1, 3x3/s2 and 1x1 convolutions plus a
+  // shortcut, so this exercises selection + fallback + both Winograd paths.
+  auto net = dnn::build_yolov3(96, 12);
+  const auto gemm_out = forward_with(*net, EnginePolicy::opt3loop());
+  EnginePolicy wino = EnginePolicy::winograd(gemm::GemmVariant::Opt3Loop);
+  wino.winograd_stride2 = true;
+  const auto wino_out = forward_with(*net, wino, 2048);
+  EXPECT_TRUE(
+      allclose(gemm_out.data(), wino_out.data(), gemm_out.size(), 5e-3f, 5e-3f));
+}
+
+TEST(NetworkForward, WinogradMatchesGemmOnVggPrefix) {
+  auto net = dnn::build_vgg16(32, 4);
+  const auto gemm_out = forward_with(*net, EnginePolicy::opt3loop());
+  const auto wino_out = forward_with(*net, EnginePolicy::winograd(), 512);
+  EXPECT_TRUE(
+      allclose(gemm_out.data(), wino_out.data(), gemm_out.size(), 5e-3f, 5e-3f));
+}
+
+TEST(NetworkForward, VectorLengthDoesNotChangeNumerics) {
+  auto net = dnn::build_yolov3_tiny(96, 8);
+  const auto v512 = forward_with(*net, EnginePolicy::opt3loop(), 512);
+  const auto v16384 = forward_with(*net, EnginePolicy::opt3loop(), 16384);
+  EXPECT_TRUE(allclose(v512.data(), v16384.data(), v512.size(), 1e-4f, 1e-4f));
+}
+
+TEST(NetworkForward, SimulatedRunMatchesNativeNumerics) {
+  auto net = dnn::build_yolov3(96, 6);
+  const auto native = forward_with(*net, EnginePolicy::opt3loop());
+  // Simulated run: same kernels through the instrumented engine.
+  sim::SimContext sctx(sim::rvv_gem5());
+  vla::VectorEngine eng(sctx);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(EnginePolicy::opt3loop());
+  engine.install(ctx);
+  dnn::Tensor input(net->in_c(), net->in_h(), net->in_w());
+  Rng rng(7);
+  input.randomize(rng, 0.0f, 1.0f);
+  const dnn::Tensor& out = net->forward(ctx, input);
+  EXPECT_TRUE(allclose(native.data(), out.data(), native.size(), 0.0f, 0.0f));
+}
+
+TEST(NetworkForward, FullTinyYoloRunsEndToEnd) {
+  auto net = dnn::build_yolov3_tiny(96);
+  const auto out = forward_with(*net, EnginePolicy::opt3loop());
+  EXPECT_FALSE(out.empty());
+  for (float v : out) ASSERT_TRUE(std::isfinite(v));
+}
+
+TEST(NetworkForward, FullVggRunsEndToEnd) {
+  auto net = dnn::build_vgg16(32);
+  const auto out = forward_with(*net, EnginePolicy::opt3loop());
+  ASSERT_EQ(out.size(), 1000u);  // class distribution
+  float sum = 0.0f;
+  for (float v : out) sum += v;
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST(NetworkForward, RecordsPerLayerStats) {
+  auto net = dnn::build_yolov3(96, 6);
+  sim::SimContext sctx(sim::rvv_gem5());
+  vla::VectorEngine eng(sctx);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(EnginePolicy::opt3loop());
+  engine.install(ctx);
+  dnn::Tensor input(3, 96, 96);
+  Rng rng(7);
+  input.randomize(rng);
+  net->forward(ctx, input);
+  ASSERT_EQ(ctx.records.size(), 6u);
+  for (const auto& rec : ctx.records) {
+    EXPECT_FALSE(rec.name.empty());
+    EXPECT_GT(rec.cycles, 0u);
+  }
+  // GEMM dominance (paper §II-B: conv layers dominate execution).
+  std::uint64_t conv = 0, total = 0;
+  for (const auto& rec : ctx.records) {
+    total += rec.cycles;
+    if (rec.name.rfind("conv", 0) == 0) conv += rec.cycles;
+  }
+  EXPECT_GT(static_cast<double>(conv) / static_cast<double>(total), 0.8);
+}
+
+}  // namespace
+}  // namespace vlacnn::core

@@ -1,0 +1,61 @@
+// Stream prefetcher: training, issue depth, stride handling.
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "sim/prefetcher.hpp"
+
+namespace vlacnn::sim {
+namespace {
+
+TEST(Prefetcher, TrainsOnUnitStrideStream) {
+  CacheModel cache(CacheConfig{64 * 1024, 8, 64, 4});
+  StreamPrefetcher pf(64, /*depth=*/4);
+  // Walk a unit-stride stream; after 3 accesses the stride is confirmed.
+  for (int i = 0; i < 8; ++i) pf.observe(static_cast<std::uint64_t>(i) * 64, cache);
+  EXPECT_GE(pf.stats().trained_streams, 1u);
+  EXPECT_GT(pf.stats().issued, 0u);
+  // Lines ahead of the stream are now resident.
+  EXPECT_TRUE(cache.contains(8 * 64));
+  EXPECT_TRUE(cache.contains(9 * 64));
+}
+
+TEST(Prefetcher, StreamTurnsMissesIntoHits) {
+  CacheModel cache(CacheConfig{64 * 1024, 8, 64, 4});
+  StreamPrefetcher pf(64, 4);
+  std::uint64_t misses = 0;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t addr = static_cast<std::uint64_t>(i) * 64;
+    pf.observe(addr, cache);
+    if (cache.access(addr, false) == AccessResult::Miss) ++misses;
+  }
+  // Only the training prefix misses.
+  EXPECT_LE(misses, 4u);
+}
+
+TEST(Prefetcher, LearnsNonUnitStrides) {
+  CacheModel cache(CacheConfig{64 * 1024, 8, 64, 4});
+  StreamPrefetcher pf(64, 2);
+  for (int i = 0; i < 6; ++i)
+    pf.observe(static_cast<std::uint64_t>(i) * 192, cache);  // stride 3 lines
+  EXPECT_TRUE(cache.contains(6 * 192));
+}
+
+TEST(Prefetcher, RandomAccessesDoNotTrain) {
+  CacheModel cache(CacheConfig{64 * 1024, 8, 64, 4});
+  StreamPrefetcher pf(64, 4);
+  const std::uint64_t addrs[] = {0x0, 0x10000, 0x333340, 0x2000, 0x98765 * 64};
+  for (auto a : addrs) pf.observe(a, cache);
+  EXPECT_EQ(pf.stats().trained_streams, 0u);
+}
+
+TEST(Prefetcher, ResetClearsTraining) {
+  CacheModel cache(CacheConfig{64 * 1024, 8, 64, 4});
+  StreamPrefetcher pf(64, 4);
+  for (int i = 0; i < 8; ++i) pf.observe(static_cast<std::uint64_t>(i) * 64, cache);
+  pf.reset();
+  EXPECT_EQ(pf.stats().issued, 0u);
+}
+
+}  // namespace
+}  // namespace vlacnn::sim

@@ -1,0 +1,68 @@
+// Roofline (Table IV) machinery: shapes, AI values, and sanity of the
+// measured sustained-performance fractions.
+
+#include <gtest/gtest.h>
+
+#include "core/roofline.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+TEST(Roofline, FourteenDiscreteLayers) {
+  const auto layers = table4_layers(608);
+  const auto labels = table4_labels();
+  EXPECT_EQ(layers.size(), 14u);
+  EXPECT_EQ(labels.size(), 14u);
+  EXPECT_EQ(labels.front(), "L1");
+  EXPECT_EQ(labels.back(), "L75");
+}
+
+TEST(Roofline, ShapesMatchPaperTable4) {
+  const auto layers = table4_layers(608);
+  // L1: 32 x 369664 x 27.
+  EXPECT_EQ(layers[0].gemm_m(), 32);
+  EXPECT_EQ(layers[0].gemm_n(), 369664);
+  EXPECT_EQ(layers[0].gemm_k(), 27);
+  // L44: 1024 x 361 x 4608.
+  EXPECT_EQ(layers[8].gemm_m(), 1024);
+  EXPECT_EQ(layers[8].gemm_n(), 361);
+  EXPECT_EQ(layers[8].gemm_k(), 4608);
+}
+
+TEST(Roofline, ArithmeticIntensitiesMatchPaper) {
+  const auto layers = table4_layers(608);
+  const double want_ai[] = {7.32, 26, 11, 52, 21, 101, 42,
+                            76,   126, 88, 65, 85, 162, 63};
+  for (std::size_t i = 0; i < layers.size(); ++i)
+    EXPECT_NEAR(layers[i].arithmetic_intensity(), want_ai[i],
+                want_ai[i] * 0.06 + 0.5)
+        << table4_labels()[i];
+}
+
+TEST(Roofline, MeasuredEntriesAreSane) {
+  // Keep it fast: strong N scaling, 6-loop GEMM on the A64FX preset.
+  EnginePolicy policy = EnginePolicy::opt6loop();
+  const auto entries = run_roofline(sim::a64fx(), policy, 608, 256);
+  ASSERT_EQ(entries.size(), 14u);
+  for (const auto& e : entries) {
+    EXPECT_GT(e.gflops, 0.0) << e.label;
+    EXPECT_GT(e.pct_of_peak, 5.0) << e.label;
+    EXPECT_LE(e.pct_of_peak, 100.0) << e.label;
+  }
+}
+
+TEST(Roofline, SustainedFractionsInPlausibleBand) {
+  // Paper: 46-91% of peak across the fourteen layers. Our simulator lands
+  // every layer in a plausible mid band; the AI-driven spread between the
+  // extremes is weaker than on real silicon because the model overlaps
+  // most memory latency at these N-scaled shapes (see EXPERIMENTS.md).
+  EnginePolicy policy = EnginePolicy::opt6loop();
+  const auto entries = run_roofline(sim::a64fx(), policy, 608, 256);
+  for (const auto& e : entries) {
+    EXPECT_GT(e.pct_of_peak, 20.0) << e.label;
+    EXPECT_LE(e.pct_of_peak, 100.0) << e.label;
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn::core

@@ -1,0 +1,82 @@
+// Simulation-driven per-layer algorithm selection.
+
+#include <gtest/gtest.h>
+
+#include "core/selector.hpp"
+#include "dnn/models.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+TEST(Selector, ProducesOneChoicePerConvLayer) {
+  auto net = dnn::build_yolov3(48, 6);
+  const auto plan = select_per_layer(*net, sim::rvv_gem5());
+  EXPECT_EQ(plan.size(), net->num_conv_layers());
+  for (const auto& c : plan) {
+    EXPECT_GE(c.candidates.size(), 2u);  // at least both GEMM variants
+    EXPECT_GT(c.cycles, 0u);
+    // The winner is the minimum of its candidates.
+    for (const auto& [algo, cycles] : c.candidates)
+      EXPECT_LE(c.cycles, cycles) << c.layer_name;
+  }
+}
+
+TEST(Selector, WinogradOnlyOfferedForEligibleLayers) {
+  auto net = dnn::build_yolov3(48, 6);  // mixes 3x3/s1, 3x3/s2, 1x1
+  const auto plan = select_per_layer(*net, sim::sve_gem5().with_vlen(2048));
+  for (const auto& c : plan) {
+    const bool has_wino =
+        std::any_of(c.candidates.begin(), c.candidates.end(), [](auto& p) {
+          return p.first == ConvAlgo::Winograd;
+        });
+    const bool is_3x3 = c.layer_name.find("3x3") != std::string::npos;
+    EXPECT_EQ(has_wino, is_3x3) << c.layer_name;
+  }
+}
+
+TEST(Selector, ChoicesStableAcrossCalls) {
+  // Simulated addresses depend on global allocation order, so exact cycle
+  // counts may differ between back-to-back selections within one process;
+  // the chosen algorithms must not (candidate gaps are far larger than the
+  // address-mapping noise).
+  auto net = dnn::build_yolov3(48, 4);
+  const auto a = select_per_layer(*net, sim::rvv_gem5());
+  const auto b = select_per_layer(*net, sim::rvv_gem5());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].algo, b[i].algo);
+}
+
+TEST(Selector, AppliedPlanPreservesNumerics) {
+  // Routing layers through the plan must not change the network output
+  // versus the plain optimized-GEMM path.
+  auto net = dnn::build_yolov3(48, 6);
+  const auto plan = select_per_layer(*net, sim::rvv_gem5());
+
+  auto forward = [&](bool use_plan) {
+    vla::VectorEngine eng(2048);
+    dnn::ExecContext ctx(eng);
+    ConvolutionEngine engine(EnginePolicy::opt3loop());
+    engine.install(ctx);
+    if (use_plan) apply_plan(plan, engine, ctx);
+    dnn::Tensor input(3, 48, 48);
+    Rng rng(7);
+    input.randomize(rng, 0.0f, 1.0f);
+    const dnn::Tensor& out = net->forward(ctx, input);
+    return std::vector<float>(out.data(), out.data() + out.size());
+  };
+  const auto plain = forward(false);
+  const auto planned = forward(true);
+  EXPECT_TRUE(test::allclose(plain.data(), planned.data(), plain.size(), 5e-3f,
+                             5e-3f));
+}
+
+TEST(Selector, AlgoNamesAreStable) {
+  EXPECT_STREQ(to_string(ConvAlgo::Winograd), "winograd");
+  EXPECT_STREQ(to_string(ConvAlgo::Direct), "direct");
+  EXPECT_STREQ(to_string(ConvAlgo::Im2colGemm3), "im2col+gemm3");
+  EXPECT_STREQ(to_string(ConvAlgo::Im2colGemm6), "im2col+gemm6");
+}
+
+}  // namespace
+}  // namespace vlacnn::core

@@ -1,0 +1,106 @@
+// Tensor container semantics and ConvDesc geometry/derived quantities.
+
+#include <gtest/gtest.h>
+
+#include "dnn/conv_desc.hpp"
+#include "dnn/tensor.hpp"
+
+namespace vlacnn::dnn {
+namespace {
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t(3, 4, 5);
+  EXPECT_EQ(t.size(), 60u);
+  t.at(2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[59], 7.0f);
+  EXPECT_EQ(t.shape_str(), "3x4x5");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(2, 2, 2);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RandomizeDeterministic) {
+  Tensor a(1, 8, 8), b(1, 8, 8);
+  Rng r1(5), r2(5);
+  a.randomize(r1);
+  b.randomize(r2);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Tensor, RejectsBadShape) {
+  Tensor t;
+  EXPECT_THROW(t.reshape(0, 1, 1), InvalidArgument);
+  EXPECT_THROW(t.reshape(1, -1, 1), InvalidArgument);
+}
+
+TEST(ConvDesc, OutputDims) {
+  ConvDesc d;
+  d.in_c = 3;
+  d.in_h = 608;
+  d.in_w = 608;
+  d.out_c = 32;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  EXPECT_EQ(d.out_h(), 608);
+  EXPECT_EQ(d.out_w(), 608);
+  d.stride = 2;
+  EXPECT_EQ(d.out_h(), 304);
+}
+
+TEST(ConvDesc, GemmDimsMatchPaperLayer1) {
+  // Paper Table IV L1: M=32, N=369664, K=27 (YOLOv3 first conv @ 608x608).
+  ConvDesc d;
+  d.in_c = 3;
+  d.in_h = d.in_w = 608;
+  d.out_c = 32;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  EXPECT_EQ(d.gemm_m(), 32);
+  EXPECT_EQ(d.gemm_k(), 27);
+  EXPECT_EQ(d.gemm_n(), 369664);
+  EXPECT_NEAR(d.arithmetic_intensity(), 7.32, 0.25);  // paper: AI = 7.32
+}
+
+TEST(ConvDesc, ArithmeticIntensityMatchesPaperL44) {
+  // L44: M=1024, N=361, K=4608 -> AI = 126.
+  ConvDesc d;
+  d.in_c = 512;
+  d.in_h = d.in_w = 19;
+  d.out_c = 1024;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  EXPECT_EQ(d.gemm_n(), 361);
+  EXPECT_EQ(d.gemm_k(), 4608);
+  EXPECT_NEAR(d.arithmetic_intensity(), 126.0, 3.0);
+}
+
+TEST(ConvDesc, FlopsFormula) {
+  ConvDesc d;
+  d.in_c = 2;
+  d.in_h = d.in_w = 4;
+  d.out_c = 3;
+  d.ksize = 1;
+  d.stride = 1;
+  d.pad = 0;
+  EXPECT_DOUBLE_EQ(d.flops(), 2.0 * 3 * 16 * 2);
+}
+
+TEST(ConvDesc, ValidateCatchesDegenerateShapes) {
+  ConvDesc d;
+  d.in_c = 1;
+  d.in_h = 2;
+  d.in_w = 2;
+  d.out_c = 1;
+  d.ksize = 5;
+  d.stride = 1;
+  d.pad = 0;  // output would be negative
+  EXPECT_THROW(d.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vlacnn::dnn

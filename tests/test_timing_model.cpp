@@ -1,0 +1,177 @@
+// Scoreboard timing model: occupancy scaling with lanes/VL, dependency
+// stalls, in-flight window, memory-stall overlap, statistics.
+
+#include <gtest/gtest.h>
+
+#include "sim/timing_model.hpp"
+
+namespace vlacnn::sim {
+namespace {
+
+MachineConfig base_cfg(unsigned lanes = 8, unsigned vlen = 512) {
+  MachineConfig cfg = rvv_gem5();
+  cfg.lanes = lanes;
+  cfg.vlen_bits = vlen;
+  // Isolate the scoreboard properties under test from the preset's
+  // per-instruction dispatch overhead.
+  cfg.vector_dispatch_cycles = 0.0;
+  cfg.scalar_op_cycles = 1.0;
+  return cfg;
+}
+
+TEST(Timing, SingleOpCostsStartupPlusOccupancy) {
+  MachineConfig cfg = base_cfg();
+  VectorTimingModel tm(cfg);
+  tm.vop(VopClass::Fma, 0, {}, 128);  // 128 elems / 8 lanes = 16 cycles
+  const std::uint64_t cycles = tm.finish();
+  const auto startup = static_cast<std::uint64_t>(
+      cfg.startup_base_cycles + cfg.startup_per_lane * cfg.lanes);
+  EXPECT_EQ(cycles, startup + 16);
+}
+
+TEST(Timing, IndependentOpsPipelineThroughOccupancy) {
+  // N independent FMAs: total ~= N*occupancy + one startup, not N*(both).
+  VectorTimingModel tm(base_cfg());
+  const int n = 100;
+  for (int i = 0; i < n; ++i) tm.vop(VopClass::Fma, i % 8, {}, 64);
+  const std::uint64_t cycles = tm.finish();
+  EXPECT_LT(cycles, static_cast<std::uint64_t>(n) * (8 + 10 + 2));
+  EXPECT_GE(cycles, static_cast<std::uint64_t>(n) * 8);  // occupancy bound
+}
+
+TEST(Timing, DependencyChainSerializesOnLatency) {
+  // acc += ... repeatedly on the same register: each op waits for the
+  // previous result (startup exposed every iteration).
+  VectorTimingModel dep(base_cfg());
+  const int n = 50;
+  for (int i = 0; i < n; ++i) dep.vop(VopClass::Fma, 0, {0, 1}, 64);
+  VectorTimingModel indep(base_cfg());
+  for (int i = 0; i < n; ++i) indep.vop(VopClass::Fma, i % 16, {16 + i % 8}, 64);
+  EXPECT_GT(dep.finish(), indep.finish() * 3 / 2);
+}
+
+TEST(Timing, MoreLanesShortenLongVectorOps) {
+  // 8192-bit vectors: 2 lanes vs 8 lanes (paper §VI-B(c)).
+  auto run = [](unsigned lanes) {
+    MachineConfig cfg = base_cfg(lanes, 8192);
+    VectorTimingModel tm(cfg);
+    for (int i = 0; i < 200; ++i) tm.vop(VopClass::Fma, i % 16, {}, 256);
+    return tm.finish();
+  };
+  EXPECT_GT(run(2), run(8));
+}
+
+TEST(Timing, LaneStartupPenaltyVisibleAtShortVl) {
+  // 512-bit vectors: occupancy is tiny, so extra lanes mostly add startup;
+  // scaling 4->8 lanes must NOT give the ~2x gain it gives at 8192-bit.
+  auto run = [](unsigned lanes, unsigned vlen, std::uint64_t elems) {
+    MachineConfig cfg = base_cfg(lanes, vlen);
+    VectorTimingModel tm(cfg);
+    for (int i = 0; i < 100; ++i) tm.vop(VopClass::Fma, 0, {0}, elems);
+    return tm.finish();
+  };
+  const double short_gain =
+      static_cast<double>(run(4, 512, 16)) / static_cast<double>(run(8, 512, 16));
+  const double long_gain = static_cast<double>(run(4, 8192, 256)) /
+                           static_cast<double>(run(8, 8192, 256));
+  EXPECT_GT(long_gain, short_gain);
+}
+
+TEST(Timing, MemStallsAddExposedLatency) {
+  VectorTimingModel tm(base_cfg());
+  MemCost cost;
+  cost.serial_cycles = 4;
+  cost.overlappable_cycles = 100;
+  cost.lines = 1;
+  tm.vmem(VopClass::Load, 0, {}, 16, cost);
+  const auto with_miss = tm.finish();
+
+  VectorTimingModel tm2(base_cfg());
+  MemCost hit;
+  hit.serial_cycles = 4;
+  hit.lines = 1;
+  tm2.vmem(VopClass::Load, 0, {}, 16, hit);
+  EXPECT_GE(with_miss, tm2.finish() + 100);
+}
+
+TEST(Timing, MlpOverlapsMissLatency) {
+  MachineConfig ooo = a64fx();
+  MachineConfig in_order = ooo;
+  in_order.mem_level_parallelism = 1;
+  MemCost cost;
+  cost.serial_cycles = 5;
+  cost.overlappable_cycles = 800;
+  cost.lines = 8;
+  VectorTimingModel a(ooo), b(in_order);
+  a.vmem(VopClass::Load, 0, {}, 16, cost);
+  b.vmem(VopClass::Load, 0, {}, 16, cost);
+  EXPECT_LT(a.finish(), b.finish());
+}
+
+TEST(Timing, DramBandwidthFloorApplies)  {
+  MachineConfig cfg = a64fx();  // high MLP
+  VectorTimingModel tm(cfg);
+  MemCost cost;
+  cost.serial_cycles = 0;
+  cost.overlappable_cycles = 100;  // tiny latency once overlapped
+  cost.dram_lines = 1000;          // ...but 1000 lines of DRAM traffic
+  cost.lines = 1000;
+  tm.vmem(VopClass::Load, 0, {}, 16, cost);
+  const double bw_cycles = 1000.0 * cfg.l2.line_bytes / cfg.dram_bytes_per_cycle;
+  EXPECT_GE(tm.finish(), static_cast<std::uint64_t>(bw_cycles));
+}
+
+TEST(Timing, GatherOccupancyIsPerElement) {
+  VectorTimingModel tm(base_cfg());
+  MemCost c;
+  c.serial_cycles = 0;
+  tm.vmem(VopClass::Gather, 0, {}, 128, c);
+  const auto gather_cycles = tm.finish();
+  VectorTimingModel tm2(base_cfg());
+  tm2.vmem(VopClass::Load, 0, {}, 128, c);
+  EXPECT_GT(gather_cycles, tm2.finish() * 3);
+}
+
+TEST(Timing, TwoPipesDoubleFmaThroughput) {
+  auto run = [](unsigned pipes) {
+    MachineConfig cfg = a64fx();
+    cfg.vector_pipes = pipes;
+    VectorTimingModel tm(cfg);
+    for (int i = 0; i < 400; ++i) tm.vop(VopClass::Fma, i % 16, {}, 16);
+    return tm.finish();
+  };
+  const auto one = run(1), two = run(2);
+  EXPECT_GT(one, two * 4 / 3);
+}
+
+TEST(Timing, StatsAccumulate) {
+  VectorTimingModel tm(base_cfg());
+  tm.vop(VopClass::Fma, 0, {}, 100);
+  tm.vop(VopClass::Arith, 1, {}, 50);
+  tm.scalar(7);
+  tm.finish();
+  const TimingStats& s = tm.stats();
+  EXPECT_EQ(s.vector_instructions, 2u);
+  EXPECT_EQ(s.scalar_ops, 7u);
+  EXPECT_EQ(s.flops, 2u * 100 + 50);
+  EXPECT_DOUBLE_EQ(s.avg_vector_length_elems(), 75.0);
+}
+
+TEST(Timing, SetVlDoesNotPolluteAvgVl) {
+  VectorTimingModel tm(base_cfg());
+  tm.vop(VopClass::SetVl, -1, {}, 0);
+  tm.vop(VopClass::Load, 0, {}, 128);
+  EXPECT_DOUBLE_EQ(tm.stats().avg_vector_length_elems(), 128.0);
+}
+
+TEST(Timing, ResetRestoresInitialState) {
+  VectorTimingModel tm(base_cfg());
+  tm.vop(VopClass::Fma, 0, {}, 64);
+  tm.finish();
+  tm.reset();
+  EXPECT_EQ(tm.stats().cycles, 0u);
+  EXPECT_EQ(tm.now(), 0u);
+}
+
+}  // namespace
+}  // namespace vlacnn::sim

@@ -1,0 +1,183 @@
+// Full Winograd convolution vs the direct reference: stride 1 and 2, edge
+// tiles, channel remainders, and every vector length the paper studies on
+// ARM-SVE — plus the inter-tile grouping behaviour itself.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.hpp"
+#include "winograd/winograd_conv.hpp"
+
+namespace vlacnn::winograd {
+namespace {
+
+using test::allclose;
+using test::conv_direct_ref;
+using test::random_vec;
+
+struct Case {
+  int in_c, hw, out_c, stride;
+};
+
+class WinogradConvTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Case>> {};
+
+TEST_P(WinogradConvTest, MatchesDirectConvolution) {
+  const auto [vlen, c] = GetParam();
+  dnn::ConvDesc d;
+  d.in_c = c.in_c;
+  d.in_h = d.in_w = c.hw;
+  d.out_c = c.out_c;
+  d.ksize = 3;
+  d.stride = c.stride;
+  d.pad = 1;
+  d.validate();
+
+  auto input = random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
+  auto weights = random_vec(static_cast<std::size_t>(d.weight_count()), 2,
+                            -0.5f, 0.5f);
+  std::vector<float> ref(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                         d.out_w());
+  std::vector<float> got(ref.size(), -1e30f);
+  conv_direct_ref(d, input.data(), weights.data(), ref.data());
+
+  vla::VectorEngine eng(vlen);
+  WinogradConv wino;
+  ASSERT_TRUE(WinogradConv::supports(d));
+  wino.run(eng, d, input.data(), weights.data(), got.data());
+
+  EXPECT_TRUE(allclose(ref.data(), got.data(), ref.size(), 2e-3f, 2e-3f))
+      << "vlen=" << vlen << " c=" << c.in_c << " hw=" << c.hw
+      << " oc=" << c.out_c << " stride=" << c.stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndVectorLengths, WinogradConvTest,
+    ::testing::Combine(
+        ::testing::Values(512u, 1024u, 2048u),
+        ::testing::Values(
+            Case{1, 12, 1, 1},    // single channel, interior+edge tiles
+            Case{4, 12, 4, 1},    // exactly one 512-bit group
+            Case{3, 18, 5, 1},    // channel remainder below group size
+            Case{16, 12, 8, 1},   // multiple groups
+            Case{5, 9, 2, 1},     // output not divisible by 6 (edge clip)
+            Case{2, 6, 3, 1},     // minimal: single tile column
+            Case{4, 12, 4, 2},    // stride-2 via dense + subsample
+            Case{3, 14, 6, 2})),  // stride-2 with odd edges
+    [](const auto& info) {
+      const unsigned vlen = std::get<0>(info.param);
+      const Case c = std::get<1>(info.param);
+      return "vl" + std::to_string(vlen) + "_c" + std::to_string(c.in_c) +
+             "_hw" + std::to_string(c.hw) + "_oc" + std::to_string(c.out_c) +
+             "_s" + std::to_string(c.stride);
+    });
+
+TEST(WinogradSupports, ShapeGate) {
+  dnn::ConvDesc d;
+  d.in_c = 4;
+  d.in_h = d.in_w = 16;
+  d.out_c = 4;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  EXPECT_TRUE(WinogradConv::supports(d));
+  d.ksize = 1;
+  d.pad = 0;
+  EXPECT_FALSE(WinogradConv::supports(d));
+  d.ksize = 5;
+  d.pad = 2;
+  EXPECT_FALSE(WinogradConv::supports(d));
+  d.ksize = 3;
+  d.pad = 1;
+  d.stride = 2;
+  EXPECT_TRUE(WinogradConv::supports(d));
+  d.stride = 3;
+  EXPECT_FALSE(WinogradConv::supports(d));
+}
+
+TEST(WinogradWeights, CacheInvalidation) {
+  dnn::ConvDesc d;
+  d.in_c = 2;
+  d.in_h = d.in_w = 12;
+  d.out_c = 2;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  auto input = random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 3);
+  auto weights = random_vec(static_cast<std::size_t>(d.weight_count()), 4);
+  std::vector<float> out1(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                          d.out_w());
+  std::vector<float> out2(out1.size());
+
+  vla::VectorEngine eng(512);
+  WinogradConv wino;
+  wino.run(eng, d, input.data(), weights.data(), out1.data());
+
+  // Mutate weights in place: without invalidation the stale transformed
+  // weights must be reused (cache keyed by pointer)...
+  for (auto& w : weights) w *= 2.0f;
+  wino.run(eng, d, input.data(), weights.data(), out2.data());
+  EXPECT_TRUE(allclose(out1.data(), out2.data(), out1.size(), 1e-6f, 1e-6f));
+
+  // ...and with invalidation the new weights must take effect (outputs
+  // scale by exactly 2).
+  wino.invalidate_weight_cache();
+  wino.run(eng, d, input.data(), weights.data(), out2.data());
+  std::vector<float> doubled(out1.size());
+  for (std::size_t i = 0; i < out1.size(); ++i) doubled[i] = 2.0f * out1[i];
+  EXPECT_TRUE(allclose(doubled.data(), out2.data(), out1.size(), 2e-3f, 2e-3f));
+}
+
+TEST(WinogradDeterminism, RepeatedRunsBitIdentical) {
+  dnn::ConvDesc d;
+  d.in_c = 4;
+  d.in_h = d.in_w = 18;
+  d.out_c = 4;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  auto input = random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 5);
+  auto weights = random_vec(static_cast<std::size_t>(d.weight_count()), 6);
+  std::vector<float> out1(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                          d.out_w());
+  std::vector<float> out2(out1.size());
+
+  vla::VectorEngine eng(1024);
+  WinogradConv wino;
+  wino.run(eng, d, input.data(), weights.data(), out1.data());
+  wino.run(eng, d, input.data(), weights.data(), out2.data());
+  EXPECT_EQ(0, std::memcmp(out1.data(), out2.data(),
+                           out1.size() * sizeof(float)));
+}
+
+TEST(WinogradLongVector, RvvLengthsAlsoCorrect) {
+  // The paper only evaluates Winograd on SVE, but the implementation is
+  // VLA: very long RVV-style registers must still be numerically correct
+  // (group capped at 16 channels).
+  dnn::ConvDesc d;
+  d.in_c = 24;
+  d.in_h = d.in_w = 12;
+  d.out_c = 6;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  auto input = random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 7);
+  auto weights = random_vec(static_cast<std::size_t>(d.weight_count()), 8,
+                            -0.3f, 0.3f);
+  std::vector<float> ref(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                         d.out_w());
+  std::vector<float> got(ref.size());
+  conv_direct_ref(d, input.data(), weights.data(), ref.data());
+
+  for (unsigned vlen : {4096u, 16384u}) {
+    vla::VectorEngine eng(vlen);
+    WinogradConv wino;
+    wino.run(eng, d, input.data(), weights.data(), got.data());
+    EXPECT_TRUE(allclose(ref.data(), got.data(), ref.size(), 2e-3f, 2e-3f))
+        << vlen;
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn::winograd
