@@ -23,6 +23,18 @@ class Rng {
     }
   }
 
+  /// Derives an independent generator for substream `stream` of `seed`.
+  /// Streams are decorrelated via a splitmix64 finalizer over (seed, stream),
+  /// so draws in one stream are reproducible no matter how many draws any
+  /// other stream has made — the contract per-batch-item randomization and
+  /// the multi-threaded batch scheduler rely on.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) {
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(x ^ (x >> 31));
+  }
+
   std::uint64_t next_u64() {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
     const std::uint64_t t = state_[1] << 17;

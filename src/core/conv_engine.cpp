@@ -1,19 +1,25 @@
 #include "core/conv_engine.hpp"
 
+#include "dnn/network.hpp"
+
 namespace vlacnn::core {
 
 ConvolutionEngine::ConvolutionEngine(const EnginePolicy& policy)
-    : policy_(policy) {
-  gemm_fn_ = gemm::make_gemm_fn(policy.gemm_variant, policy.opt3, policy.opt6);
-}
+    : policy_(policy) {}
 
-void ConvolutionEngine::install(dnn::ExecContext& ctx) {
-  ctx.gemm = gemm_fn_;
+void ConvolutionEngine::install(dnn::ExecContext& ctx,
+                                runtime::ThreadPool* intra_op_pool) {
+  ctx.gemm = gemm::make_gemm_fn(policy_.gemm_variant, policy_.opt3,
+                                policy_.opt6, intra_op_pool);
   ctx.vectorize_aux_kernels = policy_.vectorize_aux;
   if (policy_.winograd_stride1 || policy_.winograd_stride2) {
     const bool s1 = policy_.winograd_stride1;
     const bool s2 = policy_.winograd_stride2;
-    winograd::WinogradConv* impl = &winograd_;
+    // Fresh per-context instance (own V/M/stage scratch) over the shared
+    // read-mostly weight cache; the shared_ptr keeps it alive for as long
+    // as the context holds the override.
+    auto impl = std::make_shared<winograd::WinogradConv>(&weight_cache_);
+    impl->set_intra_op_pool(intra_op_pool);
     ctx.conv_override = [impl, s1, s2](vla::VectorEngine& eng,
                                        const dnn::ConvDesc& d,
                                        const float* input,
@@ -26,6 +32,19 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx) {
     };
   } else {
     ctx.conv_override = nullptr;
+  }
+}
+
+void ConvolutionEngine::prepare(const dnn::Network& net) {
+  if (!policy_.winograd_stride1 && !policy_.winograd_stride2) return;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
+    if (conv == nullptr) continue;
+    // The transform depends only on in_c/out_c and the raw weights, so the
+    // same cached entry serves both the stride-1 and the dense-stride-1
+    // view of a stride-2 layer.
+    if (policy_.routes_to_winograd(conv->desc()))
+      weight_cache_.prepare(conv->desc(), conv->weights());
   }
 }
 

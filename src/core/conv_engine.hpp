@@ -4,7 +4,12 @@
 
 #include "dnn/exec_context.hpp"
 #include "gemm/gemm.hpp"
+#include "winograd/weight_cache.hpp"
 #include "winograd/winograd_conv.hpp"
+
+namespace vlacnn::dnn {
+class Network;
+}  // namespace vlacnn::dnn
 
 namespace vlacnn::core {
 
@@ -50,23 +55,51 @@ struct EnginePolicy {
     p.winograd_stride1 = true;
     return p;
   }
+
+  /// True when the policy routes this layer shape to Winograd.
+  [[nodiscard]] bool routes_to_winograd(const dnn::ConvDesc& d) const {
+    if (!winograd::WinogradConv::supports(d)) return false;
+    if (d.stride == 1) return winograd_stride1;
+    return winograd_stride2;
+  }
 };
 
-/// Owns the algorithm implementations (packed-buffer GEMM state, Winograd
-/// scratch and weight cache) and installs them into a dnn::ExecContext.
+/// Builds the algorithm implementations for a policy and installs them into
+/// dnn::ExecContexts.
+///
+/// install() materializes *fresh per-context* mutable state — the packed-
+/// buffer GEMM and the Winograd V/M/stage scratch — so any number of
+/// ExecContexts installed from one engine can run forward passes on
+/// different threads concurrently. The only shared piece is the Winograd
+/// transformed-weight cache, which is insert-only behind a mutex and becomes
+/// a read-only lookup after prepare() has swept the network (the paper
+/// excludes the weight transform from inference time, §VII-A, so the
+/// prepare step also keeps the measurement protocol honest under
+/// multi-threading).
 class ConvolutionEngine {
  public:
   explicit ConvolutionEngine(const EnginePolicy& policy);
 
-  void install(dnn::ExecContext& ctx);
+  /// Installs per-context algorithm state. `intra_op_pool` (optional)
+  /// shards the GEMM M-panel and Winograd tile loops across a thread pool
+  /// for this context — use only for a context that runs alone (batch-1
+  /// latency mode), not for per-worker contexts of a batch-sharded run.
+  void install(dnn::ExecContext& ctx,
+               runtime::ThreadPool* intra_op_pool = nullptr);
+
+  /// Pre-transforms Winograd weights for every conv layer of `net` the
+  /// policy routes to Winograd, so concurrent forward passes only read the
+  /// shared cache.
+  void prepare(const dnn::Network& net);
 
   [[nodiscard]] const EnginePolicy& policy() const { return policy_; }
   [[nodiscard]] winograd::WinogradConv& winograd_impl() { return winograd_; }
+  [[nodiscard]] winograd::WeightCache& weight_cache() { return weight_cache_; }
 
  private:
   EnginePolicy policy_;
-  dnn::GemmFn gemm_fn_;
-  winograd::WinogradConv winograd_;
+  winograd::WeightCache weight_cache_;
+  winograd::WinogradConv winograd_{&weight_cache_};  // serial/legacy instance
 };
 
 }  // namespace vlacnn::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -29,14 +30,53 @@ using ConvOverrideFn =
 struct LayerRecord {
   std::string name;
   std::string algo;          // "im2col+gemm", "winograd", "maxpool", ...
-  double flops = 0.0;
+  double flops = 0.0;        // total over all batch items this record covers
+  int items = 1;             // batch items aggregated into this record
   std::uint64_t cycles = 0;  // simulated cycles spent in this layer (0 if
                              // running without a SimContext)
+  double wall_seconds = 0.0; // host wall-clock (filled by the batch
+                             // scheduler; 0 in simulated runs)
 };
+
+/// Deterministically merges per-thread records of the same layer sequence:
+/// `parts` is one records-vector per worker, every non-empty one covering the
+/// same layers in the same order. Items/flops/cycles are summed in worker-id
+/// order, wall_seconds takes the max (the layer barrier waits for the
+/// slowest worker), so the result is independent of thread scheduling.
+inline std::vector<LayerRecord> merge_layer_records(
+    const std::vector<std::vector<LayerRecord>>& parts) {
+  std::vector<LayerRecord> merged;
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    if (merged.empty()) {
+      merged = part;
+      continue;
+    }
+    VLACNN_REQUIRE(part.size() == merged.size(),
+                   "cannot merge record sequences of different lengths");
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      VLACNN_REQUIRE(part[i].name == merged[i].name,
+                     "cannot merge records of different layers");
+      merged[i].flops += part[i].flops;
+      merged[i].items += part[i].items;
+      merged[i].cycles += part[i].cycles;
+      merged[i].wall_seconds =
+          std::max(merged[i].wall_seconds, part[i].wall_seconds);
+    }
+  }
+  return merged;
+}
 
 /// Everything a layer needs to run: the vector engine (and through it the
 /// optional simulator), the GEMM implementation, the optional convolution
-/// override, and a shared im2col workspace.
+/// override, and a per-context im2col workspace.
+///
+/// An ExecContext is single-threaded state: the workspace, the GEMM packing
+/// buffers captured inside `gemm`, and the Winograd scratch captured inside
+/// `conv_override` are all scribbled on during forward passes. Concurrent
+/// workers must each own one (see runtime::BatchScheduler), which is why
+/// core::ConvolutionEngine::install() materializes fresh per-context
+/// algorithm state instead of sharing one instance.
 class ExecContext {
  public:
   explicit ExecContext(vla::VectorEngine& engine) : engine_(&engine) {}
@@ -47,15 +87,26 @@ class ExecContext {
   ConvOverrideFn conv_override;   // optional
   bool vectorize_aux_kernels = true;  // paper vectorizes all conv-layer kernels
 
-  /// Grows (never shrinks) the shared im2col scratch buffer.
+  /// Grows (never shrinks) the im2col scratch buffer. Growth is geometric
+  /// (at least 1.5x the previous capacity) so a network whose layers request
+  /// successively larger workspaces triggers O(log) reallocations instead of
+  /// one per layer; each resize re-registers the range with the simulator
+  /// exactly once and re-establishes AlignedBuffer's 256-byte alignment.
   float* workspace(std::size_t floats) {
     if (workspace_.size() < floats) {
-      workspace_reg_ = {};
-      workspace_.resize(floats);
+      const std::size_t grown = workspace_.size() + workspace_.size() / 2;
+      const std::size_t cap = std::max(floats, grown);
+      workspace_reg_ = {};  // unregister before the buffer is reallocated
+      workspace_.resize(cap);
       workspace_reg_ = sim::RegisteredRange(workspace_.data(),
                                             workspace_.size() * sizeof(float));
     }
     return workspace_.data();
+  }
+
+  /// Current workspace capacity in floats (for tests).
+  [[nodiscard]] std::size_t workspace_capacity() const {
+    return workspace_.size();
   }
 
   std::vector<LayerRecord> records;

@@ -9,6 +9,26 @@
 
 namespace vlacnn::dnn {
 
+// -------------------------------------------------------------------- Layer
+
+int Layer::prepare_batch(const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(!inputs.empty(), "layer has no inputs");
+  for (const Tensor* t : inputs)
+    VLACNN_REQUIRE(t != nullptr, "layer input missing");
+  const int n = inputs[0]->n();
+  for (const Tensor* t : inputs)
+    VLACNN_REQUIRE(t->n() == n, "layer inputs disagree on batch size");
+  if (output_.n() != n)
+    output_.reshape(n, output_.c(), output_.h(), output_.w());
+  return n;
+}
+
+void Layer::forward(ExecContext& ctx,
+                    const std::vector<const Tensor*>& inputs) {
+  const int n = prepare_batch(inputs);
+  for (int b = 0; b < n; ++b) forward_item(ctx, inputs, b);
+}
+
 // ---------------------------------------------------------------- ConvLayer
 
 ConvLayer::ConvLayer(const ConvDesc& desc, std::uint64_t weight_seed)
@@ -47,39 +67,39 @@ std::string ConvLayer::name() const {
          std::to_string(desc_.stride);
 }
 
-void ConvLayer::forward(ExecContext& ctx,
-                        const std::vector<const Tensor*>& inputs) {
+void ConvLayer::forward_item(ExecContext& ctx,
+                             const std::vector<const Tensor*>& inputs, int b) {
   VLACNN_REQUIRE(inputs.size() == 1 && inputs[0] != nullptr,
                  "conv expects one input");
   const Tensor& in = *inputs[0];
   VLACNN_REQUIRE(in.c() == desc_.in_c && in.h() == desc_.in_h &&
                      in.w() == desc_.in_w,
                  "conv input shape mismatch");
+  const float* in_b = in.item_data(b);
+  float* out_b = output_.item_data(b);
+  const std::size_t out_elems = output_.item_size();
   vla::VectorEngine& eng = ctx.engine();
   const int m = desc_.gemm_m(), k = desc_.gemm_k(), n = desc_.gemm_n();
 
-  std::string algo = "im2col+gemm";
   bool done = false;
   if (ctx.conv_override) {
     // Winograd path computes the raw convolution; bias/BN/activation below
     // are shared with the GEMM path (fill is unnecessary — the override
     // overwrites the output completely).
-    done = ctx.conv_override(eng, desc_, in.data(), weights_.data(),
-                             output_.data());
-    if (done) algo = "winograd";
+    done = ctx.conv_override(eng, desc_, in_b, weights_.data(), out_b);
   }
   if (!done) {
-    fill_cpu(eng, output_.size(), 0.0f, output_.data());
+    fill_cpu(eng, out_elems, 0.0f, out_b);
     const float* b_matrix = nullptr;
     if (desc_.ksize == 1 && desc_.stride == 1 && desc_.pad == 0) {
       // Darknet skips im2col entirely for 1x1/s1 convolutions.
-      b_matrix = in.data();
+      b_matrix = in_b;
     } else {
       float* ws = ctx.workspace(static_cast<std::size_t>(k) * n);
       if (ctx.vectorize_aux_kernels) {
-        im2col_vla(eng, desc_, in.data(), ws);
+        im2col_vla(eng, desc_, in_b, ws);
       } else {
-        im2col_ref(desc_, in.data(), ws);
+        im2col_ref(desc_, in_b, ws);
         // Scalar im2col: ~2 ops per expanded element plus the buffer write
         // traffic (the unvectorized baseline pays for this too).
         eng.scalar_ops(static_cast<std::uint64_t>(k) * n * 2);
@@ -90,29 +110,28 @@ void ConvLayer::forward(ExecContext& ctx,
     }
     VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
                    "ExecContext has no GEMM implementation");
-    ctx.gemm(eng, m, n, k, 1.0f, weights_.data(), k, b_matrix, n,
-             output_.data(), n);
+    ctx.gemm(eng, m, n, k, 1.0f, weights_.data(), k, b_matrix, n, out_b, n);
   }
 
   const int spatial = desc_.out_h() * desc_.out_w();
   if (ctx.vectorize_aux_kernels) {
     if (desc_.batch_norm) {
-      normalize_cpu(eng, output_.data(), bn_mean_.data(), bn_var_.data(),
-                    desc_.out_c, spatial);
-      scale_bias(eng, output_.data(), bn_scales_.data(), desc_.out_c, spatial);
+      normalize_cpu(eng, out_b, bn_mean_.data(), bn_var_.data(), desc_.out_c,
+                    spatial);
+      scale_bias(eng, out_b, bn_scales_.data(), desc_.out_c, spatial);
     }
-    add_bias(eng, output_.data(), biases_.data(), desc_.out_c, spatial);
-    activate_array(eng, output_.data(), output_.size(), desc_.act);
+    add_bias(eng, out_b, biases_.data(), desc_.out_c, spatial);
+    activate_array(eng, out_b, out_elems, desc_.act);
   } else {
     if (desc_.batch_norm) {
-      normalize_ref(output_.data(), bn_mean_.data(), bn_var_.data(),
-                    desc_.out_c, spatial);
-      scale_bias_ref(output_.data(), bn_scales_.data(), desc_.out_c, spatial);
+      normalize_ref(out_b, bn_mean_.data(), bn_var_.data(), desc_.out_c,
+                    spatial);
+      scale_bias_ref(out_b, bn_scales_.data(), desc_.out_c, spatial);
     }
-    add_bias_ref(output_.data(), biases_.data(), desc_.out_c, spatial);
-    activate_ref(output_.data(), output_.size(), desc_.act);
+    add_bias_ref(out_b, biases_.data(), desc_.out_c, spatial);
+    activate_ref(out_b, out_elems, desc_.act);
     // Charge the scalar work of the unvectorized kernels.
-    eng.scalar_ops(output_.size() * (desc_.batch_norm ? 6 : 3));
+    eng.scalar_ops(out_elems * (desc_.batch_norm ? 6 : 3));
   }
 }
 
@@ -131,20 +150,24 @@ std::string MaxPoolLayer::name() const {
 }
 
 double MaxPoolLayer::flops() const {
-  return static_cast<double>(output_.size()) * size_ * size_;
+  return static_cast<double>(output_.item_size()) * size_ * size_;
 }
 
-void MaxPoolLayer::forward(ExecContext& ctx,
-                           const std::vector<const Tensor*>& inputs) {
+void MaxPoolLayer::forward_item(ExecContext& ctx,
+                                const std::vector<const Tensor*>& inputs,
+                                int b) {
   VLACNN_REQUIRE(inputs.size() == 1, "maxpool expects one input");
   const Tensor& in = *inputs[0];
+  const float* in_b = in.item_data(b);
+  float* out_b = output_.item_data(b);
   vla::VectorEngine& eng = ctx.engine();
   const int oh = out_h(), ow = out_w();
   const int w_offset = -pad_ / 2, h_offset = -pad_ / 2;
 
   for (int c = 0; c < in_c_; ++c) {
+    const float* in_chan = in_b + static_cast<std::size_t>(c) * in_h_ * in_w_;
     for (int y = 0; y < oh; ++y) {
-      float* out_row = &output_.at(c, y, 0);
+      float* out_row = out_b + (static_cast<std::size_t>(c) * oh + y) * ow;
       for (int x = 0; x < ow; ++x) {
         float best = -std::numeric_limits<float>::max();
         for (int ky = 0; ky < size_; ++ky) {
@@ -153,7 +176,8 @@ void MaxPoolLayer::forward(ExecContext& ctx,
           for (int kx = 0; kx < size_; ++kx) {
             const int ix = x * stride_ + kx + w_offset;
             if (ix < 0 || ix >= in_w_) continue;
-            best = std::max(best, in.at(c, iy, ix));
+            best = std::max(best,
+                            in_chan[static_cast<std::size_t>(iy) * in_w_ + ix]);
           }
         }
         out_row[x] = best;
@@ -161,7 +185,8 @@ void MaxPoolLayer::forward(ExecContext& ctx,
       // Bulk-charge the scalar comparisons and the row traffic.
       eng.scalar_ops(static_cast<std::uint64_t>(ow) * size_ * size_);
       eng.scalar_mem(out_row, static_cast<std::size_t>(ow) * sizeof(float), true);
-      eng.scalar_mem(&in.at(c, std::min(y * stride_, in_h_ - 1), 0),
+      eng.scalar_mem(in_chan + static_cast<std::size_t>(
+                                   std::min(y * stride_, in_h_ - 1)) * in_w_,
                      static_cast<std::size_t>(in_w_) * sizeof(float), false);
     }
   }
@@ -175,16 +200,18 @@ RouteLayer::RouteLayer(std::vector<int> from, int out_c, int h, int w)
   output_.reshape(out_c, h, w);
 }
 
-void RouteLayer::forward(ExecContext& ctx,
-                         const std::vector<const Tensor*>& inputs) {
+void RouteLayer::forward_item(ExecContext& ctx,
+                              const std::vector<const Tensor*>& inputs,
+                              int b) {
   vla::VectorEngine& eng = ctx.engine();
+  float* out_b = output_.item_data(b);
   std::size_t offset = 0;
   for (const Tensor* t : inputs) {
     VLACNN_REQUIRE(t != nullptr, "route input missing");
-    copy_cpu(eng, t->size(), t->data(), output_.data() + offset);
-    offset += t->size();
+    copy_cpu(eng, t->item_size(), t->item_data(b), out_b + offset);
+    offset += t->item_size();
   }
-  VLACNN_REQUIRE(offset == output_.size(), "route size mismatch");
+  VLACNN_REQUIRE(offset == output_.item_size(), "route size mismatch");
 }
 
 // ------------------------------------------------------------ ShortcutLayer
@@ -194,17 +221,20 @@ ShortcutLayer::ShortcutLayer(int from, int c, int h, int w, Activation act)
   output_.reshape(c, h, w);
 }
 
-void ShortcutLayer::forward(ExecContext& ctx,
-                            const std::vector<const Tensor*>& inputs) {
+void ShortcutLayer::forward_item(ExecContext& ctx,
+                                 const std::vector<const Tensor*>& inputs,
+                                 int b) {
   VLACNN_REQUIRE(inputs.size() == 2, "shortcut expects two inputs");
   const Tensor& prev = *inputs[0];
   const Tensor& skip = *inputs[1];
-  VLACNN_REQUIRE(prev.size() == output_.size() && skip.size() == output_.size(),
+  const std::size_t elems = output_.item_size();
+  VLACNN_REQUIRE(prev.item_size() == elems && skip.item_size() == elems,
                  "shortcut shape mismatch");
   vla::VectorEngine& eng = ctx.engine();
-  copy_cpu(eng, prev.size(), prev.data(), output_.data());
-  axpy_cpu(eng, skip.size(), 1.0f, skip.data(), output_.data());
-  activate_array(eng, output_.data(), output_.size(), act_);
+  float* out_b = output_.item_data(b);
+  copy_cpu(eng, elems, prev.item_data(b), out_b);
+  axpy_cpu(eng, elems, 1.0f, skip.item_data(b), out_b);
+  activate_array(eng, out_b, elems, act_);
 }
 
 // ------------------------------------------------------------ UpsampleLayer
@@ -216,16 +246,21 @@ UpsampleLayer::UpsampleLayer(int c, int in_h, int in_w) {
     gather_idx_[static_cast<std::size_t>(x)] = x / 2;
 }
 
-void UpsampleLayer::forward(ExecContext& ctx,
-                            const std::vector<const Tensor*>& inputs) {
+void UpsampleLayer::forward_item(ExecContext& ctx,
+                                 const std::vector<const Tensor*>& inputs,
+                                 int b) {
   VLACNN_REQUIRE(inputs.size() == 1, "upsample expects one input");
   const Tensor& in = *inputs[0];
+  const float* in_b = in.item_data(b);
+  float* out_b = output_.item_data(b);
   vla::VectorEngine& eng = ctx.engine();
   const int ow = output_.w(), oh = output_.h();
+  const int iw = in.w(), ih = in.h();
   for (int c = 0; c < output_.c(); ++c) {
     for (int y = 0; y < oh; ++y) {
-      const float* src = &in.at(c, y / 2, 0);
-      float* dst = &output_.at(c, y, 0);
+      const float* src =
+          in_b + (static_cast<std::size_t>(c) * ih + y / 2) * iw;
+      float* dst = out_b + (static_cast<std::size_t>(c) * oh + y) * ow;
       for (int x = 0; x < ow;) {
         const std::size_t vl = eng.setvl(static_cast<std::size_t>(ow - x));
         eng.vgather(0, src, gather_idx_.data() + x);
@@ -254,12 +289,15 @@ ConnectedLayer::ConnectedLayer(int in_n, int out_n, Activation act,
   b_reg_ = sim::RegisteredRange(biases_.data(), biases_.size() * sizeof(float));
 }
 
-void ConnectedLayer::forward(ExecContext& ctx,
-                             const std::vector<const Tensor*>& inputs) {
+void ConnectedLayer::forward_item(ExecContext& ctx,
+                                  const std::vector<const Tensor*>& inputs,
+                                  int b) {
   VLACNN_REQUIRE(inputs.size() == 1, "connected expects one input");
   const Tensor& in = *inputs[0];
-  VLACNN_REQUIRE(in.size() == static_cast<std::size_t>(in_n_),
+  VLACNN_REQUIRE(in.item_size() == static_cast<std::size_t>(in_n_),
                  "connected input size mismatch");
+  const float* in_b = in.item_data(b);
+  float* out_b = output_.item_data(b);
   vla::VectorEngine& eng = ctx.engine();
   constexpr vla::Vreg kAcc = 0, kW = 1, kX = 2;
   for (int o = 0; o < out_n_; ++o) {
@@ -270,51 +308,57 @@ void ConnectedLayer::forward(ExecContext& ctx,
     for (int i = 0; i < in_n_;) {
       const std::size_t vl = eng.setvl(static_cast<std::size_t>(in_n_ - i));
       eng.vload(kW, wrow + i);
-      eng.vload(kX, in.data() + i);
+      eng.vload(kX, in_b + i);
       eng.vfma(kAcc, kW, kX);
       eng.scalar_ops(2);
       i += static_cast<int>(vl);
     }
     eng.setvl(eng.vlmax());
     total = eng.vredsum(kAcc);
-    output_[static_cast<std::size_t>(o)] =
-        activate_scalar(total + biases_[static_cast<std::size_t>(o)], act_);
+    out_b[o] = activate_scalar(total + biases_[static_cast<std::size_t>(o)],
+                               act_);
     eng.scalar_ops(3);
   }
-  eng.scalar_mem(output_.data(), output_.size() * sizeof(float), true);
+  eng.scalar_mem(out_b, static_cast<std::size_t>(out_n_) * sizeof(float),
+                 true);
 }
 
 // ------------------------------------------------------------- SoftmaxLayer
 
 SoftmaxLayer::SoftmaxLayer(int c, int h, int w) { output_.reshape(c, h, w); }
 
-void SoftmaxLayer::forward(ExecContext& ctx,
-                           const std::vector<const Tensor*>& inputs) {
+void SoftmaxLayer::forward_item(ExecContext& ctx,
+                                const std::vector<const Tensor*>& inputs,
+                                int b) {
   VLACNN_REQUIRE(inputs.size() == 1, "softmax expects one input");
   const Tensor& in = *inputs[0];
-  VLACNN_REQUIRE(in.size() == output_.size(), "softmax size mismatch");
+  const std::size_t elems = output_.item_size();
+  VLACNN_REQUIRE(in.item_size() == elems, "softmax size mismatch");
+  const float* in_b = in.item_data(b);
+  float* out_b = output_.item_data(b);
   vla::VectorEngine& eng = ctx.engine();
   float maxv = -std::numeric_limits<float>::max();
-  for (std::size_t i = 0; i < in.size(); ++i) maxv = std::max(maxv, in[i]);
+  for (std::size_t i = 0; i < elems; ++i) maxv = std::max(maxv, in_b[i]);
   double sum = 0.0;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    output_[i] = std::exp(in[i] - maxv);
-    sum += static_cast<double>(output_[i]);
+  for (std::size_t i = 0; i < elems; ++i) {
+    out_b[i] = std::exp(in_b[i] - maxv);
+    sum += static_cast<double>(out_b[i]);
   }
   const float inv = static_cast<float>(1.0 / sum);
-  for (std::size_t i = 0; i < in.size(); ++i) output_[i] *= inv;
-  eng.scalar_ops(in.size() * 6);
-  eng.scalar_mem(output_.data(), output_.size() * sizeof(float), true);
+  for (std::size_t i = 0; i < elems; ++i) out_b[i] *= inv;
+  eng.scalar_ops(elems * 6);
+  eng.scalar_mem(out_b, elems * sizeof(float), true);
 }
 
 // ---------------------------------------------------------------- YoloLayer
 
 YoloLayer::YoloLayer(int c, int h, int w) { output_.reshape(c, h, w); }
 
-void YoloLayer::forward(ExecContext& ctx,
-                        const std::vector<const Tensor*>& inputs) {
+void YoloLayer::forward_item(ExecContext& ctx,
+                             const std::vector<const Tensor*>& inputs, int b) {
   VLACNN_REQUIRE(inputs.size() == 1, "yolo expects one input");
-  copy_cpu(ctx.engine(), inputs[0]->size(), inputs[0]->data(), output_.data());
+  copy_cpu(ctx.engine(), inputs[0]->item_size(), inputs[0]->item_data(b),
+           output_.item_data(b));
 }
 
 }  // namespace vlacnn::dnn

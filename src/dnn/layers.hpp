@@ -13,12 +13,33 @@ namespace vlacnn::dnn {
 
 /// Base class of all network layers. Inputs are resolved by the Network and
 /// passed to forward(); each layer owns its output tensor.
+///
+/// Layers are batched: inputs may carry a batch dimension N, and the output
+/// is reshaped to match. The per-item kernel lives in forward_item(), which
+/// touches only item `b`'s slice of the inputs and output — that contract is
+/// what lets the runtime::BatchScheduler run items of one layer concurrently
+/// on different worker threads (each with its own ExecContext) without
+/// synchronization. Weights are written once at construction and read-only
+/// during forward passes.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  virtual void forward(ExecContext& ctx,
-                       const std::vector<const Tensor*>& inputs) = 0;
+  /// Whole-batch forward: prepare_batch() + forward_item() for every item in
+  /// order. Batch-1 numerics are bit-identical to the historical
+  /// single-image path (same code, same operation order).
+  void forward(ExecContext& ctx, const std::vector<const Tensor*>& inputs);
+
+  /// Validates the batched inputs and reshapes the output tensor to their
+  /// common batch size (preserving the per-item CHW shape). Returns the
+  /// batch size. Must be called (directly or via forward()) before
+  /// forward_item(); it is NOT thread-safe and runs on the scheduler thread.
+  int prepare_batch(const std::vector<const Tensor*>& inputs);
+
+  /// Computes batch item `b` of the output from item `b` of each input.
+  virtual void forward_item(ExecContext& ctx,
+                            const std::vector<const Tensor*>& inputs,
+                            int b) = 0;
 
   /// Indices of the layers whose outputs this layer consumes; -1 denotes the
   /// network input. Default: the previous layer.
@@ -27,6 +48,7 @@ class Layer {
   }
 
   [[nodiscard]] virtual std::string name() const = 0;
+  /// Multiply-add FLOPs per batch item.
   [[nodiscard]] virtual double flops() const { return 0.0; }
   [[nodiscard]] const Tensor& output() const { return output_; }
   [[nodiscard]] Tensor& output() { return output_; }
@@ -46,8 +68,8 @@ class ConvLayer final : public Layer {
  public:
   ConvLayer(const ConvDesc& desc, std::uint64_t weight_seed);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double flops() const override { return desc_.flops(); }
 
@@ -71,8 +93,8 @@ class MaxPoolLayer final : public Layer {
  public:
   MaxPoolLayer(int in_c, int in_h, int in_w, int size, int stride);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double flops() const override;
 
@@ -88,8 +110,8 @@ class RouteLayer final : public Layer {
  public:
   RouteLayer(std::vector<int> from, int out_c, int h, int w);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::vector<int> input_indices() const override { return from_; }
   [[nodiscard]] std::string name() const override { return "route"; }
 
@@ -102,13 +124,15 @@ class ShortcutLayer final : public Layer {
  public:
   ShortcutLayer(int from, int c, int h, int w, Activation act);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::vector<int> input_indices() const override {
     return {self_index_ - 1, from_};
   }
   [[nodiscard]] std::string name() const override { return "shortcut"; }
-  [[nodiscard]] double flops() const override { return output_.size(); }
+  [[nodiscard]] double flops() const override {
+    return static_cast<double>(output_.item_size());
+  }
 
  private:
   int from_;
@@ -120,8 +144,8 @@ class UpsampleLayer final : public Layer {
  public:
   UpsampleLayer(int c, int in_h, int in_w);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override { return "upsample"; }
 
  private:
@@ -133,8 +157,8 @@ class ConnectedLayer final : public Layer {
  public:
   ConnectedLayer(int in_n, int out_n, Activation act, std::uint64_t seed);
 
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override { return "connected"; }
   [[nodiscard]] double flops() const override {
     return 2.0 * in_n_ * static_cast<double>(out_n_);
@@ -148,12 +172,12 @@ class ConnectedLayer final : public Layer {
   sim::RegisteredRange w_reg_, b_reg_;
 };
 
-/// Softmax over the flattened input.
+/// Softmax over the flattened input (per batch item).
 class SoftmaxLayer final : public Layer {
  public:
   SoftmaxLayer(int c, int h, int w);
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override { return "softmax"; }
 };
 
@@ -164,8 +188,8 @@ class SoftmaxLayer final : public Layer {
 class YoloLayer final : public Layer {
  public:
   YoloLayer(int c, int h, int w);
-  void forward(ExecContext& ctx,
-               const std::vector<const Tensor*>& inputs) override;
+  void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
+                    int b) override;
   [[nodiscard]] std::string name() const override { return "yolo"; }
 };
 

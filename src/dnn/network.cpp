@@ -104,7 +104,8 @@ const Tensor& Network::forward(ExecContext& ctx, const Tensor& input) {
     layer->forward(ctx, ins);
     LayerRecord rec;
     rec.name = layer->name();
-    rec.flops = layer->flops();
+    rec.flops = layer->flops() * input.n();
+    rec.items = input.n();
     rec.algo = layer->name().substr(0, 4) == "conv"
                    ? (ctx.conv_override ? "auto" : "im2col+gemm")
                    : "aux";

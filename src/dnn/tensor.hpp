@@ -10,43 +10,75 @@
 
 namespace vlacnn::dnn {
 
-/// Single-batch CHW fp32 tensor (inference framework, batch = 1 as in the
-/// paper's Darknet runs). Storage is 256-byte aligned and registered with the
-/// simulator's AddressMap so cache behaviour is deterministic across runs.
+/// NCHW fp32 tensor (inference framework). The batch dimension defaults to 1
+/// (the paper's single-image Darknet runs); the batched runtime in
+/// src/runtime shards items of an N>1 tensor across worker threads, each item
+/// being an independent CHW image. Storage is 256-byte aligned and registered
+/// with the simulator's AddressMap so cache behaviour is deterministic across
+/// runs.
 class Tensor {
  public:
   Tensor() = default;
 
   Tensor(int c, int h, int w) { reshape(c, h, w); }
 
+  Tensor(int n, int c, int h, int w) { reshape(n, c, h, w); }
+
   /// Flat 1-D tensor (used for FC layers and weights).
   explicit Tensor(std::size_t n) { reshape(static_cast<int>(n), 1, 1); }
 
-  void reshape(int c, int h, int w) {
-    VLACNN_REQUIRE(c > 0 && h > 0 && w > 0, "tensor dims must be positive");
+  /// Batch-1 reshape (the historical CHW API).
+  void reshape(int c, int h, int w) { reshape(1, c, h, w); }
+
+  void reshape(int n, int c, int h, int w) {
+    VLACNN_REQUIRE(n > 0 && c > 0 && h > 0 && w > 0,
+                   "tensor dims must be positive");
+    n_ = n;
     c_ = c;
     h_ = h;
     w_ = w;
     reg_ = {};  // unregister the old range before the buffer is reallocated
-    data_.resize(static_cast<std::size_t>(c) * h * w);
+    data_.resize(static_cast<std::size_t>(n) * c * h * w);
     data_.fill(0.0f);
     reg_ = sim::RegisteredRange(data_.data(), data_.size() * sizeof(float));
   }
 
+  [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int c() const { return c_; }
   [[nodiscard]] int h() const { return h_; }
   [[nodiscard]] int w() const { return w_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
 
+  /// Elements of one batch item (c*h*w).
+  [[nodiscard]] std::size_t item_size() const {
+    return static_cast<std::size_t>(c_) * h_ * w_;
+  }
+
   [[nodiscard]] float* data() { return data_.data(); }
   [[nodiscard]] const float* data() const { return data_.data(); }
 
+  /// Pointer to batch item `b`'s CHW block.
+  [[nodiscard]] float* item_data(int b) {
+    return data_.data() + static_cast<std::size_t>(b) * item_size();
+  }
+  [[nodiscard]] const float* item_data(int b) const {
+    return data_.data() + static_cast<std::size_t>(b) * item_size();
+  }
+
+  /// Batch-0 element access (the historical CHW API).
   float& at(int ch, int y, int x) {
     return data_[(static_cast<std::size_t>(ch) * h_ + y) * w_ + x];
   }
   [[nodiscard]] const float& at(int ch, int y, int x) const {
     return data_[(static_cast<std::size_t>(ch) * h_ + y) * w_ + x];
+  }
+
+  float& at(int b, int ch, int y, int x) {
+    return data_[((static_cast<std::size_t>(b) * c_ + ch) * h_ + y) * w_ + x];
+  }
+  [[nodiscard]] const float& at(int b, int ch, int y, int x) const {
+    return data_[((static_cast<std::size_t>(b) * c_ + ch) * h_ + y) * w_ + x];
   }
 
   float& operator[](std::size_t i) { return data_[i]; }
@@ -60,13 +92,29 @@ class Tensor {
       data_[i] = rng.uniform(lo, hi);
   }
 
+  /// Per-item deterministic randomization: item `b` is filled from its own
+  /// RNG stream derived from (seed, b), so the values of each batch item are
+  /// independent of batch size, item order, and worker interleaving. A
+  /// batch-1 tensor randomized with stream b equals item b of a batched one.
+  void randomize_batch(std::uint64_t seed, float lo = -1.0f, float hi = 1.0f) {
+    for (int b = 0; b < n_; ++b) randomize_item(b, seed, lo, hi);
+  }
+
+  void randomize_item(int b, std::uint64_t seed, float lo = -1.0f,
+                      float hi = 1.0f) {
+    Rng rng = Rng::for_stream(seed, static_cast<std::uint64_t>(b));
+    float* p = item_data(b);
+    for (std::size_t i = 0; i < item_size(); ++i) p[i] = rng.uniform(lo, hi);
+  }
+
   [[nodiscard]] std::string shape_str() const {
-    return std::to_string(c_) + "x" + std::to_string(h_) + "x" +
-           std::to_string(w_);
+    const std::string chw = std::to_string(c_) + "x" + std::to_string(h_) +
+                            "x" + std::to_string(w_);
+    return n_ == 1 ? chw : std::to_string(n_) + "x" + chw;
   }
 
  private:
-  int c_ = 0, h_ = 0, w_ = 0;
+  int n_ = 1, c_ = 0, h_ = 0, w_ = 0;
   AlignedBuffer<float> data_;
   sim::RegisteredRange reg_;
 };

@@ -31,8 +31,14 @@ inline const char* to_string(GemmVariant v) {
 /// Builds a dnn::GemmFn for the given variant. For Opt6Loop, block sizes
 /// default to the BLIS heuristic for `machine` (pass std::nullopt-like
 /// default-constructed BlockSizes with tune=true) or use the given blocks.
+///
+/// Each call materializes fresh algorithm state (notably the Opt6Loop
+/// packing buffers), so every ExecContext gets its own instance and
+/// contexts can run forward passes concurrently. `intra_op_pool` optionally
+/// shards the Opt6Loop M-panel loop across a thread pool (batch-1 case).
 inline dnn::GemmFn make_gemm_fn(GemmVariant v, const Opt3Config& o3 = {},
-                                const Opt6Config& o6 = {}) {
+                                const Opt6Config& o6 = {},
+                                runtime::ThreadPool* intra_op_pool = nullptr) {
   switch (v) {
     case GemmVariant::Naive:
       return [](vla::VectorEngine& eng, int M, int N, int K, float alpha,
@@ -48,6 +54,7 @@ inline dnn::GemmFn make_gemm_fn(GemmVariant v, const Opt3Config& o3 = {},
       };
     case GemmVariant::Opt6Loop: {
       auto impl = std::make_shared<Gemm6>(o6);
+      impl->set_intra_op_pool(intra_op_pool);
       return [impl](vla::VectorEngine& eng, int M, int N, int K, float alpha,
                     const float* A, int lda, const float* B, int ldb, float* C,
                     int ldc) {

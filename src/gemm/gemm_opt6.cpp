@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace vlacnn::gemm {
 
@@ -51,13 +52,34 @@ void Gemm6::pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb,
   }
 }
 
-void Gemm6::pack_a_panel(vla::VectorEngine& eng, const float* A, int lda,
-                         int i0, int mc, int k0, int kc) {
+vla::VectorEngine& Gemm6::worker_engine(int w, unsigned vlen_bits) {
+  return vla::ensure_worker_engine(worker_engines_, w, vlen_bits);
+}
+
+float* Gemm6::worker_pack_a(int w) {
+  const auto idx = static_cast<std::size_t>(w);
+  if (worker_pack_a_.size() <= idx) {
+    worker_pack_a_.resize(idx + 1);
+    worker_pa_regs_.resize(idx + 1);
+  }
+  if (!worker_pack_a_[idx]) {
+    worker_pack_a_[idx] = std::make_unique<AlignedBuffer<float>>(
+        static_cast<std::size_t>(cfg_.blocks.block_m) * cfg_.blocks.block_k);
+    worker_pa_regs_[idx] = sim::RegisteredRange(
+        worker_pack_a_[idx]->data(),
+        worker_pack_a_[idx]->size() * sizeof(float));
+  }
+  return worker_pack_a_[idx]->data();
+}
+
+void Gemm6::pack_a_panel(vla::VectorEngine& eng, float* dst_buf,
+                         const float* A, int lda, int i0, int mc, int k0,
+                         int kc) {
   // Row-major mc x kc panel so the micro-kernel's scalar A loads walk
   // contiguous memory.
   for (int i = 0; i < mc; ++i) {
     const float* src = A + static_cast<std::size_t>(i0 + i) * lda + k0;
-    float* dst = pack_a_buf_.data() + static_cast<std::size_t>(i) * kc;
+    float* dst = dst_buf + static_cast<std::size_t>(i) * kc;
     eng.scalar_ops(2);
     for (int k = 0; k < kc;) {
       const auto vl = static_cast<int>(eng.setvl(static_cast<std::size_t>(kc - k)));
@@ -161,12 +183,47 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
         b_panel = B + static_cast<std::size_t>(k1) * ldb + j1;
         b_stride = ldb;
       }
+      const int m_panels = (M + bs.block_m - 1) / bs.block_m;
+      // Intra-op sharding of the M-panel loop: each panel updates a disjoint
+      // row range of C, so panels can run concurrently once the shared B
+      // panel is packed. Functional engines only — the timing model is a
+      // single instruction stream.
+      const bool parallel = pool_ != nullptr && pool_->size() > 1 &&
+                            eng.context() == nullptr && m_panels >= 2;
+      if (parallel) {
+        const unsigned vlen = eng.vlen_bits();
+        // Materialize per-worker engines/buffers on this thread so the
+        // AddressMap registration order stays deterministic.
+        for (int w = 0; w < pool_->size(); ++w) {
+          worker_engine(w, vlen);
+          if (cfg_.pack_a) worker_pack_a(w);
+        }
+        pool_->parallel_for(m_panels, [&](int p, int w) {
+          const int i1 = p * bs.block_m;
+          const int mc = std::min(bs.block_m, M - i1);
+          vla::VectorEngine& weng = worker_engine(w, vlen);
+          const float* a_panel;
+          int a_stride;
+          if (cfg_.pack_a) {
+            float* buf = worker_pack_a(w);
+            pack_a_panel(weng, buf, A, lda, i1, mc, k1, kc);
+            a_panel = buf;
+            a_stride = kc;
+          } else {
+            a_panel = A + static_cast<std::size_t>(i1) * lda + k1;
+            a_stride = lda;
+          }
+          micro_kernel(weng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
+                       b_stride, C, ldc, i1, j1);
+        });
+        continue;
+      }
       for (int i1 = 0; i1 < M; i1 += bs.block_m) {
         const int mc = std::min(bs.block_m, M - i1);
         const float* a_panel;
         int a_stride;
         if (cfg_.pack_a) {
-          pack_a_panel(eng, A, lda, i1, mc, k1, kc);
+          pack_a_panel(eng, pack_a_buf_.data(), A, lda, i1, mc, k1, kc);
           a_panel = pack_a_buf_.data();
           a_stride = kc;
         } else {

@@ -1,9 +1,16 @@
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "common/aligned_buffer.hpp"
 #include "gemm/blocking.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
+
+namespace vlacnn::runtime {
+class ThreadPool;
+}  // namespace vlacnn::runtime
 
 namespace vlacnn::gemm {
 
@@ -23,6 +30,15 @@ struct Opt6Config {
 /// and the packed panels into L2/L1, and runs the same unrolled
 /// vector-scalar-FMA micro-kernel as the 3-loop implementation on the
 /// packed data.
+///
+/// A Gemm6 instance owns mutable packing buffers and must only be driven by
+/// one thread at a time (core::ConvolutionEngine::install() hands each
+/// ExecContext its own instance). With set_intra_op_pool(), the M-panel loop
+/// is additionally sharded across the pool for the batch-1 latency case:
+/// the B panel is packed once, then each worker packs its own A panels
+/// (per-worker buffer + functional engine) and runs the micro-kernel on a
+/// disjoint row range of C — bitwise identical to the serial path.
+/// Instrumented (simulated) runs always stay serial.
 class Gemm6 {
  public:
   explicit Gemm6(const Opt6Config& cfg = {});
@@ -32,22 +48,33 @@ class Gemm6 {
                   const float* A, int lda, const float* B, int ldb, float* C,
                   int ldc);
 
+  /// Shards the M-panel loop across `pool` when running functionally.
+  void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
   [[nodiscard]] const Opt6Config& config() const { return cfg_; }
 
  private:
   void pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb, int k0,
                     int kc, int j0, int nc);
-  void pack_a_panel(vla::VectorEngine& eng, const float* A, int lda, int i0,
-                    int mc, int k0, int kc);
+  void pack_a_panel(vla::VectorEngine& eng, float* dst_buf, const float* A,
+                    int lda, int i0, int mc, int k0, int kc);
   void micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                     float alpha, const float* a_panel, int a_stride,
                     const float* b_panel, int b_stride, float* C, int ldc,
                     int i0, int j0);
 
+  vla::VectorEngine& worker_engine(int w, unsigned vlen_bits);
+  float* worker_pack_a(int w);
+
   Opt6Config cfg_;
   AlignedBuffer<float> pack_a_buf_;
   AlignedBuffer<float> pack_b_buf_;
   sim::RegisteredRange pa_reg_, pb_reg_;
+
+  runtime::ThreadPool* pool_ = nullptr;
+  std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
+  std::vector<std::unique_ptr<AlignedBuffer<float>>> worker_pack_a_;
+  std::vector<sim::RegisteredRange> worker_pa_regs_;
 };
 
 }  // namespace vlacnn::gemm

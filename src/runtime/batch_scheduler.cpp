@@ -1,0 +1,95 @@
+#include "runtime/batch_scheduler.hpp"
+
+#include <chrono>
+
+namespace vlacnn::runtime {
+
+BatchScheduler::BatchScheduler(core::ConvolutionEngine& engine,
+                               const SchedulerConfig& cfg)
+    : engine_(&engine), cfg_(cfg), pool_(cfg.threads) {
+  const int t = pool_.size();
+  worker_ctxs_.reserve(static_cast<std::size_t>(t));
+  for (int w = 0; w < t; ++w) {
+    vla::VectorEngine& eng =
+        vla::ensure_worker_engine(worker_engines_, w, cfg_.vlen_bits);
+    worker_ctxs_.push_back(std::make_unique<dnn::ExecContext>(eng));
+    engine_->install(*worker_ctxs_.back());
+  }
+  main_engine_ = std::make_unique<vla::VectorEngine>(cfg_.vlen_bits);
+  main_ctx_ = std::make_unique<dnn::ExecContext>(*main_engine_);
+  engine_->install(*main_ctx_, cfg_.intra_op && t > 1 ? &pool_ : nullptr);
+}
+
+const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
+                                       const dnn::Tensor& input) {
+  using clock = std::chrono::steady_clock;
+  VLACNN_REQUIRE(net.num_layers() > 0, "empty network");
+  VLACNN_REQUIRE(input.c() == net.in_c() && input.h() == net.in_h() &&
+                     input.w() == net.in_w(),
+                 "network input shape mismatch");
+
+  // Weight transforms happen before any worker runs, so the shared cache is
+  // a read-only lookup for the rest of the pass.
+  engine_->prepare(net);
+  records_.clear();
+  const bool have_override = static_cast<bool>(main_ctx_->conv_override);
+
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    dnn::Layer& layer = net.layer(i);
+    std::vector<const dnn::Tensor*> ins;
+    for (int idx : layer.input_indices()) {
+      if (idx < 0)
+        ins.push_back(&input);
+      else
+        ins.push_back(&net.layer(static_cast<std::size_t>(idx)).output());
+    }
+    const int nb = layer.prepare_batch(ins);
+    const auto t0 = clock::now();
+
+    if (nb == 1 || pool_.size() == 1) {
+      // Too little batch-level work to shard: run on the calling thread,
+      // whose context may intra-op parallelize inside GEMM / Winograd.
+      for (int b = 0; b < nb; ++b) layer.forward_item(*main_ctx_, ins, b);
+      dnn::LayerRecord rec;
+      rec.name = layer.name();
+      rec.flops = layer.flops() * nb;
+      rec.items = nb;
+      rec.algo = rec.name.substr(0, 4) == "conv"
+                     ? (have_override ? "auto" : "im2col+gemm")
+                     : "aux";
+      rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+      records_.push_back(std::move(rec));
+      continue;
+    }
+
+    // Shard batch items across the pool; each worker fills its own part
+    // record (static chunking makes the per-worker contents deterministic).
+    std::vector<std::vector<dnn::LayerRecord>> parts(
+        static_cast<std::size_t>(pool_.size()));
+    pool_.parallel_for(nb, [&](int b, int w) {
+      layer.forward_item(*worker_ctxs_[static_cast<std::size_t>(w)], ins, b);
+      auto& mine = parts[static_cast<std::size_t>(w)];
+      if (mine.empty()) {
+        dnn::LayerRecord rec;
+        rec.name = layer.name();
+        rec.items = 0;
+        mine.push_back(std::move(rec));
+      }
+      mine.back().items += 1;
+      mine.back().flops += layer.flops();
+    });
+    dnn::LayerRecord rec;
+    std::vector<dnn::LayerRecord> merged = dnn::merge_layer_records(parts);
+    if (!merged.empty()) rec = std::move(merged.front());
+    rec.name = layer.name();
+    rec.algo = rec.name.substr(0, 4) == "conv"
+                   ? (have_override ? "auto" : "im2col+gemm")
+                   : "aux";
+    // The layer barrier waits for the slowest worker: report the span.
+    rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    records_.push_back(std::move(rec));
+  }
+  return net.layer(net.num_layers() - 1).output();
+}
+
+}  // namespace vlacnn::runtime

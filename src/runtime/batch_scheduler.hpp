@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/network.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace vlacnn::runtime {
+
+struct SchedulerConfig {
+  /// Worker count; <= 0 selects the hardware concurrency.
+  int threads = 0;
+  /// Hardware vector length of the per-worker functional engines.
+  unsigned vlen_bits = 512;
+  /// Shard the GEMM M-panel / Winograd tile loops across the pool when a
+  /// layer has fewer batch items than workers (the batch-1 latency case).
+  bool intra_op = true;
+};
+
+/// Parallel layer scheduler: runs a batched forward pass of a Network with
+/// every core busy.
+///
+/// Layers execute in topological (definition) order — each may consume
+/// earlier outputs via route/shortcut, so layer-level execution stays
+/// sequential — but within a layer the batch items are independent and are
+/// sharded across the pool. Each worker owns a functional VectorEngine and
+/// an ExecContext (its own im2col workspace, packed-GEMM buffers and
+/// Winograd scratch, installed by the ConvolutionEngine), so workers never
+/// share mutable kernel state; weights and the Winograd weight cache are
+/// read-only during the pass (run() calls engine.prepare() first).
+///
+/// Scheduling is deterministic: items map to workers by a static chunked
+/// partition, every worker's arithmetic is bit-identical to the serial
+/// batch-1 path, and per-worker LayerRecords are merged in worker-id order
+/// (dnn::merge_layer_records).
+class BatchScheduler {
+ public:
+  BatchScheduler(core::ConvolutionEngine& engine,
+                 const SchedulerConfig& cfg = {});
+
+  /// Batched forward of `net` on `input` (any batch size N >= 1). Returns
+  /// the last layer's batched output. Per-layer stats land in records().
+  const dnn::Tensor& run(dnn::Network& net, const dnn::Tensor& input);
+
+  [[nodiscard]] const std::vector<dnn::LayerRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] int threads() const { return pool_.size(); }
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  core::ConvolutionEngine* engine_;
+  SchedulerConfig cfg_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
+  std::vector<std::unique_ptr<dnn::ExecContext>> worker_ctxs_;
+  // Driven by the calling thread when a layer's batch is too small to
+  // shard; its kernels may intra-op parallelize over the same pool.
+  std::unique_ptr<vla::VectorEngine> main_engine_;
+  std::unique_ptr<dnn::ExecContext> main_ctx_;
+  std::vector<dnn::LayerRecord> records_;
+};
+
+}  // namespace vlacnn::runtime

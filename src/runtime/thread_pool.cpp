@@ -1,0 +1,115 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace vlacnn::runtime {
+
+namespace {
+// Set while a thread is executing a chunk for some pool; used to detect
+// nested parallel_for calls (which run inline instead of deadlocking).
+thread_local const ThreadPool* tls_current_pool = nullptr;
+thread_local int tls_current_worker = 0;
+}  // namespace
+
+int ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads <= 0 ? hardware_threads() : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunk(int worker) {
+  // Static contiguous partition of [0, job_n_) over size() workers.
+  const int n = job_n_;
+  const int t = size();
+  const int begin = static_cast<int>(static_cast<long long>(n) * worker / t);
+  const int end = static_cast<int>(static_cast<long long>(n) * (worker + 1) / t);
+  if (begin >= end) return;
+  const ThreadPool* prev_pool = tls_current_pool;
+  const int prev_worker = tls_current_worker;
+  tls_current_pool = this;
+  tls_current_worker = worker;
+  try {
+    for (int i = begin; i < end; ++i) (*job_fn_)(i, worker);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_) error_ = std::current_exception();
+  }
+  tls_current_pool = prev_pool;
+  tls_current_worker = prev_worker;
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    run_chunk(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int n,
+                              const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  if (tls_current_pool == this) {
+    // Nested call from one of our own workers: run inline on that worker.
+    const int w = tls_current_worker;
+    for (int i = 0; i < n; ++i) fn(i, w);
+    return;
+  }
+  if (size() == 1) {
+    const ThreadPool* prev_pool = tls_current_pool;
+    const int prev_worker = tls_current_worker;
+    tls_current_pool = this;
+    tls_current_worker = 0;
+    try {
+      for (int i = 0; i < n; ++i) fn(i, 0);
+    } catch (...) {
+      tls_current_pool = prev_pool;
+      tls_current_worker = prev_worker;
+      throw;
+    }
+    tls_current_pool = prev_pool;
+    tls_current_worker = prev_worker;
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_n_ = n;
+    job_fn_ = &fn;
+    error_ = nullptr;
+    pending_ = size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+  job_fn_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace vlacnn::runtime

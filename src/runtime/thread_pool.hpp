@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vlacnn::runtime {
+
+/// Fixed-size worker pool with a static-chunked parallel_for.
+///
+/// Items [0, n) are partitioned into at most size() contiguous chunks, one
+/// per worker, so the item -> worker mapping is a pure function of (n,
+/// size()) — results and any per-worker accumulation are deterministic
+/// regardless of OS scheduling. The calling thread blocks until every item
+/// has run.
+///
+/// parallel_for() is serialized: concurrent calls from different threads
+/// queue on an internal mutex. A call made from inside one of this pool's own
+/// workers (nested parallelism, e.g. an intra-op GEMM inside a batch-sharded
+/// layer) degrades to an inline serial loop on that worker rather than
+/// deadlocking.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects the hardware concurrency.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  [[nodiscard]] static int hardware_threads();
+
+  /// Runs fn(item, worker) for every item in [0, n); `worker` is in
+  /// [0, size()). Rethrows the first exception thrown by fn (remaining
+  /// chunks still complete).
+  void parallel_for(int n, const std::function<void(int item, int worker)>& fn);
+
+ private:
+  void worker_loop(int id);
+  void run_chunk(int worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mu_;  // serializes parallel_for calls
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  int job_n_ = 0;
+  const std::function<void(int, int)>* job_fn_ = nullptr;
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace vlacnn::runtime

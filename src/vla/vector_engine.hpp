@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/error.hpp"
@@ -155,5 +156,20 @@ class VectorEngine {
   std::vector<float> regfile_;               // kNumVregs * vlmax()
   std::vector<std::uint8_t> predfile_;       // kNumPregs * vlmax()
 };
+
+/// Lazily materializes functional engine `w` of a per-worker pool,
+/// recreating it when the requested hardware vector length changes. Shared
+/// by the intra-op parallel GEMM/Winograd paths and the batch scheduler so
+/// engine construction has a single home. Not thread-safe: call from the
+/// coordinating thread before fanning out.
+inline VectorEngine& ensure_worker_engine(
+    std::vector<std::unique_ptr<VectorEngine>>& engines, int w,
+    unsigned vlen_bits) {
+  const auto idx = static_cast<std::size_t>(w);
+  if (engines.size() <= idx) engines.resize(idx + 1);
+  if (!engines[idx] || engines[idx]->vlen_bits() != vlen_bits)
+    engines[idx] = std::make_unique<VectorEngine>(vlen_bits);
+  return *engines[idx];
+}
 
 }  // namespace vlacnn::vla

@@ -1,0 +1,44 @@
+#include "winograd/weight_cache.hpp"
+
+#include "winograd/f6x3.hpp"
+
+namespace vlacnn::winograd {
+
+const float* WeightCache::get(const dnn::ConvDesc& d, const float* weights) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{weights, d.in_c, d.out_c};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.data();
+
+  // Offline (uninstrumented) scalar weight transform, stored in the
+  // transposed element orientation used throughout the pipeline.
+  AlignedBuffer<float> u(static_cast<std::size_t>(d.out_c) * d.in_c *
+                         kTileElems);
+  float tile[kTileElems];
+  for (int oc = 0; oc < d.out_c; ++oc) {
+    for (int ic = 0; ic < d.in_c; ++ic) {
+      const float* g =
+          weights + (static_cast<std::size_t>(oc) * d.in_c + ic) * 9;
+      weight_transform_ref(g, tile);
+      float* dst =
+          u.data() + (static_cast<std::size_t>(oc) * d.in_c + ic) * kTileElems;
+      for (int i = 0; i < 8; ++i)
+        for (int j = 0; j < 8; ++j) dst[i * 8 + j] = tile[j * 8 + i];
+    }
+  }
+  auto [pos, inserted] = cache_.emplace(key, std::move(u));
+  (void)inserted;
+  return pos->second.data();
+}
+
+void WeightCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+std::size_t WeightCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+}  // namespace vlacnn::winograd

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/aligned_buffer.hpp"
+#include "dnn/conv_desc.hpp"
+
+namespace vlacnn::winograd {
+
+/// Cache of Winograd-transformed weight tensors U, keyed by the raw weight
+/// pointer *and* the layer's channel shape — a recycled heap address from a
+/// destroyed network must never alias an entry of a different shape. The
+/// transform runs offline (scalar, uninstrumented), matching the paper's
+/// protocol of excluding it from inference time (§VII-A).
+///
+/// The cache is shared between every per-thread WinogradConv instance a
+/// core::ConvolutionEngine installs: transformed weights are immutable once
+/// inserted, so after a prepare() sweep over the network the forward-pass
+/// fast path is a read-only lookup. All methods are thread-safe; get() takes
+/// a mutex only to locate the entry — concurrent first-touch of the same
+/// layer computes under the lock exactly once.
+class WeightCache {
+ public:
+  /// Transformed-weight tensor handle: U[(oc*in_c + ic)*64 + e] in the
+  /// internally transposed element orientation. Computes on first use.
+  const float* get(const dnn::ConvDesc& d, const float* weights);
+
+  /// Pre-transforms (the prepare step); afterwards forward passes only read.
+  void prepare(const dnn::ConvDesc& d, const float* weights) {
+    (void)get(d, weights);
+  }
+
+  /// Drops every cached transform (e.g. after mutating weights in tests).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  using Key = std::tuple<const float*, int, int>;  // (weights, in_c, out_c)
+  mutable std::mutex mu_;
+  std::map<Key, AlignedBuffer<float>> cache_;
+};
+
+}  // namespace vlacnn::winograd

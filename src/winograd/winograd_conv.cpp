@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "runtime/thread_pool.hpp"
 #include "winograd/f6x3.hpp"
 
 namespace vlacnn::winograd {
@@ -17,6 +18,36 @@ constexpr vla::Vreg kCompact = 30;
 constexpr vla::Vreg kURow = 8;     // tuple multiply: U operand
 constexpr vla::Vreg kVRowBase = 9; // tuple multiply: V operands (9..16)
 }  // namespace
+
+WinogradConv::WinogradConv(WeightCache* shared_cache) {
+  if (shared_cache != nullptr) {
+    cache_ = shared_cache;
+  } else {
+    owned_cache_ = std::make_unique<WeightCache>();
+    cache_ = owned_cache_.get();
+  }
+  scratch_.push_back(std::make_unique<StageScratch>());
+}
+
+void WinogradConv::StageScratch::ensure(std::size_t vecw) {
+  if (pack.size() < 16 * vecw) {
+    pack_reg = {};
+    pack.resize(16 * vecw);
+    pack.fill(0.0f);
+    pack_reg = sim::RegisteredRange(pack.data(), pack.size() * sizeof(float));
+  }
+  if (spill.size() < 16 * vecw) {
+    spill_reg = {};
+    spill.resize(16 * vecw);
+    spill.fill(0.0f);
+    spill_reg =
+        sim::RegisteredRange(spill.data(), spill.size() * sizeof(float));
+  }
+}
+
+vla::VectorEngine& WinogradConv::worker_engine(int w, unsigned vlen_bits) {
+  return vla::ensure_worker_engine(worker_engines_, w, vlen_bits);
+}
 
 bool WinogradConv::supports(const dnn::ConvDesc& d) {
   return d.ksize == 3 && d.pad == 1 && (d.stride == 1 || d.stride == 2);
@@ -106,40 +137,17 @@ void WinogradConv::stage_pass(vla::VectorEngine& eng, const double (*t)[8],
   }
 }
 
-const float* WinogradConv::transformed_weights(const dnn::ConvDesc& d,
-                                               const float* weights) {
-  auto it = weight_cache_.find(weights);
-  if (it != weight_cache_.end()) return it->second.data();
-
-  // Offline (uninstrumented) scalar weight transform, stored in the
-  // transposed element orientation used throughout the pipeline.
-  AlignedBuffer<float> u(static_cast<std::size_t>(d.out_c) * d.in_c *
-                         kTileElems);
-  float tile[kTileElems];
-  for (int oc = 0; oc < d.out_c; ++oc) {
-    for (int ic = 0; ic < d.in_c; ++ic) {
-      const float* g =
-          weights + (static_cast<std::size_t>(oc) * d.in_c + ic) * 9;
-      weight_transform_ref(g, tile);
-      float* dst =
-          u.data() + (static_cast<std::size_t>(oc) * d.in_c + ic) * kTileElems;
-      for (int i = 0; i < 8; ++i)
-        for (int j = 0; j < 8; ++j) dst[i * 8 + j] = tile[j * 8 + i];
-    }
-  }
-  auto [pos, inserted] = weight_cache_.emplace(weights, std::move(u));
-  return pos->second.data();
-}
-
 void WinogradConv::transform_input(vla::VectorEngine& eng,
                                    const dnn::ConvDesc& d, const Plan& plan,
-                                   const IndexTables& tbl, const float* input) {
+                                   const IndexTables& tbl, const float* input,
+                                   StageScratch& sc, int ty_begin,
+                                   int ty_end) {
   const int ch_stride = d.in_h * d.in_w;
   const auto vecw = plan.vecw;
   for (int ic0 = 0; ic0 < d.in_c; ic0 += plan.group) {
     const int gr = std::min(plan.group, d.in_c - ic0);
     const std::size_t active = static_cast<std::size_t>(4) * gr;
-    for (int ty = 0; ty < plan.tiles_y; ++ty) {
+    for (int ty = ty_begin; ty < ty_end; ++ty) {
       for (int tx = 0; tx < plan.tiles_x; ++tx) {
         const int tile = ty * plan.tiles_x + tx;
         const int y0 = ty * kOutTile - d.pad;
@@ -170,8 +178,8 @@ void WinogradConv::transform_input(vla::VectorEngine& eng,
                 const float v = (y >= 0 && y < d.in_h && x >= 0 && x < d.in_w)
                                     ? chan[static_cast<std::size_t>(y) * d.in_w + x]
                                     : 0.0f;
-                pack_buf_[((static_cast<std::size_t>(c) / 4) * 8 + i) * vecw +
-                          static_cast<std::size_t>(k) * 4 + (c % 4)] = v;
+                sc.pack[((static_cast<std::size_t>(c) / 4) * 8 + i) * vecw +
+                        static_cast<std::size_t>(k) * 4 + (c % 4)] = v;
               }
             }
             eng.scalar_ops(kTileElems);
@@ -188,16 +196,16 @@ void WinogradConv::transform_input(vla::VectorEngine& eng,
                            false);
           }
           for (int s = 0; s < 16; ++s)
-            eng.vload(s, pack_buf_.data() + static_cast<std::size_t>(s) * vecw);
+            eng.vload(s, sc.pack.data() + static_cast<std::size_t>(s) * vecw);
         }
 
         stage_pass(eng, reinterpret_cast<const double(*)[8]>(kBT.data()), 8,
                    active);
         for (int s = 0; s < 16; ++s)
           eng.vstore(kStageOutBase + s,
-                     scratch_.data() + static_cast<std::size_t>(s) * vecw);
+                     sc.spill.data() + static_cast<std::size_t>(s) * vecw);
         for (int s = 0; s < 16; ++s)
-          eng.vgather_local(s, scratch_.data(),
+          eng.vgather_local(s, sc.spill.data(),
                             tbl.transpose_idx.data() + static_cast<std::size_t>(s) * vecw);
         stage_pass(eng, reinterpret_cast<const double(*)[8]>(kBT.data()), 8,
                    active);
@@ -215,7 +223,7 @@ void WinogradConv::transform_input(vla::VectorEngine& eng,
 
 void WinogradConv::tuple_multiply(vla::VectorEngine& eng,
                                   const dnn::ConvDesc& d, const Plan& plan,
-                                  const float* u) {
+                                  const float* u, int oc_begin, int oc_end) {
   // Vectorize across the 64 tuple elements (16 blocks x 4 elements, paper
   // §IV-B); register-unroll over 4 tiles to overlap the FMA chains. The
   // batched GEMM is cache-blocked over tiles so the V panel of a tile block
@@ -233,7 +241,7 @@ void WinogradConv::tuple_multiply(vla::VectorEngine& eng,
   for (int tb0 = 0; tb0 < plan.tiles; tb0 += kTileBlock) {
     const int tb_end = std::min(tb0 + kTileBlock, plan.tiles);
     for (std::size_t e0 = 0; e0 < kTileElems; e0 += vec_e) {
-      for (int oc = 0; oc < d.out_c; ++oc) {
+      for (int oc = oc_begin; oc < oc_end; ++oc) {
         const float* u_oc =
             u + static_cast<std::size_t>(oc) * d.in_c * kTileElems;
         float* m_oc = m_buf_.data() +
@@ -269,14 +277,16 @@ void WinogradConv::tuple_multiply(vla::VectorEngine& eng,
 
 void WinogradConv::transform_output(vla::VectorEngine& eng,
                                     const dnn::ConvDesc& d, const Plan& plan,
-                                    const IndexTables& tbl, float* output) {
+                                    const IndexTables& tbl, float* output,
+                                    StageScratch& sc, int ty_begin,
+                                    int ty_end) {
   const int out_h = d.out_h(), out_w = d.out_w();
   const int ch_stride = out_h * out_w;
   const auto vecw = plan.vecw;
   for (int oc0 = 0; oc0 < d.out_c; oc0 += plan.group) {
     const int gr = std::min(plan.group, d.out_c - oc0);
     const std::size_t active = static_cast<std::size_t>(4) * gr;
-    for (int ty = 0; ty < plan.tiles_y; ++ty) {
+    for (int ty = ty_begin; ty < ty_end; ++ty) {
       for (int tx = 0; tx < plan.tiles_x; ++tx) {
         const int tile = ty * plan.tiles_x + tx;
         eng.setvl(active);
@@ -293,10 +303,10 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
         for (int half = 0; half < 2; ++half)
           for (int r = 0; r < 6; ++r)
             eng.vstore(kStageOutBase + half * 8 + r,
-                       scratch_.data() +
+                       sc.spill.data() +
                            (static_cast<std::size_t>(half) * 8 + r) * vecw);
         for (int s = 0; s < 16; ++s)
-          eng.vgather_local(s, scratch_.data(),
+          eng.vgather_local(s, sc.spill.data(),
                             tbl.transpose_idx.data() + static_cast<std::size_t>(s) * vecw);
         stage_pass(eng, reinterpret_cast<const double(*)[8]>(kAT.data()), 6,
                    active);
@@ -320,7 +330,7 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
           for (int half = 0; half < 2; ++half)
             for (int r = 0; r < 6; ++r)
               eng.vstore(kStageOutBase + half * 8 + r,
-                         pack_buf_.data() +
+                         sc.pack.data() +
                              (static_cast<std::size_t>(half) * 8 + r) * vecw);
           for (int k = 0; k < gr; ++k) {
             float* chan = output + static_cast<std::size_t>(oc0 + k) * ch_stride;
@@ -331,8 +341,8 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
                 const int x = tx * kOutTile + c;
                 if (x >= out_w) break;
                 chan[static_cast<std::size_t>(y) * out_w + x] =
-                    pack_buf_[((static_cast<std::size_t>(c) / 4) * 8 + r) * vecw +
-                              static_cast<std::size_t>(k) * 4 + (c % 4)];
+                    sc.pack[((static_cast<std::size_t>(c) / 4) * 8 + r) * vecw +
+                            static_cast<std::size_t>(k) * 4 + (c % 4)];
               }
             }
             eng.scalar_ops(36);
@@ -402,27 +412,48 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
     m_buf_.resize(m_n);
     m_reg_ = sim::RegisteredRange(m_buf_.data(), m_n * sizeof(float));
   }
-  if (pack_buf_.size() < 16 * plan.vecw) {
-    pack_reg_ = {};
-    pack_buf_.resize(16 * plan.vecw);
-    pack_buf_.fill(0.0f);
-    pack_reg_ =
-        sim::RegisteredRange(pack_buf_.data(), pack_buf_.size() * sizeof(float));
-  }
-  if (scratch_.size() < 16 * plan.vecw) {
-    scratch_reg_ = {};
-    scratch_.resize(16 * plan.vecw);
-    scratch_.fill(0.0f);
-    scratch_reg_ =
-        sim::RegisteredRange(scratch_.data(), scratch_.size() * sizeof(float));
-  }
+  scratch_[0]->ensure(plan.vecw);
 
   const IndexTables tbl = make_tables(d, plan);
-  const float* u = transformed_weights(d, weights);
+  const float* u = cache_->get(d, weights);
 
-  transform_input(eng, d, plan, tbl, input);
-  tuple_multiply(eng, d, plan, u);
-  transform_output(eng, d, plan, tbl, output);
+  // Intra-op sharding: only functionally (the timing model is a single
+  // instruction stream) and only when there is enough tile-level work to
+  // cover the fork/join cost.
+  const bool parallel = pool_ != nullptr && pool_->size() > 1 &&
+                        eng.context() == nullptr && plan.tiles_y >= 2;
+  if (!parallel) {
+    transform_input(eng, d, plan, tbl, input, *scratch_[0], 0, plan.tiles_y);
+    tuple_multiply(eng, d, plan, u, 0, d.out_c);
+    transform_output(eng, d, plan, tbl, output, *scratch_[0], 0, plan.tiles_y);
+    return;
+  }
+
+  // Materialize per-worker engines and scratch on this thread so AddressMap
+  // registration order stays deterministic.
+  const unsigned vlen = eng.vlen_bits();
+  const int workers = pool_->size();
+  for (int w = 0; w < workers; ++w) {
+    worker_engine(w, vlen);
+    if (scratch_.size() <= static_cast<std::size_t>(w) + 1)
+      scratch_.push_back(std::make_unique<StageScratch>());
+    scratch_[static_cast<std::size_t>(w) + 1]->ensure(plan.vecw);
+  }
+
+  // Each worker transforms a contiguous range of tile rows into its slice
+  // of V, multiplies a range of output channels into its slice of M, then
+  // transforms its tile rows of the output — all writes are disjoint.
+  pool_->parallel_for(plan.tiles_y, [&](int ty, int w) {
+    transform_input(worker_engine(w, vlen), d, plan, tbl, input,
+                    *scratch_[static_cast<std::size_t>(w) + 1], ty, ty + 1);
+  });
+  pool_->parallel_for(d.out_c, [&](int oc, int w) {
+    tuple_multiply(worker_engine(w, vlen), d, plan, u, oc, oc + 1);
+  });
+  pool_->parallel_for(plan.tiles_y, [&](int ty, int w) {
+    transform_output(worker_engine(w, vlen), d, plan, tbl, output,
+                     *scratch_[static_cast<std::size_t>(w) + 1], ty, ty + 1);
+  });
 }
 
 }  // namespace vlacnn::winograd

@@ -1,13 +1,18 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "dnn/conv_desc.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
+#include "winograd/weight_cache.hpp"
+
+namespace vlacnn::runtime {
+class ThreadPool;
+}  // namespace vlacnn::runtime
 
 namespace vlacnn::winograd {
 
@@ -27,11 +32,23 @@ namespace vlacnn::winograd {
 /// is exactly one 2048-bit register (§IV-B).
 ///
 /// The weight transform runs offline (scalar, uninstrumented) and is cached
-/// per weight pointer, matching the paper's measurement protocol of
-/// excluding it from inference time (§VII-A).
+/// per weight pointer in a WeightCache, matching the paper's measurement
+/// protocol of excluding it from inference time (§VII-A). The cache may be
+/// shared (read-only after a prepare step) between the per-thread instances
+/// the batched runtime installs; all other state — V/M buffers and stage
+/// scratch — is owned per instance, so one WinogradConv must only ever be
+/// driven by one thread at a time.
+///
+/// With set_intra_op_pool(), the tile loops of the input/output transforms
+/// and the output-channel loop of the tuple multiplication are sharded
+/// across the pool (per-worker functional engines and stage scratch),
+/// bitwise identical to the serial path. Used for the batch-1 latency case;
+/// simulated (instrumented) runs always stay serial.
 class WinogradConv {
  public:
-  WinogradConv() = default;
+  /// `shared_cache` may outlive-scope-share transformed weights between
+  /// instances; nullptr gives the instance its own private cache.
+  explicit WinogradConv(WeightCache* shared_cache = nullptr);
 
   /// True for the layers this algorithm handles: 3x3 kernels with pad 1 and
   /// stride 1 or 2 (stride 2 is computed as dense stride-1 Winograd followed
@@ -43,14 +60,21 @@ class WinogradConv {
   void run(vla::VectorEngine& eng, const dnn::ConvDesc& d, const float* input,
            const float* weights, float* output);
 
+  /// Shards the intra-op loops across `pool` when running functionally.
+  void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
   /// Drops cached transformed weights (e.g. after mutating weights in tests).
-  void invalidate_weight_cache() { weight_cache_.clear(); }
+  void invalidate_weight_cache() { cache_->clear(); }
+
+  [[nodiscard]] WeightCache& weight_cache() { return *cache_; }
 
   // ---- exposed for unit tests and benchmarks ----
   /// Transformed-weight tensor handle: U[(oc*in_c + ic)*64 + e] in the
   /// internally transposed element orientation.
   const float* transformed_weights(const dnn::ConvDesc& d,
-                                   const float* weights);
+                                   const float* weights) {
+    return cache_->get(d, weights);
+  }
 
  private:
   struct Plan {
@@ -69,31 +93,51 @@ class WinogradConv {
     std::vector<std::int32_t> out_scatter2;    // 2*group, cols 4..5
   };
 
+  /// Per-driver stage scratch: the edge-tile pack buffer and the transpose
+  /// spill buffer. Index 0 belongs to the serial path; intra-op workers each
+  /// own one so concurrent tiles never share scribble space.
+  struct StageScratch {
+    AlignedBuffer<float> pack;     // 16 x vecw packed rows (edge tiles)
+    AlignedBuffer<float> spill;    // 16 x vecw stage output
+    sim::RegisteredRange pack_reg, spill_reg;
+
+    void ensure(std::size_t vecw);
+  };
+
   Plan make_plan(const dnn::ConvDesc& d) const;
   IndexTables make_tables(const dnn::ConvDesc& d, const Plan& plan) const;
 
   void transform_input(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                        const Plan& plan, const IndexTables& tbl,
-                       const float* input);
+                       const float* input, StageScratch& sc, int ty_begin,
+                       int ty_end);
   void tuple_multiply(vla::VectorEngine& eng, const dnn::ConvDesc& d,
-                      const Plan& plan, const float* u);
+                      const Plan& plan, const float* u, int oc_begin,
+                      int oc_end);
   void transform_output(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                         const Plan& plan, const IndexTables& tbl,
-                        float* output);
+                        float* output, StageScratch& sc, int ty_begin,
+                        int ty_end);
 
   /// Applies one transform pass (row combinations of matrix `t`) to the 16
   /// packed input registers v0..v15, writing v16..v16+rows-1 / v24..
   void stage_pass(vla::VectorEngine& eng, const double (*t)[8], int rows_out,
                   std::size_t vecw);
 
+  /// Worker engine / scratch for intra-op sharding (lazily created).
+  vla::VectorEngine& worker_engine(int w, unsigned vlen_bits);
+
   AlignedBuffer<float> v_buf_;       // V[ic][tile][64]
   AlignedBuffer<float> m_buf_;       // M[oc][tile][64]
-  AlignedBuffer<float> pack_buf_;    // 16 x vecw packed rows (edge tiles)
-  AlignedBuffer<float> scratch_;     // 16 x vecw stage output
   AlignedBuffer<float> s1_out_;      // stride-2: dense stride-1 output
-  sim::RegisteredRange v_reg_, m_reg_, pack_reg_, scratch_reg_, s1_reg_;
+  sim::RegisteredRange v_reg_, m_reg_, s1_reg_;
 
-  std::map<const float*, AlignedBuffer<float>> weight_cache_;
+  std::vector<std::unique_ptr<StageScratch>> scratch_;  // [0] = serial path
+  std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
+
+  WeightCache* cache_;
+  std::unique_ptr<WeightCache> owned_cache_;
+  runtime::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace vlacnn::winograd

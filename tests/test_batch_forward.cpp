@@ -1,0 +1,155 @@
+// Batch equivalence: a batched forward pass must match N independent
+// batch-1 forwards bit-for-bit (0 ulp, functional engine), both through the
+// sequential Network::forward loop and through the multi-threaded
+// runtime::BatchScheduler. This is the core contract of the batched runtime:
+// batching and scheduling change *when and where* items run, never *what*
+// they compute.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::runtime {
+namespace {
+
+constexpr unsigned kVlen = 512;
+constexpr std::uint64_t kInputSeed = 2024;
+
+/// Reference: item `b` forwarded alone through a batch-1 pass.
+std::vector<float> forward_single(dnn::Network& net,
+                                  const core::EnginePolicy& policy, int b) {
+  vla::VectorEngine eng(kVlen);
+  dnn::ExecContext ctx(eng);
+  core::ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  dnn::Tensor input(net.in_c(), net.in_h(), net.in_w());
+  // Stream b of the batched input's seed: the batch-1 tensor holds exactly
+  // the values item b of the batched tensor holds.
+  Rng rng = Rng::for_stream(kInputSeed, static_cast<std::uint64_t>(b));
+  input.randomize(rng, 0.0f, 1.0f);
+  const dnn::Tensor& out = net.forward(ctx, input);
+  return std::vector<float>(out.data(), out.data() + out.size());
+}
+
+dnn::Tensor batched_input(const dnn::Network& net, int n) {
+  dnn::Tensor input(n, net.in_c(), net.in_h(), net.in_w());
+  input.randomize_batch(kInputSeed, 0.0f, 1.0f);
+  return input;
+}
+
+void expect_items_bitwise_equal(
+    const dnn::Tensor& batched,
+    const std::vector<std::vector<float>>& singles) {
+  ASSERT_EQ(static_cast<std::size_t>(batched.n()), singles.size());
+  for (int b = 0; b < batched.n(); ++b) {
+    ASSERT_EQ(batched.item_size(), singles[static_cast<std::size_t>(b)].size());
+    // 0 ulp: bytewise identical.
+    EXPECT_EQ(std::memcmp(batched.item_data(b),
+                          singles[static_cast<std::size_t>(b)].data(),
+                          batched.item_size() * sizeof(float)),
+              0)
+        << "batch item " << b << " diverged from its batch-1 forward";
+  }
+}
+
+void check_sequential(dnn::Network& net, const core::EnginePolicy& policy,
+                      int n) {
+  std::vector<std::vector<float>> singles;
+  for (int b = 0; b < n; ++b) singles.push_back(forward_single(net, policy, b));
+
+  vla::VectorEngine eng(kVlen);
+  dnn::ExecContext ctx(eng);
+  core::ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  const dnn::Tensor input = batched_input(net, n);
+  const dnn::Tensor& out = net.forward(ctx, input);
+  expect_items_bitwise_equal(out, singles);
+}
+
+void check_scheduled(dnn::Network& net, const core::EnginePolicy& policy,
+                     int n, int threads) {
+  std::vector<std::vector<float>> singles;
+  for (int b = 0; b < n; ++b) singles.push_back(forward_single(net, policy, b));
+
+  core::ConvolutionEngine engine(policy);
+  SchedulerConfig cfg;
+  cfg.threads = threads;
+  cfg.vlen_bits = kVlen;
+  BatchScheduler sched(engine, cfg);
+  const dnn::Tensor input = batched_input(net, n);
+  const dnn::Tensor& out = sched.run(net, input);
+  expect_items_bitwise_equal(out, singles);
+
+  // Every batch item was executed exactly once per layer.
+  ASSERT_EQ(sched.records().size(), net.num_layers());
+  for (const auto& rec : sched.records()) EXPECT_EQ(rec.items, n);
+}
+
+TEST(BatchForward, VggCutSequentialMatchesBatch1) {
+  auto net = dnn::build_vgg16(32, 4);
+  check_sequential(*net, core::EnginePolicy::opt3loop(), 3);
+}
+
+TEST(BatchForward, VggCutSequentialMatchesBatch1Winograd) {
+  auto net = dnn::build_vgg16(32, 4);
+  check_sequential(*net, core::EnginePolicy::winograd(), 3);
+}
+
+TEST(BatchForward, YoloCutSequentialMatchesBatch1) {
+  auto net = dnn::build_yolov3(96, 12);
+  check_sequential(*net, core::EnginePolicy::opt3loop(), 3);
+}
+
+TEST(BatchForward, VggCutScheduledMatchesBatch1) {
+  auto net = dnn::build_vgg16(32, 4);
+  check_scheduled(*net, core::EnginePolicy::opt3loop(), 5, 4);
+}
+
+TEST(BatchForward, VggCutScheduledMatchesBatch1Winograd) {
+  auto net = dnn::build_vgg16(32, 4);
+  check_scheduled(*net, core::EnginePolicy::winograd(), 5, 4);
+}
+
+TEST(BatchForward, YoloCutScheduledMatchesBatch1) {
+  auto net = dnn::build_yolov3(96, 12);
+  check_scheduled(*net, core::EnginePolicy::opt3loop(), 5, 4);
+}
+
+TEST(BatchForward, YoloCutScheduledMatchesBatch1Opt6) {
+  // Opt6 exercises the per-context packed-buffer GEMM under concurrency.
+  auto net = dnn::build_yolov3(96, 12);
+  gemm::Opt6Config o6;
+  o6.blocks = {16, 128, 64};
+  check_scheduled(*net, core::EnginePolicy::opt6loop(o6), 5, 4);
+}
+
+TEST(BatchForward, SchedulerHandlesBatch1AndOddBatches) {
+  auto net = dnn::build_vgg16(32, 4);
+  for (int n : {1, 2, 7}) {
+    check_scheduled(*net, core::EnginePolicy::opt3loop(), n, 3);
+  }
+}
+
+TEST(BatchForward, FullTinyYoloScheduledEndToEnd) {
+  auto net = dnn::build_yolov3_tiny(96);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt3loop());
+  SchedulerConfig cfg;
+  cfg.threads = 4;
+  cfg.vlen_bits = kVlen;
+  BatchScheduler sched(engine, cfg);
+  dnn::Tensor input(6, net->in_c(), net->in_h(), net->in_w());
+  input.randomize_batch(kInputSeed, 0.0f, 1.0f);
+  const dnn::Tensor& out = sched.run(*net, input);
+  EXPECT_EQ(out.n(), 6);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_TRUE(std::isfinite(out[i]));
+}
+
+}  // namespace
+}  // namespace vlacnn::runtime

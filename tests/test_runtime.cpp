@@ -1,0 +1,283 @@
+// Runtime subsystem: ThreadPool semantics, deterministic record merging,
+// per-stream RNG reproducibility, workspace growth, and bitwise equivalence
+// of the intra-op parallel GEMM / Winograd paths with their serial ones.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/exec_context.hpp"
+#include "dnn/models.hpp"
+#include "gemm/gemm_opt6.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/sim_context.hpp"
+#include "test_util.hpp"
+#include "winograd/winograd_conv.hpp"
+
+namespace vlacnn::runtime {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(103);
+  pool.parallel_for(103, [&](int i, int w) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, 4);
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkingIsDeterministic) {
+  ThreadPool pool(3);
+  std::vector<int> owner_a(32, -1), owner_b(32, -1);
+  pool.parallel_for(32, [&](int i, int w) { owner_a[static_cast<std::size_t>(i)] = w; });
+  pool.parallel_for(32, [&](int i, int w) { owner_b[static_cast<std::size_t>(i)] = w; });
+  EXPECT_EQ(owner_a, owner_b);
+  // Static contiguous chunks: owners are non-decreasing over items.
+  for (std::size_t i = 1; i < owner_a.size(); ++i)
+    EXPECT_GE(owner_a[i], owner_a[i - 1]);
+}
+
+TEST(ThreadPool, NestedCallRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(2, [&](int, int w) {
+    // A nested parallel_for from a worker must not deadlock; it runs inline
+    // on the same worker.
+    pool.parallel_for(5, [&](int, int inner_w) {
+      EXPECT_EQ(inner_w, w);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [&](int i, int) {
+                          if (i == 3) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job.
+  std::atomic<int> n{0};
+  pool.parallel_for(4, [&](int, int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 4);
+}
+
+// ------------------------------------------------------------- record merge
+
+TEST(LayerRecords, MergeIsDeterministicAndOrderAware) {
+  dnn::LayerRecord a;
+  a.name = "conv 8 3x3/1";
+  a.items = 3;
+  a.flops = 300.0;
+  a.cycles = 30;
+  a.wall_seconds = 0.5;
+  dnn::LayerRecord b = a;
+  b.items = 5;
+  b.flops = 500.0;
+  b.cycles = 50;
+  b.wall_seconds = 0.2;
+  const auto merged = dnn::merge_layer_records({{a}, {}, {b}});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].items, 8);
+  EXPECT_DOUBLE_EQ(merged[0].flops, 800.0);
+  EXPECT_EQ(merged[0].cycles, 80u);
+  EXPECT_DOUBLE_EQ(merged[0].wall_seconds, 0.5);  // max: barrier semantics
+  // Mismatched layer sequences are rejected.
+  dnn::LayerRecord other;
+  other.name = "maxpool 2x2/2";
+  EXPECT_THROW((void)dnn::merge_layer_records({{a}, {other}}), std::exception);
+}
+
+// ------------------------------------------------------------- RNG streams
+
+TEST(RngStreams, StreamsAreInterleavingIndependent) {
+  // Draws from stream k must not depend on what other streams have drawn —
+  // the regression guard for per-batch-item reproducibility regardless of
+  // worker interleaving (Network::next_seed-style derived seeds mix only
+  // static identifiers, never execution order).
+  Rng s0 = Rng::for_stream(42, 0);
+  Rng s1 = Rng::for_stream(42, 1);
+  std::vector<std::uint64_t> interleaved;
+  for (int i = 0; i < 8; ++i) {
+    interleaved.push_back(s0.next_u64());
+    (void)s1.next_u64();  // interleave draws from another stream
+  }
+  Rng fresh = Rng::for_stream(42, 0);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(fresh.next_u64(), interleaved[static_cast<std::size_t>(i)]);
+  // Distinct streams differ.
+  Rng a = Rng::for_stream(42, 0), bstream = Rng::for_stream(42, 1);
+  EXPECT_NE(a.next_u64(), bstream.next_u64());
+}
+
+TEST(RngStreams, BatchItemValuesIndependentOfBatchSize) {
+  dnn::Tensor small(2, 3, 4, 4);
+  dnn::Tensor large(6, 3, 4, 4);
+  small.randomize_batch(7);
+  large.randomize_batch(7);
+  for (int b = 0; b < 2; ++b)
+    EXPECT_EQ(std::memcmp(small.item_data(b), large.item_data(b),
+                          small.item_size() * sizeof(float)),
+              0);
+  // Items are filled per-stream, so fill order doesn't matter either.
+  dnn::Tensor reversed(2, 3, 4, 4);
+  reversed.randomize_item(1, 7);
+  reversed.randomize_item(0, 7);
+  EXPECT_EQ(std::memcmp(reversed.data(), small.data(),
+                        small.size() * sizeof(float)),
+            0);
+}
+
+// -------------------------------------------------------- workspace growth
+
+TEST(ExecContextWorkspace, GrowsGeometricallyAndStaysAligned) {
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  float* p = ctx.workspace(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
+  const std::size_t cap0 = ctx.workspace_capacity();
+  EXPECT_GE(cap0, 100u);
+  // A request within capacity must not reallocate.
+  ctx.workspace(cap0);
+  EXPECT_EQ(ctx.workspace_capacity(), cap0);
+  // A request one past capacity grows at least geometrically (1.5x).
+  p = ctx.workspace(cap0 + 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 256, 0u);
+  EXPECT_GE(ctx.workspace_capacity(), cap0 + cap0 / 2);
+  // A sequence of +1 requests reallocates O(log n) times, not n times.
+  std::size_t reallocs = 0;
+  std::size_t cap = ctx.workspace_capacity();
+  for (std::size_t want = cap + 1; want < 200000; ++want) {
+    ctx.workspace(want);
+    if (ctx.workspace_capacity() != cap) {
+      ++reallocs;
+      cap = ctx.workspace_capacity();
+    }
+  }
+  EXPECT_LE(reallocs, 40u);
+}
+
+// ------------------------------------------------------- intra-op equality
+
+TEST(IntraOp, Gemm6ParallelMatchesSerialBitwise) {
+  const int M = 96, N = 200, K = 64;
+  const auto a = test::random_vec(static_cast<std::size_t>(M) * K, 1);
+  const auto b = test::random_vec(static_cast<std::size_t>(K) * N, 2);
+  std::vector<float> c_serial(static_cast<std::size_t>(M) * N, 0.0f);
+  std::vector<float> c_par = c_serial;
+
+  gemm::Opt6Config cfg;
+  cfg.blocks = {16, 128, 64};
+  vla::VectorEngine eng(512);
+  {
+    gemm::Gemm6 g(cfg);
+    g(eng, M, N, K, 1.0f, a.data(), K, b.data(), N, c_serial.data(), N);
+  }
+  {
+    ThreadPool pool(4);
+    gemm::Gemm6 g(cfg);
+    g.set_intra_op_pool(&pool);
+    g(eng, M, N, K, 1.0f, a.data(), K, b.data(), N, c_par.data(), N);
+  }
+  EXPECT_EQ(std::memcmp(c_serial.data(), c_par.data(),
+                        c_serial.size() * sizeof(float)),
+            0);
+}
+
+TEST(IntraOp, WinogradParallelMatchesSerialBitwise) {
+  dnn::ConvDesc d;
+  d.in_c = 8;
+  d.in_h = d.in_w = 30;
+  d.out_c = 12;
+  d.ksize = 3;
+  d.stride = 1;
+  d.pad = 1;
+  const auto input =
+      test::random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 3);
+  const auto weights =
+      test::random_vec(static_cast<std::size_t>(d.weight_count()), 4);
+  const std::size_t out_n =
+      static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w();
+  std::vector<float> out_serial(out_n, 0.0f), out_par(out_n, 0.0f);
+
+  vla::VectorEngine eng(512);
+  {
+    winograd::WinogradConv wino;
+    wino.run(eng, d, input.data(), weights.data(), out_serial.data());
+  }
+  {
+    ThreadPool pool(4);
+    winograd::WinogradConv wino;
+    wino.set_intra_op_pool(&pool);
+    wino.run(eng, d, input.data(), weights.data(), out_par.data());
+  }
+  EXPECT_EQ(std::memcmp(out_serial.data(), out_par.data(),
+                        out_n * sizeof(float)),
+            0);
+}
+
+TEST(IntraOp, SimulatedRunsStaySerial) {
+  // An instrumented engine must never fan out (the timing model is a single
+  // instruction stream): the pool being attached must not change numerics
+  // or crash, and cycles must accumulate.
+  sim::SimContext sctx(sim::rvv_gem5());
+  vla::VectorEngine eng(sctx);
+  ThreadPool pool(4);
+  winograd::WinogradConv wino;
+  wino.set_intra_op_pool(&pool);
+  dnn::ConvDesc d;
+  d.in_c = 4;
+  d.in_h = d.in_w = 18;
+  d.out_c = 4;
+  const auto input =
+      test::random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 5);
+  const auto weights =
+      test::random_vec(static_cast<std::size_t>(d.weight_count()), 6);
+  std::vector<float> out(static_cast<std::size_t>(d.out_c) * d.out_h() *
+                         d.out_w());
+  wino.run(eng, d, input.data(), weights.data(), out.data());
+  EXPECT_GT(sctx.cycles(), 0u);
+}
+
+// ------------------------------------------------------ scheduler records
+
+TEST(BatchScheduler, RecordsAreDeterministicAcrossRuns) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt3loop());
+  SchedulerConfig cfg;
+  cfg.threads = 4;
+  BatchScheduler sched(engine, cfg);
+  dnn::Tensor input(6, net->in_c(), net->in_h(), net->in_w());
+  input.randomize_batch(11);
+
+  sched.run(*net, input);
+  const auto first = sched.records();
+  sched.run(*net, input);
+  const auto second = sched.records();
+  ASSERT_EQ(first.size(), second.size());
+  ASSERT_EQ(first.size(), net->num_layers());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].name, second[i].name);
+    EXPECT_EQ(first[i].algo, second[i].algo);
+    EXPECT_EQ(first[i].items, 6);
+    EXPECT_EQ(second[i].items, 6);
+    EXPECT_DOUBLE_EQ(first[i].flops, second[i].flops);
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn::runtime
