@@ -8,13 +8,17 @@
 // layer barrier). The batch=1 rows show the intra-op path instead, where
 // the pool shards the GEMM M-panel / Winograd tile loops of a single image.
 //
-//   ./bench_throughput_batch [--model=tiny|vgg] [--policy=opt6|opt3|winograd]
+//   ./bench_throughput_batch [--model=tiny|vgg]
+//                            [--policy=opt6|opt3|winograd|fused]
 //                            [--input=96] [--reps=3] [--max-threads=8]
-//                            [--quick]
+//                            [--quick] [--json=<path>]
 //
 // The default policy is opt6 because only the 6-loop GEMM (and Winograd)
 // have intra-op pool sharding — opt3 would silently run the batch=1 rows
-// serially at every thread count.
+// serially at every thread count. --policy=fused runs the fused conv
+// pipeline (implicit-GEMM packing + in-kernel epilogue). --json appends
+// one {bench, config, wall_ms, bytes_moved} record per (threads, batch)
+// row for the perf trajectory.
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +46,7 @@ namespace {
 core::EnginePolicy policy_from_name(const std::string& name) {
   if (name == "opt3") return core::EnginePolicy::opt3loop();
   if (name == "winograd") return core::EnginePolicy::winograd();
+  if (name == "fused") return core::EnginePolicy::fused();
   return core::EnginePolicy::opt6loop();
 }
 
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(args.get_int("reps", 3));
   const int max_threads = static_cast<int>(args.get_int("max-threads", 8));
   const bool quick = args.get_bool("quick", false);
+  bench::BenchJson json("throughput_batch", args.get("json", ""));
   if (reps < 1 || max_threads < 1) {
     std::fprintf(stderr, "error: --reps and --max-threads must be >= 1\n");
     return 1;
@@ -88,12 +94,23 @@ int main(int argc, char** argv) {
       runtime::BatchScheduler sched(engine, cfg);
       run_once(sched, *net, input);  // warm-up (allocations, weight caches)
       double best = 1e30;
-      for (int r = 0; r < reps; ++r) best = std::min(best, run_once(sched, *net, input));
+      std::uint64_t run_bytes = 0;
+      for (int r = 0; r < reps; ++r) {
+        const std::uint64_t bytes0 = sched.mem_bytes_moved();
+        best = std::min(best, run_once(sched, *net, input));
+        run_bytes = sched.mem_bytes_moved() - bytes0;  // constant per run
+      }
       const double ips = batch / best;
       if (threads == 1) base_ips = ips;
       std::printf("%-8d %-8d %-12.4f %-12.1f %-10.2f\n", threads, batch, best,
                   ips, ips / base_ips);
+      json.add("model=" + model + " policy=" + policy_name +
+                   " threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch),
+               best * 1e3, static_cast<double>(run_bytes),
+               {{"images_per_sec", ips}});
     }
   }
+  if (!json.write()) return 1;
   return 0;
 }

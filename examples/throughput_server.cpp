@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
       model == "vgg" ? dnn::build_vgg16(input_hw % 32 == 0 ? input_hw : 64)
                      : dnn::build_yolov3_tiny(input_hw);
 
-  core::ConvolutionEngine engine(core::EnginePolicy::opt3loop());
+  // Serve with the fused conv pipeline: implicit-GEMM packing + in-kernel
+  // epilogue — the lowest-traffic configuration (see bench_fused_conv).
+  core::ConvolutionEngine engine(core::EnginePolicy::fused());
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
   cfg.vlen_bits = vlen;

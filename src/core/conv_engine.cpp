@@ -9,26 +9,49 @@ ConvolutionEngine::ConvolutionEngine(const EnginePolicy& policy)
 
 void ConvolutionEngine::install(dnn::ExecContext& ctx,
                                 runtime::ThreadPool* intra_op_pool) {
-  ctx.gemm = gemm::make_gemm_fn(policy_.gemm_variant, policy_.opt3,
-                                policy_.opt6, intra_op_pool);
+  ctx.fused_conv = nullptr;
+  if (policy_.gemm_variant == gemm::GemmVariant::Opt6Loop) {
+    // One Gemm6 instance per context backs both the plain GemmFn and (when
+    // the policy fuses) the implicit-GEMM fused-conv entry, so they share
+    // packing buffers and the intra-op pool wiring.
+    auto impl = gemm::make_gemm6(policy_.opt6, intra_op_pool);
+    ctx.gemm = gemm::wrap_gemm6(impl);
+    if (policy_.fuse_conv) {
+      ctx.fused_conv = [impl](vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                              const float* input, const float* weights,
+                              float* output, const dnn::EpilogueDesc& epi) {
+        return impl->conv_fused(eng, d, weights, input, output, &epi);
+      };
+    }
+  } else {
+    ctx.gemm = gemm::make_gemm_fn(policy_.gemm_variant, policy_.opt3,
+                                  policy_.opt6, intra_op_pool);
+  }
   ctx.vectorize_aux_kernels = policy_.vectorize_aux;
   if (policy_.winograd_stride1 || policy_.winograd_stride2) {
     const bool s1 = policy_.winograd_stride1;
     const bool s2 = policy_.winograd_stride2;
+    const bool fuse = policy_.fuse_conv;
     // Fresh per-context instance (own V/M/stage scratch) over the shared
     // read-mostly weight cache; the shared_ptr keeps it alive for as long
     // as the context holds the override.
     auto impl = std::make_shared<winograd::WinogradConv>(&weight_cache_);
     impl->set_intra_op_pool(intra_op_pool);
-    ctx.conv_override = [impl, s1, s2](vla::VectorEngine& eng,
-                                       const dnn::ConvDesc& d,
-                                       const float* input,
-                                       const float* weights, float* output) {
-      if (!winograd::WinogradConv::supports(d)) return false;
-      if (d.stride == 1 && !s1) return false;
-      if (d.stride == 2 && !s2) return false;
+    ctx.conv_override = [impl, s1, s2, fuse](vla::VectorEngine& eng,
+                                             const dnn::ConvDesc& d,
+                                             const float* input,
+                                             const float* weights,
+                                             float* output,
+                                             const dnn::EpilogueDesc* epi) {
+      if (!winograd::WinogradConv::supports(d)) return dnn::ConvStatus::Declined;
+      if (d.stride == 1 && !s1) return dnn::ConvStatus::Declined;
+      if (d.stride == 2 && !s2) return dnn::ConvStatus::Declined;
+      if (fuse && epi != nullptr) {
+        impl->run(eng, d, input, weights, output, epi);
+        return dnn::ConvStatus::RanFused;
+      }
       impl->run(eng, d, input, weights, output);
-      return true;
+      return dnn::ConvStatus::Ran;
     };
   } else {
     ctx.conv_override = nullptr;

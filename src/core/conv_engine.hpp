@@ -27,6 +27,13 @@ struct EnginePolicy {
   bool winograd_stride2 = false;
   /// Vectorize the auxiliary conv-layer kernels (im2col, bias, norm, act).
   bool vectorize_aux = true;
+  /// Fuse the convolution pipeline: implicit-GEMM packing (no materialized
+  /// im2col workspace), beta=0 first-panel stores (no fill pass), and the
+  /// BN/bias/activation epilogue applied in-kernel — on the GEMM
+  /// microkernel's final tile store (Opt6Loop only) and on the Winograd
+  /// output transform. Off by default so instrumented paper-reproduction
+  /// runs keep the unfused Darknet pipeline they model.
+  bool fuse_conv = false;
 
   [[nodiscard]] static EnginePolicy naive() {
     EnginePolicy p;
@@ -53,6 +60,18 @@ struct EnginePolicy {
     EnginePolicy p;
     p.gemm_variant = fallback;
     p.winograd_stride1 = true;
+    return p;
+  }
+  /// Fused conv pipeline on the 6-loop GEMM (optionally with Winograd for
+  /// 3x3/s1, whose output transform then applies the epilogue) — the
+  /// lowest-traffic serving configuration.
+  [[nodiscard]] static EnginePolicy fused(bool use_winograd = false,
+                                          const gemm::Opt6Config& cfg = {}) {
+    EnginePolicy p;
+    p.gemm_variant = gemm::GemmVariant::Opt6Loop;
+    p.opt6 = cfg;
+    p.winograd_stride1 = use_winograd;
+    p.fuse_conv = true;
     return p;
   }
 

@@ -159,11 +159,17 @@ void apply_plan(const std::vector<LayerChoice>& plan,
   // plan and matches by the layer's shape key computed on the fly.
   auto plan_copy = std::make_shared<std::vector<LayerChoice>>(plan);
 
+  // The plan's candidate set is unfused algorithms only; a layer the plan
+  // routes to the default pipeline must actually run it, not fall through
+  // to a fused implicit-GEMM the installing policy happened to enable —
+  // the simulated cycles must correspond to the algorithm the plan chose.
+  ctx.fused_conv = nullptr;
   ctx.conv_override = [state, plan_copy](vla::VectorEngine& eng,
                                          const dnn::ConvDesc& d,
                                          const float* input,
-                                         const float* weights,
-                                         float* output) -> bool {
+                                         const float* weights, float* output,
+                                         const dnn::EpilogueDesc* /*epi*/)
+      -> dnn::ConvStatus {
     // Match by geometry: find a plan entry whose recorded name encodes the
     // same out_c/ksize/stride and whose eligibility matches.
     const std::string want = "conv " + std::to_string(d.out_c) + " " +
@@ -176,8 +182,11 @@ void apply_plan(const std::vector<LayerChoice>& plan,
         hit = &c;
         break;
       }
-    if (hit == nullptr) return false;  // fall back to ctx.gemm
-    if (hit->algo == ConvAlgo::Im2colGemm3) return false;  // default path
+    // The advisor's backends run the raw convolution; the layer applies the
+    // epilogue afterwards (Ran, not RanFused).
+    if (hit == nullptr) return dnn::ConvStatus::Declined;  // fall back to ctx.gemm
+    if (hit->algo == ConvAlgo::Im2colGemm3)
+      return dnn::ConvStatus::Declined;  // default path
     if (state->workspace.size() <
         static_cast<std::size_t>(d.gemm_k()) * d.gemm_n()) {
       state->ws_reg = {};
@@ -188,7 +197,7 @@ void apply_plan(const std::vector<LayerChoice>& plan,
     }
     run_algo(hit->algo, eng, d, input, weights, output,
              state->workspace.data(), state->wino, *state->gemm6);
-    return true;
+    return dnn::ConvStatus::Ran;
   };
 }
 

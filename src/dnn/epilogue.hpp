@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cmath>
+
+#include "dnn/activation.hpp"
+#include "vla/vector_engine.hpp"
+
+namespace vlacnn::dnn {
+
+/// Per-channel post-GEMM work of a convolutional layer, described as data so
+/// a backend can fuse it into its final output store instead of re-streaming
+/// the output tensor once per pass (fill / normalize / scale / bias /
+/// activate — the Darknet sequence the paper profiles in §II-B).
+///
+/// All pointers are per-output-channel arrays owned by the layer and
+/// read-only during forward passes. The fused application order must match
+/// the unfused kernels exactly so fused and unfused outputs stay
+/// bit-identical:
+///   x = (x + (-bn_mean[c])) * (1 / sqrt(bn_var[c] + 1e-5))   (batch_norm)
+///   x = x * bn_scale[c]                                      (batch_norm)
+///   x = x + bias[c]                                          (bias != null)
+///   x = act(x)
+/// Backends fuse Linear/Relu/Leaky only; the layer keeps Logistic (scalar
+/// transcendental) as a post-pass by handing the backend act = Linear.
+struct EpilogueDesc {
+  /// Darknet's batch-norm variance epsilon — the single definition every
+  /// fused and unfused kernel must share for bit-identical outputs.
+  static constexpr float kBnEpsilon = 1e-5f;
+
+  bool batch_norm = false;
+  const float* bn_mean = nullptr;   ///< [channels], batch_norm only
+  const float* bn_var = nullptr;    ///< [channels], batch_norm only
+  const float* bn_scale = nullptr;  ///< [channels], batch_norm only
+  const float* bias = nullptr;      ///< [channels]; nullptr = no bias
+  Activation act = Activation::Linear;
+
+  /// True when applying the epilogue is a no-op.
+  [[nodiscard]] bool empty() const {
+    return !batch_norm && bias == nullptr && act == Activation::Linear;
+  }
+
+  /// The affine constants for channel `c` in application order:
+  /// x = ((x + neg_mean) * inv_std) * scale + bias. Every fused backend
+  /// derives its constants here so the arithmetic cannot drift between the
+  /// GEMM microkernel, the Winograd output transform and the stride-2
+  /// subsample (and stays op-for-op equal to the unfused kernels).
+  struct ChannelParams {
+    float neg_mean = 0.0f, inv_std = 1.0f, scale = 1.0f, bias = 0.0f;
+  };
+  [[nodiscard]] ChannelParams channel_params(int c) const {
+    ChannelParams p;
+    if (batch_norm) {
+      p.neg_mean = -bn_mean[c];
+      p.inv_std = 1.0f / std::sqrt(bn_var[c] + kBnEpsilon);
+      p.scale = bn_scale[c];
+    }
+    if (bias != nullptr) p.bias = bias[c];
+    return p;
+  }
+};
+
+/// Applies one channel's epilogue to register `acc` with scalar-operand
+/// vector ops — the shared implementation behind the GEMM microkernel's
+/// last-panel store and the Winograd stride-2 subsample, kept in one place
+/// so the op sequence (and with it the bit-identical fused==unfused
+/// contract) cannot drift between backends. `scratch` must be a register
+/// that is dead at the call site (Leaky needs one temporary). The Winograd
+/// output transform applies the same sequence with per-lane parameter
+/// vectors (reg-reg ops) and so has its own copy of the ordering.
+inline void apply_channel_epilogue(vla::VectorEngine& eng,
+                                   const EpilogueDesc& epi,
+                                   const EpilogueDesc::ChannelParams& p,
+                                   vla::Vreg acc, vla::Vreg scratch) {
+  if (epi.batch_norm) {
+    eng.vadd_scalar(acc, acc, p.neg_mean);
+    eng.vmul_scalar(acc, acc, p.inv_std);
+    eng.vmul_scalar(acc, acc, p.scale);
+  }
+  if (epi.bias != nullptr) eng.vadd_scalar(acc, acc, p.bias);
+  switch (epi.act) {
+    case Activation::Linear:
+    case Activation::Logistic:  // scalar transcendental: post-pass in the layer
+      break;
+    case Activation::Relu:
+      eng.vmax_scalar(acc, acc, 0.0f);
+      break;
+    case Activation::Leaky:  // max(x,0) + 0.1*min(x,0), as activate_array
+      eng.vbroadcast(scratch, 0.0f);
+      eng.vmin(scratch, acc, scratch);
+      eng.vmax_scalar(acc, acc, 0.0f);
+      eng.vfma_scalar(acc, 0.1f, scratch);
+      break;
+  }
+}
+
+}  // namespace vlacnn::dnn

@@ -8,6 +8,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "dnn/conv_desc.hpp"
+#include "dnn/epilogue.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
 
@@ -19,12 +20,30 @@ using GemmFn = std::function<void(vla::VectorEngine&, int M, int N, int K,
                                   float alpha, const float* A, int lda,
                                   const float* B, int ldb, float* C, int ldc)>;
 
-/// Whole-convolution override (e.g. Winograd). Returns false to decline the
-/// layer (wrong kernel size / stride), in which case the layer falls back to
-/// im2col+GEMM — mirroring the paper's per-layer algorithm selection (§VII).
-using ConvOverrideFn =
-    std::function<bool(vla::VectorEngine&, const ConvDesc&, const float* input,
-                       const float* weights, float* output)>;
+/// What a convolution backend did with a layer it was offered.
+enum class ConvStatus {
+  Declined,  ///< wrong shape/config; caller falls back to the next backend
+  Ran,       ///< raw convolution written; caller applies BN/bias/activation
+  RanFused,  ///< convolution written with `epi` already applied in-kernel
+};
+
+/// Whole-convolution override (e.g. Winograd). `epi` describes the layer's
+/// post-GEMM work; a fusing backend applies it on the output tile while it
+/// is still in registers and returns RanFused, a non-fusing one ignores it
+/// and returns Ran. Declined falls back to im2col+GEMM — mirroring the
+/// paper's per-layer algorithm selection (§VII).
+using ConvOverrideFn = std::function<ConvStatus(
+    vla::VectorEngine&, const ConvDesc&, const float* input,
+    const float* weights, float* output, const EpilogueDesc* epi)>;
+
+/// Fused implicit-GEMM convolution (Gemm6::conv_fused): gathers im2col
+/// patches per (kc, nc) panel instead of materializing the workspace, stores
+/// the first k-panel with beta=0 (no fill pass) and applies `epi` on the
+/// last. Returns false when the configuration cannot fuse (e.g. packing
+/// disabled), in which case the layer runs the unfused pipeline.
+using FusedConvFn = std::function<bool(
+    vla::VectorEngine&, const ConvDesc&, const float* input,
+    const float* weights, float* output, const EpilogueDesc& epi)>;
 
 /// Per-layer record filled during a forward pass.
 struct LayerRecord {
@@ -85,6 +104,7 @@ class ExecContext {
 
   GemmFn gemm;                    // required before running conv layers
   ConvOverrideFn conv_override;   // optional
+  FusedConvFn fused_conv;         // optional fused implicit-GEMM pipeline
   bool vectorize_aux_kernels = true;  // paper vectorizes all conv-layer kernels
 
   /// Grows (never shrinks) the im2col scratch buffer. Growth is geometric

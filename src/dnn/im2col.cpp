@@ -108,4 +108,77 @@ void im2col_vla(vla::VectorEngine& eng, const ConvDesc& d, const float* input,
   }
 }
 
+void im2col_pack_segment(vla::VectorEngine& eng, const ConvDesc& d,
+                         const float* input, int row, int col0, int count,
+                         float* dst) {
+  const int ow = d.out_w();
+  const int kk = d.ksize * d.ksize;
+  const int c = row / kk;
+  const int rem = row - c * kk;
+  const int kh = rem / d.ksize, kw = rem % d.ksize;
+  const float* in_c = input + static_cast<std::size_t>(c) * d.in_h * d.in_w;
+  eng.scalar_ops(6);  // row decomposition + segment setup
+
+  // The segment may span several output rows; process one row at a time with
+  // the same valid-range arithmetic as im2col_vla.
+  int written = 0;
+  int y = col0 / ow;
+  int x0 = col0 - y * ow;
+  while (written < count) {
+    const int span = std::min(ow - x0, count - written);
+    float* seg = dst + written;
+    const int iy = y * d.stride + kh - d.pad;
+    eng.scalar_ops(3);
+    if (iy < 0 || iy >= d.in_h) {
+      vfill_zero(eng, seg, static_cast<std::size_t>(span));
+    } else {
+      // Valid x range: x*stride + kw - pad in [0, in_w), clipped to the
+      // segment's [x0, x0+span) window.
+      const int x_end = x0 + span;
+      int x_lo = std::max(x0, (d.pad - kw + d.stride - 1) / d.stride);
+      int x_hi;  // exclusive
+      const int top = d.in_w - 1 - kw + d.pad;
+      if (top < 0)
+        x_hi = x0;
+      else
+        x_hi = std::min(x_end, top / d.stride + 1);
+      x_lo = std::min(x_lo, x_end);
+      x_hi = std::max(x_hi, x0);
+      if (x_lo > x0)
+        vfill_zero(eng, seg, static_cast<std::size_t>(x_lo - x0));
+      if (x_hi < x_end)
+        vfill_zero(eng, seg + (std::max(x_hi, x_lo) - x0),
+                   static_cast<std::size_t>(x_end - std::max(x_hi, x_lo)));
+      if (x_hi > x_lo) {
+        const float* src =
+            in_c + static_cast<std::size_t>(iy) * d.in_w +
+            (static_cast<std::ptrdiff_t>(x_lo) * d.stride + kw - d.pad);
+        const std::size_t n = static_cast<std::size_t>(x_hi - x_lo);
+        float* out = seg + (x_lo - x0);
+        if (d.stride == 1) {
+          for (std::size_t i = 0; i < n;) {
+            const std::size_t vl = eng.setvl(n - i);
+            eng.vload(kV0, src + i);
+            eng.vstore(kV0, out + i);
+            eng.scalar_ops(2);
+            i += vl;
+          }
+        } else {
+          for (std::size_t i = 0; i < n;) {
+            const std::size_t vl = eng.setvl(n - i);
+            eng.vload_strided(
+                kV0, src + static_cast<std::ptrdiff_t>(i) * d.stride, d.stride);
+            eng.vstore(kV0, out + i);
+            eng.scalar_ops(2);
+            i += vl;
+          }
+        }
+      }
+    }
+    written += span;
+    x0 = 0;
+    ++y;
+  }
+}
+
 }  // namespace vlacnn::dnn

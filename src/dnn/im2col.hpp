@@ -19,4 +19,15 @@ void im2col_ref(const ConvDesc& d, const float* input, float* col);
 void im2col_vla(vla::VectorEngine& eng, const ConvDesc& d, const float* input,
                 float* col);
 
+/// Implicit-GEMM gather: writes `count` elements of im2col row `row`
+/// starting at column `col0` into the contiguous buffer `dst`, reading
+/// straight from the input image (zero padding via vector broadcasts,
+/// stride-1 runs via unit-stride loads, strided layers via strided loads).
+/// This is the building block of Gemm6's fused B-pack stage: the B panel is
+/// gathered per (kc, nc) block, so no full-size K×N workspace is ever
+/// materialized.
+void im2col_pack_segment(vla::VectorEngine& eng, const ConvDesc& d,
+                         const float* input, int row, int col0, int count,
+                         float* dst);
+
 }  // namespace vlacnn::dnn

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "dnn/epilogue.hpp"
+
 namespace vlacnn::dnn {
 
 namespace {
@@ -43,7 +45,7 @@ void normalize_cpu(vla::VectorEngine& eng, float* x, const float* mean,
                    const float* variance, int channels, int spatial) {
   for (int c = 0; c < channels; ++c) {
     const float m = mean[c];
-    const float inv_std = 1.0f / std::sqrt(variance[c] + 1e-5f);
+    const float inv_std = 1.0f / std::sqrt(variance[c] + EpilogueDesc::kBnEpsilon);
     eng.scalar_mem(mean + c, sizeof(float), false);
     eng.scalar_mem(variance + c, sizeof(float), false);
     float* xc = x + static_cast<std::size_t>(c) * spatial;
@@ -62,7 +64,7 @@ void normalize_cpu(vla::VectorEngine& eng, float* x, const float* mean,
 void normalize_ref(float* x, const float* mean, const float* variance,
                    int channels, int spatial) {
   for (int c = 0; c < channels; ++c) {
-    const float inv_std = 1.0f / std::sqrt(variance[c] + 1e-5f);
+    const float inv_std = 1.0f / std::sqrt(variance[c] + EpilogueDesc::kBnEpsilon);
     for (int i = 0; i < spatial; ++i) {
       float& v = x[static_cast<std::size_t>(c) * spatial + i];
       v = (v - mean[c]) * inv_std;

@@ -81,14 +81,32 @@ void ConvLayer::forward_item(ExecContext& ctx,
   vla::VectorEngine& eng = ctx.engine();
   const int m = desc_.gemm_m(), k = desc_.gemm_k(), n = desc_.gemm_n();
 
-  bool done = false;
-  if (ctx.conv_override) {
-    // Winograd path computes the raw convolution; bias/BN/activation below
-    // are shared with the GEMM path (fill is unnecessary — the override
-    // overwrites the output completely).
-    done = ctx.conv_override(eng, desc_, in_b, weights_.data(), out_b);
+  // Epilogue of this layer: what a fusing backend applies on the output
+  // tile in registers. Logistic is a scalar transcendental no backend
+  // vectorizes — hand the backend Linear and apply it as a post-pass.
+  EpilogueDesc epi;
+  epi.batch_norm = desc_.batch_norm;
+  if (desc_.batch_norm) {
+    epi.bn_mean = bn_mean_.data();
+    epi.bn_var = bn_var_.data();
+    epi.bn_scale = bn_scales_.data();
   }
-  if (!done) {
+  epi.bias = biases_.data();
+  const bool act_fusable = desc_.act != Activation::Logistic;
+  epi.act = act_fusable ? desc_.act : Activation::Linear;
+
+  ConvStatus status = ConvStatus::Declined;
+  if (ctx.conv_override) {
+    // Winograd path computes the convolution (fill is unnecessary — the
+    // override overwrites the output completely); a fusing override applies
+    // `epi` on the output transform's registers and returns RanFused.
+    status = ctx.conv_override(eng, desc_, in_b, weights_.data(), out_b, &epi);
+  }
+  if (status == ConvStatus::Declined && ctx.fused_conv &&
+      ctx.fused_conv(eng, desc_, in_b, weights_.data(), out_b, epi)) {
+    status = ConvStatus::RanFused;
+  }
+  if (status == ConvStatus::Declined) {
     fill_cpu(eng, out_elems, 0.0f, out_b);
     const float* b_matrix = nullptr;
     if (desc_.ksize == 1 && desc_.stride == 1 && desc_.pad == 0) {
@@ -111,6 +129,13 @@ void ConvLayer::forward_item(ExecContext& ctx,
     VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
                    "ExecContext has no GEMM implementation");
     ctx.gemm(eng, m, n, k, 1.0f, weights_.data(), k, b_matrix, n, out_b, n);
+    status = ConvStatus::Ran;
+  }
+
+  if (status == ConvStatus::RanFused) {
+    // BN/bias (and any vectorizable activation) already applied in-kernel.
+    if (!act_fusable) activate_array(eng, out_b, out_elems, desc_.act);
+    return;
   }
 
   const int spatial = desc_.out_h() * desc_.out_w();
@@ -283,7 +308,14 @@ ConnectedLayer::ConnectedLayer(int in_n, int out_n, Activation act,
   biases_.resize(static_cast<std::size_t>(out_n));
   Rng rng(seed);
   const float scale = std::sqrt(2.0f / static_cast<float>(in_n));
-  for (auto& w : weights_) w = rng.normal(0.0f, scale);
+  // Weights are stored transposed (in_n × out_n) so the layer runs as a
+  // row-vector GEMM x(1×K)·W^T(K×N) on the installed microkernel, which
+  // vectorizes along the output dimension. Logical weight (o, i) keeps the
+  // same RNG draw as the historical out_n × in_n layout.
+  for (int o = 0; o < out_n; ++o)
+    for (int i = 0; i < in_n; ++i)
+      weights_[static_cast<std::size_t>(i) * out_n + o] =
+          rng.normal(0.0f, scale);
   for (auto& b : biases_) b = rng.uniform(-0.1f, 0.1f);
   w_reg_ = sim::RegisteredRange(weights_.data(), weights_.size() * sizeof(float));
   b_reg_ = sim::RegisteredRange(biases_.data(), biases_.size() * sizeof(float));
@@ -296,31 +328,27 @@ void ConnectedLayer::forward_item(ExecContext& ctx,
   const Tensor& in = *inputs[0];
   VLACNN_REQUIRE(in.item_size() == static_cast<std::size_t>(in_n_),
                  "connected input size mismatch");
+  VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
+                 "ExecContext has no GEMM implementation");
   const float* in_b = in.item_data(b);
   float* out_b = output_.item_data(b);
   vla::VectorEngine& eng = ctx.engine();
-  constexpr vla::Vreg kAcc = 0, kW = 1, kX = 2;
-  for (int o = 0; o < out_n_; ++o) {
-    const float* wrow = weights_.data() + static_cast<std::size_t>(o) * in_n_;
-    eng.setvl(static_cast<std::size_t>(in_n_));
-    eng.vbroadcast(kAcc, 0.0f);
-    float total = 0.0f;
-    for (int i = 0; i < in_n_;) {
-      const std::size_t vl = eng.setvl(static_cast<std::size_t>(in_n_ - i));
-      eng.vload(kW, wrow + i);
-      eng.vload(kX, in_b + i);
-      eng.vfma(kAcc, kW, kX);
-      eng.scalar_ops(2);
-      i += static_cast<int>(vl);
-    }
-    eng.setvl(eng.vlmax());
-    total = eng.vredsum(kAcc);
-    out_b[o] = activate_scalar(total + biases_[static_cast<std::size_t>(o)],
-                               act_);
-    eng.scalar_ops(3);
+  // out(1×N) += x(1×K) · W^T(K×N): the same microkernel that runs the conv
+  // layers, so FC layers inherit blocking/packing/intra-op sharding.
+  fill_cpu(eng, static_cast<std::size_t>(out_n_), 0.0f, out_b);
+  ctx.gemm(eng, 1, out_n_, in_n_, 1.0f, in_b, in_n_, weights_.data(), out_n_,
+           out_b, out_n_);
+  constexpr vla::Vreg kAcc = 0, kB = 1;
+  for (int i = 0; i < out_n_;) {
+    const std::size_t vl = eng.setvl(static_cast<std::size_t>(out_n_ - i));
+    eng.vload(kAcc, out_b + i);
+    eng.vload(kB, biases_.data() + i);
+    eng.vadd(kAcc, kAcc, kB);
+    eng.vstore(kAcc, out_b + i);
+    eng.scalar_ops(2);
+    i += static_cast<int>(vl);
   }
-  eng.scalar_mem(out_b, static_cast<std::size_t>(out_n_) * sizeof(float),
-                 true);
+  activate_array(eng, out_b, static_cast<std::size_t>(out_n_), act_);
 }
 
 // ------------------------------------------------------------- SoftmaxLayer

@@ -167,7 +167,8 @@ class ConnectedLayer final : public Layer {
  private:
   int in_n_, out_n_;
   Activation act_;
-  AlignedBuffer<float> weights_;  // out_n × in_n row-major
+  AlignedBuffer<float> weights_;  // in_n × out_n row-major (transposed for
+                                  // the 1×N GEMV through ctx.gemm)
   AlignedBuffer<float> biases_;
   sim::RegisteredRange w_reg_, b_reg_;
 };

@@ -107,7 +107,9 @@ const Tensor& Network::forward(ExecContext& ctx, const Tensor& input) {
     rec.flops = layer->flops() * input.n();
     rec.items = input.n();
     rec.algo = layer->name().substr(0, 4) == "conv"
-                   ? (ctx.conv_override ? "auto" : "im2col+gemm")
+                   ? (ctx.conv_override
+                          ? "auto"
+                          : (ctx.fused_conv ? "fused-gemm" : "im2col+gemm"))
                    : "aux";
     if (sctx) rec.cycles = sctx->timing().finish() - before;
     ctx.records.push_back(std::move(rec));

@@ -28,6 +28,27 @@ inline const char* to_string(GemmVariant v) {
   return "?";
 }
 
+/// Materializes a fresh Gemm6 instance (own packing buffers) with its
+/// intra-op pool wired — the single construction point shared by
+/// make_gemm_fn and core::ConvolutionEngine::install (which additionally
+/// exposes the instance's conv_fused entry).
+inline std::shared_ptr<Gemm6> make_gemm6(
+    const Opt6Config& o6, runtime::ThreadPool* intra_op_pool = nullptr) {
+  auto impl = std::make_shared<Gemm6>(o6);
+  impl->set_intra_op_pool(intra_op_pool);
+  return impl;
+}
+
+/// Adapts a shared Gemm6 to the dnn::GemmFn interface.
+inline dnn::GemmFn wrap_gemm6(std::shared_ptr<Gemm6> impl) {
+  return [impl = std::move(impl)](vla::VectorEngine& eng, int M, int N, int K,
+                                  float alpha, const float* A, int lda,
+                                  const float* B, int ldb, float* C,
+                                  int ldc) {
+    (*impl)(eng, M, N, K, alpha, A, lda, B, ldb, C, ldc);
+  };
+}
+
 /// Builds a dnn::GemmFn for the given variant. For Opt6Loop, block sizes
 /// default to the BLIS heuristic for `machine` (pass std::nullopt-like
 /// default-constructed BlockSizes with tune=true) or use the given blocks.
@@ -52,15 +73,8 @@ inline dnn::GemmFn make_gemm_fn(GemmVariant v, const Opt3Config& o3 = {},
                   int ldc) {
         gemm_opt3(eng, o3, M, N, K, alpha, A, lda, B, ldb, C, ldc);
       };
-    case GemmVariant::Opt6Loop: {
-      auto impl = std::make_shared<Gemm6>(o6);
-      impl->set_intra_op_pool(intra_op_pool);
-      return [impl](vla::VectorEngine& eng, int M, int N, int K, float alpha,
-                    const float* A, int lda, const float* B, int ldb, float* C,
-                    int ldc) {
-        (*impl)(eng, M, N, K, alpha, A, lda, B, ldb, C, ldc);
-      };
-    }
+    case GemmVariant::Opt6Loop:
+      return wrap_gemm6(make_gemm6(o6, intra_op_pool));
   }
   return {};
 }

@@ -1,8 +1,12 @@
 #include "gemm/gemm_opt6.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
+#include "dnn/im2col.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace vlacnn::gemm {
@@ -27,6 +31,24 @@ Gemm6::Gemm6(const Opt6Config& cfg) : cfg_(cfg) {
                                  pack_a_buf_.size() * sizeof(float));
   pb_reg_ = sim::RegisteredRange(pack_b_buf_.data(),
                                  pack_b_buf_.size() * sizeof(float));
+}
+
+void Gemm6::pack_b_panel_implicit(vla::VectorEngine& eng,
+                                  const dnn::ConvDesc& d, const float* input,
+                                  int k0, int kc, int j0, int nc) {
+  // Same micro-panel layout as pack_b_panel, but the source rows are im2col
+  // rows gathered straight from the input image: the full K×N workspace (and
+  // its write + re-read traffic) never exists.
+  const int panel_w = static_cast<int>(eng.vlmax());
+  for (int jp = 0, strip = 0; jp < nc; jp += panel_w, ++strip) {
+    const int w = std::min(panel_w, nc - jp);
+    float* strip_base = pack_b_buf_.data() +
+                        static_cast<std::size_t>(strip) * kc * panel_w;
+    eng.scalar_ops(2);
+    for (int k = 0; k < kc; ++k)
+      dnn::im2col_pack_segment(eng, d, input, k0 + k, j0 + jp, w,
+                               strip_base + static_cast<std::size_t>(k) * panel_w);
+  }
 }
 
 void Gemm6::pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb,
@@ -94,7 +116,8 @@ void Gemm6::pack_a_panel(vla::VectorEngine& eng, float* dst_buf,
 void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                          float alpha, const float* a_panel, int a_stride,
                          const float* b_panel, int b_stride, float* C,
-                         int ldc, int i0, int j0) {
+                         int ldc, int i0, int j0, bool beta0,
+                         const dnn::EpilogueDesc* epi) {
   const int unroll = cfg_.unroll_factor;
   // b_stride == -1 flags the packed micro-panel layout (see pack_b_panel).
   const bool b_packed = b_stride < 0;
@@ -118,8 +141,16 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                      static_cast<std::size_t>(gvl) * sizeof(float), 2);
       }
 
-      for (int u = 0; u < rows; ++u)
-        eng.vload(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+      for (int u = 0; u < rows; ++u) {
+        if (beta0) {
+          // First k-panel of a fused conv: the accumulator starts at zero
+          // instead of loading the (would-be zero-filled) C tile — this is
+          // what eliminates both the fill_cpu pass and the first C read.
+          eng.vbroadcast(u, 0.0f);
+        } else {
+          eng.vload(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+        }
+      }
 
       for (int k = 0; k < kc; ++k) {
         const float* b_addr =
@@ -148,8 +179,16 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
         }
       }
 
-      for (int u = 0; u < rows; ++u)
+      for (int u = 0; u < rows; ++u) {
+        // Last k-panel of a fused conv: BN/bias/activation happen here, on
+        // the accumulator registers, instead of as separate passes that
+        // re-stream the output tensor (kVB is dead after the k-loop).
+        if (epi != nullptr)
+          dnn::apply_channel_epilogue(
+              eng, *epi, epi_params_[static_cast<std::size_t>(i0 + i + u)], u,
+              kVB);
         eng.vstore(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+      }
     }
     j += gvl;
   }
@@ -158,14 +197,72 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
 void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
                        float alpha, const float* A, int lda, const float* B,
                        int ldb, float* C, int ldc) {
+  run_blocked(eng, M, N, K, alpha, A, lda, B, ldb, nullptr, nullptr, C, ldc,
+              /*beta0=*/false, /*epi=*/nullptr);
+}
+
+bool Gemm6::conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                       const float* weights, const float* input,
+                       float* output, const dnn::EpilogueDesc* epi) {
+  const int m = d.gemm_m(), n = d.gemm_n(), k = d.gemm_k();
+  if (d.ksize == 1 && d.stride == 1 && d.pad == 0) {
+    // 1x1/s1: the input already IS the dense B matrix (Darknet skips im2col
+    // here too); beta=0 and the epilogue still fuse.
+    run_blocked(eng, m, n, k, 1.0f, weights, k, input, n, nullptr, nullptr,
+                output, n, /*beta0=*/true, epi);
+    return true;
+  }
+  if (!cfg_.pack_b) return false;  // the implicit gather IS the pack stage
+  run_blocked(eng, m, n, k, 1.0f, weights, k, nullptr, 0, &d, input, output,
+              n, /*beta0=*/true, epi);
+  return true;
+}
+
+void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
+                        float alpha, const float* A, int lda, const float* B,
+                        int ldb, const dnn::ConvDesc* conv,
+                        const float* conv_input, float* C, int ldc,
+                        bool beta0, const dnn::EpilogueDesc* epi) {
   const BlockSizes& bs = cfg_.blocks;
+  // Fused epilogue: derive every channel's constants (and charge the
+  // per-channel parameter reads the unfused passes would make) once per
+  // call — the 1/sqrt is host work, and recharging per panel would
+  // overstate the fused pipeline's traffic. The buffer is written here,
+  // before any fan-out, and read-only inside micro_kernel, so the intra-op
+  // workers may share it.
+  if (epi != nullptr) {
+    epi_params_.resize(static_cast<std::size_t>(M));
+    for (int ch = 0; ch < M; ++ch) {
+      epi_params_[static_cast<std::size_t>(ch)] = epi->channel_params(ch);
+      if (epi->batch_norm) {
+        eng.scalar_mem(epi->bn_mean + ch, sizeof(float), false);
+        eng.scalar_mem(epi->bn_var + ch, sizeof(float), false);
+        eng.scalar_mem(epi->bn_scale + ch, sizeof(float), false);
+        eng.scalar_ops(3);
+      }
+      if (epi->bias != nullptr)
+        eng.scalar_mem(epi->bias + ch, sizeof(float), false);
+    }
+  }
   for (int j1 = 0; j1 < N; j1 += bs.block_n) {
     const int nc = std::min(bs.block_n, N - j1);
     for (int k1 = 0; k1 < K; k1 += bs.block_k) {
       const int kc = std::min(bs.block_k, K - k1);
+      // beta=0 applies to the first k-panel only (later panels accumulate),
+      // the epilogue to the last (the tile value is final there).
+      const bool panel_beta0 = beta0 && k1 == 0;
+      const dnn::EpilogueDesc* panel_epi = (k1 + kc == K) ? epi : nullptr;
       const float* b_panel;
       int b_stride;
-      if (cfg_.pack_b) {
+      // Packing B pays off through reuse across M rows. A pure GEMV
+      // (M == 1, the FC layers' row-vector product) reads each B element
+      // exactly once, so packing would only add a K*N write + re-read of
+      // pure traffic; stream B directly there. Any larger M honors the
+      // configured pack_b — the BLIS ablations toggle it deliberately, so
+      // no heuristic may silently override it. (Implicit conv packing has
+      // no materialized B to stream from and always packs.)
+      const bool pack_b = conv != nullptr || (cfg_.pack_b && M > 1);
+      if (pack_b) {
         // Micro-panel layout needs kc x round_up(nc, VLMAX) floats.
         const std::size_t panel_w = eng.vlmax();
         const std::size_t strips = (static_cast<std::size_t>(nc) + panel_w - 1) / panel_w;
@@ -176,7 +273,10 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
           pb_reg_ = sim::RegisteredRange(pack_b_buf_.data(),
                                          pack_b_buf_.size() * sizeof(float));
         }
-        pack_b_panel(eng, B, ldb, k1, kc, j1, nc);
+        if (conv != nullptr)
+          pack_b_panel_implicit(eng, *conv, conv_input, k1, kc, j1, nc);
+        else
+          pack_b_panel(eng, B, ldb, k1, kc, j1, nc);
         b_panel = pack_b_buf_.data();
         b_stride = -1;  // packed micro-panel layout
       } else {
@@ -198,6 +298,10 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
           worker_engine(w, vlen);
           if (cfg_.pack_a) worker_pack_a(w);
         }
+        // Worker traffic folds into the coordinating engine's counters
+        // after the fan-out (this runs once per (j1, k1) panel, inside the
+        // blocked hot loop; the fold's buffer is reused).
+        traffic_fold_.snapshot(worker_engines_, pool_->size());
         pool_->parallel_for(m_panels, [&](int p, int w) {
           const int i1 = p * bs.block_m;
           const int mc = std::min(bs.block_m, M - i1);
@@ -214,8 +318,9 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
             a_stride = lda;
           }
           micro_kernel(weng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
-                       b_stride, C, ldc, i1, j1);
+                       b_stride, C, ldc, i1, j1, panel_beta0, panel_epi);
         });
+        traffic_fold_.fold_into(eng, worker_engines_, pool_->size());
         continue;
       }
       for (int i1 = 0; i1 < M; i1 += bs.block_m) {
@@ -231,7 +336,7 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
           a_stride = lda;
         }
         micro_kernel(eng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
-                     b_stride, C, ldc, i1, j1);
+                     b_stride, C, ldc, i1, j1, panel_beta0, panel_epi);
       }
     }
   }

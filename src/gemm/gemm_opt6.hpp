@@ -1,9 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "dnn/conv_desc.hpp"
+#include "dnn/epilogue.hpp"
 #include "gemm/blocking.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
@@ -48,20 +51,46 @@ class Gemm6 {
                   const float* A, int lda, const float* B, int ldb, float* C,
                   int ldc);
 
+  /// Fused convolution: output = epi(weights · im2col(input)) in one pass.
+  ///
+  /// The B matrix of the conv GEMM is never materialized — the B-pack stage
+  /// gathers im2col patches per (kc, nc) panel straight from the input
+  /// tensor (im2col_pack_segment), the first k-panel stores the C tile with
+  /// beta=0 (eliminating the fill pass), and `epi` (BN / bias / activation)
+  /// is applied on the last k-panel while the tile is still in registers.
+  /// 1x1/stride-1 layers use the input as a dense B with the same beta=0 +
+  /// epilogue treatment. Bit-identical to the unfused fill + im2col +
+  /// operator() + post-pass pipeline.
+  ///
+  /// Returns false (declining the layer) when `pack_b` is disabled — the
+  /// implicit gather IS the pack stage, so the ablation configuration that
+  /// removes packing has no fused equivalent.
+  bool conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                  const float* weights, const float* input, float* output,
+                  const dnn::EpilogueDesc* epi);
+
   /// Shards the M-panel loop across `pool` when running functionally.
   void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
 
   [[nodiscard]] const Opt6Config& config() const { return cfg_; }
 
  private:
+  void run_blocked(vla::VectorEngine& eng, int M, int N, int K, float alpha,
+                   const float* A, int lda, const float* B, int ldb,
+                   const dnn::ConvDesc* conv, const float* conv_input,
+                   float* C, int ldc, bool beta0,
+                   const dnn::EpilogueDesc* epi);
   void pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb, int k0,
                     int kc, int j0, int nc);
+  void pack_b_panel_implicit(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                             const float* input, int k0, int kc, int j0,
+                             int nc);
   void pack_a_panel(vla::VectorEngine& eng, float* dst_buf, const float* A,
                     int lda, int i0, int mc, int k0, int kc);
   void micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                     float alpha, const float* a_panel, int a_stride,
                     const float* b_panel, int b_stride, float* C, int ldc,
-                    int i0, int j0);
+                    int i0, int j0, bool beta0, const dnn::EpilogueDesc* epi);
 
   vla::VectorEngine& worker_engine(int w, unsigned vlen_bits);
   float* worker_pack_a(int w);
@@ -75,6 +104,11 @@ class Gemm6 {
   std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
   std::vector<std::unique_ptr<AlignedBuffer<float>>> worker_pack_a_;
   std::vector<sim::RegisteredRange> worker_pa_regs_;
+  /// Per-panel traffic snapshot/fold of the intra-op workers.
+  vla::WorkerTrafficFold traffic_fold_;
+  /// Per-channel fused-epilogue constants, filled once per run_blocked call
+  /// (before any fan-out) and read-only in the microkernel.
+  std::vector<dnn::EpilogueDesc::ChannelParams> epi_params_;
 };
 
 }  // namespace vlacnn::gemm

@@ -20,6 +20,13 @@ BatchScheduler::BatchScheduler(core::ConvolutionEngine& engine,
   engine_->install(*main_ctx_, cfg_.intra_op && t > 1 ? &pool_ : nullptr);
 }
 
+std::uint64_t BatchScheduler::mem_bytes_moved() const {
+  std::uint64_t total = main_engine_->mem_bytes_moved();
+  for (const auto& eng : worker_engines_)
+    if (eng) total += eng->mem_bytes_moved();
+  return total;
+}
+
 const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
                                        const dnn::Tensor& input) {
   using clock = std::chrono::steady_clock;
@@ -33,6 +40,8 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
   engine_->prepare(net);
   records_.clear();
   const bool have_override = static_cast<bool>(main_ctx_->conv_override);
+  const char* gemm_algo =
+      main_ctx_->fused_conv ? "fused-gemm" : "im2col+gemm";
 
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     dnn::Layer& layer = net.layer(i);
@@ -55,7 +64,7 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
       rec.flops = layer.flops() * nb;
       rec.items = nb;
       rec.algo = rec.name.substr(0, 4) == "conv"
-                     ? (have_override ? "auto" : "im2col+gemm")
+                     ? (have_override ? "auto" : gemm_algo)
                      : "aux";
       rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
       records_.push_back(std::move(rec));
@@ -83,7 +92,7 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
     if (!merged.empty()) rec = std::move(merged.front());
     rec.name = layer.name();
     rec.algo = rec.name.substr(0, 4) == "conv"
-                   ? (have_override ? "auto" : "im2col+gemm")
+                   ? (have_override ? "auto" : gemm_algo)
                    : "aux";
     // The layer barrier waits for the slowest worker: report the span.
     rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();

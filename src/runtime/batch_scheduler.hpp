@@ -51,6 +51,12 @@ class BatchScheduler {
   [[nodiscard]] int threads() const { return pool_.size(); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
+  /// Cumulative bytes moved by every engine this scheduler drives (main +
+  /// batch workers; intra-op worker traffic is folded into the main engine
+  /// by the GEMM/Winograd kernels). Sample before/after run() to get the
+  /// traffic of one batch. Call only between runs.
+  [[nodiscard]] std::uint64_t mem_bytes_moved() const;
+
  private:
   core::ConvolutionEngine* engine_;
   SchedulerConfig cfg_;

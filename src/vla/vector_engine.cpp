@@ -108,12 +108,14 @@ std::size_t VectorEngine::active_lanes(Preg p) const {
 void VectorEngine::vload(Vreg vd, const float* src) {
   check_vreg(vd);
   std::memcpy(reg(vd), src, gvl_ * sizeof(float));
+  count_mem(gvl_ * sizeof(float), false);
   note_vmem(sim::VopClass::Load, vd, {}, gvl_, src, gvl_ * sizeof(float), false);
 }
 
 void VectorEngine::vstore(Vreg vs, float* dst) {
   check_vreg(vs);
   std::memcpy(dst, reg(vs), gvl_ * sizeof(float));
+  count_mem(gvl_ * sizeof(float), true);
   note_vmem(sim::VopClass::Store, -1, {vs}, gvl_, dst, gvl_ * sizeof(float), true);
 }
 
@@ -128,6 +130,7 @@ void VectorEngine::vload_pred(Vreg vd, Preg p, const float* src) {
     d[l] = pr[l] ? src[l] : 0.0f;
     active += pr[l];
   }
+  count_mem(active * sizeof(float), false);
   note_vmem(sim::VopClass::Load, vd, {}, active, src, active * sizeof(float),
             false);
 }
@@ -145,6 +148,7 @@ void VectorEngine::vstore_pred(Vreg vs, Preg p, float* dst) {
       ++active;
     }
   }
+  count_mem(active * sizeof(float), true);
   note_vmem(sim::VopClass::Store, -1, {vs}, active, dst, active * sizeof(float),
             true);
 }
@@ -155,6 +159,7 @@ void VectorEngine::vload_strided(Vreg vd, const float* base,
   float* d = reg(vd);
   for (std::size_t l = 0; l < gvl_; ++l)
     d[l] = base[static_cast<std::ptrdiff_t>(l) * stride_elems];
+  count_mem(gvl_ * sizeof(float), false);
   note_vmem_strided(sim::VopClass::Load, vd, base,
                     stride_elems * static_cast<std::ptrdiff_t>(sizeof(float)),
                     gvl_, false);
@@ -166,6 +171,7 @@ void VectorEngine::vstore_strided(Vreg vs, float* base,
   const float* s = reg(vs);
   for (std::size_t l = 0; l < gvl_; ++l)
     base[static_cast<std::ptrdiff_t>(l) * stride_elems] = s[l];
+  count_mem(gvl_ * sizeof(float), true);
   note_vmem_strided(sim::VopClass::Store, -1, base,
                     stride_elems * static_cast<std::ptrdiff_t>(sizeof(float)),
                     gvl_, true);
@@ -176,6 +182,7 @@ void VectorEngine::vgather(Vreg vd, const float* base,
   check_vreg(vd);
   float* d = reg(vd);
   for (std::size_t l = 0; l < gvl_; ++l) d[l] = base[indices[l]];
+  count_mem(gvl_ * sizeof(float), false);
   if (ctx_ != nullptr) {
     sim::MemCost total;
     for (std::size_t l = 0; l < gvl_; ++l) {
@@ -211,6 +218,7 @@ void VectorEngine::vgather_local(Vreg vd, const float* base,
   check_vreg(vd);
   float* d = reg(vd);
   for (std::size_t l = 0; l < gvl_; ++l) d[l] = base[indices[l]];
+  count_mem(gvl_ * sizeof(float), false);
   if (ctx_ != nullptr) {
     sim::MemCost total;
     for_each_run(indices, gvl_, [&](std::int32_t first, std::size_t count) {
@@ -229,6 +237,7 @@ void VectorEngine::vscatter_local(Vreg vs, float* base,
   check_vreg(vs);
   const float* s = reg(vs);
   for (std::size_t l = 0; l < gvl_; ++l) base[indices[l]] = s[l];
+  count_mem(gvl_ * sizeof(float), true);
   if (ctx_ != nullptr) {
     ctx_->timing().vop(sim::VopClass::Permute, vs, {vs}, gvl_);
     sim::MemCost total;
@@ -246,6 +255,7 @@ void VectorEngine::vscatter(Vreg vs, float* base, const std::int32_t* indices) {
   check_vreg(vs);
   const float* s = reg(vs);
   for (std::size_t l = 0; l < gvl_; ++l) base[indices[l]] = s[l];
+  count_mem(gvl_ * sizeof(float), true);
   if (ctx_ != nullptr) {
     sim::MemCost total;
     for (std::size_t l = 0; l < gvl_; ++l) {
@@ -455,6 +465,7 @@ void VectorEngine::scalar_ops(std::uint64_t n) {
 }
 
 void VectorEngine::scalar_mem(const void* addr, std::size_t bytes, bool write) {
+  count_mem(bytes, write);
   if (ctx_ == nullptr) return;
   const std::uint64_t sim_addr = sim::AddressMap::instance().translate(addr);
   ctx_->timing().scalar_mem(ctx_->memory().scalar_access(sim_addr, bytes, write));

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -131,6 +132,26 @@ class VectorEngine {
   /// Charges a scalar load/store of `bytes` at `addr`.
   void scalar_mem(const void* addr, std::size_t bytes, bool write);
 
+  // ---------------- traffic accounting ----------------
+
+  /// Cumulative bytes read / written through this engine's memory operations
+  /// (vector and scalar). Maintained functionally — unlike the simulator's
+  /// cache statistics these are available on uninstrumented runs, which is
+  /// what lets the fused-conv benchmarks and tests compare the memory
+  /// traffic of two algorithm pipelines at host speed.
+  [[nodiscard]] std::uint64_t mem_bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t mem_bytes_written() const { return bytes_written_; }
+  [[nodiscard]] std::uint64_t mem_bytes_moved() const {
+    return bytes_read_ + bytes_written_;
+  }
+  void reset_mem_counters() { bytes_read_ = bytes_written_ = 0; }
+  /// Folds traffic observed on helper engines (intra-op pool workers) into
+  /// this engine so a coordinating engine's counters stay inclusive.
+  void add_mem_bytes(std::uint64_t read, std::uint64_t written) {
+    bytes_read_ += read;
+    bytes_written_ += written;
+  }
+
   // ---------------- test access ----------------
 
   [[nodiscard]] float lane(Vreg v, std::size_t i) const;
@@ -150,11 +171,53 @@ class VectorEngine {
                          std::ptrdiff_t stride_bytes, std::size_t n,
                          bool write);
 
+  /// Counts `bytes` toward the functional traffic totals.
+  void count_mem(std::size_t bytes, bool write) {
+    if (write)
+      bytes_written_ += bytes;
+    else
+      bytes_read_ += bytes;
+  }
+
   sim::SimContext* ctx_ = nullptr;
   unsigned vlen_bits_;
   std::size_t gvl_;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
   std::vector<float> regfile_;               // kNumVregs * vlmax()
   std::vector<std::uint8_t> predfile_;       // kNumPregs * vlmax()
+};
+
+/// Folds the memory traffic that intra-op worker engines generate during a
+/// fan-out into the coordinating engine, so its counters stay inclusive:
+/// snapshot() before the parallel_for, fold_into() after the join. The
+/// single implementation shared by the GEMM M-panel and Winograd tile
+/// fan-outs — the two backends' bytes-moved accounting must not drift.
+/// Reusable across calls (the snapshot buffer is retained).
+class WorkerTrafficFold {
+ public:
+  void snapshot(const std::vector<std::unique_ptr<VectorEngine>>& workers,
+                int n) {
+    before_.resize(static_cast<std::size_t>(n));
+    for (int w = 0; w < n; ++w)
+      before_[static_cast<std::size_t>(w)] = {
+          workers[static_cast<std::size_t>(w)]->mem_bytes_read(),
+          workers[static_cast<std::size_t>(w)]->mem_bytes_written()};
+  }
+  void fold_into(VectorEngine& eng,
+                 const std::vector<std::unique_ptr<VectorEngine>>& workers,
+                 int n) const {
+    for (int w = 0; w < n; ++w) {
+      const VectorEngine& weng = *workers[static_cast<std::size_t>(w)];
+      eng.add_mem_bytes(
+          weng.mem_bytes_read() - before_[static_cast<std::size_t>(w)].first,
+          weng.mem_bytes_written() -
+              before_[static_cast<std::size_t>(w)].second);
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> before_;
 };
 
 /// Lazily materializes functional engine `w` of a per-worker pool,

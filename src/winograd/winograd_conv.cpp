@@ -1,7 +1,9 @@
 #include "winograd/winograd_conv.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
 #include "runtime/thread_pool.hpp"
@@ -42,6 +44,12 @@ void WinogradConv::StageScratch::ensure(std::size_t vecw) {
     spill.fill(0.0f);
     spill_reg =
         sim::RegisteredRange(spill.data(), spill.size() * sizeof(float));
+  }
+  if (epi.size() < 4 * vecw) {
+    epi_reg = {};
+    epi.resize(4 * vecw);
+    epi.fill(0.0f);
+    epi_reg = sim::RegisteredRange(epi.data(), epi.size() * sizeof(float));
   }
 }
 
@@ -279,13 +287,42 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
                                     const dnn::ConvDesc& d, const Plan& plan,
                                     const IndexTables& tbl, float* output,
                                     StageScratch& sc, int ty_begin,
-                                    int ty_end) {
+                                    int ty_end, const dnn::EpilogueDesc* epi) {
   const int out_h = d.out_h(), out_w = d.out_w();
   const int ch_stride = out_h * out_w;
   const auto vecw = plan.vecw;
+  // Fused epilogue registers: per-lane parameter vectors in v0..v3 (free
+  // after the second stage pass consumes its inputs), leaky scratch in v4.
+  constexpr vla::Vreg kNegMean = 0, kInvStd = 1, kScale = 2, kBias = 3,
+                      kEpiTmp = 4;
   for (int oc0 = 0; oc0 < d.out_c; oc0 += plan.group) {
     const int gr = std::min(plan.group, d.out_c - oc0);
     const std::size_t active = static_cast<std::size_t>(4) * gr;
+    if (epi != nullptr) {
+      // Lane l of an output register holds channel oc0 + l/4: expand the
+      // per-channel constants into per-lane vectors once per channel group.
+      // The arithmetic per lane matches the unfused kernels op-for-op
+      // (x + (-mean)) * inv_std * scale + bias, so fused outputs stay
+      // bit-identical.
+      float* pp = sc.epi.data();
+      for (std::size_t l = 0; l < vecw; ++l) {
+        const int ch = oc0 + std::min(static_cast<int>(l) / 4, gr - 1);
+        const dnn::EpilogueDesc::ChannelParams p = epi->channel_params(ch);
+        pp[l] = p.neg_mean;
+        pp[vecw + l] = p.inv_std;
+        pp[2 * vecw + l] = p.scale;
+        pp[3 * vecw + l] = p.bias;
+      }
+      eng.scalar_ops(static_cast<std::uint64_t>(gr) * 4);
+      if (epi->batch_norm) {
+        eng.scalar_mem(epi->bn_mean + oc0, static_cast<std::size_t>(gr) * sizeof(float), false);
+        eng.scalar_mem(epi->bn_var + oc0, static_cast<std::size_t>(gr) * sizeof(float), false);
+        eng.scalar_mem(epi->bn_scale + oc0, static_cast<std::size_t>(gr) * sizeof(float), false);
+      }
+      if (epi->bias != nullptr)
+        eng.scalar_mem(epi->bias + oc0, static_cast<std::size_t>(gr) * sizeof(float), false);
+      eng.scalar_mem(pp, 4 * vecw * sizeof(float), true);
+    }
     for (int ty = ty_begin; ty < ty_end; ++ty) {
       for (int tx = 0; tx < plan.tiles_x; ++tx) {
         const int tile = ty * plan.tiles_x + tx;
@@ -310,6 +347,42 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
                             tbl.transpose_idx.data() + static_cast<std::size_t>(s) * vecw);
         stage_pass(eng, reinterpret_cast<const double(*)[8]>(kAT.data()), 6,
                    active);
+
+        if (epi != nullptr) {
+          // Apply BN/bias/activation on the final tile registers before the
+          // scatter — the epilogue passes of ConvLayer::forward_item never
+          // run, so the output tensor is streamed exactly once.
+          eng.vload(kNegMean, sc.epi.data());
+          eng.vload(kInvStd, sc.epi.data() + vecw);
+          eng.vload(kScale, sc.epi.data() + 2 * vecw);
+          eng.vload(kBias, sc.epi.data() + 3 * vecw);
+          for (int half = 0; half < 2; ++half) {
+            for (int r = 0; r < 6; ++r) {
+              const vla::Vreg o = kStageOutBase + half * 8 + r;
+              if (epi->batch_norm) {
+                eng.vadd(o, o, kNegMean);
+                eng.vmul(o, o, kInvStd);
+                eng.vmul(o, o, kScale);
+              }
+              if (epi->bias != nullptr) eng.vadd(o, o, kBias);
+              switch (epi->act) {
+                case dnn::Activation::Linear:
+                case dnn::Activation::Logistic:  // post-pass in the layer
+                  break;
+                case dnn::Activation::Relu:
+                  eng.vmax_scalar(o, o, 0.0f);
+                  break;
+                case dnn::Activation::Leaky:  // max(x,0) + 0.1*min(x,0)
+                  eng.vbroadcast(kEpiTmp, 0.0f);
+                  eng.vmin(kEpiTmp, o, kEpiTmp);
+                  eng.vmax_scalar(o, o, 0.0f);
+                  eng.vfma_scalar(o, 0.1f, kEpiTmp);
+                  break;
+              }
+            }
+          }
+          eng.scalar_ops(2);
+        }
 
         const bool interior =
             ty * kOutTile + kOutTile <= out_h && tx * kOutTile + kOutTile <= out_w;
@@ -356,13 +429,15 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
 
 void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                        const float* input, const float* weights,
-                       float* output) {
+                       float* output, const dnn::EpilogueDesc* epi) {
   VLACNN_REQUIRE(supports(d), "unsupported conv shape for Winograd");
 
   if (d.stride == 2) {
     // Dense stride-1 Winograd followed by 2x subsampling. The redundant
     // work is why the paper finds Winograd 1.4x slower than im2col+GEMM on
-    // stride-2 layers (§VII-A).
+    // stride-2 layers (§VII-A). The epilogue fuses into the subsampling
+    // pass (per-channel constants on the strided-load register), not into
+    // the dense stage — only kept pixels pay for it.
     dnn::ConvDesc s1 = d;
     s1.stride = 1;
     const std::size_t dense =
@@ -372,9 +447,21 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
       s1_out_.resize(dense);
       s1_reg_ = sim::RegisteredRange(s1_out_.data(), dense * sizeof(float));
     }
-    run(eng, s1, input, weights, s1_out_.data());
+    run(eng, s1, input, weights, s1_out_.data(), nullptr);
     const int ow = d.out_w(), oh = d.out_h(), s1w = s1.out_w();
     for (int oc = 0; oc < d.out_c; ++oc) {
+      dnn::EpilogueDesc::ChannelParams p;
+      if (epi != nullptr) {
+        p = epi->channel_params(oc);
+        if (epi->batch_norm) {
+          eng.scalar_mem(epi->bn_mean + oc, sizeof(float), false);
+          eng.scalar_mem(epi->bn_var + oc, sizeof(float), false);
+          eng.scalar_mem(epi->bn_scale + oc, sizeof(float), false);
+        }
+        if (epi->bias != nullptr)
+          eng.scalar_mem(epi->bias + oc, sizeof(float), false);
+        eng.scalar_ops(3);
+      }
       for (int y = 0; y < oh; ++y) {
         const float* src = s1_out_.data() +
                            (static_cast<std::size_t>(oc) * s1.out_h() + 2 * y) *
@@ -384,6 +471,7 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
           const auto vl =
               static_cast<int>(eng.setvl(static_cast<std::size_t>(ow - x)));
           eng.vload_strided(0, src + 2 * static_cast<std::size_t>(x), 2);
+          if (epi != nullptr) dnn::apply_channel_epilogue(eng, *epi, p, 0, 1);
           eng.vstore(0, dst + x);
           eng.scalar_ops(2);
           x += vl;
@@ -425,7 +513,8 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
   if (!parallel) {
     transform_input(eng, d, plan, tbl, input, *scratch_[0], 0, plan.tiles_y);
     tuple_multiply(eng, d, plan, u, 0, d.out_c);
-    transform_output(eng, d, plan, tbl, output, *scratch_[0], 0, plan.tiles_y);
+    transform_output(eng, d, plan, tbl, output, *scratch_[0], 0, plan.tiles_y,
+                     epi);
     return;
   }
 
@@ -440,6 +529,11 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
     scratch_[static_cast<std::size_t>(w) + 1]->ensure(plan.vecw);
   }
 
+  // Worker traffic folds into the coordinating engine's counters after the
+  // fan-outs.
+  vla::WorkerTrafficFold traffic_fold;
+  traffic_fold.snapshot(worker_engines_, workers);
+
   // Each worker transforms a contiguous range of tile rows into its slice
   // of V, multiplies a range of output channels into its slice of M, then
   // transforms its tile rows of the output — all writes are disjoint.
@@ -452,8 +546,10 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
   });
   pool_->parallel_for(plan.tiles_y, [&](int ty, int w) {
     transform_output(worker_engine(w, vlen), d, plan, tbl, output,
-                     *scratch_[static_cast<std::size_t>(w) + 1], ty, ty + 1);
+                     *scratch_[static_cast<std::size_t>(w) + 1], ty, ty + 1,
+                     epi);
   });
+  traffic_fold.fold_into(eng, worker_engines_, workers);
 }
 
 }  // namespace vlacnn::winograd

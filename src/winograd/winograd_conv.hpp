@@ -6,6 +6,7 @@
 
 #include "common/aligned_buffer.hpp"
 #include "dnn/conv_desc.hpp"
+#include "dnn/epilogue.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
 #include "winograd/weight_cache.hpp"
@@ -55,10 +56,16 @@ class WinogradConv {
   /// by subsampling, which is why the paper measures it slower than GEMM).
   [[nodiscard]] static bool supports(const dnn::ConvDesc& d);
 
-  /// Runs the convolution: output = conv(input, weights). Bias/BN/activation
-  /// are the caller's concern (the ConvLayer applies them afterwards).
+  /// Runs the convolution: output = conv(input, weights). With `epi`
+  /// non-null the epilogue (BN / bias / activation) is fused into the
+  /// output transform — applied on the stage registers right before the
+  /// output scatter (stride-2: on the subsampling pass) instead of as
+  /// separate passes re-streaming the output tensor. With a null `epi` the
+  /// raw convolution is written and bias/BN/activation remain the caller's
+  /// concern (the ConvLayer applies them afterwards).
   void run(vla::VectorEngine& eng, const dnn::ConvDesc& d, const float* input,
-           const float* weights, float* output);
+           const float* weights, float* output,
+           const dnn::EpilogueDesc* epi = nullptr);
 
   /// Shards the intra-op loops across `pool` when running functionally.
   void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
@@ -93,13 +100,15 @@ class WinogradConv {
     std::vector<std::int32_t> out_scatter2;    // 2*group, cols 4..5
   };
 
-  /// Per-driver stage scratch: the edge-tile pack buffer and the transpose
-  /// spill buffer. Index 0 belongs to the serial path; intra-op workers each
-  /// own one so concurrent tiles never share scribble space.
+  /// Per-driver stage scratch: the edge-tile pack buffer, the transpose
+  /// spill buffer, and the per-lane epilogue parameter vectors. Index 0
+  /// belongs to the serial path; intra-op workers each own one so
+  /// concurrent tiles never share scribble space.
   struct StageScratch {
     AlignedBuffer<float> pack;     // 16 x vecw packed rows (edge tiles)
     AlignedBuffer<float> spill;    // 16 x vecw stage output
-    sim::RegisteredRange pack_reg, spill_reg;
+    AlignedBuffer<float> epi;      // 4 x vecw: -mean | inv_std | scale | bias
+    sim::RegisteredRange pack_reg, spill_reg, epi_reg;
 
     void ensure(std::size_t vecw);
   };
@@ -117,7 +126,7 @@ class WinogradConv {
   void transform_output(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                         const Plan& plan, const IndexTables& tbl,
                         float* output, StageScratch& sc, int ty_begin,
-                        int ty_end);
+                        int ty_end, const dnn::EpilogueDesc* epi);
 
   /// Applies one transform pass (row combinations of matrix `t`) to the 16
   /// packed input registers v0..v15, writing v16..v16+rows-1 / v24..

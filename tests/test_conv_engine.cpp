@@ -29,7 +29,8 @@ bool override_taken(const EnginePolicy& policy, const dnn::ConvDesc& d) {
   auto input = test::random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
   auto weights = test::random_vec(static_cast<std::size_t>(d.weight_count()), 2);
   std::vector<float> out(static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
-  return ctx.conv_override(eng, d, input.data(), weights.data(), out.data());
+  return ctx.conv_override(eng, d, input.data(), weights.data(), out.data(),
+                           nullptr) != dnn::ConvStatus::Declined;
 }
 
 TEST(ConvEngine, WinogradPolicySelects3x3Stride1) {
@@ -69,6 +70,36 @@ TEST(ConvEngine, PolicyFactoriesCarryParameters) {
   EXPECT_EQ(EnginePolicy::opt6loop(o6).opt6.blocks.block_m, 32);
   EXPECT_EQ(EnginePolicy::winograd().gemm_variant,
             gemm::GemmVariant::Opt6Loop);
+}
+
+TEST(ConvEngine, FusedPolicyInstallsFusedConv) {
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(EnginePolicy::fused());
+  engine.install(ctx);
+  EXPECT_TRUE(static_cast<bool>(ctx.fused_conv));
+  EXPECT_TRUE(static_cast<bool>(ctx.gemm));
+  EXPECT_FALSE(static_cast<bool>(ctx.conv_override));
+}
+
+TEST(ConvEngine, UnfusedPoliciesInstallNoFusedConv) {
+  for (const auto& p : {EnginePolicy::naive(), EnginePolicy::opt3loop(),
+                        EnginePolicy::opt6loop(), EnginePolicy::winograd()}) {
+    vla::VectorEngine eng(512);
+    dnn::ExecContext ctx(eng);
+    ConvolutionEngine engine(p);
+    engine.install(ctx);
+    EXPECT_FALSE(static_cast<bool>(ctx.fused_conv));
+  }
+}
+
+TEST(ConvEngine, FusedWinogradPolicyInstallsBoth) {
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(EnginePolicy::fused(/*use_winograd=*/true));
+  engine.install(ctx);
+  EXPECT_TRUE(static_cast<bool>(ctx.fused_conv));
+  EXPECT_TRUE(static_cast<bool>(ctx.conv_override));
 }
 
 }  // namespace
