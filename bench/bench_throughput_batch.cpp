@@ -9,22 +9,25 @@
 // the pool shards the GEMM M-panel / Winograd tile loops of a single image.
 //
 //   ./bench_throughput_batch [--model=tiny|vgg]
-//                            [--policy=opt6|opt3|winograd|fused]
+//                            [--policy=opt6|opt3|winograd|fused|plan]
 //                            [--input=96] [--reps=3] [--max-threads=8]
 //                            [--quick] [--json=<path>]
 //
 // The default policy is opt6 because only the 6-loop GEMM (and Winograd)
 // have intra-op pool sharding — opt3 would silently run the batch=1 rows
 // serially at every thread count. --policy=fused runs the fused conv
-// pipeline (implicit-GEMM packing + in-kernel epilogue). --json appends
-// one {bench, config, wall_ms, bytes_moved} record per (threads, batch)
-// row for the perf trajectory.
+// pipeline (implicit-GEMM packing + in-kernel epilogue); --policy=plan
+// runs the simulation-driven per-layer BackendPlan (selected once on the
+// a64fx machine config, then reused for every row). --json appends one
+// {bench, config, wall_ms, bytes_moved} record per (threads, batch) row
+// for the perf trajectory.
 
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/selector.hpp"
 #include "runtime/batch_scheduler.hpp"
 
 using namespace vlacnn;
@@ -43,11 +46,15 @@ double run_once(runtime::BatchScheduler& sched, dnn::Network& net,
 
 namespace {
 
-core::EnginePolicy policy_from_name(const std::string& name) {
-  if (name == "opt3") return core::EnginePolicy::opt3loop();
-  if (name == "winograd") return core::EnginePolicy::winograd();
-  if (name == "fused") return core::EnginePolicy::fused();
-  return core::EnginePolicy::opt6loop();
+core::BackendPlan plan_from_name(const std::string& name, dnn::Network& net) {
+  if (name == "plan") return core::select_per_layer(net, sim::a64fx());
+  if (name == "opt3")
+    return core::BackendPlan::uniform(core::EnginePolicy::opt3loop());
+  if (name == "winograd")
+    return core::BackendPlan::uniform(core::EnginePolicy::winograd());
+  if (name == "fused")
+    return core::BackendPlan::uniform(core::EnginePolicy::fused());
+  return core::BackendPlan::uniform(core::EnginePolicy::opt6loop());
 }
 
 }  // namespace
@@ -72,9 +79,13 @@ int main(int argc, char** argv) {
   } else {
     net = dnn::build_yolov3_tiny(input_hw);
   }
+  // Selected (or compiled) once; engines per row share the plan by value.
+  const core::BackendPlan plan = plan_from_name(policy_name, *net);
   std::printf("model=%s policy=%s input=%d  hardware threads=%d\n",
               model.c_str(), policy_name.c_str(), input_hw,
               runtime::ThreadPool::hardware_threads());
+  if (policy_name == "plan")
+    std::printf("per-layer dispatch table:\n%s", plan.summary().c_str());
   std::printf("%-8s %-8s %-12s %-12s %-10s\n", "threads", "batch", "sec/run",
               "images/sec", "speedup");
 
@@ -88,7 +99,7 @@ int main(int argc, char** argv) {
     input.randomize_batch(1234, 0.0f, 1.0f);
     double base_ips = 0.0;
     for (int threads : thread_counts) {
-      core::ConvolutionEngine engine(policy_from_name(policy_name));
+      core::ConvolutionEngine engine(plan);
       runtime::SchedulerConfig cfg;
       cfg.threads = threads;
       runtime::BatchScheduler sched(engine, cfg);

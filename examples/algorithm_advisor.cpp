@@ -3,9 +3,11 @@
 // "convolutional layers require careful algorithmic selection related to
 // the kernel sizes and strides", §VII-A).
 //
-// For each convolutional layer of the chosen model, all eligible
-// algorithms (3-loop GEMM, 6-loop GEMM, Winograd, direct) are simulated on
-// the chosen machine and the winner is reported as a deployment plan.
+// For each convolutional layer of the chosen model, all eligible backends
+// (3-loop GEMM, 6-loop GEMM, fused implicit-GEMM, Winograd, fused
+// Winograd, direct) are simulated on the chosen machine — full layer
+// pipeline, epilogue included — and the winners are reported as a
+// BackendPlan ready to install into a ConvolutionEngine.
 //
 //   ./algorithm_advisor [--model=yolov3|tiny|vgg16] [--input=64]
 //                       [--layers=16] [--machine=a64fx|rvv|sve] [--vlen=N]
@@ -45,33 +47,36 @@ int main(int argc, char** argv) {
               model.c_str(), net->num_conv_layers(), input, input,
               machine.name.c_str());
 
-  const auto plan = core::select_per_layer(*net, machine);
+  const core::BackendPlan plan = core::select_per_layer(*net, machine);
 
   Table table({"layer", "winner", "Mcycles", "candidates (Mcycles)"});
-  for (const auto& c : plan) {
+  for (const auto& e : plan.entries) {
     std::string cands;
-    for (const auto& [algo, cycles] : c.candidates) {
+    for (const auto& [backend, cycles] : e.candidates) {
       if (!cands.empty()) cands += ", ";
-      cands += std::string(core::to_string(algo)) + "=" +
+      cands += std::string(core::to_string(backend)) + "=" +
                Table::fmt(static_cast<double>(cycles) / 1e6, 2);
     }
-    table.add_row({std::to_string(c.layer_index) + " " + c.layer_name,
-                   core::to_string(c.algo),
-                   Table::fmt(static_cast<double>(c.cycles) / 1e6, 2), cands});
+    table.add_row({std::to_string(e.layer_index) + " " + e.layer_name,
+                   core::to_string(e.backend),
+                   Table::fmt(static_cast<double>(e.cycles) / 1e6, 2), cands});
   }
-  table.print("per-layer plan (fastest simulated algorithm):");
+  table.print("per-layer BackendPlan (fastest simulated backend):");
 
-  int wino = 0, direct = 0, g3 = 0, g6 = 0;
-  for (const auto& c : plan) {
-    switch (c.algo) {
-      case core::ConvAlgo::Winograd: ++wino; break;
-      case core::ConvAlgo::Direct: ++direct; break;
-      case core::ConvAlgo::Im2colGemm3: ++g3; break;
-      case core::ConvAlgo::Im2colGemm6: ++g6; break;
+  int wino = 0, direct = 0, g3 = 0, g6 = 0, fused = 0;
+  for (const auto& e : plan.entries) {
+    switch (e.backend) {
+      case core::Backend::Winograd: ++wino; break;
+      case core::Backend::Direct: ++direct; break;
+      case core::Backend::Gemm3: ++g3; break;
+      case core::Backend::Naive:
+      case core::Backend::Gemm6: ++g6; break;
+      case core::Backend::FusedGemm6:
+      case core::Backend::FusedWinograd: ++fused; break;
     }
   }
-  std::printf("\nsummary: winograd=%d direct=%d gemm3=%d gemm6=%d — no "
-              "one-size-fits-all (paper §II-B/§VII-A)\n",
-              wino, direct, g3, g6);
+  std::printf("\nsummary: fused=%d winograd=%d direct=%d gemm3=%d gemm6=%d — "
+              "no one-size-fits-all (paper §II-B/§VII-A)\n",
+              fused, wino, direct, g3, g6);
   return 0;
 }

@@ -8,8 +8,23 @@
 // latency percentiles (time from "arrival" — its position in the request
 // stream — to completion of its batch).
 //
-//   ./throughput_server [--model=tiny|vgg] [--requests=32] [--batch=8]
+// --policy picks the dispatch configuration:
+//   plan      (default) simulation-driven per-layer BackendPlan: every
+//             eligible backend is simulated per layer on the serving
+//             machine config (--machine) and the winner wins — tiny-channel
+//             head layers may go direct, 3x3/s1 body layers to fused
+//             Winograd, the rest to the fused implicit-GEMM.
+//   fused     uniform fused conv pipeline (EnginePolicy::fused()).
+//   winograd  Winograd for 3x3/s1, optimized GEMM elsewhere.
+//   opt6      uniform 6-loop GEMM.
+// The chosen per-layer table is printed at startup. Residual shortcuts are
+// folded into their producing convolutions (Network::fuse_residuals) so
+// models with skip connections serve them in-epilogue.
+//
+//   ./throughput_server [--model=tiny|vgg|yolo] [--requests=32] [--batch=8]
 //                       [--threads=0 (hardware)] [--input=96] [--vlen=512]
+//                       [--policy=plan|fused|winograd|opt6]
+//                       [--machine=a64fx|rvv|sve]
 
 #include <algorithm>
 #include <chrono>
@@ -17,6 +32,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "core/selector.hpp"
 #include "dnn/models.hpp"
 #include "runtime/batch_scheduler.hpp"
 
@@ -30,26 +46,66 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(args.get_int("threads", 0));
   const int input_hw = static_cast<int>(args.get_int("input", 96));
   const auto vlen = static_cast<unsigned>(args.get_int("vlen", 512));
+  const std::string policy = args.get("policy", "plan");
+  const std::string machine_name = args.get("machine", "a64fx");
   if (requests < 1 || batch < 1) {
     std::fprintf(stderr, "error: --requests and --batch must be >= 1\n");
     return 1;
   }
 
-  std::unique_ptr<dnn::Network> net =
-      model == "vgg" ? dnn::build_vgg16(input_hw % 32 == 0 ? input_hw : 64)
-                     : dnn::build_yolov3_tiny(input_hw);
+  std::unique_ptr<dnn::Network> net;
+  if (model == "vgg")
+    net = dnn::build_vgg16(input_hw % 32 == 0 ? input_hw : 64);
+  else if (model == "yolo")
+    net = dnn::build_yolov3(input_hw % 32 == 0 ? input_hw : 64);
+  else
+    net = dnn::build_yolov3_tiny(input_hw);
 
-  // Serve with the fused conv pipeline: implicit-GEMM packing + in-kernel
-  // epilogue — the lowest-traffic configuration (see bench_fused_conv).
-  core::ConvolutionEngine engine(core::EnginePolicy::fused());
+  // Fold residual shortcuts into their producing convolutions: the skip add
+  // runs in the conv epilogue (in-kernel on fused backends) instead of as
+  // an extra output-streaming layer.
+  const int folded = net->fuse_residuals();
+
+  core::BackendPlan plan;
+  if (policy == "plan") {
+    sim::MachineConfig machine = sim::a64fx();
+    if (machine_name == "rvv") {
+      machine = sim::rvv_gem5();
+    } else if (machine_name == "sve") {
+      machine = sim::sve_gem5();
+    } else if (machine_name != "a64fx") {
+      std::fprintf(stderr, "error: unknown --machine=%s (a64fx|rvv|sve)\n",
+                   machine_name.c_str());
+      return 1;
+    }
+    std::printf("selecting per-layer backends on %s (simulating all "
+                "candidates)...\n", machine.name.c_str());
+    plan = core::select_per_layer(*net, machine);
+  } else if (policy == "fused") {
+    plan = core::BackendPlan::uniform(core::EnginePolicy::fused());
+  } else if (policy == "winograd") {
+    plan = core::BackendPlan::uniform(core::EnginePolicy::winograd());
+  } else if (policy == "opt6") {
+    plan = core::BackendPlan::uniform(core::EnginePolicy::opt6loop());
+  } else {
+    std::fprintf(stderr,
+                 "error: unknown --policy=%s (plan|fused|winograd|opt6)\n",
+                 policy.c_str());
+    return 1;
+  }
+
+  core::ConvolutionEngine engine(plan);
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
   cfg.vlen_bits = vlen;
   runtime::BatchScheduler sched(engine, cfg);
 
-  std::printf("serving %s (%zu layers) | %d requests, batch<=%d, %d workers\n",
-              model.c_str(), net->num_layers(), requests, batch,
-              sched.threads());
+  std::printf("serving %s (%zu layers, %d fused shortcuts) | %d requests, "
+              "batch<=%d, %d workers | policy=%s\n",
+              model.c_str(), net->num_layers(), folded, requests, batch,
+              sched.threads(), policy.c_str());
+  std::printf("per-layer dispatch table:\n%s\n",
+              engine.plan().summary().c_str());
 
   // Warm-up pass: weight caches, workspaces, output reshapes.
   {
@@ -99,7 +155,7 @@ int main(int argc, char** argv) {
               return a.wall_seconds > b.wall_seconds;
             });
   for (std::size_t i = 0; i < std::min<std::size_t>(5, recs.size()); ++i)
-    std::printf("  %-16s %-12s items=%-3d %.3f ms\n", recs[i].name.c_str(),
+    std::printf("  %-16s %-14s items=%-3d %.3f ms\n", recs[i].name.c_str(),
                 recs[i].algo.c_str(), recs[i].items,
                 recs[i].wall_seconds * 1e3);
   return 0;

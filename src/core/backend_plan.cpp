@@ -1,0 +1,112 @@
+#include "core/backend_plan.hpp"
+
+#include <sstream>
+
+#include "core/conv_engine.hpp"
+#include "winograd/winograd_conv.hpp"
+
+namespace vlacnn::core {
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Naive: return "naive-gemm";
+    case Backend::Gemm3: return "im2col+gemm3";
+    case Backend::Gemm6: return "im2col+gemm6";
+    case Backend::FusedGemm6: return "fused-gemm6";
+    case Backend::Winograd: return "winograd";
+    case Backend::FusedWinograd: return "fused-winograd";
+    case Backend::Direct: return "direct";
+  }
+  return "?";
+}
+
+bool backend_fuses(Backend b) {
+  return b == Backend::FusedGemm6 || b == Backend::FusedWinograd;
+}
+
+bool backend_eligible(Backend b, const dnn::ConvDesc& d) {
+  if (b == Backend::Winograd || b == Backend::FusedWinograd)
+    return winograd::WinogradConv::supports(d);
+  return true;
+}
+
+std::uint64_t conv_shape_key(const dnn::ConvDesc& d) {
+  std::uint64_t k = 1469598103934665603ull;
+  for (int v : {d.in_c, d.in_h, d.in_w, d.out_c, d.ksize, d.stride, d.pad}) {
+    k ^= static_cast<std::uint64_t>(v);
+    k *= 1099511628211ull;
+  }
+  return k;
+}
+
+BackendPlan BackendPlan::uniform(const EnginePolicy& policy) {
+  BackendPlan p;
+  p.opt3 = policy.opt3;
+  p.opt6 = policy.opt6;
+  p.vectorize_aux = policy.vectorize_aux;
+  switch (policy.gemm_variant) {
+    case gemm::GemmVariant::Naive:
+      p.fallback_gemm = Backend::Naive;
+      break;
+    case gemm::GemmVariant::Opt3Loop:
+      p.fallback_gemm = Backend::Gemm3;
+      break;
+    case gemm::GemmVariant::Opt6Loop:
+      p.fallback_gemm =
+          policy.fuse_conv ? Backend::FusedGemm6 : Backend::Gemm6;
+      break;
+  }
+  p.fallback_winograd =
+      policy.fuse_conv ? Backend::FusedWinograd : Backend::Winograd;
+  p.winograd_stride1 = policy.winograd_stride1;
+  p.winograd_stride2 = policy.winograd_stride2;
+  return p;
+}
+
+const PlanEntry* BackendPlan::find(const dnn::ConvDesc& d) const {
+  const std::uint64_t key = conv_shape_key(d);
+  for (const PlanEntry& e : entries)
+    if (e.shape_key == key) return &e;
+  return nullptr;
+}
+
+Backend BackendPlan::backend_for(const dnn::ConvDesc& d) const {
+  if (const PlanEntry* e = find(d);
+      e != nullptr && backend_eligible(e->backend, d))
+    return e->backend;
+  const bool to_winograd =
+      winograd::WinogradConv::supports(d) &&
+      (d.stride == 1 ? winograd_stride1 : winograd_stride2);
+  return to_winograd ? fallback_winograd : fallback_gemm;
+}
+
+bool BackendPlan::may_use(Backend b) const {
+  if (fallback_gemm == b) return true;
+  if ((winograd_stride1 || winograd_stride2) && fallback_winograd == b)
+    return true;
+  for (const PlanEntry& e : entries)
+    if (e.backend == b) return true;
+  return false;
+}
+
+std::string BackendPlan::summary() const {
+  std::ostringstream out;
+  for (const PlanEntry& e : entries) {
+    out << "  layer " << e.layer_index << "  " << e.layer_name << "  -> "
+        << to_string(e.backend);
+    if (e.cycles != 0)
+      out << "  (" << static_cast<double>(e.cycles) / 1e6 << " Mcycles)";
+    out << "\n";
+  }
+  out << "  fallback: " << to_string(fallback_gemm);
+  if (winograd_stride1 || winograd_stride2) {
+    out << ", 3x3";
+    if (winograd_stride1) out << "/s1";
+    if (winograd_stride2) out << "/s2";
+    out << " -> " << to_string(fallback_winograd);
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace vlacnn::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dnn/conv_desc.hpp"
+#include "gemm/gemm_opt3.hpp"
+#include "gemm/gemm_opt6.hpp"
+
+namespace vlacnn::core {
+
+struct EnginePolicy;
+
+/// Convolution backends a layer can be dispatched to — the algorithm
+/// portfolio of the paper's §VII-A conclusion ("convolutional layers
+/// require careful algorithmic selection related to kernel sizes and
+/// strides") plus the fused pipelines PR 2 built. The Fused* kinds carry
+/// the epilogue-fusion flag: they apply BN/bias/activation (and a folded
+/// residual add) on the output tile in registers instead of as post-passes.
+enum class Backend {
+  Naive,          ///< scalar Darknet baseline GEMM (paper Fig. 1)
+  Gemm3,          ///< im2col + vectorized 3-loop GEMM (Fig. 2)
+  Gemm6,          ///< im2col + blocked/packed 6-loop GEMM (Fig. 3)
+  FusedGemm6,     ///< implicit-GEMM packing + in-kernel epilogue
+  Winograd,       ///< F(6x6,3x3), epilogue as post-passes
+  FusedWinograd,  ///< F(6x6,3x3), epilogue on the output transform
+  Direct,         ///< direct convolution (no im2col; best for tiny channels)
+};
+
+const char* to_string(Backend b);
+
+/// True for the backends that apply the epilogue in-kernel.
+[[nodiscard]] bool backend_fuses(Backend b);
+
+/// True when `b` can run the layer shape `d` at all (Winograd variants need
+/// 3x3/pad-1; everything else takes any shape).
+[[nodiscard]] bool backend_eligible(Backend b, const dnn::ConvDesc& d);
+
+/// Shape key matching plan entries to layers at dispatch time (FNV-1a over
+/// the convolution geometry; epilogue config deliberately excluded — the
+/// backend choice depends on shape only).
+[[nodiscard]] std::uint64_t conv_shape_key(const dnn::ConvDesc& d);
+
+/// One row of a per-layer backend table.
+struct PlanEntry {
+  int layer_index = -1;
+  std::string layer_name;
+  std::uint64_t shape_key = 0;
+  Backend backend = Backend::Gemm6;
+  std::uint64_t cycles = 0;  ///< simulated cycles of the winner (0 = not
+                             ///< simulated, e.g. hand-written plans)
+  /// Every simulated (backend, cycles) candidate, for reporting.
+  std::vector<std::pair<Backend, std::uint64_t>> candidates;
+};
+
+/// First-class per-layer backend dispatch table: the single structure the
+/// selector and the codesign advisor emit, ConvolutionEngine::install
+/// compiles into a per-context dispatch, and the runtime/serving layers
+/// consume. A global EnginePolicy is just the uniform special case
+/// (`BackendPlan::uniform`): an empty table whose fallback routing encodes
+/// the policy's GEMM variant and Winograd flags.
+///
+/// Resolution order for a layer shape (`backend_for`): a table entry whose
+/// shape key matches and whose backend is eligible wins; otherwise the
+/// fallback routing applies — 3x3 layers go to `fallback_winograd` when the
+/// matching stride flag is set, everything else to `fallback_gemm`. A
+/// declined (ineligible) entry therefore keeps the layer on its plan
+/// default — fused included; nothing clears fusion as a side effect.
+struct BackendPlan {
+  /// Kernel configuration shared by every backend of the plan.
+  gemm::Opt3Config opt3{};
+  gemm::Opt6Config opt6{};
+  bool vectorize_aux = true;
+
+  /// Fallback routing for layers without a (eligible) table entry.
+  Backend fallback_gemm = Backend::Gemm6;
+  Backend fallback_winograd = Backend::Winograd;
+  bool winograd_stride1 = false;
+  bool winograd_stride2 = false;
+
+  /// Per-layer table, matched by conv_shape_key.
+  std::vector<PlanEntry> entries;
+
+  /// Compiles a global EnginePolicy into the equivalent uniform plan.
+  [[nodiscard]] static BackendPlan uniform(const EnginePolicy& policy);
+
+  [[nodiscard]] const PlanEntry* find(const dnn::ConvDesc& d) const;
+
+  /// The backend layer shape `d` dispatches to (entry or fallback; always
+  /// eligible for `d`).
+  [[nodiscard]] Backend backend_for(const dnn::ConvDesc& d) const;
+
+  /// True when any entry or fallback route can reach `b`.
+  [[nodiscard]] bool may_use(Backend b) const;
+
+  /// Printable per-layer table (one line per entry + the fallback), for
+  /// serving startup logs and the advisor examples.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace vlacnn::core

@@ -4,12 +4,14 @@
 
 namespace vlacnn::core {
 
-RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
-                        const EnginePolicy& policy, std::uint64_t input_seed) {
+namespace {
+
+RunResult run_with_engine(dnn::Network& net, const sim::MachineConfig& machine,
+                          ConvolutionEngine& engine,
+                          std::uint64_t input_seed) {
   sim::SimContext sctx(machine);
   vla::VectorEngine eng(sctx);
   dnn::ExecContext ctx(eng);
-  ConvolutionEngine engine(policy);
   engine.install(ctx);
 
   dnn::Tensor input(net.in_c(), net.in_h(), net.in_w());
@@ -18,14 +20,7 @@ RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
 
   // Warm the Winograd weight cache outside the timed region (the paper
   // excludes the offline weight transform, §VII-A).
-  if (policy.winograd_stride1 || policy.winograd_stride2) {
-    for (std::size_t i = 0; i < net.num_layers(); ++i) {
-      auto* conv = dynamic_cast<dnn::ConvLayer*>(&net.layer(i));
-      if (conv != nullptr && winograd::WinogradConv::supports(conv->desc()))
-        engine.winograd_impl().transformed_weights(conv->desc(),
-                                                   conv->weights());
-    }
-  }
+  engine.prepare(net);
 
   net.forward(ctx, input);
 
@@ -53,6 +48,20 @@ RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
 
   r.layers = std::move(ctx.records);
   return r;
+}
+
+}  // namespace
+
+RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
+                        const EnginePolicy& policy, std::uint64_t input_seed) {
+  ConvolutionEngine engine(policy);
+  return run_with_engine(net, machine, engine, input_seed);
+}
+
+RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
+                        const BackendPlan& plan, std::uint64_t input_seed) {
+  ConvolutionEngine engine(plan);
+  return run_with_engine(net, machine, engine, input_seed);
 }
 
 double run_native(dnn::Network& net, unsigned vlen_bits,

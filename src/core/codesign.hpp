@@ -43,6 +43,15 @@ RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
                         const EnginePolicy& policy,
                         std::uint64_t input_seed = 7);
 
+/// Same, driven by a per-layer BackendPlan (e.g. from select_per_layer) —
+/// the codesign advisor's plan-emitting form: sweep machines, select a plan
+/// per machine, and report the simulated quantities of running exactly that
+/// plan. Layers without an eligible plan entry keep the plan's default
+/// backend (fused included); nothing falls back to a different pipeline as
+/// a side effect of plan application.
+RunResult run_simulated(dnn::Network& net, const sim::MachineConfig& machine,
+                        const BackendPlan& plan, std::uint64_t input_seed = 7);
+
 /// Runs one forward pass functionally (no simulator attached), returning
 /// wall-clock seconds — used by the native micro-benchmarks and tests.
 double run_native(dnn::Network& net, unsigned vlen_bits,

@@ -1,72 +1,110 @@
 #include "core/conv_engine.hpp"
 
+#include "dnn/direct_conv.hpp"
+#include "dnn/kernels.hpp"
+#include "dnn/layers.hpp"
 #include "dnn/network.hpp"
 
 namespace vlacnn::core {
 
 ConvolutionEngine::ConvolutionEngine(const EnginePolicy& policy)
-    : policy_(policy) {}
+    : plan_(std::make_shared<const BackendPlan>(BackendPlan::uniform(policy))) {}
+
+ConvolutionEngine::ConvolutionEngine(BackendPlan plan)
+    : plan_(std::make_shared<const BackendPlan>(std::move(plan))) {}
 
 void ConvolutionEngine::install(dnn::ExecContext& ctx,
                                 runtime::ThreadPool* intra_op_pool) {
-  ctx.fused_conv = nullptr;
-  if (policy_.gemm_variant == gemm::GemmVariant::Opt6Loop) {
-    // One Gemm6 instance per context backs both the plain GemmFn and (when
-    // the policy fuses) the implicit-GEMM fused-conv entry, so they share
-    // packing buffers and the intra-op pool wiring.
-    auto impl = gemm::make_gemm6(policy_.opt6, intra_op_pool);
-    ctx.gemm = gemm::wrap_gemm6(impl);
-    if (policy_.fuse_conv) {
-      ctx.fused_conv = [impl](vla::VectorEngine& eng, const dnn::ConvDesc& d,
-                              const float* input, const float* weights,
-                              float* output, const dnn::EpilogueDesc& epi) {
-        return impl->conv_fused(eng, d, weights, input, output, &epi);
-      };
-    }
-  } else {
-    ctx.gemm = gemm::make_gemm_fn(policy_.gemm_variant, policy_.opt3,
-                                  policy_.opt6, intra_op_pool);
+  const std::shared_ptr<const BackendPlan> plan = plan_;
+
+  // Per-context mutable kernel state shared by every backend the plan can
+  // route to. One Gemm6 instance backs the plain 6-loop, the fused
+  // implicit-GEMM entry and the FC-layer GemmFn, so they share packing
+  // buffers and the intra-op pool wiring; the Winograd instance (own
+  // V/M/stage scratch) sits over the engine-shared read-mostly weight
+  // cache.
+  struct Backends {
+    std::shared_ptr<gemm::Gemm6> gemm6;
+    std::shared_ptr<winograd::WinogradConv> wino;
+    dnn::GemmFn gemm6_fn, gemm3_fn, naive_fn;
+  };
+  auto st = std::make_shared<Backends>();
+  st->gemm6 = gemm::make_gemm6(plan->opt6, intra_op_pool);
+  st->gemm6_fn = gemm::wrap_gemm6(st->gemm6);
+  st->gemm3_fn = gemm::make_gemm_fn(gemm::GemmVariant::Opt3Loop, plan->opt3);
+  st->naive_fn = gemm::make_gemm_fn(gemm::GemmVariant::Naive);
+  if (plan->may_use(Backend::Winograd) ||
+      plan->may_use(Backend::FusedWinograd)) {
+    st->wino = std::make_shared<winograd::WinogradConv>(&weight_cache_);
+    st->wino->set_intra_op_pool(intra_op_pool);
   }
-  ctx.vectorize_aux_kernels = policy_.vectorize_aux;
-  if (policy_.winograd_stride1 || policy_.winograd_stride2) {
-    const bool s1 = policy_.winograd_stride1;
-    const bool s2 = policy_.winograd_stride2;
-    const bool fuse = policy_.fuse_conv;
-    // Fresh per-context instance (own V/M/stage scratch) over the shared
-    // read-mostly weight cache; the shared_ptr keeps it alive for as long
-    // as the context holds the override.
-    auto impl = std::make_shared<winograd::WinogradConv>(&weight_cache_);
-    impl->set_intra_op_pool(intra_op_pool);
-    ctx.conv_override = [impl, s1, s2, fuse](vla::VectorEngine& eng,
-                                             const dnn::ConvDesc& d,
-                                             const float* input,
-                                             const float* weights,
-                                             float* output,
-                                             const dnn::EpilogueDesc* epi) {
-      if (!winograd::WinogradConv::supports(d)) return dnn::ConvStatus::Declined;
-      if (d.stride == 1 && !s1) return dnn::ConvStatus::Declined;
-      if (d.stride == 2 && !s2) return dnn::ConvStatus::Declined;
-      if (fuse && epi != nullptr) {
-        impl->run(eng, d, input, weights, output, epi);
+
+  // FC layers (1xN GEMV) and the base path of un-dispatched contexts run
+  // the plan's fallback GEMM.
+  switch (plan->fallback_gemm) {
+    case Backend::Naive: ctx.gemm = st->naive_fn; break;
+    case Backend::Gemm3: ctx.gemm = st->gemm3_fn; break;
+    default: ctx.gemm = st->gemm6_fn; break;
+  }
+  ctx.vectorize_aux_kernels = plan->vectorize_aux;
+  ctx.conv_label = [plan](const dnn::ConvDesc& d) {
+    return to_string(plan->backend_for(d));
+  };
+  ctx.conv_backend = [st, plan](dnn::ExecContext& c, const dnn::ConvDesc& d,
+                                const float* input, const float* weights,
+                                float* output,
+                                const dnn::EpilogueDesc& epi)
+      -> dnn::ConvStatus {
+    vla::VectorEngine& eng = c.engine();
+    switch (plan->backend_for(d)) {
+      case Backend::FusedWinograd:
+        // Epilogue (and any folded residual) applied on the output
+        // transform's registers; stride-2 fuses into the subsample pass.
+        st->wino->run(eng, d, input, weights, output, &epi);
         return dnn::ConvStatus::RanFused;
+      case Backend::Winograd:
+        // Raw convolution only (no fill needed — the transform overwrites
+        // the output completely); the layer applies the epilogue.
+        st->wino->run(eng, d, input, weights, output);
+        return dnn::ConvStatus::Ran;
+      case Backend::Direct: {
+        const std::size_t out_elems =
+            static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w();
+        dnn::fill_cpu(eng, out_elems, 0.0f, output);
+        dnn::direct_conv_vla(eng, d, input, weights, output);
+        return dnn::ConvStatus::Ran;
       }
-      impl->run(eng, d, input, weights, output);
-      return dnn::ConvStatus::Ran;
-    };
-  } else {
-    ctx.conv_override = nullptr;
-  }
+      case Backend::FusedGemm6:
+        if (st->gemm6->conv_fused(eng, d, weights, input, output, &epi))
+          return dnn::ConvStatus::RanFused;
+        [[fallthrough]];  // packing disabled: no fused equivalent — run the
+                          // unfused 6-loop, NOT a silent fusion clear
+      case Backend::Gemm6:
+        dnn::run_im2col_gemm(c, d, input, weights, output, st->gemm6_fn);
+        return dnn::ConvStatus::Ran;
+      case Backend::Gemm3:
+        dnn::run_im2col_gemm(c, d, input, weights, output, st->gemm3_fn);
+        return dnn::ConvStatus::Ran;
+      case Backend::Naive:
+        dnn::run_im2col_gemm(c, d, input, weights, output, st->naive_fn);
+        return dnn::ConvStatus::Ran;
+    }
+    return dnn::ConvStatus::Declined;
+  };
 }
 
 void ConvolutionEngine::prepare(const dnn::Network& net) {
-  if (!policy_.winograd_stride1 && !policy_.winograd_stride2) return;
+  if (!plan_->may_use(Backend::Winograd) &&
+      !plan_->may_use(Backend::FusedWinograd))
+    return;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
     if (conv == nullptr) continue;
     // The transform depends only on in_c/out_c and the raw weights, so the
     // same cached entry serves both the stride-1 and the dense-stride-1
     // view of a stride-2 layer.
-    if (policy_.routes_to_winograd(conv->desc()))
+    const Backend b = plan_->backend_for(conv->desc());
+    if (b == Backend::Winograd || b == Backend::FusedWinograd)
       weight_cache_.prepare(conv->desc(), conv->weights());
   }
 }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/backend_plan.hpp"
 #include "dnn/exec_context.hpp"
 #include "gemm/gemm.hpp"
 #include "winograd/weight_cache.hpp"
@@ -83,23 +84,26 @@ struct EnginePolicy {
   }
 };
 
-/// Builds the algorithm implementations for a policy and installs them into
-/// dnn::ExecContexts.
+/// Compiles a BackendPlan into per-context dispatch tables and installs
+/// them into dnn::ExecContexts. A global EnginePolicy is accepted as the
+/// uniform special case (it is compiled through BackendPlan::uniform).
 ///
 /// install() materializes *fresh per-context* mutable state — the packed-
-/// buffer GEMM and the Winograd V/M/stage scratch — so any number of
-/// ExecContexts installed from one engine can run forward passes on
-/// different threads concurrently. The only shared piece is the Winograd
-/// transformed-weight cache, which is insert-only behind a mutex and becomes
-/// a read-only lookup after prepare() has swept the network (the paper
-/// excludes the weight transform from inference time, §VII-A, so the
-/// prepare step also keeps the measurement protocol honest under
-/// multi-threading).
+/// buffer GEMM and the Winograd V/M/stage scratch — behind one compiled
+/// dnn::ConvBackendFn that routes each layer shape to its planned backend,
+/// so any number of ExecContexts installed from one engine can run forward
+/// passes on different threads concurrently. The only shared pieces are the
+/// (immutable) plan and the Winograd transformed-weight cache, which is
+/// insert-only behind a mutex and becomes a read-only lookup after
+/// prepare() has swept the network (the paper excludes the weight transform
+/// from inference time, §VII-A, so the prepare step also keeps the
+/// measurement protocol honest under multi-threading).
 class ConvolutionEngine {
  public:
   explicit ConvolutionEngine(const EnginePolicy& policy);
+  explicit ConvolutionEngine(BackendPlan plan);
 
-  /// Installs per-context algorithm state. `intra_op_pool` (optional)
+  /// Installs the compiled per-context dispatch. `intra_op_pool` (optional)
   /// shards the GEMM M-panel and Winograd tile loops across a thread pool
   /// for this context — use only for a context that runs alone (batch-1
   /// latency mode), not for per-worker contexts of a batch-sharded run.
@@ -107,18 +111,17 @@ class ConvolutionEngine {
                runtime::ThreadPool* intra_op_pool = nullptr);
 
   /// Pre-transforms Winograd weights for every conv layer of `net` the
-  /// policy routes to Winograd, so concurrent forward passes only read the
-  /// shared cache.
+  /// plan routes to (fused) Winograd, so concurrent forward passes only
+  /// read the shared cache.
   void prepare(const dnn::Network& net);
 
-  [[nodiscard]] const EnginePolicy& policy() const { return policy_; }
-  [[nodiscard]] winograd::WinogradConv& winograd_impl() { return winograd_; }
+  /// The compiled plan — authoritative whichever constructor was used.
+  [[nodiscard]] const BackendPlan& plan() const { return *plan_; }
   [[nodiscard]] winograd::WeightCache& weight_cache() { return weight_cache_; }
 
  private:
-  EnginePolicy policy_;
+  std::shared_ptr<const BackendPlan> plan_;
   winograd::WeightCache weight_cache_;
-  winograd::WinogradConv winograd_{&weight_cache_};  // serial/legacy instance
 };
 
 }  // namespace vlacnn::core

@@ -2,203 +2,99 @@
 
 #include <limits>
 #include <map>
-#include <memory>
+#include <utility>
 
 #include "common/rng.hpp"
-#include "dnn/direct_conv.hpp"
-#include "dnn/im2col.hpp"
-#include "dnn/kernels.hpp"
+#include "core/conv_engine.hpp"
+#include "gemm/blocking.hpp"
 #include "sim/sim_context.hpp"
 
 namespace vlacnn::core {
 
-const char* to_string(ConvAlgo a) {
-  switch (a) {
-    case ConvAlgo::Im2colGemm3: return "im2col+gemm3";
-    case ConvAlgo::Im2colGemm6: return "im2col+gemm6";
-    case ConvAlgo::Winograd: return "winograd";
-    case ConvAlgo::Direct: return "direct";
-  }
-  return "?";
-}
-
 namespace {
 
-/// Shape key for matching plan entries to layers at execution time.
-std::uint64_t desc_key(const dnn::ConvDesc& d) {
-  std::uint64_t k = 1469598103934665603ull;
-  for (int v : {d.in_c, d.in_h, d.in_w, d.out_c, d.ksize, d.stride, d.pad}) {
-    k ^= static_cast<std::uint64_t>(v);
-    k *= 1099511628211ull;
-  }
-  return k;
-}
-
-/// Scratch bundle for one isolated-layer simulation.
-struct LayerBench {
-  AlignedBuffer<float> input, weights, output, workspace;
-  sim::RegisteredRange ri, rw, ro, rs;
-
-  explicit LayerBench(const dnn::ConvDesc& d) {
-    Rng rng(desc_key(d));
-    input.resize(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w);
-    for (auto& v : input) v = rng.uniform(-1.0f, 1.0f);
-    weights.resize(static_cast<std::size_t>(d.weight_count()));
-    for (auto& v : weights) v = rng.uniform(-0.5f, 0.5f);
-    output.resize(static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
-    workspace.resize(static_cast<std::size_t>(d.gemm_k()) * d.gemm_n());
-    ri = sim::RegisteredRange(input.data(), input.size() * 4);
-    rw = sim::RegisteredRange(weights.data(), weights.size() * 4);
-    ro = sim::RegisteredRange(output.data(), output.size() * 4);
-    rs = sim::RegisteredRange(workspace.data(), workspace.size() * 4);
-  }
+constexpr Backend kCandidates[] = {
+    Backend::Gemm3,    Backend::Gemm6,         Backend::FusedGemm6,
+    Backend::Winograd, Backend::FusedWinograd, Backend::Direct,
 };
 
-void run_algo(ConvAlgo algo, vla::VectorEngine& eng, const dnn::ConvDesc& d,
-              const float* input, const float* weights, float* output,
-              float* workspace, winograd::WinogradConv& wino,
-              gemm::Gemm6& gemm6) {
-  switch (algo) {
-    case ConvAlgo::Winograd:
-      wino.run(eng, d, input, weights, output);
-      return;
-    case ConvAlgo::Direct:
-      dnn::fill_cpu(eng, static_cast<std::size_t>(d.out_c) * d.out_h() *
-                             d.out_w(),
-                    0.0f, output);
-      dnn::direct_conv_vla(eng, d, input, weights, output);
-      return;
-    case ConvAlgo::Im2colGemm3:
-    case ConvAlgo::Im2colGemm6: {
-      dnn::fill_cpu(eng, static_cast<std::size_t>(d.out_c) * d.out_h() *
-                             d.out_w(),
-                    0.0f, output);
-      const float* b = input;
-      if (!(d.ksize == 1 && d.stride == 1 && d.pad == 0)) {
-        dnn::im2col_vla(eng, d, input, workspace);
-        b = workspace;
-      }
-      if (algo == ConvAlgo::Im2colGemm3)
-        gemm::gemm_opt3_default(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), 1.0f,
-                                weights, d.gemm_k(), b, d.gemm_n(), output,
-                                d.gemm_n());
-      else
-        gemm6(eng, d.gemm_m(), d.gemm_n(), d.gemm_k(), 1.0f, weights,
-              d.gemm_k(), b, d.gemm_n(), output, d.gemm_n());
-      return;
-    }
-  }
-}
+/// Simulates one full conv layer (convolution + epilogue) routed through
+/// `backend` on `machine`, via the same compiled dispatch that will execute
+/// the plan at serving time, and returns the cycle count. Weights/BN
+/// parameters are deterministic per shape; the weight transform of the
+/// Winograd candidates stays host-side and uncharged, matching the paper's
+/// measurement protocol (§VII-A).
+std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
+                               const sim::MachineConfig& machine,
+                               const gemm::Opt6Config& o6,
+                               std::uint64_t input_seed) {
+  const std::uint64_t key = conv_shape_key(d);
+  sim::SimContext sctx(machine);
+  vla::VectorEngine eng(sctx);
+  dnn::ExecContext ctx(eng);
+  dnn::ConvLayer layer(d, key);
 
-bool eligible(ConvAlgo algo, const dnn::ConvDesc& d) {
-  if (algo == ConvAlgo::Winograd) return winograd::WinogradConv::supports(d);
-  return true;
+  BackendPlan bench;
+  bench.opt6 = o6;
+  PlanEntry entry;
+  entry.shape_key = key;
+  entry.backend = backend;
+  bench.entries.push_back(std::move(entry));
+  ConvolutionEngine engine(std::move(bench));
+  engine.install(ctx);
+
+  dnn::Tensor input(d.in_c, d.in_h, d.in_w);
+  Rng rng(input_seed ^ key);
+  input.randomize(rng, -1.0f, 1.0f);
+  layer.forward(ctx, {&input});
+  return sctx.cycles();
 }
 
 }  // namespace
 
-std::vector<LayerChoice> select_per_layer(dnn::Network& net,
-                                          const sim::MachineConfig& machine,
-                                          std::uint64_t /*input_seed*/) {
-  std::vector<LayerChoice> plan;
+BackendPlan select_per_layer(dnn::Network& net,
+                             const sim::MachineConfig& machine,
+                             std::uint64_t input_seed) {
+  BackendPlan plan;
+  plan.opt6.blocks = gemm::tune_block_sizes(machine);
+  plan.fallback_gemm = Backend::Gemm6;
+
+  // Identical shapes get identical candidate simulations, so the cycle
+  // table is memoized per shape key (YOLO repeats its body shapes a lot).
+  std::map<std::uint64_t, PlanEntry> by_shape;
+
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
     if (conv == nullptr) continue;
     const dnn::ConvDesc& d = conv->desc();
+    const std::uint64_t key = conv_shape_key(d);
 
-    LayerChoice choice;
-    choice.layer_index = static_cast<int>(i);
-    choice.layer_name = conv->name();
-    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-
-    for (ConvAlgo algo : {ConvAlgo::Im2colGemm3, ConvAlgo::Im2colGemm6,
-                          ConvAlgo::Winograd, ConvAlgo::Direct}) {
-      if (!eligible(algo, d)) continue;
-      LayerBench bench(d);
-      sim::SimContext sctx(machine);
-      vla::VectorEngine eng(sctx);
-      winograd::WinogradConv wino;
-      gemm::Opt6Config o6;
-      o6.blocks = gemm::tune_block_sizes(machine);
-      gemm::Gemm6 gemm6(o6);
-      run_algo(algo, eng, d, bench.input.data(), bench.weights.data(),
-               bench.output.data(), bench.workspace.data(), wino, gemm6);
-      const std::uint64_t cycles = sctx.cycles();
-      choice.candidates.emplace_back(algo, cycles);
-      if (cycles < best) {
-        best = cycles;
-        choice.algo = algo;
-        choice.cycles = cycles;
+    auto it = by_shape.find(key);
+    if (it == by_shape.end()) {
+      PlanEntry e;
+      e.shape_key = key;
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      for (Backend b : kCandidates) {
+        if (!backend_eligible(b, d)) continue;
+        if (b == Backend::FusedGemm6 && !plan.opt6.pack_b) continue;
+        const std::uint64_t cycles =
+            simulate_backend(b, d, machine, plan.opt6, input_seed);
+        e.candidates.emplace_back(b, cycles);
+        if (cycles < best) {
+          best = cycles;
+          e.backend = b;
+          e.cycles = cycles;
+        }
       }
+      it = by_shape.emplace(key, std::move(e)).first;
     }
-    plan.push_back(std::move(choice));
+
+    PlanEntry e = it->second;
+    e.layer_index = static_cast<int>(i);
+    e.layer_name = conv->name();
+    plan.entries.push_back(std::move(e));
   }
   return plan;
-}
-
-void apply_plan(const std::vector<LayerChoice>& plan,
-                ConvolutionEngine& engine, dnn::ExecContext& ctx) {
-  auto algo_by_shape = std::make_shared<std::map<std::uint64_t, ConvAlgo>>();
-  // Later layers win on shape collisions; identical shapes get identical
-  // choices anyway because the candidate simulations are deterministic.
-  struct State {
-    winograd::WinogradConv wino;
-    std::unique_ptr<gemm::Gemm6> gemm6;
-    AlignedBuffer<float> workspace;
-    sim::RegisteredRange ws_reg;
-  };
-  auto state = std::make_shared<State>();
-  state->gemm6 = std::make_unique<gemm::Gemm6>(engine.policy().opt6);
-  // Plan entries were produced against ConvLayer descs; recover shape keys
-  // from the candidates' cycle table is unnecessary — the network is
-  // re-walked at install time by the caller, so the plan is keyed by the
-  // layer names' shapes instead.
-  (void)engine;
-  // Build the shape->algo map from the plan via the network is not possible
-  // here without the network; instead the ConvOverrideFn closes over the
-  // plan and matches by the layer's shape key computed on the fly.
-  auto plan_copy = std::make_shared<std::vector<LayerChoice>>(plan);
-
-  // The plan's candidate set is unfused algorithms only; a layer the plan
-  // routes to the default pipeline must actually run it, not fall through
-  // to a fused implicit-GEMM the installing policy happened to enable —
-  // the simulated cycles must correspond to the algorithm the plan chose.
-  ctx.fused_conv = nullptr;
-  ctx.conv_override = [state, plan_copy](vla::VectorEngine& eng,
-                                         const dnn::ConvDesc& d,
-                                         const float* input,
-                                         const float* weights, float* output,
-                                         const dnn::EpilogueDesc* /*epi*/)
-      -> dnn::ConvStatus {
-    // Match by geometry: find a plan entry whose recorded name encodes the
-    // same out_c/ksize/stride and whose eligibility matches.
-    const std::string want = "conv " + std::to_string(d.out_c) + " " +
-                             std::to_string(d.ksize) + "x" +
-                             std::to_string(d.ksize) + "/" +
-                             std::to_string(d.stride);
-    const LayerChoice* hit = nullptr;
-    for (const auto& c : *plan_copy)
-      if (c.layer_name == want) {
-        hit = &c;
-        break;
-      }
-    // The advisor's backends run the raw convolution; the layer applies the
-    // epilogue afterwards (Ran, not RanFused).
-    if (hit == nullptr) return dnn::ConvStatus::Declined;  // fall back to ctx.gemm
-    if (hit->algo == ConvAlgo::Im2colGemm3)
-      return dnn::ConvStatus::Declined;  // default path
-    if (state->workspace.size() <
-        static_cast<std::size_t>(d.gemm_k()) * d.gemm_n()) {
-      state->ws_reg = {};
-      state->workspace.resize(static_cast<std::size_t>(d.gemm_k()) *
-                              d.gemm_n());
-      state->ws_reg = sim::RegisteredRange(state->workspace.data(),
-                                           state->workspace.size() * 4);
-    }
-    run_algo(hit->algo, eng, d, input, weights, output,
-             state->workspace.data(), state->wino, *state->gemm6);
-    return dnn::ConvStatus::Ran;
-  };
 }
 
 }  // namespace vlacnn::core

@@ -1,44 +1,31 @@
 #pragma once
 
-#include <string>
-#include <vector>
-
-#include "core/conv_engine.hpp"
+#include "core/backend_plan.hpp"
 #include "dnn/network.hpp"
 #include "sim/machine_config.hpp"
 
 namespace vlacnn::core {
 
-/// Candidate algorithms for one convolutional layer.
-enum class ConvAlgo { Im2colGemm3, Im2colGemm6, Winograd, Direct };
-
-const char* to_string(ConvAlgo a);
-
-/// One row of a per-layer algorithm plan.
-struct LayerChoice {
-  int layer_index = -1;
-  std::string layer_name;
-  ConvAlgo algo = ConvAlgo::Im2colGemm3;
-  std::uint64_t cycles = 0;   ///< simulated cycles of the winning algorithm
-  std::vector<std::pair<ConvAlgo, std::uint64_t>> candidates;
-};
-
-/// Simulation-driven per-layer algorithm selection — the tool form of the
+/// Simulation-driven per-layer backend selection — the tool form of the
 /// paper's conclusion that "convolutional layers require careful
 /// algorithmic selection related to the kernel sizes and strides" (§VII-A).
 ///
 /// For every convolutional layer of `net`, each *eligible* candidate
-/// algorithm is simulated in isolation on `machine` (Winograd only for
-/// 3x3 layers; Direct for any; GEMM always) and the fastest is recorded.
-/// The returned plan can be applied with `apply_plan` to get a
-/// ConvOverrideFn routing each layer to its winner.
-std::vector<LayerChoice> select_per_layer(dnn::Network& net,
-                                          const sim::MachineConfig& machine,
-                                          std::uint64_t input_seed = 7);
-
-/// Installs a per-layer routing based on `plan` into `ctx`. Layers not in
-/// the plan fall back to `fallback_policy`'s GEMM.
-void apply_plan(const std::vector<LayerChoice>& plan,
-                ConvolutionEngine& engine, dnn::ExecContext& ctx);
+/// backend — both im2col+GEMM variants, the fused implicit-GEMM, Winograd
+/// and fused Winograd (3x3 layers only), and direct convolution — is
+/// simulated in isolation on `machine`. Each candidate runs the *full*
+/// layer pipeline, BN/bias/activation included (in-kernel for the fused
+/// backends, as post-passes otherwise), so the comparison prices the
+/// epilogue-fusion advantage instead of just the raw convolution.
+///
+/// Returns a BackendPlan: one entry per conv layer recording the winner and
+/// every candidate's cycles, with the machine-tuned 6-loop GEMM as the
+/// fallback. Install it via core::ConvolutionEngine(plan) — there is no
+/// separate "apply" step, and a layer whose entry cannot run (or whose
+/// shape the plan has never seen) keeps the plan's default backend, fused
+/// included.
+BackendPlan select_per_layer(dnn::Network& net,
+                             const sim::MachineConfig& machine,
+                             std::uint64_t input_seed = 7);
 
 }  // namespace vlacnn::core

@@ -20,8 +20,15 @@ namespace vlacnn::dnn {
 ///   x = x * bn_scale[c]                                      (batch_norm)
 ///   x = x + bias[c]                                          (bias != null)
 ///   x = act(x)
+///   x = x + residual[i]                                      (residual != null)
+///   x = residual_act(x)
 /// Backends fuse Linear/Relu/Leaky only; the layer keeps Logistic (scalar
 /// transcendental) as a post-pass by handing the backend act = Linear.
+///
+/// `residual` folds a Darknet shortcut layer into the convolution that feeds
+/// it (out = act(conv) + skip, then the shortcut's own activation): unlike
+/// the per-channel constants above it is a full output-shaped tensor, added
+/// element-for-element on the output tile while it is still in registers.
 struct EpilogueDesc {
   /// Darknet's batch-norm variance epsilon — the single definition every
   /// fused and unfused kernel must share for bit-identical outputs.
@@ -33,10 +40,16 @@ struct EpilogueDesc {
   const float* bn_scale = nullptr;  ///< [channels], batch_norm only
   const float* bias = nullptr;      ///< [channels]; nullptr = no bias
   Activation act = Activation::Linear;
+  /// Fused shortcut: [channels × out_h × out_w] elementwise addend (the skip
+  /// tensor), applied after `act`; nullptr = no residual.
+  const float* residual = nullptr;
+  /// Activation after the residual add (the shortcut layer's activation).
+  Activation residual_act = Activation::Linear;
 
   /// True when applying the epilogue is a no-op.
   [[nodiscard]] bool empty() const {
-    return !batch_norm && bias == nullptr && act == Activation::Linear;
+    return !batch_norm && bias == nullptr && act == Activation::Linear &&
+           residual == nullptr;
   }
 
   /// The affine constants for channel `c` in application order:
@@ -67,17 +80,12 @@ struct EpilogueDesc {
 /// that is dead at the call site (Leaky needs one temporary). The Winograd
 /// output transform applies the same sequence with per-lane parameter
 /// vectors (reg-reg ops) and so has its own copy of the ordering.
-inline void apply_channel_epilogue(vla::VectorEngine& eng,
-                                   const EpilogueDesc& epi,
-                                   const EpilogueDesc::ChannelParams& p,
-                                   vla::Vreg acc, vla::Vreg scratch) {
-  if (epi.batch_norm) {
-    eng.vadd_scalar(acc, acc, p.neg_mean);
-    eng.vmul_scalar(acc, acc, p.inv_std);
-    eng.vmul_scalar(acc, acc, p.scale);
-  }
-  if (epi.bias != nullptr) eng.vadd_scalar(acc, acc, p.bias);
-  switch (epi.act) {
+/// Applies `act` to register `acc` with the exact op sequence of
+/// activate_array, so fused and post-pass activations stay bit-identical.
+/// `scratch` must be dead at the call site (Leaky needs one temporary).
+inline void apply_activation_reg(vla::VectorEngine& eng, Activation act,
+                                 vla::Vreg acc, vla::Vreg scratch) {
+  switch (act) {
     case Activation::Linear:
     case Activation::Logistic:  // scalar transcendental: post-pass in the layer
       break;
@@ -91,6 +99,19 @@ inline void apply_channel_epilogue(vla::VectorEngine& eng,
       eng.vfma_scalar(acc, 0.1f, scratch);
       break;
   }
+}
+
+inline void apply_channel_epilogue(vla::VectorEngine& eng,
+                                   const EpilogueDesc& epi,
+                                   const EpilogueDesc::ChannelParams& p,
+                                   vla::Vreg acc, vla::Vreg scratch) {
+  if (epi.batch_norm) {
+    eng.vadd_scalar(acc, acc, p.neg_mean);
+    eng.vmul_scalar(acc, acc, p.inv_std);
+    eng.vmul_scalar(acc, acc, p.scale);
+  }
+  if (epi.bias != nullptr) eng.vadd_scalar(acc, acc, p.bias);
+  apply_activation_reg(eng, epi.act, acc, scratch);
 }
 
 }  // namespace vlacnn::dnn

@@ -22,28 +22,28 @@ using GemmFn = std::function<void(vla::VectorEngine&, int M, int N, int K,
 
 /// What a convolution backend did with a layer it was offered.
 enum class ConvStatus {
-  Declined,  ///< wrong shape/config; caller falls back to the next backend
+  Declined,  ///< no backend installed/ran; caller runs the base im2col+GEMM
   Ran,       ///< raw convolution written; caller applies BN/bias/activation
   RanFused,  ///< convolution written with `epi` already applied in-kernel
 };
 
-/// Whole-convolution override (e.g. Winograd). `epi` describes the layer's
-/// post-GEMM work; a fusing backend applies it on the output tile while it
-/// is still in registers and returns RanFused, a non-fusing one ignores it
-/// and returns Ran. Declined falls back to im2col+GEMM — mirroring the
-/// paper's per-layer algorithm selection (§VII).
-using ConvOverrideFn = std::function<ConvStatus(
-    vla::VectorEngine&, const ConvDesc&, const float* input,
-    const float* weights, float* output, const EpilogueDesc* epi)>;
+class ExecContext;
 
-/// Fused implicit-GEMM convolution (Gemm6::conv_fused): gathers im2col
-/// patches per (kc, nc) panel instead of materializing the workspace, stores
-/// the first k-panel with beta=0 (no fill pass) and applies `epi` on the
-/// last. Returns false when the configuration cannot fuse (e.g. packing
-/// disabled), in which case the layer runs the unfused pipeline.
-using FusedConvFn = std::function<bool(
-    vla::VectorEngine&, const ConvDesc&, const float* input,
-    const float* weights, float* output, const EpilogueDesc& epi)>;
+/// Compiled per-layer backend dispatch (installed by
+/// core::ConvolutionEngine::install from a core::BackendPlan): routes the
+/// layer's shape to its planned backend — im2col+GEMM (3-loop / 6-loop),
+/// fused implicit-GEMM, (fused) Winograd, or direct convolution. `epi`
+/// describes the layer's post-GEMM work; a fusing backend applies it on the
+/// output tile while it is still in registers and returns RanFused, a
+/// non-fusing one ignores it and returns Ran. Declined means no backend ran
+/// and the caller falls back to its own im2col + `ctx.gemm` pipeline —
+/// mirroring the paper's per-layer algorithm selection (§VII).
+using ConvBackendFn = std::function<ConvStatus(
+    ExecContext&, const ConvDesc&, const float* input, const float* weights,
+    float* output, const EpilogueDesc& epi)>;
+
+/// Names the backend the dispatch table routes `d` to (for LayerRecords).
+using ConvLabelFn = std::function<const char*(const ConvDesc&)>;
 
 /// Per-layer record filled during a forward pass.
 struct LayerRecord {
@@ -87,12 +87,12 @@ inline std::vector<LayerRecord> merge_layer_records(
 }
 
 /// Everything a layer needs to run: the vector engine (and through it the
-/// optional simulator), the GEMM implementation, the optional convolution
-/// override, and a per-context im2col workspace.
+/// optional simulator), the GEMM implementation, the optional compiled
+/// backend dispatch, and a per-context im2col workspace.
 ///
 /// An ExecContext is single-threaded state: the workspace, the GEMM packing
 /// buffers captured inside `gemm`, and the Winograd scratch captured inside
-/// `conv_override` are all scribbled on during forward passes. Concurrent
+/// `conv_backend` are all scribbled on during forward passes. Concurrent
 /// workers must each own one (see runtime::BatchScheduler), which is why
 /// core::ConvolutionEngine::install() materializes fresh per-context
 /// algorithm state instead of sharing one instance.
@@ -102,9 +102,9 @@ class ExecContext {
 
   [[nodiscard]] vla::VectorEngine& engine() { return *engine_; }
 
-  GemmFn gemm;                    // required before running conv layers
-  ConvOverrideFn conv_override;   // optional
-  FusedConvFn fused_conv;         // optional fused implicit-GEMM pipeline
+  GemmFn gemm;              // required before running conv/connected layers
+  ConvBackendFn conv_backend;  // compiled per-layer dispatch (optional)
+  ConvLabelFn conv_label;      // backend names for LayerRecords (optional)
   bool vectorize_aux_kernels = true;  // paper vectorizes all conv-layer kernels
 
   /// Grows (never shrinks) the im2col scratch buffer. Growth is geometric

@@ -67,10 +67,39 @@ std::string ConvLayer::name() const {
          std::to_string(desc_.stride);
 }
 
+void run_im2col_gemm(ExecContext& ctx, const ConvDesc& d, const float* input,
+                     const float* weights, float* output, const GemmFn& gemm) {
+  vla::VectorEngine& eng = ctx.engine();
+  const int m = d.gemm_m(), k = d.gemm_k(), n = d.gemm_n();
+  fill_cpu(eng, static_cast<std::size_t>(m) * n, 0.0f, output);
+  const float* b_matrix = nullptr;
+  if (d.ksize == 1 && d.stride == 1 && d.pad == 0) {
+    // Darknet skips im2col entirely for 1x1/s1 convolutions.
+    b_matrix = input;
+  } else {
+    float* ws = ctx.workspace(static_cast<std::size_t>(k) * n);
+    if (ctx.vectorize_aux_kernels) {
+      im2col_vla(eng, d, input, ws);
+    } else {
+      im2col_ref(d, input, ws);
+      // Scalar im2col: ~2 ops per expanded element plus the buffer write
+      // traffic (the unvectorized baseline pays for this too).
+      eng.scalar_ops(static_cast<std::uint64_t>(k) * n * 2);
+      eng.scalar_mem(ws, static_cast<std::size_t>(k) * n * sizeof(float),
+                     true);
+    }
+    b_matrix = ws;
+  }
+  VLACNN_REQUIRE(static_cast<bool>(gemm),
+                 "ExecContext has no GEMM implementation");
+  gemm(eng, m, n, k, 1.0f, weights, k, b_matrix, n, output, n);
+}
+
 void ConvLayer::forward_item(ExecContext& ctx,
                              const std::vector<const Tensor*>& inputs, int b) {
-  VLACNN_REQUIRE(inputs.size() == 1 && inputs[0] != nullptr,
-                 "conv expects one input");
+  VLACNN_REQUIRE(inputs.size() == (residual_from_ >= 0 ? 2u : 1u) &&
+                     inputs[0] != nullptr,
+                 "conv input count mismatch");
   const Tensor& in = *inputs[0];
   VLACNN_REQUIRE(in.c() == desc_.in_c && in.h() == desc_.in_h &&
                      in.w() == desc_.in_w,
@@ -79,11 +108,20 @@ void ConvLayer::forward_item(ExecContext& ctx,
   float* out_b = output_.item_data(b);
   const std::size_t out_elems = output_.item_size();
   vla::VectorEngine& eng = ctx.engine();
-  const int m = desc_.gemm_m(), k = desc_.gemm_k(), n = desc_.gemm_n();
+
+  const float* skip_b = nullptr;
+  if (residual_from_ >= 0) {
+    VLACNN_REQUIRE(inputs[1] != nullptr &&
+                       inputs[1]->item_size() == out_elems,
+                   "fused residual shape mismatch");
+    skip_b = inputs[1]->item_data(b);
+  }
 
   // Epilogue of this layer: what a fusing backend applies on the output
   // tile in registers. Logistic is a scalar transcendental no backend
-  // vectorizes — hand the backend Linear and apply it as a post-pass.
+  // vectorizes — hand the backend Linear and apply it as a post-pass. The
+  // fused residual add sits after the activation, so it is only handed to
+  // the backend when the activation itself fuses.
   EpilogueDesc epi;
   epi.batch_norm = desc_.batch_norm;
   if (desc_.batch_norm) {
@@ -94,47 +132,32 @@ void ConvLayer::forward_item(ExecContext& ctx,
   epi.bias = biases_.data();
   const bool act_fusable = desc_.act != Activation::Logistic;
   epi.act = act_fusable ? desc_.act : Activation::Linear;
+  const bool post_fusable = residual_act_ != Activation::Logistic;
+  if (skip_b != nullptr && act_fusable) {
+    epi.residual = skip_b;
+    epi.residual_act = post_fusable ? residual_act_ : Activation::Linear;
+  }
 
   ConvStatus status = ConvStatus::Declined;
-  if (ctx.conv_override) {
-    // Winograd path computes the convolution (fill is unnecessary — the
-    // override overwrites the output completely); a fusing override applies
-    // `epi` on the output transform's registers and returns RanFused.
-    status = ctx.conv_override(eng, desc_, in_b, weights_.data(), out_b, &epi);
-  }
-  if (status == ConvStatus::Declined && ctx.fused_conv &&
-      ctx.fused_conv(eng, desc_, in_b, weights_.data(), out_b, epi)) {
-    status = ConvStatus::RanFused;
-  }
+  if (ctx.conv_backend)
+    status = ctx.conv_backend(ctx, desc_, in_b, weights_.data(), out_b, epi);
   if (status == ConvStatus::Declined) {
-    fill_cpu(eng, out_elems, 0.0f, out_b);
-    const float* b_matrix = nullptr;
-    if (desc_.ksize == 1 && desc_.stride == 1 && desc_.pad == 0) {
-      // Darknet skips im2col entirely for 1x1/s1 convolutions.
-      b_matrix = in_b;
-    } else {
-      float* ws = ctx.workspace(static_cast<std::size_t>(k) * n);
-      if (ctx.vectorize_aux_kernels) {
-        im2col_vla(eng, desc_, in_b, ws);
-      } else {
-        im2col_ref(desc_, in_b, ws);
-        // Scalar im2col: ~2 ops per expanded element plus the buffer write
-        // traffic (the unvectorized baseline pays for this too).
-        eng.scalar_ops(static_cast<std::uint64_t>(k) * n * 2);
-        eng.scalar_mem(ws, static_cast<std::size_t>(k) * n * sizeof(float),
-                       true);
-      }
-      b_matrix = ws;
-    }
-    VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
-                   "ExecContext has no GEMM implementation");
-    ctx.gemm(eng, m, n, k, 1.0f, weights_.data(), k, b_matrix, n, out_b, n);
+    run_im2col_gemm(ctx, desc_, in_b, weights_.data(), out_b, ctx.gemm);
     status = ConvStatus::Ran;
   }
 
   if (status == ConvStatus::RanFused) {
     // BN/bias (and any vectorizable activation) already applied in-kernel.
-    if (!act_fusable) activate_array(eng, out_b, out_elems, desc_.act);
+    if (!act_fusable) {
+      activate_array(eng, out_b, out_elems, desc_.act);
+      if (skip_b != nullptr) {
+        // The backend skipped the residual (it must follow the activation).
+        axpy_cpu(eng, out_elems, 1.0f, skip_b, out_b);
+        activate_array(eng, out_b, out_elems, residual_act_);
+      }
+    } else if (epi.residual != nullptr && !post_fusable) {
+      activate_array(eng, out_b, out_elems, residual_act_);
+    }
     return;
   }
 
@@ -157,6 +180,12 @@ void ConvLayer::forward_item(ExecContext& ctx,
     activate_ref(out_b, out_elems, desc_.act);
     // Charge the scalar work of the unvectorized kernels.
     eng.scalar_ops(out_elems * (desc_.batch_norm ? 6 : 3));
+  }
+  if (skip_b != nullptr) {
+    // Unfused residual post-pass: the exact ShortcutLayer op sequence (the
+    // copy is implicit — the sum lands in this layer's output tensor).
+    axpy_cpu(eng, out_elems, 1.0f, skip_b, out_b);
+    activate_array(eng, out_b, out_elems, residual_act_);
   }
 }
 
@@ -246,9 +275,19 @@ ShortcutLayer::ShortcutLayer(int from, int c, int h, int w, Activation act)
   output_.reshape(c, h, w);
 }
 
+int ShortcutLayer::prepare_batch(const std::vector<const Tensor*>& inputs) {
+  if (producer_ == nullptr) return Layer::prepare_batch(inputs);
+  // Fused into the producing conv: the values live in the producer's output
+  // tensor (already reshaped by its own prepare_batch); don't grow ours.
+  VLACNN_REQUIRE(!inputs.empty() && inputs[0] != nullptr,
+                 "shortcut input missing");
+  return inputs[0]->n();
+}
+
 void ShortcutLayer::forward_item(ExecContext& ctx,
                                  const std::vector<const Tensor*>& inputs,
                                  int b) {
+  if (producer_ != nullptr) return;  // add ran in the producer's epilogue
   VLACNN_REQUIRE(inputs.size() == 2, "shortcut expects two inputs");
   const Tensor& prev = *inputs[0];
   const Tensor& skip = *inputs[1];

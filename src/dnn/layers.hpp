@@ -34,7 +34,9 @@ class Layer {
   /// common batch size (preserving the per-item CHW shape). Returns the
   /// batch size. Must be called (directly or via forward()) before
   /// forward_item(); it is NOT thread-safe and runs on the scheduler thread.
-  int prepare_batch(const std::vector<const Tensor*>& inputs);
+  /// Virtual so a fused-away layer (see ShortcutLayer) can skip reshaping
+  /// the output tensor it no longer owns the values of.
+  virtual int prepare_batch(const std::vector<const Tensor*>& inputs);
 
   /// Computes batch item `b` of the output from item `b` of each input.
   virtual void forward_item(ExecContext& ctx,
@@ -50,8 +52,9 @@ class Layer {
   [[nodiscard]] virtual std::string name() const = 0;
   /// Multiply-add FLOPs per batch item.
   [[nodiscard]] virtual double flops() const { return 0.0; }
-  [[nodiscard]] const Tensor& output() const { return output_; }
-  [[nodiscard]] Tensor& output() { return output_; }
+  /// Virtual so a fused-away layer can alias its producer's tensor.
+  [[nodiscard]] virtual const Tensor& output() const { return output_; }
+  [[nodiscard]] virtual Tensor& output() { return output_; }
 
   void set_self_index(int i) { self_index_ = i; }
   [[nodiscard]] int self_index() const { return self_index_; }
@@ -71,7 +74,28 @@ class ConvLayer final : public Layer {
   void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
                     int b) override;
   [[nodiscard]] std::string name() const override;
-  [[nodiscard]] double flops() const override { return desc_.flops(); }
+  [[nodiscard]] double flops() const override {
+    // A fused residual moves the shortcut's add into this layer's epilogue.
+    return desc_.flops() +
+           (residual_from_ >= 0 ? static_cast<double>(output_.item_size())
+                                : 0.0);
+  }
+  [[nodiscard]] std::vector<int> input_indices() const override {
+    if (residual_from_ < 0) return {self_index_ - 1};
+    return {self_index_ - 1, residual_from_};
+  }
+
+  /// Folds a following shortcut layer into this convolution: the skip
+  /// tensor (layer `from`'s output) is added element-wise after this
+  /// layer's activation, then `post_act` is applied — the exact Darknet
+  /// shortcut sequence, expressed through EpilogueDesc so fusing backends
+  /// apply it on the output tile in registers. Installed by
+  /// Network::fuse_residuals().
+  void fuse_residual(int from, Activation post_act) {
+    residual_from_ = from;
+    residual_act_ = post_act;
+  }
+  [[nodiscard]] bool has_fused_residual() const { return residual_from_ >= 0; }
 
   [[nodiscard]] const ConvDesc& desc() const { return desc_; }
   [[nodiscard]] const float* weights() const { return weights_.data(); }
@@ -79,6 +103,8 @@ class ConvLayer final : public Layer {
 
  private:
   ConvDesc desc_;
+  int residual_from_ = -1;  // fused shortcut source layer; -1 = none
+  Activation residual_act_ = Activation::Linear;
   AlignedBuffer<float> weights_;  // out_c × in_c × k × k
   AlignedBuffer<float> biases_;
   AlignedBuffer<float> bn_scales_;
@@ -120,23 +146,46 @@ class RouteLayer final : public Layer {
 };
 
 /// Residual addition (Darknet "shortcut") layer: out = prev + layers[from].
+///
+/// When Network::fuse_residuals() folds the add into the producing conv
+/// layer's epilogue, this layer becomes a zero-cost alias: forward_item is a
+/// no-op and output() returns the producer's tensor (downstream layers keep
+/// referencing this layer's index unchanged).
 class ShortcutLayer final : public Layer {
  public:
   ShortcutLayer(int from, int c, int h, int w, Activation act);
 
+  int prepare_batch(const std::vector<const Tensor*>& inputs) override;
   void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
                     int b) override;
   [[nodiscard]] std::vector<int> input_indices() const override {
     return {self_index_ - 1, from_};
   }
-  [[nodiscard]] std::string name() const override { return "shortcut"; }
-  [[nodiscard]] double flops() const override {
-    return static_cast<double>(output_.item_size());
+  [[nodiscard]] std::string name() const override {
+    return producer_ != nullptr ? "shortcut(fused)" : "shortcut";
   }
+  [[nodiscard]] double flops() const override {
+    // Fused: the add is accounted in the producing conv layer.
+    return producer_ != nullptr ? 0.0
+                                : static_cast<double>(output_.item_size());
+  }
+  [[nodiscard]] const Tensor& output() const override {
+    return producer_ != nullptr ? producer_->output() : output_;
+  }
+  [[nodiscard]] Tensor& output() override {
+    return producer_ != nullptr ? producer_->output() : output_;
+  }
+
+  [[nodiscard]] int from() const { return from_; }
+  [[nodiscard]] Activation activation() const { return act_; }
+  /// Marks this layer fused into `producer` (the preceding conv layer).
+  void set_fused_into(Layer* producer) { producer_ = producer; }
+  [[nodiscard]] bool fused() const { return producer_ != nullptr; }
 
  private:
   int from_;
   Activation act_;
+  Layer* producer_ = nullptr;  // non-null once fused into the conv before it
 };
 
 /// Nearest-neighbour 2x upsampling.
@@ -193,5 +242,14 @@ class YoloLayer final : public Layer {
                     int b) override;
   [[nodiscard]] std::string name() const override { return "yolo"; }
 };
+
+/// The canonical unfused convolution pipeline: fill, im2col into the
+/// context workspace (skipped for 1x1/s1, scalar when vectorize_aux is
+/// off), then `gemm` — the raw convolution only; BN/bias/activation remain
+/// the caller's concern. The single definition shared by ConvLayer's base
+/// path and the plan-compiled GEMM backends, so the op sequence (and with
+/// it the bit-identical dispatch contract) cannot drift between them.
+void run_im2col_gemm(ExecContext& ctx, const ConvDesc& d, const float* input,
+                     const float* weights, float* output, const GemmFn& gemm);
 
 }  // namespace vlacnn::dnn

@@ -87,6 +87,27 @@ int Network::add_yolo() {
               cur_h_, cur_w_);
 }
 
+int Network::fuse_residuals() {
+  // References to each layer's output in the unfused graph; a conv whose
+  // raw output feeds anything beyond its shortcut cannot be folded.
+  std::vector<int> refs(layers_.size(), 0);
+  for (const auto& l : layers_)
+    for (int idx : l->input_indices())
+      if (idx >= 0) ++refs[static_cast<std::size_t>(idx)];
+  int fused = 0;
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    auto* sc = dynamic_cast<ShortcutLayer*>(layers_[i].get());
+    if (sc == nullptr || sc->fused()) continue;
+    auto* conv = dynamic_cast<ConvLayer*>(layers_[i - 1].get());
+    if (conv == nullptr || conv->has_fused_residual()) continue;
+    if (refs[i - 1] != 1) continue;
+    conv->fuse_residual(sc->from(), sc->activation());
+    sc->set_fused_into(conv);
+    ++fused;
+  }
+  return fused;
+}
+
 const Tensor& Network::forward(ExecContext& ctx, const Tensor& input) {
   VLACNN_REQUIRE(!layers_.empty(), "empty network");
   VLACNN_REQUIRE(input.c() == in_c_ && input.h() == in_h_ && input.w() == in_w_,
@@ -106,11 +127,12 @@ const Tensor& Network::forward(ExecContext& ctx, const Tensor& input) {
     rec.name = layer->name();
     rec.flops = layer->flops() * input.n();
     rec.items = input.n();
-    rec.algo = layer->name().substr(0, 4) == "conv"
-                   ? (ctx.conv_override
-                          ? "auto"
-                          : (ctx.fused_conv ? "fused-gemm" : "im2col+gemm"))
-                   : "aux";
+    if (const auto* conv = dynamic_cast<const ConvLayer*>(layer.get())) {
+      rec.algo = ctx.conv_label ? ctx.conv_label(conv->desc())
+                                : (ctx.conv_backend ? "auto" : "im2col+gemm");
+    } else {
+      rec.algo = "aux";
+    }
     if (sctx) rec.cycles = sctx->timing().finish() - before;
     ctx.records.push_back(std::move(rec));
   }

@@ -32,6 +32,18 @@ class Network {
   /// Runs inference; returns the last layer's output.
   const Tensor& forward(ExecContext& ctx, const Tensor& input);
 
+  /// Folds every shortcut layer that directly follows the convolution
+  /// producing its left operand into that convolution's epilogue (ROADMAP
+  /// fused follow-up (b)): the conv gains the skip tensor as a second input
+  /// and applies add + shortcut-activation via EpilogueDesc — in-kernel on
+  /// fusing backends, as a post-pass otherwise — and the shortcut layer
+  /// becomes a zero-cost alias of the conv's output. Numerics are
+  /// bit-identical to the unfused graph. Only shortcuts whose producing
+  /// conv is not consumed by any other layer are folded (the raw pre-add
+  /// activation map must not be observable). Returns the number of folded
+  /// shortcuts; safe to call more than once.
+  int fuse_residuals();
+
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
   [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_[i]; }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_[i]; }

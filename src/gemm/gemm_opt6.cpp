@@ -183,11 +183,22 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
         // Last k-panel of a fused conv: BN/bias/activation happen here, on
         // the accumulator registers, instead of as separate passes that
         // re-stream the output tensor (kVB is dead after the k-loop).
-        if (epi != nullptr)
+        const std::size_t c_off =
+            static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j;
+        if (epi != nullptr) {
           dnn::apply_channel_epilogue(
               eng, *epi, epi_params_[static_cast<std::size_t>(i0 + i + u)], u,
               kVB);
-        eng.vstore(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+          if (epi->residual != nullptr) {
+            // Fused shortcut: the skip tensor shares C's layout, so the
+            // addend for this tile slice sits at the same offset (kVTmp is
+            // dead outside the packing stages).
+            eng.vload(kVB, epi->residual + c_off);
+            eng.vadd(u, u, kVB);
+            dnn::apply_activation_reg(eng, epi->residual_act, u, kVTmp);
+          }
+        }
+        eng.vstore(u, C + c_off);
       }
     }
     j += gvl;

@@ -39,9 +39,15 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
   // a read-only lookup for the rest of the pass.
   engine_->prepare(net);
   records_.clear();
-  const bool have_override = static_cast<bool>(main_ctx_->conv_override);
-  const char* gemm_algo =
-      main_ctx_->fused_conv ? "fused-gemm" : "im2col+gemm";
+  // Per-layer backend names come from the engine's compiled plan (every
+  // worker context shares the same plan, so the main context's label
+  // function is authoritative for all of them).
+  const auto algo_of = [this](const dnn::Layer& layer) -> std::string {
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
+    if (conv == nullptr) return "aux";
+    return main_ctx_->conv_label ? main_ctx_->conv_label(conv->desc())
+                                 : "im2col+gemm";
+  };
 
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     dnn::Layer& layer = net.layer(i);
@@ -63,9 +69,7 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
       rec.name = layer.name();
       rec.flops = layer.flops() * nb;
       rec.items = nb;
-      rec.algo = rec.name.substr(0, 4) == "conv"
-                     ? (have_override ? "auto" : gemm_algo)
-                     : "aux";
+      rec.algo = algo_of(layer);
       rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
       records_.push_back(std::move(rec));
       continue;
@@ -91,9 +95,7 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
     std::vector<dnn::LayerRecord> merged = dnn::merge_layer_records(parts);
     if (!merged.empty()) rec = std::move(merged.front());
     rec.name = layer.name();
-    rec.algo = rec.name.substr(0, 4) == "conv"
-                   ? (have_override ? "auto" : gemm_algo)
-                   : "aux";
+    rec.algo = algo_of(layer);
     // The layer barrier waits for the slowest worker: report the span.
     rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
     records_.push_back(std::move(rec));

@@ -292,9 +292,11 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
   const int ch_stride = out_h * out_w;
   const auto vecw = plan.vecw;
   // Fused epilogue registers: per-lane parameter vectors in v0..v3 (free
-  // after the second stage pass consumes its inputs), leaky scratch in v4.
+  // after the second stage pass consumes its inputs), leaky scratch in v4,
+  // residual gather in v5.
   constexpr vla::Vreg kNegMean = 0, kInvStd = 1, kScale = 2, kBias = 3,
-                      kEpiTmp = 4;
+                      kEpiTmp = 4, kResTmp = 5;
+  const float* residual = epi != nullptr ? epi->residual : nullptr;
   for (int oc0 = 0; oc0 < d.out_c; oc0 += plan.group) {
     const int gr = std::min(plan.group, d.out_c - oc0);
     const std::size_t active = static_cast<std::size_t>(4) * gr;
@@ -388,12 +390,31 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
             ty * kOutTile + kOutTile <= out_h && tx * kOutTile + kOutTile <= out_w;
         if (interior) {
           for (int r = 0; r < 6; ++r) {
-            float* base = output + static_cast<std::size_t>(oc0) * ch_stride +
-                          static_cast<std::size_t>(ty * kOutTile + r) * out_w +
-                          tx * kOutTile;
+            const std::size_t off =
+                static_cast<std::size_t>(oc0) * ch_stride +
+                static_cast<std::size_t>(ty * kOutTile + r) * out_w +
+                tx * kOutTile;
+            float* base = output + off;
+            if (residual != nullptr) {
+              // Fused shortcut: the skip tensor shares the output layout, so
+              // the addend lanes sit at the scatter indices — gather, add,
+              // shortcut-activate, then scatter as usual.
+              eng.vgather_local(kResTmp, residual + off,
+                                tbl.out_scatter1.data());
+              eng.vadd(kStageOutBase + r, kStageOutBase + r, kResTmp);
+              dnn::apply_activation_reg(eng, epi->residual_act,
+                                        kStageOutBase + r, kResTmp);
+            }
             eng.vscatter_local(kStageOutBase + r, base, tbl.out_scatter1.data());
             eng.setvl(static_cast<std::size_t>(2) * gr);
             eng.vpermute(kCompact, kStageOutBase + 8 + r, tbl.out_compact.data());
+            if (residual != nullptr) {
+              eng.vgather_local(kResTmp, residual + off,
+                                tbl.out_scatter2.data());
+              eng.vadd(kCompact, kCompact, kResTmp);
+              dnn::apply_activation_reg(eng, epi->residual_act, kCompact,
+                                        kResTmp);
+            }
             eng.vscatter_local(kCompact, base, tbl.out_scatter2.data());
             eng.setvl(active);
           }
@@ -406,19 +427,34 @@ void WinogradConv::transform_output(vla::VectorEngine& eng,
                          sc.pack.data() +
                              (static_cast<std::size_t>(half) * 8 + r) * vecw);
           for (int k = 0; k < gr; ++k) {
-            float* chan = output + static_cast<std::size_t>(oc0 + k) * ch_stride;
+            const std::size_t ch_off =
+                static_cast<std::size_t>(oc0 + k) * ch_stride;
+            float* chan = output + ch_off;
+            const float* res_chan =
+                residual != nullptr ? residual + ch_off : nullptr;
             for (int r = 0; r < 6; ++r) {
               const int y = ty * kOutTile + r;
               if (y >= out_h) break;
               for (int c = 0; c < 6; ++c) {
                 const int x = tx * kOutTile + c;
                 if (x >= out_w) break;
-                chan[static_cast<std::size_t>(y) * out_w + x] =
+                float v =
                     sc.pack[((static_cast<std::size_t>(c) / 4) * 8 + r) * vecw +
                             static_cast<std::size_t>(k) * 4 + (c % 4)];
+                if (res_chan != nullptr) {
+                  // Scalar fused shortcut; activate_scalar matches the
+                  // vector op sequence bit-for-bit (see activate_array).
+                  v += res_chan[static_cast<std::size_t>(y) * out_w + x];
+                  v = dnn::activate_scalar(v, epi->residual_act);
+                }
+                chan[static_cast<std::size_t>(y) * out_w + x] = v;
               }
             }
             eng.scalar_ops(36);
+            if (res_chan != nullptr) {
+              eng.scalar_ops(36);
+              eng.scalar_mem(res_chan, 36 * sizeof(float), false);
+            }
           }
           eng.scalar_mem(output, 36 * sizeof(float), true);
         }
@@ -466,12 +502,24 @@ void WinogradConv::run(vla::VectorEngine& eng, const dnn::ConvDesc& d,
         const float* src = s1_out_.data() +
                            (static_cast<std::size_t>(oc) * s1.out_h() + 2 * y) *
                                s1w;
-        float* dst = output + (static_cast<std::size_t>(oc) * oh + y) * ow;
+        const std::size_t dst_off =
+            (static_cast<std::size_t>(oc) * oh + y) * ow;
+        float* dst = output + dst_off;
         for (int x = 0; x < ow;) {
           const auto vl =
               static_cast<int>(eng.setvl(static_cast<std::size_t>(ow - x)));
           eng.vload_strided(0, src + 2 * static_cast<std::size_t>(x), 2);
-          if (epi != nullptr) dnn::apply_channel_epilogue(eng, *epi, p, 0, 1);
+          if (epi != nullptr) {
+            dnn::apply_channel_epilogue(eng, *epi, p, 0, 1);
+            if (epi->residual != nullptr) {
+              // Fused shortcut on the kept pixels: the skip tensor shares
+              // the (subsampled) output layout, so the addend is a plain
+              // unit-stride load at the destination offset.
+              eng.vload(1, epi->residual + dst_off + x);
+              eng.vadd(0, 0, 1);
+              dnn::apply_activation_reg(eng, epi->residual_act, 0, 1);
+            }
+          }
           eng.vstore(0, dst + x);
           eng.scalar_ops(2);
           x += vl;

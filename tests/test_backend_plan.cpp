@@ -1,0 +1,218 @@
+// BackendPlan: the per-layer dispatch table behind EnginePolicy, the
+// selector and the codesign advisor. Pins the refactor's core contracts —
+// table-driven dispatch is bit-identical to the equivalent uniform policy
+// across models/batch modes, and a plan-declined layer keeps its plan
+// default backend, fused included (the historical apply_plan cleared
+// fusion unconditionally; nothing may reintroduce that side effect).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/codesign.hpp"
+#include "core/conv_engine.hpp"
+#include "core/selector.hpp"
+#include "dnn/models.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::core {
+namespace {
+
+std::uint32_t ulp_diff(float a, float b) {
+  std::int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if (ia < 0) ia = std::numeric_limits<std::int32_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int32_t>::min() - ib;
+  const std::int64_t d = static_cast<std::int64_t>(ia) - ib;
+  return static_cast<std::uint32_t>(d < 0 ? -d : d);
+}
+
+std::uint32_t max_ulp(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, ulp_diff(a[i], b[i]));
+  return m;
+}
+
+/// Batched forward of `net` through a scheduler built on `plan`.
+std::vector<float> run_scheduled(dnn::Network& net, const BackendPlan& plan,
+                                 int batch, int threads) {
+  ConvolutionEngine engine(plan);
+  runtime::SchedulerConfig cfg;
+  cfg.threads = threads;
+  runtime::BatchScheduler sched(engine, cfg);
+  dnn::Tensor input(batch, net.in_c(), net.in_h(), net.in_w());
+  input.randomize_batch(1234, 0.0f, 1.0f);
+  const dnn::Tensor& out = sched.run(net, input);
+  return {out.data(), out.data() + out.size()};
+}
+
+/// An explicit per-layer table naming, for every conv layer of `net`, the
+/// backend the uniform `policy` would route it to — dispatch must then go
+/// through the table-entry path instead of the fallback path.
+BackendPlan tabulated(const dnn::Network& net, const EnginePolicy& policy) {
+  const BackendPlan uni = BackendPlan::uniform(policy);
+  BackendPlan plan = uni;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
+    if (conv == nullptr) continue;
+    PlanEntry e;
+    e.layer_index = static_cast<int>(i);
+    e.layer_name = conv->name();
+    e.shape_key = conv_shape_key(conv->desc());
+    e.backend = uni.backend_for(conv->desc());
+    plan.entries.push_back(std::move(e));
+  }
+  // Clear the Winograd fallback flags: a 3x3 dispatch that misses the table
+  // would run the (numerically different) GEMM fallback and be caught. The
+  // GEMM fallback itself stays — it also serves the FC layers' GEMV.
+  plan.winograd_stride1 = plan.winograd_stride2 = false;
+  return plan;
+}
+
+TEST(BackendPlan, TableDispatchBitIdenticalToUniformPolicy) {
+  // Satellite contract: plan-driven dispatch == the equivalent uniform
+  // EnginePolicy, bit for bit, across tiny/VGG models, batch 1 and batch 4
+  // multi-threaded.
+  struct Case {
+    const char* tag;
+    std::unique_ptr<dnn::Network> (*build)();
+  };
+  const Case cases[] = {
+      {"tiny", [] { return dnn::build_yolov3_tiny(48, 12); }},
+      {"vgg", [] { return dnn::build_vgg16(32, 6); }},
+  };
+  for (const auto& c : cases) {
+    for (const auto& policy :
+         {EnginePolicy::opt6loop(), EnginePolicy::fused(),
+          EnginePolicy::fused(/*use_winograd=*/true)}) {
+      auto net = c.build();
+      const BackendPlan uniform = BackendPlan::uniform(policy);
+      const BackendPlan table = tabulated(*net, policy);
+      for (int threads : {1, 4}) {
+        const int batch = threads == 1 ? 1 : 4;
+        const auto a = run_scheduled(*net, uniform, batch, threads);
+        const auto b = run_scheduled(*net, table, batch, threads);
+        EXPECT_EQ(max_ulp(a, b), 0u)
+            << c.tag << " threads=" << threads << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(BackendPlan, DeclinedEntryKeepsFusedPlanDefault) {
+  // Regression for the historical apply_plan fusion clear: an entry whose
+  // backend cannot run the layer shape (Winograd on 1x1) must leave the
+  // layer on the plan's default — here the fused implicit-GEMM — not
+  // silently fall back to an unfused pipeline.
+  dnn::ConvDesc d;
+  d.in_c = 16;
+  d.in_h = d.in_w = 14;
+  d.out_c = 12;
+  d.ksize = 1;
+  d.stride = 1;
+  d.pad = 0;
+  d.batch_norm = true;
+  d.act = dnn::Activation::Leaky;
+
+  BackendPlan mixed = BackendPlan::uniform(EnginePolicy::fused());
+  PlanEntry e;
+  e.shape_key = conv_shape_key(d);
+  e.backend = Backend::Winograd;  // ineligible for 1x1
+  mixed.entries.push_back(e);
+  ASSERT_EQ(mixed.backend_for(d), Backend::FusedGemm6);
+
+  auto run = [&](const BackendPlan& plan, std::uint64_t* bytes) {
+    dnn::ConvLayer layer(d, 5);
+    vla::VectorEngine eng(512);
+    dnn::ExecContext ctx(eng);
+    ConvolutionEngine engine(plan);
+    engine.install(ctx);
+    dnn::Tensor in(d.in_c, d.in_h, d.in_w);
+    Rng rng(7);
+    in.randomize(rng);
+    layer.forward(ctx, {&in});
+    *bytes = eng.mem_bytes_moved();
+    return std::vector<float>(layer.output().data(),
+                              layer.output().data() + layer.output().size());
+  };
+
+  std::uint64_t mixed_bytes = 0, fused_bytes = 0, unfused_bytes = 0;
+  const auto got = run(mixed, &mixed_bytes);
+  const auto fused = run(BackendPlan::uniform(EnginePolicy::fused()),
+                         &fused_bytes);
+  const auto unfused = run(BackendPlan::uniform(EnginePolicy::opt6loop()),
+                           &unfused_bytes);
+  EXPECT_EQ(max_ulp(got, fused), 0u);
+  // Fused and unfused outputs are bit-identical by design, so the byte
+  // counters are what prove the fused path actually ran.
+  EXPECT_EQ(mixed_bytes, fused_bytes);
+  EXPECT_LT(static_cast<double>(mixed_bytes),
+            0.95 * static_cast<double>(unfused_bytes));
+}
+
+TEST(BackendPlan, SelectedPlanMatchesUniformFusedWhereFusedWins) {
+  // Acceptance: select_per_layer simulates fused candidates; running the
+  // returned plan through the BatchScheduler is bit-identical to the
+  // matching EnginePolicy::fused() configuration on layers the fused
+  // backend won.
+  struct Shape {
+    int in_c, hw, out_c, ksize, stride, pad;
+  };
+  // VGG-style body shapes: 3x3/s1 and the 1x1 head.
+  const Shape shapes[] = {{16, 32, 16, 3, 1, 1}, {32, 16, 16, 1, 1, 0}};
+  for (const Shape& s : shapes) {
+    dnn::Network net(s.in_c, s.hw, s.hw, 11);
+    net.add_conv(s.out_c, s.ksize, s.stride, s.pad, dnn::Activation::Leaky,
+                 true);
+    const BackendPlan plan = select_per_layer(net, sim::sve_gem5());
+    ASSERT_EQ(plan.entries.size(), 1u);
+    const Backend winner = plan.entries[0].backend;
+    EXPECT_TRUE(backend_fuses(winner)) << to_string(winner);
+    const EnginePolicy uniform =
+        EnginePolicy::fused(winner == Backend::FusedWinograd);
+    const auto planned = run_scheduled(net, plan, 4, 4);
+    const auto direct =
+        run_scheduled(net, BackendPlan::uniform(uniform), 4, 4);
+    EXPECT_EQ(max_ulp(planned, direct), 0u) << to_string(winner);
+  }
+}
+
+TEST(BackendPlan, CodesignAdvisorRunsPlans) {
+  // The codesign advisor's plan-emitting form: a selected plan runs
+  // simulated end to end and reports per-layer records named after the
+  // plan's backends.
+  auto net = dnn::build_yolov3(48, 4);
+  const BackendPlan plan = select_per_layer(*net, sim::rvv_gem5());
+  const RunResult r = run_simulated(*net, sim::rvv_gem5(), plan);
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.layers.size(), net->num_layers());
+  for (std::size_t i = 0; i < net->num_layers(); ++i) {
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net->layer(i));
+    if (conv == nullptr) continue;
+    EXPECT_EQ(r.layers[i].algo,
+              std::string(to_string(plan.backend_for(conv->desc()))));
+  }
+}
+
+TEST(BackendPlan, SummaryListsEntriesAndFallback) {
+  BackendPlan plan = BackendPlan::uniform(EnginePolicy::fused(true));
+  PlanEntry e;
+  e.layer_index = 3;
+  e.layer_name = "conv 64 3x3/1";
+  e.backend = Backend::Direct;
+  plan.entries.push_back(e);
+  const std::string s = plan.summary();
+  EXPECT_NE(s.find("direct"), std::string::npos);
+  EXPECT_NE(s.find("fused-gemm6"), std::string::npos);
+  EXPECT_NE(s.find("fused-winograd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlacnn::core

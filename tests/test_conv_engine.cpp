@@ -1,4 +1,5 @@
-// Algorithm-selection policy: which layers go to Winograd, which fall back.
+// Algorithm-selection policy compiled to a BackendPlan: which layers go to
+// which backend, and what install() wires into a context.
 
 #include <gtest/gtest.h>
 
@@ -20,40 +21,42 @@ dnn::ConvDesc desc_of(int k, int s, int pad) {
   return d;
 }
 
-bool override_taken(const EnginePolicy& policy, const dnn::ConvDesc& d) {
-  vla::VectorEngine eng(512);
-  dnn::ExecContext ctx(eng);
-  ConvolutionEngine engine(policy);
-  engine.install(ctx);
-  if (!ctx.conv_override) return false;
-  auto input = test::random_vec(static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
-  auto weights = test::random_vec(static_cast<std::size_t>(d.weight_count()), 2);
-  std::vector<float> out(static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
-  return ctx.conv_override(eng, d, input.data(), weights.data(), out.data(),
-                           nullptr) != dnn::ConvStatus::Declined;
+Backend routed(const EnginePolicy& policy, const dnn::ConvDesc& d) {
+  return BackendPlan::uniform(policy).backend_for(d);
 }
 
 TEST(ConvEngine, WinogradPolicySelects3x3Stride1) {
   const EnginePolicy p = EnginePolicy::winograd();
-  EXPECT_TRUE(override_taken(p, desc_of(3, 1, 1)));
-  EXPECT_FALSE(override_taken(p, desc_of(1, 1, 0)));   // 1x1 -> GEMM
-  EXPECT_FALSE(override_taken(p, desc_of(3, 2, 1)));   // stride-2 off by default
+  EXPECT_EQ(routed(p, desc_of(3, 1, 1)), Backend::Winograd);
+  EXPECT_EQ(routed(p, desc_of(1, 1, 0)), Backend::Gemm6);  // 1x1 -> GEMM
+  // stride-2 off by default
+  EXPECT_EQ(routed(p, desc_of(3, 2, 1)), Backend::Gemm6);
 }
 
 TEST(ConvEngine, Stride2OptIn) {
   EnginePolicy p = EnginePolicy::winograd();
   p.winograd_stride2 = true;
-  EXPECT_TRUE(override_taken(p, desc_of(3, 2, 1)));
+  EXPECT_EQ(routed(p, desc_of(3, 2, 1)), Backend::Winograd);
 }
 
-TEST(ConvEngine, GemmOnlyPoliciesInstallNoOverride) {
+TEST(ConvEngine, UniformPlansMapPolicyGemmVariants) {
+  EXPECT_EQ(routed(EnginePolicy::naive(), desc_of(3, 1, 1)), Backend::Naive);
+  EXPECT_EQ(routed(EnginePolicy::opt3loop(), desc_of(3, 1, 1)),
+            Backend::Gemm3);
+  EXPECT_EQ(routed(EnginePolicy::opt6loop(), desc_of(3, 1, 1)),
+            Backend::Gemm6);
+}
+
+TEST(ConvEngine, InstallWiresDispatchAndGemm) {
   for (const auto& p : {EnginePolicy::naive(), EnginePolicy::opt3loop(),
-                        EnginePolicy::opt6loop()}) {
+                        EnginePolicy::opt6loop(), EnginePolicy::winograd(),
+                        EnginePolicy::fused()}) {
     vla::VectorEngine eng(512);
     dnn::ExecContext ctx(eng);
     ConvolutionEngine engine(p);
     engine.install(ctx);
-    EXPECT_FALSE(static_cast<bool>(ctx.conv_override));
+    EXPECT_TRUE(static_cast<bool>(ctx.conv_backend));
+    EXPECT_TRUE(static_cast<bool>(ctx.conv_label));
     EXPECT_TRUE(static_cast<bool>(ctx.gemm));
   }
 }
@@ -70,36 +73,80 @@ TEST(ConvEngine, PolicyFactoriesCarryParameters) {
   EXPECT_EQ(EnginePolicy::opt6loop(o6).opt6.blocks.block_m, 32);
   EXPECT_EQ(EnginePolicy::winograd().gemm_variant,
             gemm::GemmVariant::Opt6Loop);
+  EXPECT_EQ(BackendPlan::uniform(EnginePolicy::opt6loop(o6)).opt6.blocks.block_m,
+            32);
 }
 
-TEST(ConvEngine, FusedPolicyInstallsFusedConv) {
-  vla::VectorEngine eng(512);
-  dnn::ExecContext ctx(eng);
-  ConvolutionEngine engine(EnginePolicy::fused());
-  engine.install(ctx);
-  EXPECT_TRUE(static_cast<bool>(ctx.fused_conv));
-  EXPECT_TRUE(static_cast<bool>(ctx.gemm));
-  EXPECT_FALSE(static_cast<bool>(ctx.conv_override));
+TEST(ConvEngine, FusedPolicyRoutesToFusedBackends) {
+  const EnginePolicy p = EnginePolicy::fused();
+  EXPECT_EQ(routed(p, desc_of(1, 1, 0)), Backend::FusedGemm6);
+  EXPECT_EQ(routed(p, desc_of(3, 1, 1)), Backend::FusedGemm6);  // wino off
+  const EnginePolicy pw = EnginePolicy::fused(/*use_winograd=*/true);
+  EXPECT_EQ(routed(pw, desc_of(3, 1, 1)), Backend::FusedWinograd);
+  EXPECT_EQ(routed(pw, desc_of(1, 1, 0)), Backend::FusedGemm6);
 }
 
-TEST(ConvEngine, UnfusedPoliciesInstallNoFusedConv) {
-  for (const auto& p : {EnginePolicy::naive(), EnginePolicy::opt3loop(),
-                        EnginePolicy::opt6loop(), EnginePolicy::winograd()}) {
-    vla::VectorEngine eng(512);
-    dnn::ExecContext ctx(eng);
-    ConvolutionEngine engine(p);
-    engine.install(ctx);
-    EXPECT_FALSE(static_cast<bool>(ctx.fused_conv));
-  }
-}
-
-TEST(ConvEngine, FusedWinogradPolicyInstallsBoth) {
+TEST(ConvEngine, ConvLabelNamesThePlannedBackend) {
   vla::VectorEngine eng(512);
   dnn::ExecContext ctx(eng);
   ConvolutionEngine engine(EnginePolicy::fused(/*use_winograd=*/true));
   engine.install(ctx);
-  EXPECT_TRUE(static_cast<bool>(ctx.fused_conv));
-  EXPECT_TRUE(static_cast<bool>(ctx.conv_override));
+  EXPECT_STREQ(ctx.conv_label(desc_of(3, 1, 1)), "fused-winograd");
+  EXPECT_STREQ(ctx.conv_label(desc_of(1, 1, 0)), "fused-gemm6");
+}
+
+TEST(ConvEngine, DispatchRunsThePlannedBackend) {
+  // A plan entry routes its shape; RanFused means the epilogue was applied
+  // in-kernel, Ran means the layer still owes the post-passes.
+  const dnn::ConvDesc d = desc_of(3, 1, 1);
+  auto status_of = [&](Backend b) {
+    BackendPlan plan;
+    PlanEntry e;
+    e.shape_key = conv_shape_key(d);
+    e.backend = b;
+    plan.entries.push_back(e);
+    vla::VectorEngine eng(512);
+    dnn::ExecContext ctx(eng);
+    ConvolutionEngine engine(plan);
+    engine.install(ctx);
+    auto input = test::random_vec(
+        static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
+    auto weights =
+        test::random_vec(static_cast<std::size_t>(d.weight_count()), 2);
+    std::vector<float> out(
+        static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
+    dnn::EpilogueDesc epi;
+    return ctx.conv_backend(ctx, d, input.data(), weights.data(), out.data(),
+                            epi);
+  };
+  EXPECT_EQ(status_of(Backend::Winograd), dnn::ConvStatus::Ran);
+  EXPECT_EQ(status_of(Backend::FusedWinograd), dnn::ConvStatus::RanFused);
+  EXPECT_EQ(status_of(Backend::Direct), dnn::ConvStatus::Ran);
+  EXPECT_EQ(status_of(Backend::Gemm6), dnn::ConvStatus::Ran);
+  EXPECT_EQ(status_of(Backend::FusedGemm6), dnn::ConvStatus::RanFused);
+}
+
+TEST(ConvEngine, FusedGemmWithPackingDisabledRunsUnfusedNotDeclined) {
+  // The regression the BackendPlan refactor pins: a fused entry that cannot
+  // fuse (pack_b off) must run its unfused twin, never bounce the layer to
+  // a different pipeline.
+  const dnn::ConvDesc d = desc_of(3, 1, 1);
+  BackendPlan plan = BackendPlan::uniform(EnginePolicy::fused());
+  plan.opt6.pack_b = false;
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  ConvolutionEngine engine(plan);
+  engine.install(ctx);
+  auto input = test::random_vec(
+      static_cast<std::size_t>(d.in_c) * d.in_h * d.in_w, 1);
+  auto weights =
+      test::random_vec(static_cast<std::size_t>(d.weight_count()), 2);
+  std::vector<float> out(
+      static_cast<std::size_t>(d.out_c) * d.out_h() * d.out_w());
+  dnn::EpilogueDesc epi;
+  EXPECT_EQ(ctx.conv_backend(ctx, d, input.data(), weights.data(), out.data(),
+                             epi),
+            dnn::ConvStatus::Ran);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
 #include "dnn/im2col.hpp"
 #include "dnn/kernels.hpp"
 #include "dnn/layers.hpp"
@@ -218,6 +219,111 @@ TEST(FusedConv, Batch1IntraOpPoolMatchesUnfused) {
       run_batched(small_blocks(core::EnginePolicy::opt6loop()), 1, 4);
   const auto fused = run_batched(small_blocks(core::EnginePolicy::fused()), 1, 4);
   EXPECT_EQ(max_ulp(unfused, fused), 0u);
+}
+
+/// Runs one ConvLayer with a fused residual (skip tensor added after the
+/// activation, then `post_act` — the folded shortcut) under `policy`.
+std::vector<float> run_residual_layer(const dnn::ConvDesc& d,
+                                      const core::EnginePolicy& policy,
+                                      dnn::Activation post_act,
+                                      std::uint64_t seed = 42) {
+  dnn::ConvLayer layer(d, seed);
+  layer.fuse_residual(/*from=*/0, post_act);
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  core::ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  dnn::Tensor in(d.in_c, d.in_h, d.in_w);
+  Rng rng(7);
+  in.randomize(rng);
+  dnn::Tensor skip(d.out_c, d.out_h(), d.out_w());
+  Rng rng2(8);
+  skip.randomize(rng2);
+  layer.forward(ctx, {&in, &skip});
+  return {layer.output().data(),
+          layer.output().data() + layer.output().size()};
+}
+
+TEST(FusedConv, ResidualFusedGemmBitIdenticalToUnfused) {
+  // The folded shortcut-add (ROADMAP fused follow-up (b)) on the GEMM
+  // microkernel's tile registers vs the unfused conv + axpy + activate
+  // post-pass sequence: bit-identical across shapes, activations and the
+  // shortcut's own activation (Logistic post-act stays a scalar post-pass).
+  using dnn::Activation;
+  for (const Shape& s : kShapes) {
+    for (Activation act : {Activation::Leaky, Activation::Logistic}) {
+      for (Activation post :
+           {Activation::Linear, Activation::Leaky, Activation::Logistic}) {
+        const dnn::ConvDesc d = make_desc(s, true, act);
+        const auto unfused = run_residual_layer(
+            d, small_blocks(core::EnginePolicy::opt6loop()), post);
+        const auto fused = run_residual_layer(
+            d, small_blocks(core::EnginePolicy::fused()), post);
+        EXPECT_EQ(max_ulp(unfused, fused), 0u)
+            << s.tag << " act=" << dnn::to_string(act)
+            << " post=" << dnn::to_string(post);
+      }
+    }
+  }
+}
+
+TEST(FusedConv, ResidualFusedWinogradMatchesWithin2Ulp) {
+  // Same contract on the Winograd output transform (interior scatter, edge
+  // tiles, and the stride-2 subsample pass all add the skip tensor).
+  using dnn::Activation;
+  for (const Shape& s : kShapes) {
+    if (s.ksize != 3 || s.pad != 1) continue;  // Winograd-eligible only
+    for (Activation post : {Activation::Linear, Activation::Leaky}) {
+      const dnn::ConvDesc d = make_desc(s, true, Activation::Leaky);
+      core::EnginePolicy unfused_p = core::EnginePolicy::winograd();
+      unfused_p.winograd_stride2 = true;
+      core::EnginePolicy fused_p = unfused_p;
+      fused_p.fuse_conv = true;
+      const auto unfused =
+          run_residual_layer(d, small_blocks(unfused_p), post);
+      const auto fused = run_residual_layer(d, small_blocks(fused_p), post);
+      EXPECT_LE(max_ulp(unfused, fused), 2u)
+          << s.tag << " post=" << dnn::to_string(post);
+    }
+  }
+}
+
+TEST(FusedConv, NetworkFuseResidualsBitIdenticalAcrossBackends) {
+  // Whole-model check on YOLOv3's residual blocks: folding the shortcuts
+  // into their producing 3x3 convolutions (Network::fuse_residuals) must
+  // not change a single bit of the output, whichever backend serves the
+  // convs — unfused GEMM (post-pass add), fused implicit-GEMM, or fused
+  // Winograd — batch 1 and batch 4 multi-threaded.
+  struct Mode {
+    int batch, threads;
+  };
+  // batch 1 serial, batch 1 intra-op sharded, batch 4 item-sharded.
+  constexpr Mode kModes[] = {{1, 1}, {1, 4}, {4, 4}};
+  for (const auto& policy :
+       {core::EnginePolicy::opt6loop(), core::EnginePolicy::fused(),
+        core::EnginePolicy::fused(/*use_winograd=*/true)}) {
+    for (const Mode mode : kModes) {
+      const int batch = mode.batch, threads = mode.threads;
+      auto run = [&](bool fold) {
+        auto net = dnn::build_yolov3(48, 8);  // includes one residual block
+        if (fold) {
+          EXPECT_GT(net->fuse_residuals(), 0);
+        }
+        core::ConvolutionEngine engine(policy);
+        runtime::SchedulerConfig cfg;
+        cfg.threads = threads;
+        runtime::BatchScheduler sched(engine, cfg);
+        dnn::Tensor input(batch, net->in_c(), net->in_h(), net->in_w());
+        input.randomize_batch(1234, 0.0f, 1.0f);
+        const dnn::Tensor& out = sched.run(*net, input);
+        return std::vector<float>(out.data(), out.data() + out.size());
+      };
+      const auto plain = run(false);
+      const auto folded = run(true);
+      EXPECT_EQ(max_ulp(plain, folded), 0u)
+          << "batch=" << batch << " threads=" << threads;
+    }
+  }
 }
 
 TEST(FusedConv, FusedMovesFewerBytes) {
