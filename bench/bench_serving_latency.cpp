@@ -1,0 +1,183 @@
+// Serving latency under micro-batching policies: per-request queue-wait vs.
+// compute time (p50/p95/p99) of the async serving runtime, per BatchPolicy.
+//
+// A producer thread offers a reproducible Poisson-ish request stream at a
+// fixed fraction of the measured capacity; each policy serves the same
+// stream through serve::Server (admission queue -> deadline-aware
+// micro-batcher -> pipelined BatchScheduler). Small batches bound
+// queue-wait but pay per-batch overheads; large batches amortize compute
+// but make early arrivals wait — this harness makes that tradeoff visible
+// as separate queue/compute/total percentile columns per policy.
+//
+//   ./bench_serving_latency [--model=tiny|vgg] [--input=96] [--threads=0]
+//                           [--requests=48] [--load=0.7 (fraction of
+//                            measured capacity)] [--seed=1234] [--quick]
+//                           [--json=<path>]
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/arrival_process.hpp"
+#include "common/percentile.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "serve/server.hpp"
+
+using namespace vlacnn;
+
+namespace {
+
+struct PolicyCase {
+  const char* name;
+  int max_batch;
+  double max_wait_ms;
+};
+
+struct PolicyResult {
+  std::vector<double> queue_ms, compute_ms, total_ms;
+  serve::ServerStats stats;
+  double wall_s = 0.0;
+  std::uint64_t bytes_moved = 0;
+};
+
+PolicyResult serve_stream(runtime::BatchScheduler& sched, dnn::Network& net,
+                          const PolicyCase& pc, int requests, double rate,
+                          std::uint64_t seed) {
+  serve::ServerConfig cfg;
+  cfg.policy.max_batch = pc.max_batch;
+  cfg.policy.max_wait = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double, std::milli>(pc.max_wait_ms));
+  cfg.queue_capacity = static_cast<std::size_t>(requests);  // no shedding:
+  cfg.block_when_full = true;  // every policy serves the identical stream
+  serve::Server server(sched, net, cfg);
+  server.start();
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  PoissonArrivals arrivals(seed, rate);
+  auto next_arrival = t0;
+  for (int r = 0; r < requests; ++r) {
+    next_arrival += arrivals.next_gap();
+    std::this_thread::sleep_until(next_arrival);
+    dnn::Tensor in(1, net.in_c(), net.in_h(), net.in_w());
+    in.randomize_item(0, seed + static_cast<std::uint64_t>(r));
+    server.submit(static_cast<std::uint64_t>(r), std::move(in));
+  }
+  server.stop();
+
+  PolicyResult res;
+  res.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  for (const serve::Completion& c : server.drain_completions()) {
+    res.queue_ms.push_back(c.trace.queue_ms);
+    res.compute_ms.push_back(c.trace.compute_ms);
+    res.total_ms.push_back(c.trace.total_ms);
+  }
+  res.stats = server.stats();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const std::string model = args.get("model", "tiny");
+  const int input_hw = static_cast<int>(args.get_int("input", 96));
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  const bool quick = args.get_bool("quick", false);
+  const int requests =
+      static_cast<int>(args.get_int("requests", quick ? 16 : 48));
+  const double load = args.get_double("load", 0.7);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  bench::BenchJson json("serving_latency", args.get("json", ""));
+  if (requests < 1 || load <= 0.0) {
+    std::fprintf(stderr, "error: --requests >= 1 and --load > 0 required\n");
+    return 1;
+  }
+
+  dnn::warn_if_input_resized(model, input_hw);
+  std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
+  net->fuse_residuals();
+
+  core::ConvolutionEngine engine(
+      core::BackendPlan::uniform(core::EnginePolicy::fused()));
+  runtime::SchedulerConfig cfg;
+  cfg.threads = threads;
+  runtime::BatchScheduler sched(engine, cfg);
+
+  // Capacity measurement (and warm-up): batch-8 images/sec of the
+  // synchronous path sets the offered load for every policy.
+  double capacity_ips;
+  {
+    dnn::Tensor warm(8, net->in_c(), net->in_h(), net->in_w());
+    warm.randomize_batch(99);
+    sched.run(*net, warm);  // warm-up: caches, workspaces
+    const auto t0 = std::chrono::steady_clock::now();
+    sched.run(*net, warm);
+    capacity_ips = 8.0 / std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  }
+  const double rate = load * capacity_ips;
+
+  std::printf("== serving latency vs. micro-batching policy ==\n");
+  std::printf("model=%s input=%d workers=%d | capacity ~%.1f images/sec, "
+              "offered %.1f req/sec (load %.2f) | %d requests/policy\n\n",
+              model.c_str(), input_hw, sched.threads(), capacity_ips, rate,
+              load, requests);
+  std::printf("%-10s %7s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+              "policy", "avg_b", "q_p50", "q_p95", "q_p99", "c_p50", "c_p95",
+              "c_p99", "t_p50", "t_p95", "t_p99");
+
+  std::vector<PolicyCase> cases;
+  if (quick)
+    cases = {{"batch1", 1, 0.0}, {"mb8_w2", 8, 2.0}};
+  else
+    cases = {{"batch1", 1, 0.0},
+             {"mb4_w1", 4, 1.0},
+             {"mb8_w2", 8, 2.0},
+             {"mb8_w8", 8, 8.0}};
+
+  for (const PolicyCase& pc : cases) {
+    const std::uint64_t bytes0 = sched.mem_bytes_moved();
+    PolicyResult res = serve_stream(sched, *net, pc, requests, rate, seed);
+    res.bytes_moved = sched.mem_bytes_moved() - bytes0;
+    const auto p = [](const std::vector<double>& v, double q) {
+      return percentile(v, q);
+    };
+    const double avg_b =
+        res.stats.batches > 0
+            ? res.stats.sum_batch_items /
+                  static_cast<double>(res.stats.batches)
+            : 0.0;
+    std::printf("%-10s %7.2f | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | "
+                "%8.2f %8.2f %8.2f\n",
+                pc.name, avg_b, p(res.queue_ms, 0.50), p(res.queue_ms, 0.95),
+                p(res.queue_ms, 0.99), p(res.compute_ms, 0.50),
+                p(res.compute_ms, 0.95), p(res.compute_ms, 0.99),
+                p(res.total_ms, 0.50), p(res.total_ms, 0.95),
+                p(res.total_ms, 0.99));
+    json.add(std::string("model=") + model + " policy=" + pc.name +
+                 " max_batch=" + std::to_string(pc.max_batch) +
+                 " max_wait_ms=" + std::to_string(pc.max_wait_ms),
+             res.wall_s * 1e3, static_cast<double>(res.bytes_moved),
+             {{"images_per_sec",
+               static_cast<double>(res.stats.completed) / res.wall_s},
+              {"avg_batch", avg_b},
+              {"queue_p50_ms", p(res.queue_ms, 0.50)},
+              {"queue_p95_ms", p(res.queue_ms, 0.95)},
+              {"queue_p99_ms", p(res.queue_ms, 0.99)},
+              {"compute_p50_ms", p(res.compute_ms, 0.50)},
+              {"compute_p95_ms", p(res.compute_ms, 0.95)},
+              {"compute_p99_ms", p(res.compute_ms, 0.99)},
+              {"total_p50_ms", p(res.total_ms, 0.50)},
+              {"total_p95_ms", p(res.total_ms, 0.95)},
+              {"total_p99_ms", p(res.total_ms, 0.99)}});
+  }
+  std::printf("\nqueue-wait grows with batch window (max_wait) while compute "
+              "amortizes; batch1 minimizes queueing but forfeits batch "
+              "sharding across the pool.\n");
+  if (!json.write()) return 1;
+  return 0;
+}

@@ -8,7 +8,8 @@
 // layer barrier). The batch=1 rows show the intra-op path instead, where
 // the pool shards the GEMM M-panel / Winograd tile loops of a single image.
 //
-//   ./bench_throughput_batch [--model=tiny|vgg]
+//   ./bench_throughput_batch [--model=tiny|vgg (full yolo is too heavy
+//                             for a scaling sweep)]
 //                            [--policy=opt6|opt3|winograd|fused|plan]
 //                            [--input=96] [--reps=3] [--max-threads=8]
 //                            [--quick] [--json=<path>]
@@ -19,14 +20,17 @@
 // pipeline (implicit-GEMM packing + in-kernel epilogue); --policy=plan
 // runs the simulation-driven per-layer BackendPlan (selected once on the
 // a64fx machine config, then reused for every row). --json appends one
-// {bench, config, wall_ms, bytes_moved} record per (threads, batch) row
-// for the perf trajectory.
+// {bench, config, wall_ms, bytes_moved, images_per_sec, lat_p50/95/99_ms}
+// record per (threads, batch) row for the perf trajectory — the latency
+// percentiles are over the per-rep batch wall times, so BENCH_*.json tracks
+// tail latency alongside throughput.
 
 #include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/percentile.hpp"
 #include "core/selector.hpp"
 #include "runtime/batch_scheduler.hpp"
 
@@ -73,12 +77,13 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::unique_ptr<dnn::Network> net;
-  if (model == "vgg") {
-    net = dnn::build_vgg16(input_hw % 32 == 0 ? input_hw : 64);
-  } else {
-    net = dnn::build_yolov3_tiny(input_hw);
+  if (model != "tiny" && model != "vgg") {
+    std::fprintf(stderr, "error: unknown --model=%s (tiny|vgg)\n",
+                 model.c_str());
+    return 1;
   }
+  dnn::warn_if_input_resized(model, input_hw);
+  std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
   // Selected (or compiled) once; engines per row share the plan by value.
   const core::BackendPlan plan = plan_from_name(policy_name, *net);
   std::printf("model=%s policy=%s input=%d  hardware threads=%d\n",
@@ -106,9 +111,13 @@ int main(int argc, char** argv) {
       run_once(sched, *net, input);  // warm-up (allocations, weight caches)
       double best = 1e30;
       std::uint64_t run_bytes = 0;
+      std::vector<double> lat_ms;  // per-rep batch latency -> tail tracking
+      lat_ms.reserve(static_cast<std::size_t>(reps));
       for (int r = 0; r < reps; ++r) {
         const std::uint64_t bytes0 = sched.mem_bytes_moved();
-        best = std::min(best, run_once(sched, *net, input));
+        const double sec = run_once(sched, *net, input);
+        lat_ms.push_back(sec * 1e3);
+        best = std::min(best, sec);
         run_bytes = sched.mem_bytes_moved() - bytes0;  // constant per run
       }
       const double ips = batch / best;
@@ -119,7 +128,10 @@ int main(int argc, char** argv) {
                    " threads=" + std::to_string(threads) +
                    " batch=" + std::to_string(batch),
                best * 1e3, static_cast<double>(run_bytes),
-               {{"images_per_sec", ips}});
+               {{"images_per_sec", ips},
+                {"lat_p50_ms", percentile(lat_ms, 0.50)},
+                {"lat_p95_ms", percentile(lat_ms, 0.95)},
+                {"lat_p99_ms", percentile(lat_ms, 0.99)}});
     }
   }
   if (!json.write()) return 1;

@@ -1,12 +1,14 @@
-// Throughput server: a micro-batching inference loop on top of the batched
-// multi-threaded runtime.
+// Throughput server: the async serving runtime end to end.
 //
-// Simulates the serving pattern of a production deployment: requests queue
-// up, the server drains them in batches of up to --batch images, and each
-// batch is forwarded once through the network with the batch items sharded
-// across the worker pool. Reports end-to-end throughput and per-request
-// latency percentiles (time from "arrival" — its position in the request
-// stream — to completion of its batch).
+// Simulates a production deployment serving live traffic: a client thread
+// submits requests with Poisson-ish arrivals (exponential inter-arrival
+// gaps from Rng::for_stream, --rate to set the offered load), the
+// serve::Server admits them through a bounded queue with backpressure,
+// the deadline-aware micro-batcher groups them per --batch/--max-wait-ms,
+// and batches pipeline through the BatchScheduler's double-buffered
+// submit/wait API — batch k+1 forms and packs while batch k executes.
+// Reports per-request latency percentiles broken down into queue / dispatch
+// / compute, throughput, admission stats and launch-trigger counts.
 //
 // --policy picks the dispatch configuration:
 //   plan      (default) simulation-driven per-layer BackendPlan: every
@@ -25,16 +27,24 @@
 //                       [--threads=0 (hardware)] [--input=96] [--vlen=512]
 //                       [--policy=plan|fused|winograd|opt6]
 //                       [--machine=a64fx|rvv|sve]
+//                       [--max-wait-ms=2] [--deadline-ms=0 (none)]
+//                       [--queue-cap=64] [--block (block-when-full)]
+//                       [--rate=0 (requests/sec; 0 = 80% of measured
+//                        capacity)] [--seed=1234] [--json=<path>]
 
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
+#include "common/arrival_process.hpp"
+#include "common/bench_json.hpp"
 #include "common/cli.hpp"
+#include "common/percentile.hpp"
 #include "core/selector.hpp"
 #include "dnn/models.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "serve/server.hpp"
 
 using namespace vlacnn;
 
@@ -48,18 +58,29 @@ int main(int argc, char** argv) {
   const auto vlen = static_cast<unsigned>(args.get_int("vlen", 512));
   const std::string policy = args.get("policy", "plan");
   const std::string machine_name = args.get("machine", "a64fx");
-  if (requests < 1 || batch < 1) {
-    std::fprintf(stderr, "error: --requests and --batch must be >= 1\n");
+  const double max_wait_ms = args.get_double("max-wait-ms", 2.0);
+  const double deadline_ms = args.get_double("deadline-ms", 0.0);
+  const auto queue_cap =
+      static_cast<std::size_t>(args.get_int("queue-cap", 64));
+  const bool block_when_full = args.get_bool("block", false);
+  double rate = args.get_double("rate", 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  bench::BenchJson json("throughput_server", args.get("json", ""));
+  if (requests < 1 || batch < 1 || queue_cap < 1 || max_wait_ms < 0.0) {
+    std::fprintf(stderr,
+                 "error: --requests/--batch/--queue-cap must be >= 1 and "
+                 "--max-wait-ms >= 0\n");
+    return 1;
+  }
+  if (model != "tiny" && model != "vgg" && model != "yolo") {
+    std::fprintf(stderr, "error: unknown --model=%s (tiny|vgg|yolo)\n",
+                 model.c_str());
     return 1;
   }
 
-  std::unique_ptr<dnn::Network> net;
-  if (model == "vgg")
-    net = dnn::build_vgg16(input_hw % 32 == 0 ? input_hw : 64);
-  else if (model == "yolo")
-    net = dnn::build_yolov3(input_hw % 32 == 0 ? input_hw : 64);
-  else
-    net = dnn::build_yolov3_tiny(input_hw);
+  // vgg/yolo need an input divisible by 32; never resize silently.
+  dnn::warn_if_input_resized(model, input_hw);
+  std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
 
   // Fold residual shortcuts into their producing convolutions: the skip add
   // runs in the conv epilogue (in-kernel on fused backends) instead of as
@@ -107,56 +128,138 @@ int main(int argc, char** argv) {
   std::printf("per-layer dispatch table:\n%s\n",
               engine.plan().summary().c_str());
 
-  // Warm-up pass: weight caches, workspaces, output reshapes.
+  // Warm-up pass (weight caches, workspaces, output reshapes) doubles as
+  // the capacity measurement that sizes the default offered load and the
+  // deadline slack.
+  double batch_compute_ms;
   {
     dnn::Tensor warm(batch, net->in_c(), net->in_h(), net->in_w());
     warm.randomize_batch(99);
+    const auto t0 = std::chrono::steady_clock::now();
     sched.run(*net, warm);
+    batch_compute_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
   }
+  if (rate <= 0.0) rate = 0.8 * (batch / (batch_compute_ms / 1e3));
 
+  serve::ServerConfig scfg;
+  scfg.policy.max_batch = batch;
+  scfg.policy.max_wait = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double, std::milli>(max_wait_ms));
+  // Reserve roughly one batch's compute before a deadline so the batcher
+  // launches early enough to meet it.
+  scfg.policy.deadline_slack =
+      std::chrono::duration_cast<serve::Clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              deadline_ms > 0.0 ? batch_compute_ms : 0.0));
+  scfg.queue_capacity = queue_cap;
+  scfg.block_when_full = block_when_full;
+  serve::Server server(sched, *net, scfg);
+  server.start();
+
+  std::printf("offered load: %.1f requests/sec (measured capacity ~%.1f "
+              "images/sec); max_wait=%.1f ms, deadline=%s, queue cap=%zu "
+              "(%s)\n\n",
+              rate, batch / (batch_compute_ms / 1e3), max_wait_ms,
+              deadline_ms > 0.0
+                  ? (std::to_string(deadline_ms) + " ms").c_str()
+                  : "none",
+              queue_cap, block_when_full ? "block" : "reject");
+
+  // Client: reproducible Poisson-ish arrivals (PoissonArrivals). Request
+  // r's input comes from its own stream, so results do not depend on how
+  // requests were grouped into batches.
   using clock = std::chrono::steady_clock;
-  std::vector<double> latency_ms;
-  latency_ms.reserve(static_cast<std::size_t>(requests));
+  // Engine-byte delta over the serve run: no batch is in flight here (the
+  // server has only just started) or after stop() below.
+  const std::uint64_t bytes0 = sched.mem_bytes_moved();
   const auto serve_t0 = clock::now();
-
-  for (int next = 0; next < requests;) {
-    const int nb = std::min(batch, requests - next);
-    // Each queued request is one image; request r carries RNG stream r so
-    // results do not depend on how requests were grouped into batches.
-    dnn::Tensor in(nb, net->in_c(), net->in_h(), net->in_w());
-    for (int b = 0; b < nb; ++b)
-      in.randomize_item(b, 1234 + static_cast<std::uint64_t>(next + b));
-    const auto t0 = clock::now();
-    sched.run(*net, in);
-    const double batch_ms =
-        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
-    // Every request in the batch completes when the batch does.
-    for (int b = 0; b < nb; ++b) latency_ms.push_back(batch_ms);
-    next += nb;
+  PoissonArrivals arrivals(seed, rate);
+  auto next_arrival = serve_t0;
+  for (int r = 0; r < requests; ++r) {
+    next_arrival += arrivals.next_gap();
+    std::this_thread::sleep_until(next_arrival);
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, seed + static_cast<std::uint64_t>(r));
+    const auto deadline =
+        deadline_ms > 0.0
+            ? clock::now() + std::chrono::duration_cast<clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     deadline_ms))
+            : serve::kNoDeadline;
+    // Non-Accepted here can only be Rejected (queue full, reject-on-full
+    // mode); the server's stats count it.
+    (void)server.submit(static_cast<std::uint64_t>(r), std::move(in),
+                        deadline);
   }
-
+  server.stop();  // drain everything admitted
   const double total_s =
       std::chrono::duration<double>(clock::now() - serve_t0).count();
-  std::sort(latency_ms.begin(), latency_ms.end());
-  const auto pct = [&](double p) {
-    const auto idx = static_cast<std::size_t>(
-        p * static_cast<double>(latency_ms.size() - 1));
-    return latency_ms[idx];
-  };
-  std::printf("throughput: %.1f images/sec\n", requests / total_s);
-  std::printf("batch latency: p50=%.1f ms  p90=%.1f ms  p99=%.1f ms\n",
-              pct(0.50), pct(0.90), pct(0.99));
+  const std::uint64_t serve_bytes = sched.mem_bytes_moved() - bytes0;
 
-  // Per-layer accounting of the last batch (merged across workers).
-  std::printf("\nlast-batch per-layer wall time (top 5):\n");
-  std::vector<dnn::LayerRecord> recs = sched.records();
-  std::sort(recs.begin(), recs.end(),
-            [](const dnn::LayerRecord& a, const dnn::LayerRecord& b) {
-              return a.wall_seconds > b.wall_seconds;
-            });
-  for (std::size_t i = 0; i < std::min<std::size_t>(5, recs.size()); ++i)
-    std::printf("  %-16s %-14s items=%-3d %.3f ms\n", recs[i].name.c_str(),
-                recs[i].algo.c_str(), recs[i].items,
-                recs[i].wall_seconds * 1e3);
+  const std::vector<serve::Completion> done = server.drain_completions();
+  const serve::ServerStats stats = server.stats();
+  std::vector<double> queue_ms, compute_ms, total_ms;
+  for (const serve::Completion& c : done) {
+    queue_ms.push_back(c.trace.queue_ms);
+    compute_ms.push_back(c.trace.compute_ms);
+    total_ms.push_back(c.trace.total_ms);
+  }
+
+  std::printf("served %llu/%d requests in %.2f s (%.1f images/sec), "
+              "%llu shed by the full queue\n",
+              static_cast<unsigned long long>(stats.completed), requests,
+              total_s, static_cast<double>(stats.completed) / total_s,
+              static_cast<unsigned long long>(stats.rejected));
+  std::printf("%llu batches, avg %.2f images/batch, queue peak depth %zu\n",
+              static_cast<unsigned long long>(stats.batches),
+              stats.batches > 0 ? stats.sum_batch_items /
+                                      static_cast<double>(stats.batches)
+                                : 0.0,
+              stats.queue_peak_depth);
+  std::printf("launch triggers (per batch): full=%llu max_wait=%llu "
+              "deadline=%llu drain=%llu\n",
+              static_cast<unsigned long long>(stats.trigger_counts[0]),
+              static_cast<unsigned long long>(stats.trigger_counts[1]),
+              static_cast<unsigned long long>(stats.trigger_counts[2]),
+              static_cast<unsigned long long>(stats.trigger_counts[3]));
+  if (deadline_ms > 0.0)
+    std::printf("deadline misses: %llu\n",
+                static_cast<unsigned long long>(stats.deadline_misses));
+
+  const auto p = [](const std::vector<double>& v, double q) {
+    return percentile(v, q);
+  };
+  std::printf("\nper-request latency breakdown (ms):\n");
+  std::printf("  %-10s %8s %8s %8s\n", "stage", "p50", "p95", "p99");
+  std::printf("  %-10s %8.2f %8.2f %8.2f\n", "queue", p(queue_ms, 0.50),
+              p(queue_ms, 0.95), p(queue_ms, 0.99));
+  std::printf("  %-10s %8.2f %8.2f %8.2f\n", "compute", p(compute_ms, 0.50),
+              p(compute_ms, 0.95), p(compute_ms, 0.99));
+  std::printf("  %-10s %8.2f %8.2f %8.2f\n", "total", p(total_ms, 0.50),
+              p(total_ms, 0.95), p(total_ms, 0.99));
+
+  json.add("model=" + model + " policy=" + policy +
+               " batch=" + std::to_string(batch) +
+               " max_wait_ms=" + std::to_string(max_wait_ms),
+           total_s * 1e3, static_cast<double>(serve_bytes),
+           {{"images_per_sec", static_cast<double>(stats.completed) / total_s},
+            {"completed", static_cast<double>(stats.completed)},
+            {"rejected", static_cast<double>(stats.rejected)},
+            {"avg_batch",
+             stats.batches > 0
+                 ? stats.sum_batch_items / static_cast<double>(stats.batches)
+                 : 0.0},
+            {"queue_p50_ms", p(queue_ms, 0.50)},
+            {"queue_p95_ms", p(queue_ms, 0.95)},
+            {"queue_p99_ms", p(queue_ms, 0.99)},
+            {"compute_p50_ms", p(compute_ms, 0.50)},
+            {"compute_p95_ms", p(compute_ms, 0.95)},
+            {"compute_p99_ms", p(compute_ms, 0.99)},
+            {"total_p50_ms", p(total_ms, 0.50)},
+            {"total_p95_ms", p(total_ms, 0.95)},
+            {"total_p99_ms", p(total_ms, 0.99)}});
+  if (!json.write()) return 1;
   return 0;
 }

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace vlacnn {
+
+/// Reproducible Poisson-ish arrival process: exponential inter-arrival gaps
+/// at a fixed rate, drawn from one dedicated Rng stream so the offered
+/// traffic depends only on (seed, rate) — never on how fast the server
+/// drains it. Shared by the serving example and bench so both harnesses
+/// measure the identical arrival stream.
+class PoissonArrivals {
+ public:
+  /// The dedicated stream id: derived Rng streams are decorrelated by id,
+  /// so arrivals never alias the per-request input streams.
+  static constexpr std::uint64_t kStreamId = 0xA221A1;
+
+  PoissonArrivals(std::uint64_t seed, double rate_per_sec)
+      : rng_(Rng::for_stream(seed, kStreamId)), rate_(rate_per_sec) {}
+
+  /// Next exponential inter-arrival gap, in seconds.
+  double next_gap_seconds() {
+    return -std::log(1.0 - static_cast<double>(rng_.next_float())) / rate_;
+  }
+
+  /// The same gap as a steady_clock duration (for sleep_until arithmetic).
+  std::chrono::steady_clock::duration next_gap() {
+    return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(next_gap_seconds()));
+  }
+
+ private:
+  Rng rng_;
+  double rate_;
+};
+
+}  // namespace vlacnn

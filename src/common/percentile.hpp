@@ -1,0 +1,28 @@
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace vlacnn {
+
+/// Linear-interpolation percentile (numpy's default "linear" / R-7
+/// estimator): p in [0, 1] maps to rank p*(n-1) over the sorted values,
+/// interpolating between the two straddling order statistics. The input need
+/// not be sorted (a sorted copy is made). An empty input returns 0.0 so
+/// harnesses can report percentiles of "no samples" without a guard.
+inline double percentile(std::span<const double> values, double p) {
+  VLACNN_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0, 1]");
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace vlacnn

@@ -1,5 +1,7 @@
 #include "dnn/models.hpp"
 
+#include <cstdio>
+
 #include "common/error.hpp"
 
 namespace vlacnn::dnn {
@@ -193,6 +195,30 @@ std::unique_ptr<Network> build_yolov3_first4conv(int input_hw,
   auto net = build_yolov3(input_hw, 4, seed);
   VLACNN_ASSERT(net->num_conv_layers() == 4, "conv count mismatch (want 4)");
   return net;
+}
+
+int model_input_hw(const std::string& model, int requested_hw) {
+  if (model == "vgg" || model == "yolo")
+    return requested_hw % 32 == 0 ? requested_hw : 64;
+  return requested_hw;
+}
+
+void warn_if_input_resized(const std::string& model, int requested_hw) {
+  const int hw = model_input_hw(model, requested_hw);
+  if (hw != requested_hw)
+    std::fprintf(stderr,
+                 "warning: --model=%s needs --input divisible by 32; "
+                 "using %d instead of the requested %d\n",
+                 model.c_str(), hw, requested_hw);
+}
+
+std::unique_ptr<Network> build_model(const std::string& model,
+                                     int requested_hw, std::uint64_t seed) {
+  const int hw = model_input_hw(model, requested_hw);
+  if (model == "vgg") return build_vgg16(hw, -1, seed);
+  if (model == "yolo") return build_yolov3(hw, -1, seed);
+  VLACNN_REQUIRE(model == "tiny", "unknown model (tiny|vgg|yolo): " + model);
+  return build_yolov3_tiny(hw, -1, seed);
 }
 
 }  // namespace vlacnn::dnn

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "dnn/network.hpp"
 
@@ -36,5 +37,23 @@ std::unique_ptr<Network> build_yolov3_prefix_20(int input_hw = 608,
                                                 std::uint64_t seed = 1234);
 std::unique_ptr<Network> build_yolov3_first4conv(int input_hw = 608,
                                                  std::uint64_t seed = 1234);
+
+/// The input resolution the named model ("tiny" | "vgg" | "yolo") will
+/// actually be built at: the full models need a multiple of 32 and fall back
+/// to 64 otherwise; tiny accepts anything. Harnesses compare this against
+/// the requested size and warn instead of silently serving a different
+/// resolution.
+int model_input_hw(const std::string& model, int requested_hw);
+
+/// Prints the one canonical stderr warning when model_input_hw() will
+/// adjust `requested_hw` — call before build_model() in any harness taking
+/// --model/--input flags so the rounding is never silent.
+void warn_if_input_resized(const std::string& model, int requested_hw);
+
+/// Builds "tiny" | "vgg" | "yolo" at model_input_hw(model, requested_hw).
+/// Throws InvalidArgument for an unknown model name.
+std::unique_ptr<Network> build_model(const std::string& model,
+                                     int requested_hw,
+                                     std::uint64_t seed = 1234);
 
 }  // namespace vlacnn::dnn

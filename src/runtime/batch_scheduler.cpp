@@ -1,6 +1,7 @@
 #include "runtime/batch_scheduler.hpp"
 
 #include <chrono>
+#include <cstring>
 
 namespace vlacnn::runtime {
 
@@ -18,6 +19,16 @@ BatchScheduler::BatchScheduler(core::ConvolutionEngine& engine,
   main_engine_ = std::make_unique<vla::VectorEngine>(cfg_.vlen_bits);
   main_ctx_ = std::make_unique<dnn::ExecContext>(*main_engine_);
   engine_->install(*main_ctx_, cfg_.intra_op && t > 1 ? &pool_ : nullptr);
+  executor_ = std::thread([this] { executor_loop(); });
+}
+
+BatchScheduler::~BatchScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  exec_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
 }
 
 std::uint64_t BatchScheduler::mem_bytes_moved() const {
@@ -27,18 +38,141 @@ std::uint64_t BatchScheduler::mem_bytes_moved() const {
   return total;
 }
 
+BatchTicket BatchScheduler::enqueue(dnn::Network& net,
+                                    const dnn::Tensor* borrowed,
+                                    dnn::Tensor owned, bool snapshot_output) {
+  // Validate synchronously so precondition errors throw from submit()/run(),
+  // not from a later wait().
+  const dnn::Tensor& in = borrowed != nullptr ? *borrowed : owned;
+  VLACNN_REQUIRE(net.num_layers() > 0, "empty network");
+  VLACNN_REQUIRE(in.c() == net.in_c() && in.h() == net.in_h() &&
+                     in.w() == net.in_w(),
+                 "network input shape mismatch");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // The slot a ticket maps to is a function of its id, and ids are handed
+  // out under the lock — re-evaluate the slot inside the predicate because
+  // a concurrent submitter may claim next_ticket_ while we sleep.
+  slot_cv_.wait(lock, [&] {
+    return slots_[next_ticket_ % kSlots].state == Slot::State::Free;
+  });
+  Slot& slot = slots_[next_ticket_ % kSlots];
+  slot.id = next_ticket_++;
+  slot.net = &net;
+  slot.owned_input = std::move(owned);
+  slot.input = borrowed != nullptr ? borrowed : &slot.owned_input;
+  slot.snapshot_output = snapshot_output;
+  slot.result = {};
+  slot.error = nullptr;
+  slot.state = Slot::State::Queued;
+  const BatchTicket ticket{slot.id};
+  lock.unlock();
+  exec_cv_.notify_one();
+  // next_ticket_ advanced: another producer blocked on the *other* slot's
+  // freedom may now be eligible.
+  slot_cv_.notify_all();
+  return ticket;
+}
+
+BatchTicket BatchScheduler::submit(dnn::Network& net, dnn::Tensor input) {
+  return enqueue(net, nullptr, std::move(input), /*snapshot_output=*/true);
+}
+
+BatchResult BatchScheduler::wait(const BatchTicket& ticket) {
+  VLACNN_REQUIRE(ticket.id != 0, "invalid (default-constructed) ticket");
+  std::unique_lock<std::mutex> lock(mu_);
+  VLACNN_REQUIRE(ticket.id < next_ticket_, "ticket was never issued");
+  Slot& slot = slots_[ticket.id % kSlots];
+  // slot.id only grows; > means the slot was collected and recycled, ==
+  // with State::Free means this very ticket was already waited.
+  slot_cv_.wait(lock, [&] {
+    return slot.id > ticket.id || slot.state == Slot::State::Done ||
+           slot.state == Slot::State::Free;
+  });
+  VLACNN_REQUIRE(slot.id == ticket.id && slot.state == Slot::State::Done,
+                 "ticket already collected (tickets are single-use)");
+  BatchResult result = std::move(slot.result);
+  std::exception_ptr error = slot.error;
+  slot.result = {};
+  slot.error = nullptr;
+  slot.net = nullptr;
+  slot.state = Slot::State::Free;
+  lock.unlock();
+  slot_cv_.notify_all();
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
 const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
                                        const dnn::Tensor& input) {
+  // Thin synchronous wrapper over the pipelined API: the input is borrowed
+  // (no copy — we block in wait() for the batch's whole lifetime) and the
+  // output snapshot is skipped because the caller reads the network's own
+  // tensor, exactly as the historical drain-loop API did.
+  const BatchTicket ticket =
+      enqueue(net, &input, dnn::Tensor(), /*snapshot_output=*/false);
+  BatchResult result = wait(ticket);
+  records_ = std::move(result.records);
+  return net.layer(net.num_layers() - 1).output();
+}
+
+void BatchScheduler::executor_loop() {
   using clock = std::chrono::steady_clock;
-  VLACNN_REQUIRE(net.num_layers() > 0, "empty network");
-  VLACNN_REQUIRE(input.c() == net.in_c() && input.h() == net.in_h() &&
-                     input.w() == net.in_w(),
-                 "network input shape mismatch");
+  for (;;) {
+    Slot* slot = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      exec_cv_.wait(lock, [&] {
+        Slot& s = slots_[next_exec_ % kSlots];
+        if (s.state == Slot::State::Queued && s.id == next_exec_) {
+          slot = &s;
+          return true;
+        }
+        return stopping_;
+      });
+      // Queued batches drain even during shutdown (their submitters may be
+      // blocked in wait()); exit only once nothing is queued.
+      if (slot == nullptr) return;
+      slot->state = Slot::State::Running;
+    }
+
+    const auto t0 = clock::now();
+    try {
+      execute(*slot);
+      if (slot->snapshot_output) {
+        const dnn::Tensor& out =
+            slot->net->layer(slot->net->num_layers() - 1).output();
+        slot->result.output.reshape(out.n(), out.c(), out.h(), out.w());
+        std::memcpy(slot->result.output.data(), out.data(),
+                    out.size() * sizeof(float));
+      }
+    } catch (...) {
+      slot->error = std::current_exception();
+    }
+    slot->result.compute_seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot->owned_input = dnn::Tensor();  // release admitted input early
+      slot->input = nullptr;
+      slot->state = Slot::State::Done;
+      ++next_exec_;
+    }
+    slot_cv_.notify_all();
+  }
+}
+
+void BatchScheduler::execute(Slot& slot) {
+  using clock = std::chrono::steady_clock;
+  dnn::Network& net = *slot.net;
+  const dnn::Tensor& input = *slot.input;
+  std::vector<dnn::LayerRecord>& records = slot.result.records;
 
   // Weight transforms happen before any worker runs, so the shared cache is
   // a read-only lookup for the rest of the pass.
   engine_->prepare(net);
-  records_.clear();
+  records.clear();
   // Per-layer backend names come from the engine's compiled plan (every
   // worker context shares the same plan, so the main context's label
   // function is authoritative for all of them).
@@ -62,7 +196,7 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
     const auto t0 = clock::now();
 
     if (nb == 1 || pool_.size() == 1) {
-      // Too little batch-level work to shard: run on the calling thread,
+      // Too little batch-level work to shard: run on the executor thread,
       // whose context may intra-op parallelize inside GEMM / Winograd.
       for (int b = 0; b < nb; ++b) layer.forward_item(*main_ctx_, ins, b);
       dnn::LayerRecord rec;
@@ -70,8 +204,9 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
       rec.flops = layer.flops() * nb;
       rec.items = nb;
       rec.algo = algo_of(layer);
-      rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
-      records_.push_back(std::move(rec));
+      rec.wall_seconds =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      records.push_back(std::move(rec));
       continue;
     }
 
@@ -98,9 +233,8 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
     rec.algo = algo_of(layer);
     // The layer barrier waits for the slowest worker: report the span.
     rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
-    records_.push_back(std::move(rec));
+    records.push_back(std::move(rec));
   }
-  return net.layer(net.num_layers() - 1).output();
 }
 
 }  // namespace vlacnn::runtime

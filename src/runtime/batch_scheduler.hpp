@@ -1,6 +1,10 @@
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/conv_engine.hpp"
@@ -19,7 +23,30 @@ struct SchedulerConfig {
   bool intra_op = true;
 };
 
-/// Parallel layer scheduler: runs a batched forward pass of a Network with
+/// Handle to a batch accepted by BatchScheduler::submit(). Single-use:
+/// redeem exactly once with wait(). Tickets complete in submission order,
+/// but may be waited from any thread and in any order (results are buffered
+/// in their slot until collected).
+struct BatchTicket {
+  std::uint64_t id = 0;
+};
+
+/// What BatchScheduler::wait() hands back for one batch.
+struct BatchResult {
+  /// Snapshot of the last layer's batched output, copied out before the
+  /// next batch may run — valid independently of anything executed later
+  /// on the same network.
+  dnn::Tensor output;
+  /// Deterministically merged per-layer records of this batch (same
+  /// contents records() holds after a synchronous run()).
+  std::vector<dnn::LayerRecord> records;
+  /// Wall time of the forward pass on the executor thread. Excludes the
+  /// time the batch spent queued in its admission slot, so callers can
+  /// separate queue wait from compute.
+  double compute_seconds = 0.0;
+};
+
+/// Parallel layer scheduler: runs batched forward passes of a Network with
 /// every core busy.
 ///
 /// Layers execute in topological (definition) order — each may consume
@@ -29,21 +56,59 @@ struct SchedulerConfig {
 /// an ExecContext (its own im2col workspace, packed-GEMM buffers and
 /// Winograd scratch, installed by the ConvolutionEngine), so workers never
 /// share mutable kernel state; weights and the Winograd weight cache are
-/// read-only during the pass (run() calls engine.prepare() first).
+/// read-only during the pass (every pass calls engine.prepare() first).
 ///
 /// Scheduling is deterministic: items map to workers by a static chunked
 /// partition, every worker's arithmetic is bit-identical to the serial
 /// batch-1 path, and per-worker LayerRecords are merged in worker-id order
 /// (dnn::merge_layer_records).
+///
+/// Two ways to drive it:
+///  * run(net, input) — synchronous: blocks until the batch finishes and
+///    returns the network's output tensor. This is a thin wrapper over the
+///    async API below and is bit-identical to it.
+///  * submit(net, batch) -> BatchTicket / wait(ticket) -> BatchResult —
+///    pipelined: batches execute FIFO on a dedicated executor thread while
+///    the caller forms/packs the next one. kSlots batches may be in flight
+///    (one executing + one admitted, double buffering); a further submit()
+///    blocks until a slot frees — the natural backpressure the serving
+///    layer leans on. Forward passes themselves are serialized on the
+///    executor (layer outputs live in the Network), so the overlap won is
+///    admission/packing vs. execution, and the worker pool flows from the
+///    last layer of batch k straight into the first layer of batch k+1
+///    without a drain back to the submitting thread.
+///
+/// submit() and wait() are thread-safe; run() may be freely mixed with
+/// them, but the reference it returns (into the Network's last layer) is
+/// only stable until the next batch executes on that network.
 class BatchScheduler {
  public:
+  /// In-flight batch slots: one executing + one admitted.
+  static constexpr int kSlots = 2;
+
   BatchScheduler(core::ConvolutionEngine& engine,
                  const SchedulerConfig& cfg = {});
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Batched forward of `net` on `input` (any batch size N >= 1). Returns
   /// the last layer's batched output. Per-layer stats land in records().
   const dnn::Tensor& run(dnn::Network& net, const dnn::Tensor& input);
 
+  /// Queues a batched forward of `net` on `input` (ownership taken) and
+  /// returns immediately once an admission slot is free. Shape errors throw
+  /// here, synchronously; execution errors surface from wait().
+  BatchTicket submit(dnn::Network& net, dnn::Tensor input);
+
+  /// Blocks until `ticket`'s batch has executed and returns its output
+  /// snapshot, records and compute time. Rethrows any execution error.
+  /// Each ticket must be waited exactly once.
+  BatchResult wait(const BatchTicket& ticket);
+
+  /// Records of the last run() — the synchronous API's accounting surface.
+  /// Pipelined batches carry their records in their BatchResult instead.
   [[nodiscard]] const std::vector<dnn::LayerRecord>& records() const {
     return records_;
   }
@@ -53,21 +118,47 @@ class BatchScheduler {
 
   /// Cumulative bytes moved by every engine this scheduler drives (main +
   /// batch workers; intra-op worker traffic is folded into the main engine
-  /// by the GEMM/Winograd kernels). Sample before/after run() to get the
-  /// traffic of one batch. Call only between runs.
+  /// by the GEMM/Winograd kernels). Sample before/after a batch to get its
+  /// traffic. Call only while no batch is in flight.
   [[nodiscard]] std::uint64_t mem_bytes_moved() const;
 
  private:
+  struct Slot {
+    enum class State { Free, Queued, Running, Done };
+    State state = State::Free;
+    std::uint64_t id = 0;
+    dnn::Network* net = nullptr;
+    dnn::Tensor owned_input;             // submit() path: input moved in
+    const dnn::Tensor* input = nullptr;  // &owned_input, or run()'s borrow
+    bool snapshot_output = true;         // run() skips the output copy
+    BatchResult result;
+    std::exception_ptr error;
+  };
+
+  BatchTicket enqueue(dnn::Network& net, const dnn::Tensor* borrowed,
+                      dnn::Tensor owned, bool snapshot_output);
+  void executor_loop();
+  void execute(Slot& slot);
+
   core::ConvolutionEngine* engine_;
   SchedulerConfig cfg_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
   std::vector<std::unique_ptr<dnn::ExecContext>> worker_ctxs_;
-  // Driven by the calling thread when a layer's batch is too small to
+  // Driven by the executor thread when a layer's batch is too small to
   // shard; its kernels may intra-op parallelize over the same pool.
   std::unique_ptr<vla::VectorEngine> main_engine_;
   std::unique_ptr<dnn::ExecContext> main_ctx_;
   std::vector<dnn::LayerRecord> records_;
+
+  std::mutex mu_;                  // guards slots_ + counters below
+  std::condition_variable slot_cv_;  // slot became Free or Done
+  std::condition_variable exec_cv_;  // slot became Queued (or stopping)
+  Slot slots_[kSlots];
+  std::uint64_t next_ticket_ = 1;  // id the next submit() will take
+  std::uint64_t next_exec_ = 1;    // id the executor runs next (FIFO)
+  bool stopping_ = false;
+  std::thread executor_;
 };
 
 }  // namespace vlacnn::runtime

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace vlacnn::serve {
+
+/// Why a micro-batch launched.
+enum class Trigger {
+  Full,      ///< reached max_batch
+  MaxWait,   ///< oldest request waited max_wait
+  Deadline,  ///< a request's deadline (minus slack) would otherwise be missed
+  Drain,     ///< queue closed; final partial batch of the shutdown drain
+};
+
+const char* trigger_name(Trigger t);
+
+/// Batch-formation policy.
+struct BatchPolicy {
+  /// Launch as soon as this many requests are aboard.
+  int max_batch = 8;
+  /// Launch once the oldest aboard request has waited this long — bounds
+  /// the queueing latency a request can accrue to batching.
+  Clock::duration max_wait = std::chrono::milliseconds(2);
+  /// Compute-time reserve before a deadline: a batch launches no later than
+  /// min(deadline aboard) - deadline_slack, even if neither full nor
+  /// max_wait-expired. Callers typically set it to an estimate of one
+  /// batch's forward-pass time.
+  Clock::duration deadline_slack = Clock::duration::zero();
+};
+
+/// decide()'s verdict for the current batch-in-formation.
+struct LaunchDecision {
+  bool launch = false;
+  /// When launch: why. When !launch: which criterion will bind at launch_by.
+  Trigger trigger = Trigger::MaxWait;
+  /// When !launch: the latest instant to re-evaluate (the batcher sleeps on
+  /// the queue until then).
+  Clock::time_point launch_by = kNoDeadline;
+};
+
+/// The pure batch-launch core — all policy, no clocks or threads, so the
+/// formation rules are table-testable with synthetic time points. `queued`
+/// counts requests already aboard the forming batch; `oldest_arrival` is
+/// the first of them; `min_deadline` is the earliest deadline aboard
+/// (kNoDeadline when none carries one).
+LaunchDecision decide(const BatchPolicy& policy, int queued,
+                      Clock::time_point oldest_arrival,
+                      Clock::time_point min_deadline, Clock::time_point now);
+
+/// One launched micro-batch.
+struct FormedBatch {
+  std::vector<InferRequest> requests;
+  Clock::time_point formed_at{};
+  Trigger trigger = Trigger::Full;
+};
+
+/// Deadline-aware micro-batcher: single consumer of a RequestQueue that
+/// groups requests into batches per BatchPolicy. Blocks for the first
+/// request of a batch, then keeps admitting until decide() says launch —
+/// full, the oldest's max_wait expiring, or an aboard deadline approaching.
+/// After the queue closes, remaining requests drain as final batches
+/// (Trigger::Drain) before next_batch() returns nullopt.
+class MicroBatcher {
+ public:
+  MicroBatcher(RequestQueue& queue, const BatchPolicy& policy)
+      : queue_(&queue), policy_(policy) {}
+
+  /// Forms and returns the next batch; nullopt once the queue is closed and
+  /// drained. Single-consumer: call from one thread.
+  std::optional<FormedBatch> next_batch();
+
+  [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  RequestQueue* queue_;
+  BatchPolicy policy_;
+};
+
+}  // namespace vlacnn::serve

@@ -1,0 +1,87 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace vlacnn::serve {
+
+Admit RequestQueue::push(InferRequest req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return Admit::Closed;
+  if (q_.size() >= capacity_) {
+    if (!block_when_full_) {
+      ++stats_.rejected;
+      return Admit::Rejected;
+    }
+    producer_cv_.wait(lock,
+                      [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return Admit::Closed;
+  }
+  if (req.arrival == Clock::time_point{}) req.arrival = Clock::now();
+  q_.push_back(std::move(req));
+  stats_.peak_depth = std::max(stats_.peak_depth, q_.size());
+  ++stats_.accepted;
+  lock.unlock();
+  consumer_cv_.notify_one();
+  return Admit::Accepted;
+}
+
+bool RequestQueue::pop(InferRequest& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  consumer_cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return false;  // closed and drained
+  out = std::move(q_.front());
+  q_.pop_front();
+  lock.unlock();
+  producer_cv_.notify_one();
+  return true;
+}
+
+RequestQueue::PopStatus RequestQueue::pop_wait_until(
+    InferRequest& out, Clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!consumer_cv_.wait_until(lock, deadline,
+                               [&] { return closed_ || !q_.empty(); }))
+    return PopStatus::TimedOut;
+  if (q_.empty()) return PopStatus::Closed;
+  out = std::move(q_.front());
+  q_.pop_front();
+  lock.unlock();
+  producer_cv_.notify_one();
+  return PopStatus::Ok;
+}
+
+RequestQueue::PopStatus RequestQueue::try_pop(InferRequest& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (q_.empty()) return closed_ ? PopStatus::Closed : PopStatus::TimedOut;
+  out = std::move(q_.front());
+  q_.pop_front();
+  lock.unlock();
+  producer_cv_.notify_one();
+  return PopStatus::Ok;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+RequestQueue::Stats RequestQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace vlacnn::serve

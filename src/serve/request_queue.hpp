@@ -1,0 +1,98 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "dnn/tensor.hpp"
+
+namespace vlacnn::serve {
+
+/// Serving-side clock. steady_clock: arrival/deadline arithmetic must be
+/// monotonic.
+using Clock = std::chrono::steady_clock;
+
+/// "No deadline" sentinel for InferRequest::deadline.
+inline constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/// One inference request: a single-image CHW input plus its admission
+/// timestamps. Move-only (the tensor owns its storage).
+struct InferRequest {
+  std::uint64_t id = 0;
+  dnn::Tensor input;  ///< batch-1 tensor matching the served network's input
+  /// Stamped by RequestQueue::push() at admission when left default, so
+  /// queue-wait accounting starts the moment the request entered the
+  /// system; tests may pre-set it to inject synthetic arrival processes.
+  Clock::time_point arrival{};
+  Clock::time_point deadline = kNoDeadline;
+};
+
+/// Outcome of offering a request to the admission queue.
+enum class Admit {
+  Accepted,
+  Rejected,  ///< queue full under the reject-on-full policy
+  Closed,    ///< queue shut down; no further admissions
+};
+
+/// Bounded MPSC admission queue with configurable backpressure.
+///
+/// Producers (any number of client threads) push InferRequests; one
+/// consumer — the micro-batcher — pops them. When the queue holds
+/// `capacity` requests, push() either rejects immediately
+/// (reject-on-full, the load-shedding mode a saturated server wants) or
+/// blocks until the consumer drains a slot (block_when_full, the mode a
+/// closed-loop client wants).
+///
+/// Shutdown drains: after close(), producers get Admit::Closed, but the
+/// consumer keeps popping until the queue is empty — already-admitted
+/// requests are served, never dropped.
+class RequestQueue {
+ public:
+  enum class PopStatus { Ok, TimedOut, Closed };
+
+  RequestQueue(std::size_t capacity, bool block_when_full)
+      : capacity_(capacity), block_when_full_(block_when_full) {}
+
+  /// Offers a request; stamps `arrival` if unset. See class comment for the
+  /// full/closed behavior.
+  Admit push(InferRequest req);
+
+  /// Blocking pop. Returns false only when the queue is closed AND drained.
+  bool pop(InferRequest& out);
+
+  /// Pop that gives up at `deadline` (the micro-batcher's launch point).
+  PopStatus pop_wait_until(InferRequest& out, Clock::time_point deadline);
+
+  /// Non-blocking pop: Ok with a request, TimedOut when currently empty,
+  /// Closed when closed and drained. The micro-batcher's greedy drain.
+  PopStatus try_pop(InferRequest& out);
+
+  /// Closes admission; wakes every blocked producer and, once drained, the
+  /// consumer. Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::size_t peak_depth = 0;  ///< high-water mark of the queue depth
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  const std::size_t capacity_;
+  const bool block_when_full_;
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+  std::deque<InferRequest> q_;
+  bool closed_ = false;
+  Stats stats_;
+};
+
+}  // namespace vlacnn::serve

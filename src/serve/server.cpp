@@ -1,0 +1,184 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+
+namespace vlacnn::serve {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+Server::Server(runtime::BatchScheduler& sched, dnn::Network& net,
+               ServerConfig cfg)
+    : sched_(&sched),
+      net_(&net),
+      cfg_(std::move(cfg)),
+      queue_(cfg_.queue_capacity, cfg_.block_when_full),
+      batcher_(queue_, cfg_.policy) {
+  VLACNN_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
+  VLACNN_REQUIRE(cfg_.policy.max_batch >= 1, "max_batch must be >= 1");
+}
+
+Server::~Server() {
+  try {
+    stop();
+  } catch (...) {
+    // A forward-pass failure already surfaced to stop()'s caller or is
+    // being abandoned with the server; never throw from the destructor.
+  }
+}
+
+void Server::start() {
+  VLACNN_REQUIRE(!started_, "server already started");
+  started_ = true;
+  batcher_thread_ = std::thread([this] { batcher_loop(); });
+  completion_thread_ = std::thread([this] { completion_loop(); });
+}
+
+Admit Server::submit(std::uint64_t id, dnn::Tensor input,
+                     Clock::time_point deadline) {
+  VLACNN_REQUIRE(input.n() == 1 && input.c() == net_->in_c() &&
+                     input.h() == net_->in_h() && input.w() == net_->in_w(),
+                 "request input must be a batch-1 tensor of the network's "
+                 "input shape");
+  InferRequest req;
+  req.id = id;
+  req.input = std::move(input);
+  req.deadline = deadline;
+  return queue_.push(std::move(req));
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  queue_.close();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  if (completion_thread_.joinable()) completion_thread_.join();
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<Completion> Server::drain_completions() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<Completion> out = std::move(completions_);
+  completions_.clear();
+  return out;
+}
+
+ServerStats Server::stats() const {
+  const RequestQueue::Stats qs = queue_.stats();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats s = stats_;
+  s.admitted = qs.accepted;
+  s.rejected = qs.rejected;
+  s.queue_peak_depth = qs.peak_depth;
+  return s;
+}
+
+void Server::batcher_loop() {
+  while (auto fb = batcher_.next_batch()) {
+    const int nb = static_cast<int>(fb->requests.size());
+    // Pack the requests into one batched tensor; item order is submission
+    // order within the batch, and each item's values are exactly the
+    // request's input bytes — per-item kernels make the results
+    // independent of how requests were grouped.
+    dnn::Tensor batch(nb, net_->in_c(), net_->in_h(), net_->in_w());
+    for (int b = 0; b < nb; ++b) {
+      InferRequest& r = fb->requests[static_cast<std::size_t>(b)];
+      std::memcpy(batch.item_data(b), r.input.data(),
+                  batch.item_size() * sizeof(float));
+      r.input = dnn::Tensor();  // packed; release the request's copy
+    }
+
+    InFlight inf;
+    inf.formed_at = fb->formed_at;
+    inf.trigger = fb->trigger;
+    // Blocks only when both scheduler slots are occupied — the pipeline's
+    // own backpressure. While batch k executes, we loop around and form
+    // batch k+1.
+    inf.ticket = sched_->submit(*net_, std::move(batch));
+    inf.submitted_at = Clock::now();
+    inf.requests = std::move(fb->requests);
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      inflight_.push_back(std::move(inf));
+    }
+    inflight_cv_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    batcher_done_ = true;
+  }
+  inflight_cv_.notify_one();
+}
+
+void Server::completion_loop() {
+  for (;;) {
+    InFlight inf;
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock,
+                        [&] { return !inflight_.empty() || batcher_done_; });
+      if (inflight_.empty()) return;  // batcher exited and all collected
+      inf = std::move(inflight_.front());
+      inflight_.pop_front();
+    }
+
+    runtime::BatchResult res;
+    try {
+      res = sched_->wait(inf.ticket);
+    } catch (...) {
+      // A failed forward pass: remember the first error (stop() rethrows)
+      // and drop the batch — its requests never complete.
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (!error_) error_ = std::current_exception();
+      continue;
+    }
+    const Clock::time_point done = Clock::now();
+    const int nb = static_cast<int>(inf.requests.size());
+
+    std::vector<Completion> local;
+    local.reserve(static_cast<std::size_t>(nb));
+    for (int b = 0; b < nb; ++b) {
+      const InferRequest& r = inf.requests[static_cast<std::size_t>(b)];
+      Completion c;
+      c.trace.id = r.id;
+      c.trace.queue_ms = ms_between(r.arrival, inf.formed_at);
+      c.trace.dispatch_ms = ms_between(inf.formed_at, inf.submitted_at);
+      c.trace.compute_ms = res.compute_seconds * 1e3;
+      c.trace.total_ms = ms_between(r.arrival, done);
+      c.trace.batch_items = nb;
+      c.trace.trigger = inf.trigger;
+      c.trace.deadline_met = r.deadline == kNoDeadline || done <= r.deadline;
+      c.output.reshape(res.output.c(), res.output.h(), res.output.w());
+      std::memcpy(c.output.data(), res.output.item_data(b),
+                  c.output.size() * sizeof(float));
+      local.push_back(std::move(c));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.completed += static_cast<std::uint64_t>(nb);
+      stats_.batches += 1;
+      stats_.sum_batch_items += nb;
+      stats_.trigger_counts[static_cast<std::size_t>(inf.trigger)] += 1;
+      for (const Completion& c : local)
+        if (!c.trace.deadline_met) ++stats_.deadline_misses;
+      if (!cfg_.on_complete) {
+        for (Completion& c : local) completions_.push_back(std::move(c));
+        continue;
+      }
+    }
+    for (Completion& c : local) cfg_.on_complete(std::move(c));
+  }
+}
+
+}  // namespace vlacnn::serve

@@ -1,11 +1,14 @@
-// Common utilities: deterministic RNG, aligned buffers, table printer, CLI.
+// Common utilities: deterministic RNG, aligned buffers, table printer, CLI,
+// latency percentiles.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "common/cli.hpp"
+#include "common/percentile.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 
@@ -103,6 +106,44 @@ TEST(Table, RejectsMismatchedRow) {
 TEST(Table, NumberFormatting) {
   EXPECT_EQ(Table::fmt(1.2345, 2), "1.23");
   EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile(std::vector<double>{}, 0.5), 0.0);
+  EXPECT_EQ(percentile(std::vector<double>{}, 0.0), 0.0);
+  EXPECT_EQ(percentile(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile) {
+  const std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 40.0);
+  // rank 0.5 * 3 = 1.5 -> halfway between 20 and 30.
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 25.0);
+  // rank 0.25 * 3 = 0.75 -> 10 + 0.75 * (20 - 10).
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 17.5);
+  // rank 1/3 * 3 = 1 lands exactly on the second order statistic.
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, SortsUnsortedInput) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  const std::vector<double> shuffled{40.0, 10.0, 30.0, 20.0};
+  for (double p : {0.0, 0.25, 0.5, 0.9, 1.0})
+    EXPECT_DOUBLE_EQ(percentile(shuffled, p), percentile(sorted, p)) << p;
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_THROW((void)percentile(v, -0.1), InvalidArgument);
+  EXPECT_THROW((void)percentile(v, 1.1), InvalidArgument);
 }
 
 TEST(Cli, ParsesKeyValueAndFlags) {

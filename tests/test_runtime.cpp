@@ -255,6 +255,102 @@ TEST(IntraOp, SimulatedRunsStaySerial) {
 
 // ------------------------------------------------------ scheduler records
 
+// ------------------------------------------------- pipelined submit / wait
+
+TEST(BatchScheduler, SubmitWaitMatchesRunBitwise) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  BatchScheduler sched(engine, cfg);
+
+  dnn::Tensor input(3, net->in_c(), net->in_h(), net->in_w());
+  input.randomize_batch(5);
+  const dnn::Tensor& ref = sched.run(*net, input);
+  std::vector<float> ref_copy(ref.data(), ref.data() + ref.size());
+  const auto ref_records = sched.records();
+
+  dnn::Tensor input2(3, net->in_c(), net->in_h(), net->in_w());
+  input2.randomize_batch(5);
+  const BatchTicket ticket = sched.submit(*net, std::move(input2));
+  BatchResult res = sched.wait(ticket);
+  ASSERT_EQ(res.output.size(), ref_copy.size());
+  EXPECT_EQ(std::memcmp(res.output.data(), ref_copy.data(),
+                        ref_copy.size() * sizeof(float)),
+            0);
+  EXPECT_GT(res.compute_seconds, 0.0);
+  ASSERT_EQ(res.records.size(), ref_records.size());
+  for (std::size_t i = 0; i < res.records.size(); ++i) {
+    EXPECT_EQ(res.records[i].name, ref_records[i].name);
+    EXPECT_EQ(res.records[i].algo, ref_records[i].algo);
+    EXPECT_EQ(res.records[i].items, ref_records[i].items);
+    EXPECT_DOUBLE_EQ(res.records[i].flops, ref_records[i].flops);
+  }
+}
+
+TEST(BatchScheduler, PipelinedSubmitsCompleteFifoAndCorrect) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  BatchScheduler sched(engine, cfg);
+
+  // Keep kSlots batches in flight: submit k+1 before waiting k, the
+  // admission/packing-overlaps-execution pattern the serving layer uses.
+  constexpr int kBatches = 5;
+  std::vector<std::vector<float>> outputs;
+  BatchTicket prev{};
+  for (int k = 0; k < kBatches; ++k) {
+    dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(100 + k));
+    const BatchTicket t = sched.submit(*net, std::move(in));
+    EXPECT_EQ(t.id, static_cast<std::uint64_t>(k + 1));  // FIFO ticket ids
+    if (prev.id != 0) {
+      BatchResult r = sched.wait(prev);
+      outputs.emplace_back(r.output.data(),
+                           r.output.data() + r.output.size());
+    }
+    prev = t;
+  }
+  BatchResult last = sched.wait(prev);
+  outputs.emplace_back(last.output.data(),
+                       last.output.data() + last.output.size());
+  ASSERT_EQ(outputs.size(), static_cast<std::size_t>(kBatches));
+
+  // Each pipelined batch must equal the synchronous run of the same input.
+  for (int k = 0; k < kBatches; ++k) {
+    dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(100 + k));
+    const dnn::Tensor& ref = sched.run(*net, in);
+    ASSERT_EQ(outputs[static_cast<std::size_t>(k)].size(), ref.size());
+    EXPECT_EQ(std::memcmp(outputs[static_cast<std::size_t>(k)].data(),
+                          ref.data(), ref.size() * sizeof(float)),
+              0)
+        << "batch " << k;
+  }
+}
+
+TEST(BatchScheduler, TicketsAreSingleUse) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  BatchScheduler sched(engine, SchedulerConfig{});
+  dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+  in.randomize_batch(3);
+  const BatchTicket t = sched.submit(*net, std::move(in));
+  (void)sched.wait(t);
+  EXPECT_THROW((void)sched.wait(t), InvalidArgument);       // already waited
+  EXPECT_THROW((void)sched.wait(BatchTicket{}), InvalidArgument);
+  EXPECT_THROW((void)sched.wait(BatchTicket{99}), InvalidArgument);  // never issued
+}
+
+TEST(BatchScheduler, SubmitValidatesShapeSynchronously) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  BatchScheduler sched(engine, SchedulerConfig{});
+  dnn::Tensor wrong(1, net->in_c() + 1, net->in_h(), net->in_w());
+  EXPECT_THROW((void)sched.submit(*net, std::move(wrong)), InvalidArgument);
+}
+
 TEST(BatchScheduler, RecordsAreDeterministicAcrossRuns) {
   auto net = dnn::build_vgg16(32, 4);
   core::ConvolutionEngine engine(core::EnginePolicy::opt3loop());

@@ -1,0 +1,452 @@
+// Serve subsystem: admission-queue backpressure and shutdown draining,
+// micro-batch formation policy (pure decide() table), and the pipelined
+// Server end-to-end — including bit-identical outputs vs. the synchronous
+// BatchScheduler::run() path and TSan-clean concurrent submission.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "serve/server.hpp"
+
+namespace vlacnn::serve {
+namespace {
+
+using std::chrono::milliseconds;
+
+InferRequest make_req(std::uint64_t id,
+                      Clock::time_point arrival = Clock::time_point{},
+                      Clock::time_point deadline = kNoDeadline) {
+  InferRequest r;
+  r.id = id;
+  r.arrival = arrival;
+  r.deadline = deadline;
+  return r;
+}
+
+// ------------------------------------------------------------ decide() table
+
+TEST(MicroBatcher, DecideTable) {
+  BatchPolicy pol;
+  pol.max_batch = 4;
+  pol.max_wait = milliseconds(10);
+  pol.deadline_slack = milliseconds(5);
+  // Synthetic epoch: all times are offsets from t0, no real clock involved.
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+
+  struct Case {
+    const char* label;
+    int queued;
+    Clock::time_point oldest;
+    Clock::time_point min_deadline;
+    Clock::time_point now;
+    bool launch;
+    Trigger trigger;
+  };
+  const Case cases[] = {
+      {"empty batch never launches", 0, t0, kNoDeadline, at(999), false,
+       Trigger::MaxWait},
+      {"full batch launches immediately", 4, t0, kNoDeadline, at(0), true,
+       Trigger::Full},
+      {"overfull batch launches immediately", 5, t0, kNoDeadline, at(0), true,
+       Trigger::Full},
+      {"under max_wait: hold", 1, t0, kNoDeadline, at(5), false,
+       Trigger::MaxWait},
+      {"oldest waited max_wait: launch", 1, t0, kNoDeadline, at(10), true,
+       Trigger::MaxWait},
+      {"deadline binds before max_wait: hold until deadline-slack", 2, t0,
+       at(12), at(3), false, Trigger::Deadline},
+      {"deadline-slack reached: launch", 2, t0, at(12), at(7), true,
+       Trigger::Deadline},
+      {"far deadline leaves max_wait binding", 1, t0, at(100), at(10), true,
+       Trigger::MaxWait},
+      {"deadline already past: launch now", 1, t0, at(-1), at(0), true,
+       Trigger::Deadline},
+  };
+  for (const Case& c : cases) {
+    const LaunchDecision d =
+        decide(pol, c.queued, c.oldest, c.min_deadline, c.now);
+    EXPECT_EQ(d.launch, c.launch) << c.label;
+    if (c.launch || c.queued > 0) {
+      EXPECT_EQ(d.trigger, c.trigger) << c.label;
+    }
+  }
+
+  // The hold case exposes the launch point so the batcher can sleep on it:
+  // max_wait binding -> oldest + max_wait; deadline binding -> deadline -
+  // slack.
+  const LaunchDecision hold_wait =
+      decide(pol, 1, t0, kNoDeadline, at(5));
+  EXPECT_EQ(hold_wait.launch_by, at(10));
+  const LaunchDecision hold_deadline = decide(pol, 2, t0, at(12), at(3));
+  EXPECT_EQ(hold_deadline.launch_by, at(7));
+}
+
+// ----------------------------------------------------------- RequestQueue
+
+TEST(RequestQueue, RejectOnFullBackpressure) {
+  RequestQueue q(2, /*block_when_full=*/false);
+  EXPECT_EQ(q.push(make_req(1)), Admit::Accepted);
+  EXPECT_EQ(q.push(make_req(2)), Admit::Accepted);
+  EXPECT_EQ(q.push(make_req(3)), Admit::Rejected);
+  EXPECT_EQ(q.size(), 2u);
+  InferRequest r;
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.id, 1u);  // FIFO
+  EXPECT_EQ(q.push(make_req(4)), Admit::Accepted);
+  const RequestQueue::Stats s = q.stats();
+  EXPECT_EQ(s.accepted, 3u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.peak_depth, 2u);
+}
+
+TEST(RequestQueue, BlockWhenFullUnblocksOnPop) {
+  RequestQueue q(1, /*block_when_full=*/true);
+  EXPECT_EQ(q.push(make_req(1)), Admit::Accepted);
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(make_req(2)), Admit::Accepted);
+    second_admitted.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(second_admitted.load());  // still blocked on the full queue
+  InferRequest r;
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.id, 1u);
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.id, 2u);
+}
+
+TEST(RequestQueue, CloseDrainsConsumerAndRejectsProducers) {
+  RequestQueue q(8, /*block_when_full=*/false);
+  EXPECT_EQ(q.push(make_req(1)), Admit::Accepted);
+  EXPECT_EQ(q.push(make_req(2)), Admit::Accepted);
+  q.close();
+  EXPECT_EQ(q.push(make_req(3)), Admit::Closed);
+  // Admitted requests drain...
+  InferRequest r;
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.id, 1u);
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.id, 2u);
+  // ...then the consumer learns the stream ended.
+  EXPECT_FALSE(q.pop(r));
+  EXPECT_EQ(q.pop_wait_until(r, Clock::now() + milliseconds(5)),
+            RequestQueue::PopStatus::Closed);
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducer) {
+  RequestQueue q(1, /*block_when_full=*/true);
+  EXPECT_EQ(q.push(make_req(1)), Admit::Accepted);
+  std::atomic<int> verdict{-1};
+  std::thread producer(
+      [&] { verdict.store(static_cast<int>(q.push(make_req(2)))); });
+  std::this_thread::sleep_for(milliseconds(20));
+  q.close();
+  producer.join();
+  EXPECT_EQ(verdict.load(), static_cast<int>(Admit::Closed));
+}
+
+TEST(RequestQueue, PopWaitUntilTimesOut) {
+  RequestQueue q(4, false);
+  InferRequest r;
+  const auto t0 = Clock::now();
+  EXPECT_EQ(q.pop_wait_until(r, t0 + milliseconds(20)),
+            RequestQueue::PopStatus::TimedOut);
+  EXPECT_GE(Clock::now() - t0, milliseconds(20));
+}
+
+TEST(RequestQueue, StampsArrivalOnAdmission) {
+  RequestQueue q(4, false);
+  const auto before = Clock::now();
+  EXPECT_EQ(q.push(make_req(7)), Admit::Accepted);
+  InferRequest r;
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_GE(r.arrival, before);
+  EXPECT_LE(r.arrival, Clock::now());
+  // A pre-set arrival (synthetic processes in tests) is preserved.
+  const auto synthetic = Clock::time_point() + milliseconds(5);
+  EXPECT_EQ(q.push(make_req(8, synthetic)), Admit::Accepted);
+  ASSERT_TRUE(q.pop(r));
+  EXPECT_EQ(r.arrival, synthetic);
+}
+
+// ----------------------------------------------------- MicroBatcher (live)
+
+TEST(MicroBatcher, FullBatchesThenShutdownDrain) {
+  RequestQueue q(16, false);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_EQ(q.push(make_req(i)), Admit::Accepted);
+  BatchPolicy pol;
+  pol.max_batch = 2;
+  pol.max_wait = std::chrono::seconds(10);  // only fullness/drain can launch
+  MicroBatcher mb(q, pol);
+
+  auto b1 = mb.next_batch();
+  ASSERT_TRUE(b1.has_value());
+  EXPECT_EQ(b1->trigger, Trigger::Full);
+  ASSERT_EQ(b1->requests.size(), 2u);
+  EXPECT_EQ(b1->requests[0].id, 0u);
+  EXPECT_EQ(b1->requests[1].id, 1u);
+  auto b2 = mb.next_batch();
+  ASSERT_TRUE(b2.has_value());
+  EXPECT_EQ(b2->trigger, Trigger::Full);
+  q.close();
+  // The odd request out ships as the shutdown drain's partial batch.
+  auto b3 = mb.next_batch();
+  ASSERT_TRUE(b3.has_value());
+  EXPECT_EQ(b3->trigger, Trigger::Drain);
+  ASSERT_EQ(b3->requests.size(), 1u);
+  EXPECT_EQ(b3->requests[0].id, 4u);
+  EXPECT_FALSE(mb.next_batch().has_value());
+}
+
+TEST(MicroBatcher, BackloggedQueueFormsFullBatchesDespiteStaleOldest) {
+  // Overload regression guard: requests that piled up while a previous
+  // batch computed are all older than max_wait. The batcher must greedily
+  // drain them into full batches, not launch the stale oldest alone.
+  RequestQueue q(16, false);
+  const auto stale = Clock::now() - std::chrono::seconds(1);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_EQ(q.push(make_req(i, stale)), Admit::Accepted);
+  BatchPolicy pol;
+  pol.max_batch = 4;
+  pol.max_wait = milliseconds(1);  // long expired for every queued request
+  MicroBatcher mb(q, pol);
+  for (int b = 0; b < 2; ++b) {
+    auto fb = mb.next_batch();
+    ASSERT_TRUE(fb.has_value());
+    EXPECT_EQ(fb->requests.size(), 4u) << "batch " << b;
+    EXPECT_EQ(fb->trigger, Trigger::Full) << "batch " << b;
+  }
+  q.close();
+}
+
+TEST(RequestQueue, TryPopNeverBlocks) {
+  RequestQueue q(4, false);
+  InferRequest r;
+  EXPECT_EQ(q.try_pop(r), RequestQueue::PopStatus::TimedOut);  // empty
+  ASSERT_EQ(q.push(make_req(1)), Admit::Accepted);
+  EXPECT_EQ(q.try_pop(r), RequestQueue::PopStatus::Ok);
+  EXPECT_EQ(r.id, 1u);
+  q.close();
+  EXPECT_EQ(q.try_pop(r), RequestQueue::PopStatus::Closed);
+}
+
+TEST(MicroBatcher, MaxWaitLaunchesPartialBatch) {
+  RequestQueue q(16, false);
+  BatchPolicy pol;
+  pol.max_batch = 8;
+  pol.max_wait = milliseconds(10);
+  MicroBatcher mb(q, pol);
+  const auto t0 = Clock::now();
+  ASSERT_EQ(q.push(make_req(1)), Admit::Accepted);
+  auto b = mb.next_batch();
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->trigger, Trigger::MaxWait);
+  EXPECT_EQ(b->requests.size(), 1u);
+  EXPECT_GE(elapsed, milliseconds(10));  // held the full launch window
+  q.close();
+}
+
+TEST(MicroBatcher, DeadlineCutsTheWaitShort) {
+  RequestQueue q(16, false);
+  BatchPolicy pol;
+  pol.max_batch = 8;
+  pol.max_wait = milliseconds(500);
+  MicroBatcher mb(q, pol);
+  const auto t0 = Clock::now();
+  ASSERT_EQ(q.push(make_req(1, {}, t0 + milliseconds(20))), Admit::Accepted);
+  auto b = mb.next_batch();
+  const auto elapsed = Clock::now() - t0;
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->trigger, Trigger::Deadline);
+  EXPECT_LT(elapsed, milliseconds(400));  // did not wait out max_wait
+  q.close();
+}
+
+// ------------------------------------------------------------------ Server
+
+std::unique_ptr<dnn::Network> small_net() { return dnn::build_vgg16(32, 4); }
+
+TEST(Server, OutputsBitIdenticalToSynchronousRun) {
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::SchedulerConfig cfg;
+  cfg.threads = 2;
+  runtime::BatchScheduler sched(engine, cfg);
+
+  constexpr int kRequests = 10;
+  ServerConfig scfg;
+  scfg.policy.max_batch = 4;
+  scfg.policy.max_wait = milliseconds(1);
+  scfg.queue_capacity = kRequests;
+  scfg.block_when_full = true;
+  Server server(sched, *net, scfg);
+  server.start();
+  for (int r = 0; r < kRequests; ++r) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, 777 + static_cast<std::uint64_t>(r));
+    ASSERT_EQ(server.submit(static_cast<std::uint64_t>(r), std::move(in)),
+              Admit::Accepted);
+  }
+  server.stop();
+  const std::vector<Completion> done = server.drain_completions();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(kRequests));
+
+  // Reference: the same request set through the synchronous run() path as
+  // one batch. Per-item kernels make each request's output independent of
+  // batch grouping, so every async result must match bit for bit.
+  dnn::Tensor ref_in(kRequests, net->in_c(), net->in_h(), net->in_w());
+  // Requests were filled from stream 0 of seed 777+r; rebuild those exact
+  // bytes per item (randomize_item(r, seed) would use stream r instead).
+  for (int r = 0; r < kRequests; ++r) {
+    dnn::Tensor one(1, net->in_c(), net->in_h(), net->in_w());
+    one.randomize_item(0, 777 + static_cast<std::uint64_t>(r));
+    std::memcpy(ref_in.item_data(r), one.data(),
+                one.size() * sizeof(float));
+  }
+  const dnn::Tensor& ref_out = sched.run(*net, ref_in);
+
+  std::set<std::uint64_t> seen;
+  for (const Completion& c : done) {
+    const auto id = c.trace.id;
+    ASSERT_LT(id, static_cast<std::uint64_t>(kRequests));
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate completion " << id;
+    ASSERT_EQ(c.output.size(), ref_out.item_size());
+    EXPECT_EQ(std::memcmp(c.output.data(),
+                          ref_out.item_data(static_cast<int>(id)),
+                          c.output.size() * sizeof(float)),
+              0)
+        << "request " << id;
+    EXPECT_GE(c.trace.queue_ms, 0.0);
+    EXPECT_GT(c.trace.compute_ms, 0.0);
+    EXPECT_GE(c.trace.total_ms, c.trace.compute_ms);
+    EXPECT_GE(c.trace.batch_items, 1);
+    EXPECT_LE(c.trace.batch_items, scfg.policy.max_batch);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, 3u);  // 10 requests, batches of <= 4
+}
+
+TEST(Server, ConcurrentSubmitCompletesEveryRequest) {
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::SchedulerConfig cfg;
+  cfg.threads = 2;
+  runtime::BatchScheduler sched(engine, cfg);
+
+  ServerConfig scfg;
+  scfg.policy.max_batch = 3;
+  scfg.policy.max_wait = milliseconds(1);
+  scfg.queue_capacity = 4;  // small: exercises producer backpressure
+  scfg.block_when_full = true;
+  Server server(sched, *net, scfg);
+  server.start();
+
+  constexpr int kThreads = 4, kPerThread = 6;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+        const auto id = static_cast<std::uint64_t>(t * 100 + i);
+        in.randomize_item(0, id);
+        ASSERT_EQ(server.submit(id, std::move(in)), Admit::Accepted);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  server.stop();
+
+  const std::vector<Completion> done = server.drain_completions();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::uint64_t> seen;
+  for (const Completion& c : done)
+    EXPECT_TRUE(seen.insert(c.trace.id).second)
+        << "duplicate completion " << c.trace.id;
+  EXPECT_EQ(server.stats().completed,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Server, RejectsWhenQueueFullBeforeStart) {
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
+
+  ServerConfig scfg;
+  scfg.policy.max_batch = 2;
+  scfg.policy.max_wait = milliseconds(0);
+  scfg.queue_capacity = 2;
+  scfg.block_when_full = false;
+  Server server(sched, *net, scfg);
+  // Not started: nothing consumes, so the bounded queue fills
+  // deterministically and the third submit sheds load.
+  const auto mk = [&](std::uint64_t id) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, id);
+    return in;
+  };
+  EXPECT_EQ(server.submit(0, mk(0)), Admit::Accepted);
+  EXPECT_EQ(server.submit(1, mk(1)), Admit::Accepted);
+  EXPECT_EQ(server.submit(2, mk(2)), Admit::Rejected);
+  server.start();
+  server.stop();  // drains the two admitted requests
+  EXPECT_EQ(server.drain_completions().size(), 2u);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(Server, DeadlineMissesAreCounted) {
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
+
+  ServerConfig scfg;
+  scfg.policy.max_batch = 1;  // launch immediately
+  scfg.queue_capacity = 8;
+  scfg.block_when_full = true;
+  Server server(sched, *net, scfg);
+  server.start();
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, r);
+    // A deadline that already passed cannot be met: every request misses.
+    ASSERT_EQ(server.submit(r, std::move(in),
+                            Clock::now() - milliseconds(1)),
+              Admit::Accepted);
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.deadline_misses, 3u);
+  for (const Completion& c : server.drain_completions())
+    EXPECT_FALSE(c.trace.deadline_met);
+}
+
+TEST(Server, RejectsWrongShapeSynchronously) {
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
+  Server server(sched, *net, ServerConfig{});
+  dnn::Tensor wrong(1, net->in_c(), net->in_h() + 1, net->in_w());
+  EXPECT_THROW((void)server.submit(1, std::move(wrong)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vlacnn::serve
