@@ -22,8 +22,11 @@
 #include "core/codesign.hpp"
 #include "core/conv_engine.hpp"
 #include "core/roofline.hpp"
+#include "dnn/layers.hpp"
 #include "dnn/models.hpp"
+#include "sim/address_map.hpp"
 #include "sim/machine_config.hpp"
+#include "sim/sim_context.hpp"
 
 namespace vlacnn::bench {
 
@@ -65,6 +68,54 @@ inline std::string mcycles(std::uint64_t c) {
 
 inline std::string ratio(std::uint64_t base, std::uint64_t v) {
   return Table::fmt(static_cast<double>(base) / static_cast<double>(v), 2) + "x";
+}
+
+/// `--machine=sve|rvv|a64fx` → MachineConfig (default: gem5's SVE model).
+inline sim::MachineConfig machine_from_name(const std::string& name) {
+  if (name == "rvv") return sim::rvv_gem5();
+  if (name == "a64fx") return sim::a64fx();
+  return sim::sve_gem5();
+}
+
+/// Per-item DRAM bytes attributed to `layer`'s weight stream — DRAM line
+/// fills, on a fresh instrumented run under `policy`, whose address falls
+/// in [weights, weights+weight_bytes) or in the layer's resident packed
+/// image (when `conv_desc` is given and the policy packs it). The batch is
+/// `input`'s N: batch-fused when the policy is weight-resident and the
+/// layer supports it, per item otherwise. The single definition of the
+/// "weight DRAM bytes/item" metric shared by bench_fused_conv's
+/// weight-residency section and bench_weight_reuse, so the two benches'
+/// JSON records cannot drift.
+inline double weight_dram_bytes_per_item(
+    dnn::Layer& layer, const float* weights, std::uint64_t weight_bytes,
+    const dnn::ConvDesc* conv_desc, const core::EnginePolicy& policy,
+    const sim::MachineConfig& machine, const dnn::Tensor& input) {
+  sim::SimContext sctx(machine);
+  vla::VectorEngine eng(sctx);
+  dnn::ExecContext ctx(eng);
+  core::ConvolutionEngine engine(policy);
+  engine.install(ctx);
+  if (conv_desc != nullptr) {
+    engine.prepare(*conv_desc, weights);
+    if (const auto img = engine.packed_weights().find(
+            weights, conv_desc->gemm_m(), conv_desc->gemm_k(),
+            engine.plan().opt6.blocks.block_k))
+      sctx.memory().add_dram_watch(
+          sim::AddressMap::instance().translate(img->data()), img->bytes());
+  }
+  sctx.memory().add_dram_watch(
+      sim::AddressMap::instance().translate(weights), weight_bytes);
+
+  const int batch = input.n();
+  const std::vector<const dnn::Tensor*> ins{&input};
+  layer.prepare_batch(ins);
+  bool fused = false;
+  if (batch > 1 && policy.weight_resident)
+    fused = layer.forward_batch(ctx, ins);
+  if (!fused)
+    for (int b = 0; b < batch; ++b) layer.forward_item(ctx, ins, b);
+  return static_cast<double>(sctx.memory().watched_dram_line_fills()) *
+         machine.l2.line_bytes / batch;
 }
 
 /// The paper's L2 sweep points (Figs 7-10).

@@ -32,6 +32,7 @@
 // and the per-layer reduction column bottoms out for a reason that has
 // nothing to do with the pipeline under test.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -40,6 +41,7 @@
 
 #include "bench_common.hpp"
 #include "dnn/layers.hpp"
+#include "sim/address_map.hpp"
 
 using namespace vlacnn;
 
@@ -57,12 +59,6 @@ struct Measurement {
   double engine_bytes = 0.0;
   std::uint64_t cycles = 0;
 };
-
-sim::MachineConfig machine_from_name(const std::string& name) {
-  if (name == "rvv") return sim::rvv_gem5();
-  if (name == "a64fx") return sim::a64fx();
-  return sim::sve_gem5();
-}
 
 std::vector<LayerCase> conv_layers(const dnn::Network& net,
                                    const std::string& model) {
@@ -130,6 +126,20 @@ std::string pct(double base, double v) {
   return Table::fmt(100.0 * (base - v) / base, 1) + "%";
 }
 
+/// bench::weight_dram_bytes_per_item over a LayerCase at the given batch.
+double case_weight_dram_per_item(const LayerCase& lc,
+                                 const core::EnginePolicy& policy,
+                                 const sim::MachineConfig& machine,
+                                 int batch) {
+  dnn::ConvLayer layer(lc.desc, lc.seed);
+  dnn::Tensor in(batch, lc.desc.in_c, lc.desc.in_h, lc.desc.in_w);
+  in.randomize_batch(7, -1.0f, 1.0f);
+  return bench::weight_dram_bytes_per_item(
+      layer, layer.weights(),
+      static_cast<std::uint64_t>(lc.desc.weight_count()) * sizeof(float),
+      &lc.desc, policy, machine, in);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,7 +149,7 @@ int main(int argc, char** argv) {
   const std::string model = args.get("model", "vgg");
   const std::string machine_name = args.get("machine", "sve");
   const int reps = static_cast<int>(args.get_int("reps", opt.quick ? 1 : 3));
-  const sim::MachineConfig machine = machine_from_name(machine_name);
+  const sim::MachineConfig machine = bench::machine_from_name(machine_name);
 
   bench::print_header(
       "Fused conv pipeline — implicit-GEMM packing + in-kernel epilogue",
@@ -156,7 +166,16 @@ int main(int argc, char** argv) {
     net = dnn::build_vgg16(opt.quick ? 32 : opt.vgg_input_hw, -1, opt.seed);
   }
   std::vector<LayerCase> cases = conv_layers(*net, model);
+  // Weight-bound layer set (VGG block 5 and friends — the layers the
+  // weight-residency section below measures): kept even when --quick trims
+  // the main sweep, which would otherwise retain only the early,
+  // activation-bound layers.
+  std::vector<LayerCase> weight_bound;
+  for (const LayerCase& lc : cases)
+    if (core::conv_weight_bound(lc.desc)) weight_bound.push_back(lc);
   if (opt.quick && cases.size() > 6) cases.resize(6);
+  if (opt.quick && weight_bound.size() > 2)
+    weight_bound.erase(weight_bound.begin(), weight_bound.end() - 2);
   net.reset();  // the layer cases carry everything we need
 
   gemm::Opt6Config o6;
@@ -187,12 +206,27 @@ int main(int argc, char** argv) {
                    pct(mu.dram_bytes, mf.dram_bytes), mb(mu.engine_bytes),
                    mb(mf.engine_bytes), pct(mu.engine_bytes, mf.engine_bytes),
                    Table::fmt(mu.wall_ms / mf.wall_ms, 2) + "x"});
+    // weight_resident describes the MEASURED run (both main-sweep policies
+    // are non-resident; only the residency section below sets 1.0);
+    // weight_bound describes the shape.
+    const double weight_bytes =
+        static_cast<double>(lc.desc.weight_count()) * sizeof(float);
+    const double ai = lc.desc.arithmetic_intensity();
+    const double wbound = core::conv_weight_bound(lc.desc) ? 1.0 : 0.0;
     json.add(lc.name + " unfused", mu.wall_ms, mu.dram_bytes,
              {{"engine_bytes", mu.engine_bytes},
-              {"cycles", static_cast<double>(mu.cycles)}});
+              {"cycles", static_cast<double>(mu.cycles)},
+              {"weight_bytes", weight_bytes},
+              {"arithmetic_intensity", ai},
+              {"weight_bound", wbound},
+              {"weight_resident", 0.0}});
     json.add(lc.name + " fused", mf.wall_ms, mf.dram_bytes,
              {{"engine_bytes", mf.engine_bytes},
-              {"cycles", static_cast<double>(mf.cycles)}});
+              {"cycles", static_cast<double>(mf.cycles)},
+              {"weight_bytes", weight_bytes},
+              {"arithmetic_intensity", ai},
+              {"weight_bound", wbound},
+              {"weight_resident", 0.0}});
   }
   table.add_row({"TOTAL", mb(tot_dram_u), mb(tot_dram_f),
                  pct(tot_dram_u, tot_dram_f), mb(tot_eng_u), mb(tot_eng_f),
@@ -211,6 +245,42 @@ int main(int argc, char** argv) {
       "whose spatial extent degenerates at reduced resolution (VGG block 5) "
       "are weight-streaming-bound and sit below that — fusion cannot cut "
       "weight traffic.\n");
+
+  // ---- weight residency: what fusion cannot cut, pack-once + batch-fused
+  // execution can. For the weight-bound layer set, per-item DRAM bytes
+  // attributed to the weight stream at batch 1 vs batch 4 under the
+  // weight-resident fused policy: the batched pass streams each resident
+  // A panel once for the whole batch.
+  if (!weight_bound.empty()) {
+    core::EnginePolicy resident = fused;
+    resident.weight_resident = true;
+    Table wt({"weight-bound layer", "weights MB", "AI", "wt DRAM MB/item b1",
+              "b4", "reduction"});
+    double worst = 1e30;
+    for (const LayerCase& lc : weight_bound) {
+      const double b1 = case_weight_dram_per_item(lc, resident, machine, 1);
+      const double b4 = case_weight_dram_per_item(lc, resident, machine, 4);
+      const double weight_bytes =
+          static_cast<double>(lc.desc.weight_count()) * sizeof(float);
+      if (b1 > 0) worst = std::min(worst, b1 / std::max(b4, 1.0));
+      wt.add_row({lc.name, mb(weight_bytes),
+                  Table::fmt(lc.desc.arithmetic_intensity(), 1), mb(b1),
+                  mb(b4), b1 > 0 ? Table::fmt(b1 / std::max(b4, 1.0), 2) + "x"
+                                 : "-"});
+      json.add(lc.name + " weight-resident", 0.0, b4,
+               {{"weight_dram_bytes_per_item_b1", b1},
+                {"weight_dram_bytes_per_item_b4", b4},
+                {"weight_bytes", weight_bytes},
+                {"arithmetic_intensity", lc.desc.arithmetic_intensity()},
+                {"weight_resident", 1.0}});
+    }
+    std::printf("\n");
+    wt.print();
+    std::printf(
+        "\nweight residency check: per-item weight DRAM bytes at batch 4 "
+        "should drop >= 2x vs batch 1 on these layers (worst: %.2fx).\n",
+        worst == 1e30 ? 0.0 : worst);
+  }
   if (!json.write()) return 1;
   return 0;
 }

@@ -1,0 +1,295 @@
+// Weight-resident batch-fused execution: per-item weight DRAM traffic vs
+// batch size on the weight-bound layer set (VGG block-5 convolutions and
+// the FC tail).
+//
+// For small-N / large-K layers the weight stream dominates DRAM traffic
+// and PR 2's epilogue fusion cannot help: every per-item pass re-streams
+// the same multi-megabyte weight matrix. With weight residency the A
+// panels are packed once at prepare() (gemm::PackedWeightCache) and the
+// layer executes batch-fused — the im2col matrices of all batch items
+// concatenated along the GEMM N axis — so each resident panel is streamed
+// from DRAM once per batch instead of once per item. FC layers get the
+// same treatment through the batched out(nb×N) += X(nb×K)·W(K×N) GEMM.
+//
+// Per batch in {1, 2, 4, 8} and per layer, the harness measures:
+//   * weight DRAM bytes/item: simulated DRAM line fills attributed (via
+//     MemorySystem watch ranges) to the raw-weight + packed-image buffers,
+//     divided by the batch — the metric that must fall ~batch×.
+//   * engine bytes/item and functional wall time/item, for context.
+// It also verifies, per layer, that the batch-fused outputs are
+// bit-identical to the per-item path.
+//
+//   ./bench_weight_reuse [--machine=sve|rvv|a64fx] [--quick] [--check]
+//                        [--json=<path>]
+//
+// --check (the CI smoke gate) exits non-zero if batch-4 weight DRAM
+// bytes/item exceeds 0.5x the batch-1 value on any layer, or if any
+// batch-fused output differs from the per-item path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dnn/layers.hpp"
+#include "sim/address_map.hpp"
+
+using namespace vlacnn;
+
+namespace {
+
+struct ReuseCase {
+  std::string name;
+  bool fc = false;
+  dnn::ConvDesc desc;   // conv cases
+  int fc_in = 0, fc_out = 0;  // fc cases
+  std::uint64_t seed = 1;
+};
+
+struct Measurement {
+  double weight_dram_bytes_per_item = 0.0;
+  double engine_bytes_per_item = 0.0;
+  double wall_ms_per_item = 0.0;
+  double weight_bytes = 0.0;
+  double arithmetic_intensity = 0.0;
+};
+
+std::unique_ptr<dnn::Layer> build_layer(const ReuseCase& rc) {
+  if (rc.fc)
+    return std::make_unique<dnn::ConnectedLayer>(
+        rc.fc_in, rc.fc_out, dnn::Activation::Relu, rc.seed);
+  return std::make_unique<dnn::ConvLayer>(rc.desc, rc.seed);
+}
+
+dnn::Tensor make_input(const ReuseCase& rc, int batch) {
+  dnn::Tensor in = rc.fc ? dnn::Tensor(batch, rc.fc_in, 1, 1)
+                         : dnn::Tensor(batch, rc.desc.in_c, rc.desc.in_h,
+                                       rc.desc.in_w);
+  in.randomize_batch(7, -1.0f, 1.0f);
+  return in;
+}
+
+const float* case_weights(const ReuseCase& rc, const dnn::Layer& layer) {
+  if (rc.fc)
+    return static_cast<const dnn::ConnectedLayer&>(layer).weights();
+  return static_cast<const dnn::ConvLayer&>(layer).weights();
+}
+
+/// Runs the case at `batch` — batch-fused when batch > 1 — and returns the
+/// traffic/time metrics. The weight-DRAM attribution is the shared
+/// bench::weight_dram_bytes_per_item metric (raw weights + resident packed
+/// image), so this bench and bench_fused_conv's weight-residency section
+/// measure identically.
+Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
+                    int batch) {
+  core::EnginePolicy policy = core::EnginePolicy::fused();
+  policy.weight_resident = true;
+  Measurement m;
+
+  // Instrumented pass: DRAM fills attributed to the weight stream.
+  {
+    auto layer = build_layer(rc);
+    const std::uint64_t weight_bytes =
+        rc.fc ? static_cast<std::uint64_t>(rc.fc_in) * rc.fc_out *
+                    sizeof(float)
+              : static_cast<std::uint64_t>(rc.desc.weight_count()) *
+                    sizeof(float);
+    m.weight_bytes = static_cast<double>(weight_bytes);
+    m.arithmetic_intensity =
+        rc.fc ? 2.0 * rc.fc_in * rc.fc_out /
+                    (4.0 * (rc.fc_in +
+                            static_cast<double>(rc.fc_in) * rc.fc_out +
+                            rc.fc_out))
+              : rc.desc.arithmetic_intensity();
+    dnn::Tensor in = make_input(rc, batch);
+    m.weight_dram_bytes_per_item = bench::weight_dram_bytes_per_item(
+        *layer, case_weights(rc, *layer), weight_bytes,
+        rc.fc ? nullptr : &rc.desc, policy, machine, in);
+  }
+
+  // Functional pass: engine bytes + host wall time (one warm-up rep).
+  {
+    auto layer = build_layer(rc);
+    vla::VectorEngine eng(machine.vlen_bits);
+    dnn::ExecContext ctx(eng);
+    core::ConvolutionEngine engine(policy);
+    engine.install(ctx);
+    if (!rc.fc)
+      engine.prepare(rc.desc,
+                     static_cast<const dnn::ConvLayer*>(layer.get())->weights());
+    dnn::Tensor in = make_input(rc, batch);
+    const std::vector<const dnn::Tensor*> ins{&in};
+    layer->prepare_batch(ins);
+    auto run_once = [&] {
+      bool fused = false;
+      if (batch > 1) fused = layer->forward_batch(ctx, ins);
+      if (!fused)
+        for (int b = 0; b < batch; ++b) layer->forward_item(ctx, ins, b);
+    };
+    run_once();  // warm-up sizes the packing/staging buffers
+    eng.reset_mem_counters();
+    const auto t0 = std::chrono::steady_clock::now();
+    run_once();
+    m.wall_ms_per_item =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() *
+        1e3 / batch;
+    m.engine_bytes_per_item =
+        static_cast<double>(eng.mem_bytes_moved()) / batch;
+  }
+  return m;
+}
+
+/// Batch-fused vs per-item outputs, bytewise (functional engines).
+bool bit_identical(const ReuseCase& rc, int batch) {
+  core::EnginePolicy policy = core::EnginePolicy::fused();
+  policy.weight_resident = true;
+  auto run = [&](bool batched, std::vector<float>* out) {
+    auto layer = build_layer(rc);
+    vla::VectorEngine eng(512);
+    dnn::ExecContext ctx(eng);
+    core::ConvolutionEngine engine(policy);
+    engine.install(ctx);
+    if (!rc.fc)
+      engine.prepare(rc.desc,
+                     static_cast<const dnn::ConvLayer*>(layer.get())->weights());
+    dnn::Tensor in = make_input(rc, batch);
+    const std::vector<const dnn::Tensor*> ins{&in};
+    layer->prepare_batch(ins);
+    if (batched) {
+      if (!layer->forward_batch(ctx, ins)) return false;
+    } else {
+      for (int b = 0; b < batch; ++b) layer->forward_item(ctx, ins, b);
+    }
+    const dnn::Tensor& o = layer->output();
+    out->assign(o.data(), o.data() + o.size());
+    return true;
+  };
+  std::vector<float> batched, per_item;
+  if (!run(true, &batched)) return false;
+  if (!run(false, &per_item)) return false;
+  return batched.size() == per_item.size() &&
+         std::memcmp(batched.data(), per_item.data(),
+                     batched.size() * sizeof(float)) == 0;
+}
+
+std::string mb(double bytes) {
+  return Table::fmt(bytes / (1024.0 * 1024.0), 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const auto opt = bench::BenchOptions::from_cli(argc, argv);
+  const std::string machine_name = args.get("machine", "sve");
+  const bool check = args.get_bool("check", false);
+  const sim::MachineConfig machine = bench::machine_from_name(machine_name);
+
+  bench::print_header(
+      "Weight-resident batch-fused execution — per-item weight DRAM vs batch",
+      "ROADMAP fused follow-up (a): weight-resident blocking for small-N / "
+      "large-K layers",
+      opt);
+  std::printf("machine=%s (L2 %llu KiB, %u B lines)%s\n\n",
+              machine.name.c_str(),
+              static_cast<unsigned long long>(machine.l2.size_bytes / 1024),
+              machine.l2.line_bytes, check ? ", --check on" : "");
+
+  // The weight-bound layer set: VGG block 5 (at the fused-conv bench's
+  // 128-input scale) and the VGG FC tail (at the 64-input scale). --quick
+  // shrinks channels, keeping the weight-bound geometry (M >= N).
+  std::vector<ReuseCase> cases;
+  {
+    ReuseCase vgg5;
+    vgg5.name = opt.quick ? "vgg5-conv 256 3x3 (quick)" : "vgg5-conv 512 3x3";
+    vgg5.desc.in_c = opt.quick ? 256 : 512;
+    vgg5.desc.in_h = vgg5.desc.in_w = opt.quick ? 4 : 8;
+    vgg5.desc.out_c = vgg5.desc.in_c;
+    vgg5.desc.ksize = 3;
+    vgg5.desc.stride = 1;
+    vgg5.desc.pad = 1;
+    vgg5.desc.batch_norm = false;
+    vgg5.desc.act = dnn::Activation::Relu;
+    vgg5.seed = 1001;
+    cases.push_back(vgg5);
+
+    ReuseCase head = vgg5;  // the 1x1 flavour (dense batched B path)
+    head.name = opt.quick ? "head-conv 256 1x1 (quick)" : "head-conv 512 1x1";
+    head.desc.ksize = 1;
+    head.desc.pad = 0;
+    head.seed = 1002;
+    cases.push_back(head);
+
+    ReuseCase fc;
+    fc.fc = true;
+    fc.name = opt.quick ? "vgg-fc 512x1024 (quick)" : "vgg-fc 2048x4096";
+    fc.fc_in = opt.quick ? 512 : 2048;
+    fc.fc_out = opt.quick ? 1024 : 4096;
+    fc.seed = 1003;
+    cases.push_back(fc);
+  }
+  for (const ReuseCase& rc : cases) {
+    if (!rc.fc && !core::conv_weight_bound(rc.desc)) {
+      std::fprintf(stderr, "case %s is not weight-bound\n", rc.name.c_str());
+      return 1;
+    }
+  }
+
+  const std::vector<int> batches{1, 2, 4, 8};
+  bench::BenchJson json("weight_reuse", opt.json_path);
+  Table table({"layer", "batch", "wt DRAM MB/item", "vs b1", "eng MB/item",
+               "wall ms/item", "bit-identical"});
+  bool ok = true;
+  for (const ReuseCase& rc : cases) {
+    double base = 0.0;
+    double at4 = 0.0;
+    for (int batch : batches) {
+      // Bit-identity is checked PER batch size: strip/item-boundary
+      // arithmetic differs with N' = N×batch, so a defect could manifest
+      // at one batch size only.
+      const bool bits = batch == 1 || bit_identical(rc, batch);
+      if (!bits) ok = false;
+      const Measurement m = measure(rc, machine, batch);
+      if (batch == 1) base = m.weight_dram_bytes_per_item;
+      if (batch == 4) at4 = m.weight_dram_bytes_per_item;
+      table.add_row(
+          {rc.name, std::to_string(batch), mb(m.weight_dram_bytes_per_item),
+           base > 0 ? Table::fmt(m.weight_dram_bytes_per_item / base, 2) + "x"
+                    : "-",
+           mb(m.engine_bytes_per_item), Table::fmt(m.wall_ms_per_item, 3),
+           batch == 1 ? "-" : (bits ? "yes" : "NO")});
+      json.add(rc.name + " b" + std::to_string(batch), m.wall_ms_per_item,
+               m.engine_bytes_per_item,
+               {{"batch", static_cast<double>(batch)},
+                {"weight_dram_bytes_per_item", m.weight_dram_bytes_per_item},
+                {"weight_bytes", m.weight_bytes},
+                {"arithmetic_intensity", m.arithmetic_intensity},
+                {"weight_resident", 1.0},
+                {"bit_identical", bits ? 1.0 : 0.0}});
+    }
+    if (base > 0 && at4 > 0.5 * base) {
+      std::fprintf(stderr,
+                   "FAIL %s: batch-4 weight DRAM bytes/item %.0f > 0.5x "
+                   "batch-1 %.0f\n",
+                   rc.name.c_str(), at4, base);
+      ok = false;
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpectation: weight DRAM bytes/item falls ~batch-fold (each "
+      "resident weight panel is streamed once per batch), so batch 4 must "
+      "sit at <= 0.5x batch 1; batch-fused outputs are bit-identical to the "
+      "per-item path.\n");
+  if (!json.write()) return 1;
+  if (check && !ok) {
+    std::fprintf(stderr, "weight-reuse check FAILED\n");
+    return 1;
+  }
+  if (!ok) std::printf("warning: weight-reuse expectations not met\n");
+  return 0;
+}

@@ -30,6 +30,12 @@ bool backend_eligible(Backend b, const dnn::ConvDesc& d) {
   return true;
 }
 
+bool conv_weight_bound(const dnn::ConvDesc& d) {
+  // Weight matrix (M×K floats) at least as large as one item's im2col
+  // matrix (K×N): the K factor cancels, so the test is M >= N.
+  return d.gemm_m() >= d.gemm_n();
+}
+
 std::uint64_t conv_shape_key(const dnn::ConvDesc& d) {
   std::uint64_t k = 1469598103934665603ull;
   for (int v : {d.in_c, d.in_h, d.in_w, d.out_c, d.ksize, d.stride, d.pad}) {
@@ -60,6 +66,8 @@ BackendPlan BackendPlan::uniform(const EnginePolicy& policy) {
       policy.fuse_conv ? Backend::FusedWinograd : Backend::Winograd;
   p.winograd_stride1 = policy.winograd_stride1;
   p.winograd_stride2 = policy.winograd_stride2;
+  p.fallback_weight_resident = policy.weight_resident;
+  p.fc_weight_resident = policy.weight_resident;
   return p;
 }
 
@@ -80,6 +88,15 @@ Backend BackendPlan::backend_for(const dnn::ConvDesc& d) const {
   return to_winograd ? fallback_winograd : fallback_gemm;
 }
 
+bool BackendPlan::weight_resident_for(const dnn::ConvDesc& d) const {
+  const Backend b = backend_for(d);
+  if (b != Backend::Gemm6 && b != Backend::FusedGemm6) return false;
+  if (const PlanEntry* e = find(d);
+      e != nullptr && backend_eligible(e->backend, d))
+    return e->weight_resident;
+  return fallback_weight_resident;
+}
+
 bool BackendPlan::may_use(Backend b) const {
   if (fallback_gemm == b) return true;
   if ((winograd_stride1 || winograd_stride2) && fallback_winograd == b)
@@ -94,6 +111,7 @@ std::string BackendPlan::summary() const {
   for (const PlanEntry& e : entries) {
     out << "  layer " << e.layer_index << "  " << e.layer_name << "  -> "
         << to_string(e.backend);
+    if (e.weight_resident) out << " [weight-resident]";
     if (e.cycles != 0)
       out << "  (" << static_cast<double>(e.cycles) / 1e6 << " Mcycles)";
     out << "\n";

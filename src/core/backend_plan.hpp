@@ -43,6 +43,14 @@ const char* to_string(Backend b);
 /// backend choice depends on shape only).
 [[nodiscard]] std::uint64_t conv_shape_key(const dnn::ConvDesc& d);
 
+/// True when the layer's GEMM is weight-bound: the weight matrix A (M×K) is
+/// at least as large as one item's im2col matrix B (K×N), i.e. M >= N —
+/// VGG block 5 and the deep small-spatial YOLO layers, where the weight
+/// stream dominates DRAM traffic and epilogue fusion cannot help. These are
+/// the layers worth packing once at prepare() and executing batch-fused so
+/// the resident weight panels are reused across the whole batch.
+[[nodiscard]] bool conv_weight_bound(const dnn::ConvDesc& d);
+
 /// One row of a per-layer backend table.
 struct PlanEntry {
   int layer_index = -1;
@@ -51,6 +59,12 @@ struct PlanEntry {
   Backend backend = Backend::Gemm6;
   std::uint64_t cycles = 0;  ///< simulated cycles of the winner (0 = not
                              ///< simulated, e.g. hand-written plans)
+  /// Weight-resident layer: its weights are packed once during
+  /// ConvolutionEngine::prepare() (skipping the A-pack stage on the hot
+  /// path) and the BatchScheduler dispatches it batch-fused — one conv
+  /// call over the whole batch — instead of per item. Only meaningful for
+  /// the Gemm6/FusedGemm6 backends.
+  bool weight_resident = false;
   /// Every simulated (backend, cycles) candidate, for reporting.
   std::vector<std::pair<Backend, std::uint64_t>> candidates;
 };
@@ -80,6 +94,19 @@ struct BackendPlan {
   bool winograd_stride1 = false;
   bool winograd_stride2 = false;
 
+  /// Weight residency of fallback-routed conv layers (shapes without a
+  /// table entry). Leave false for selected plans: an unseen shape could be
+  /// activation-bound, where batch-fusing costs staging and batch-level
+  /// parallelism for nothing. Per-entry residency lives in PlanEntry.
+  bool fallback_weight_resident = false;
+  /// Batch-fuse FC layers (one out(nb×N) += X(nb×K)·W GEMM per batch): an
+  /// FC layer's weight matrix is read whole per item — the textbook
+  /// weight-bound case — so this is gated separately from the conv
+  /// fallback and safe for the selector to set unconditionally.
+  bool fc_weight_resident = false;
+  /// Byte budget of the engine's pack-once weight cache (LRU beyond it).
+  std::size_t packed_weight_budget = gemm::PackedWeightCache::kDefaultBudgetBytes;
+
   /// Per-layer table, matched by conv_shape_key.
   std::vector<PlanEntry> entries;
 
@@ -91,6 +118,12 @@ struct BackendPlan {
   /// The backend layer shape `d` dispatches to (entry or fallback; always
   /// eligible for `d`).
   [[nodiscard]] Backend backend_for(const dnn::ConvDesc& d) const;
+
+  /// True when layer shape `d` runs weight-resident: its backend is
+  /// Gemm6/FusedGemm6 and the matching entry (or the fallback flag) marks
+  /// it. ConvolutionEngine::prepare() packs exactly these layers' weights;
+  /// the BatchScheduler routes exactly these through the batch-fused path.
+  [[nodiscard]] bool weight_resident_for(const dnn::ConvDesc& d) const;
 
   /// True when any entry or fallback route can reach `b`.
   [[nodiscard]] bool may_use(Backend b) const;

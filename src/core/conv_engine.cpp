@@ -8,10 +8,12 @@
 namespace vlacnn::core {
 
 ConvolutionEngine::ConvolutionEngine(const EnginePolicy& policy)
-    : plan_(std::make_shared<const BackendPlan>(BackendPlan::uniform(policy))) {}
+    : plan_(std::make_shared<const BackendPlan>(BackendPlan::uniform(policy))),
+      packed_cache_(plan_->packed_weight_budget) {}
 
 ConvolutionEngine::ConvolutionEngine(BackendPlan plan)
-    : plan_(std::make_shared<const BackendPlan>(std::move(plan))) {}
+    : plan_(std::make_shared<const BackendPlan>(std::move(plan))),
+      packed_cache_(plan_->packed_weight_budget) {}
 
 void ConvolutionEngine::install(dnn::ExecContext& ctx,
                                 runtime::ThreadPool* intra_op_pool) {
@@ -26,11 +28,24 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
   struct Backends {
     std::shared_ptr<gemm::Gemm6> gemm6;
     std::shared_ptr<winograd::WinogradConv> wino;
-    dnn::GemmFn gemm6_fn, gemm3_fn, naive_fn;
+    dnn::GemmFn gemm6_fn, gemm6_conv_fn, gemm3_fn, naive_fn;
   };
   auto st = std::make_shared<Backends>();
   st->gemm6 = gemm::make_gemm6(plan->opt6, intra_op_pool);
+  // Every per-context instance shares the engine's pack-once weight cache
+  // (read-only during passes): any layer prepare() packed skips its A-pack
+  // stage in every context, fused and unfused Gemm6 paths alike. Only the
+  // conv dispatch uses the cache-consulting entry (gemm_weights) — its A
+  // is a weight matrix by construction; the generic gemm6_fn (FC layers,
+  // base path) must not guess.
+  st->gemm6->set_weight_cache(&packed_cache_);
   st->gemm6_fn = gemm::wrap_gemm6(st->gemm6);
+  st->gemm6_conv_fn = [impl = st->gemm6](vla::VectorEngine& eng, int M, int N,
+                                         int K, float alpha, const float* A,
+                                         int lda, const float* B, int ldb,
+                                         float* C, int ldc) {
+    impl->gemm_weights(eng, M, N, K, alpha, A, lda, B, ldb, C, ldc);
+  };
   st->gemm3_fn = gemm::make_gemm_fn(gemm::GemmVariant::Opt3Loop, plan->opt3);
   st->naive_fn = gemm::make_gemm_fn(gemm::GemmVariant::Naive);
   if (plan->may_use(Backend::Winograd) ||
@@ -80,7 +95,7 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
         [[fallthrough]];  // packing disabled: no fused equivalent — run the
                           // unfused 6-loop, NOT a silent fusion clear
       case Backend::Gemm6:
-        dnn::run_im2col_gemm(c, d, input, weights, output, st->gemm6_fn);
+        dnn::run_im2col_gemm(c, d, input, weights, output, st->gemm6_conv_fn);
         return dnn::ConvStatus::Ran;
       case Backend::Gemm3:
         dnn::run_im2col_gemm(c, d, input, weights, output, st->gemm3_fn);
@@ -91,12 +106,29 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
     }
     return dnn::ConvStatus::Declined;
   };
+  ctx.conv_batch = [st, plan](dnn::ExecContext& c, const dnn::ConvDesc& d,
+                              const float* input, std::size_t in_item_stride,
+                              const float* weights, float* output,
+                              std::size_t out_item_stride, int batch,
+                              const dnn::EpilogueDesc& epi)
+      -> dnn::ConvStatus {
+    // Batch-fused execution only for weight-resident layers — the staged
+    // batched C plus the lost batch-level parallelism is only worth paying
+    // where the resident weight stream dominates. The fused kernel serves
+    // both Gemm6 kinds: fused and unfused outputs are bit-identical by
+    // contract, and a resident unfused layer wants the traffic cut too.
+    if (!plan->weight_resident_for(d)) return dnn::ConvStatus::Declined;
+    if (st->gemm6->conv_fused_batch(c.engine(), d, weights, input,
+                                    in_item_stride, output, out_item_stride,
+                                    batch, &epi))
+      return dnn::ConvStatus::RanFused;
+    return dnn::ConvStatus::Declined;
+  };
 }
 
 void ConvolutionEngine::prepare(const dnn::Network& net) {
-  if (!plan_->may_use(Backend::Winograd) &&
-      !plan_->may_use(Backend::FusedWinograd))
-    return;
+  const bool any_winograd = plan_->may_use(Backend::Winograd) ||
+                            plan_->may_use(Backend::FusedWinograd);
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
     if (conv == nullptr) continue;
@@ -104,9 +136,23 @@ void ConvolutionEngine::prepare(const dnn::Network& net) {
     // same cached entry serves both the stride-1 and the dense-stride-1
     // view of a stride-2 layer.
     const Backend b = plan_->backend_for(conv->desc());
-    if (b == Backend::Winograd || b == Backend::FusedWinograd)
+    if (any_winograd &&
+        (b == Backend::Winograd || b == Backend::FusedWinograd))
       weight_cache_.prepare(conv->desc(), conv->weights());
+    if (plan_->weight_resident_for(conv->desc()))
+      packed_cache_.prepare(conv->weights(), conv->desc().gemm_m(),
+                            conv->desc().gemm_k(),
+                            plan_->opt6.blocks.block_k);
   }
+}
+
+void ConvolutionEngine::prepare(const dnn::ConvDesc& d, const float* weights) {
+  const Backend b = plan_->backend_for(d);
+  if (b == Backend::Winograd || b == Backend::FusedWinograd)
+    weight_cache_.prepare(d, weights);
+  if (plan_->weight_resident_for(d))
+    packed_cache_.prepare(weights, d.gemm_m(), d.gemm_k(),
+                          plan_->opt6.blocks.block_k);
 }
 
 }  // namespace vlacnn::core

@@ -35,6 +35,13 @@ struct EnginePolicy {
   /// output transform. Off by default so instrumented paper-reproduction
   /// runs keep the unfused Darknet pipeline they model.
   bool fuse_conv = false;
+  /// Weight residency: pack every GEMM-routed conv layer's weights once at
+  /// ConvolutionEngine::prepare() (the A-pack stage disappears from the hot
+  /// path) and let the BatchScheduler execute those layers — and FC layers
+  /// — batch-fused, streaming the whole batch past each resident weight
+  /// panel. Off by default: the instrumented paper policies model Darknet's
+  /// per-call packing.
+  bool weight_resident = false;
 
   [[nodiscard]] static EnginePolicy naive() {
     EnginePolicy p;
@@ -111,17 +118,28 @@ class ConvolutionEngine {
                runtime::ThreadPool* intra_op_pool = nullptr);
 
   /// Pre-transforms Winograd weights for every conv layer of `net` the
-  /// plan routes to (fused) Winograd, so concurrent forward passes only
-  /// read the shared cache.
+  /// plan routes to (fused) Winograd, and packs the weights of every layer
+  /// the plan marks weight-resident into the shared PackedWeightCache, so
+  /// concurrent forward passes only read the shared caches. Both
+  /// preparations are host-side and uninstrumented (the paper excludes
+  /// weight preparation from inference time, §VII-A).
   void prepare(const dnn::Network& net);
+
+  /// Single-layer prepare (the selector's simulation harness and the
+  /// weight-residency benches drive layers outside a Network).
+  void prepare(const dnn::ConvDesc& d, const float* weights);
 
   /// The compiled plan — authoritative whichever constructor was used.
   [[nodiscard]] const BackendPlan& plan() const { return *plan_; }
   [[nodiscard]] winograd::WeightCache& weight_cache() { return weight_cache_; }
+  [[nodiscard]] gemm::PackedWeightCache& packed_weights() {
+    return packed_cache_;
+  }
 
  private:
   std::shared_ptr<const BackendPlan> plan_;
   winograd::WeightCache weight_cache_;
+  gemm::PackedWeightCache packed_cache_;
 };
 
 }  // namespace vlacnn::core

@@ -18,16 +18,22 @@ constexpr Backend kCandidates[] = {
     Backend::Winograd, Backend::FusedWinograd, Backend::Direct,
 };
 
+[[nodiscard]] bool is_gemm6_backend(Backend b) {
+  return b == Backend::Gemm6 || b == Backend::FusedGemm6;
+}
+
 /// Simulates one full conv layer (convolution + epilogue) routed through
 /// `backend` on `machine`, via the same compiled dispatch that will execute
 /// the plan at serving time, and returns the cycle count. Weights/BN
 /// parameters are deterministic per shape; the weight transform of the
-/// Winograd candidates stays host-side and uncharged, matching the paper's
-/// measurement protocol (§VII-A).
+/// Winograd candidates — and, when `weight_resident` is set, the pack-once
+/// A-panel image of the GEMM candidates — stays host-side and uncharged,
+/// matching the paper's measurement protocol (§VII-A).
 std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
                                const sim::MachineConfig& machine,
                                const gemm::Opt6Config& o6,
-                               std::uint64_t input_seed) {
+                               std::uint64_t input_seed,
+                               bool weight_resident) {
   const std::uint64_t key = conv_shape_key(d);
   sim::SimContext sctx(machine);
   vla::VectorEngine eng(sctx);
@@ -39,9 +45,11 @@ std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
   PlanEntry entry;
   entry.shape_key = key;
   entry.backend = backend;
+  entry.weight_resident = weight_resident;
   bench.entries.push_back(std::move(entry));
   ConvolutionEngine engine(std::move(bench));
   engine.install(ctx);
+  if (weight_resident) engine.prepare(d, layer.weights());
 
   dnn::Tensor input(d.in_c, d.in_h, d.in_w);
   Rng rng(input_seed ^ key);
@@ -54,10 +62,17 @@ std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
 
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
-                             std::uint64_t input_seed) {
+                             std::uint64_t input_seed, int batch) {
+  VLACNN_REQUIRE(batch >= 1, "selector batch must be >= 1");
   BackendPlan plan;
   plan.opt6.blocks = gemm::tune_block_sizes(machine);
   plan.fallback_gemm = Backend::Gemm6;
+  // FC layers are the textbook weight-bound case (the whole K×N weight
+  // matrix is read per item): let the scheduler batch-fuse them. Conv
+  // layers get per-entry flags below; the conv FALLBACK stays non-resident
+  // — a shape the plan never saw could be activation-bound, and
+  // batch-fusing one of those costs staging and batch parallelism.
+  plan.fc_weight_resident = true;
 
   // Identical shapes get identical candidate simulations, so the cycle
   // table is memoized per shape key (YOLO repeats its body shapes a lot).
@@ -71,14 +86,31 @@ BackendPlan select_per_layer(dnn::Network& net,
 
     auto it = by_shape.find(key);
     if (it == by_shape.end()) {
+      const bool weight_bound = conv_weight_bound(d);
       PlanEntry e;
       e.shape_key = key;
       std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
       for (Backend b : kCandidates) {
         if (!backend_eligible(b, d)) continue;
         if (b == Backend::FusedGemm6 && !plan.opt6.pack_b) continue;
-        const std::uint64_t cycles =
-            simulate_backend(b, d, machine, plan.opt6, input_seed);
+        std::uint64_t cycles;
+        if (weight_bound && is_gemm6_backend(b) && plan.opt6.pack_a) {
+          // Weight-resident pricing: the steady state skips the A-pack
+          // stage entirely (the image is packed at prepare()); the packing
+          // delta — what the cold path pays over the resident one — is a
+          // one-time cost amortized over the micro-batch, not a per-call
+          // charge. cold >= warm by construction (same pipeline minus the
+          // pack stage), but saturate anyway against simulator noise.
+          const std::uint64_t warm = simulate_backend(
+              b, d, machine, plan.opt6, input_seed, /*weight_resident=*/true);
+          const std::uint64_t cold = simulate_backend(
+              b, d, machine, plan.opt6, input_seed, /*weight_resident=*/false);
+          const std::uint64_t pack = cold > warm ? cold - warm : 0;
+          cycles = warm + pack / static_cast<std::uint64_t>(batch);
+        } else {
+          cycles = simulate_backend(b, d, machine, plan.opt6, input_seed,
+                                    /*weight_resident=*/false);
+        }
         e.candidates.emplace_back(b, cycles);
         if (cycles < best) {
           best = cycles;
@@ -86,6 +118,8 @@ BackendPlan select_per_layer(dnn::Network& net,
           e.cycles = cycles;
         }
       }
+      e.weight_resident =
+          weight_bound && is_gemm6_backend(e.backend) && plan.opt6.pack_a;
       it = by_shape.emplace(key, std::move(e)).first;
     }
 

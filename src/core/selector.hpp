@@ -24,8 +24,20 @@ namespace vlacnn::core {
 /// separate "apply" step, and a layer whose entry cannot run (or whose
 /// shape the plan has never seen) keeps the plan's default backend, fused
 /// included.
+///
+/// Weight-bound layers (conv_weight_bound: the weight matrix dominates one
+/// item's im2col matrix) are priced with pack-once amortization: their GEMM
+/// candidates simulate weight-RESIDENT (A panels pre-packed at prepare(),
+/// no hot-path pack stage) and the packing delta is charged as a one-time
+/// prepare() cost spread over `batch` calls — not re-charged on every
+/// simulated call, which is what used to make resident candidates look
+/// uniformly worse than they serve. Winning GEMM candidates on those
+/// layers get PlanEntry::weight_resident, so ConvolutionEngine::prepare()
+/// packs them and the BatchScheduler runs them batch-fused; the plan's
+/// fc_weight_resident is set so FC layers batch-fuse too. `batch` is
+/// the micro-batch size the plan is priced for (>= 1).
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
-                             std::uint64_t input_seed = 7);
+                             std::uint64_t input_seed = 7, int batch = 4);
 
 }  // namespace vlacnn::core

@@ -42,6 +42,20 @@ using ConvBackendFn = std::function<ConvStatus(
     ExecContext&, const ConvDesc&, const float* input, const float* weights,
     float* output, const EpilogueDesc& epi)>;
 
+/// Batch-fused convolution dispatch (installed alongside ConvBackendFn for
+/// plans with weight-resident layers): runs the layer once for the WHOLE
+/// batch — the per-item im2col matrices concatenated logically along the
+/// GEMM N axis — so each resident weight panel is reused batch× instead of
+/// being re-streamed per item. `input`/`output` point at item 0 and items
+/// are the given strides (in floats) apart; `epi` must not carry a residual
+/// (the caller applies residual adds per item afterwards). Declined means
+/// the layer is not weight-resident (or the backend cannot batch-fuse it)
+/// and the caller keeps the per-item path.
+using ConvBatchFn = std::function<ConvStatus(
+    ExecContext&, const ConvDesc&, const float* input,
+    std::size_t in_item_stride, const float* weights, float* output,
+    std::size_t out_item_stride, int batch, const EpilogueDesc& epi)>;
+
 /// Names the backend the dispatch table routes `d` to (for LayerRecords).
 using ConvLabelFn = std::function<const char*(const ConvDesc&)>;
 
@@ -104,6 +118,7 @@ class ExecContext {
 
   GemmFn gemm;              // required before running conv/connected layers
   ConvBackendFn conv_backend;  // compiled per-layer dispatch (optional)
+  ConvBatchFn conv_batch;      // batch-fused weight-resident path (optional)
   ConvLabelFn conv_label;      // backend names for LayerRecords (optional)
   bool vectorize_aux_kernels = true;  // paper vectorizes all conv-layer kernels
 

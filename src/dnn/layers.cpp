@@ -189,6 +189,57 @@ void ConvLayer::forward_item(ExecContext& ctx,
   }
 }
 
+bool ConvLayer::forward_batch(ExecContext& ctx,
+                              const std::vector<const Tensor*>& inputs) {
+  if (!ctx.conv_batch) return false;
+  VLACNN_REQUIRE(inputs.size() == (residual_from_ >= 0 ? 2u : 1u) &&
+                     inputs[0] != nullptr,
+                 "conv input count mismatch");
+  const Tensor& in = *inputs[0];
+  const int nb = in.n();
+  if (nb < 2) return false;
+  VLACNN_REQUIRE(in.c() == desc_.in_c && in.h() == desc_.in_h &&
+                     in.w() == desc_.in_w,
+                 "conv input shape mismatch");
+  const std::size_t out_elems = output_.item_size();
+  if (residual_from_ >= 0)
+    VLACNN_REQUIRE(inputs[1] != nullptr && inputs[1]->item_size() == out_elems,
+                   "fused residual shape mismatch");
+
+  // Same epilogue the per-item path hands a fusing backend, EXCEPT the
+  // residual: its addend offsets are per item, so the add (which must
+  // follow the activation) runs as a per-item post-pass below — the exact
+  // op sequence of the unfused shortcut, hence bit-identical either way.
+  EpilogueDesc epi;
+  epi.batch_norm = desc_.batch_norm;
+  if (desc_.batch_norm) {
+    epi.bn_mean = bn_mean_.data();
+    epi.bn_var = bn_var_.data();
+    epi.bn_scale = bn_scales_.data();
+  }
+  epi.bias = biases_.data();
+  const bool act_fusable = desc_.act != Activation::Logistic;
+  epi.act = act_fusable ? desc_.act : Activation::Linear;
+
+  const ConvStatus status =
+      ctx.conv_batch(ctx, desc_, in.data(), in.item_size(), weights_.data(),
+                     output_.data(), out_elems, nb, epi);
+  if (status == ConvStatus::Declined) return false;
+  VLACNN_REQUIRE(status == ConvStatus::RanFused,
+                 "batch-fused conv must apply the epilogue in-kernel");
+
+  vla::VectorEngine& eng = ctx.engine();
+  for (int b = 0; b < nb; ++b) {
+    float* out_b = output_.item_data(b);
+    if (!act_fusable) activate_array(eng, out_b, out_elems, desc_.act);
+    if (residual_from_ >= 0) {
+      axpy_cpu(eng, out_elems, 1.0f, inputs[1]->item_data(b), out_b);
+      activate_array(eng, out_b, out_elems, residual_act_);
+    }
+  }
+  return true;
+}
+
 // ------------------------------------------------------------- MaxPoolLayer
 
 MaxPoolLayer::MaxPoolLayer(int in_c, int in_h, int in_w, int size, int stride)
@@ -377,6 +428,10 @@ void ConnectedLayer::forward_item(ExecContext& ctx,
   fill_cpu(eng, static_cast<std::size_t>(out_n_), 0.0f, out_b);
   ctx.gemm(eng, 1, out_n_, in_n_, 1.0f, in_b, in_n_, weights_.data(), out_n_,
            out_b, out_n_);
+  apply_bias_act(eng, out_b);
+}
+
+void ConnectedLayer::apply_bias_act(vla::VectorEngine& eng, float* out_b) {
   constexpr vla::Vreg kAcc = 0, kB = 1;
   for (int i = 0; i < out_n_;) {
     const std::size_t vl = eng.setvl(static_cast<std::size_t>(out_n_ - i));
@@ -388,6 +443,31 @@ void ConnectedLayer::forward_item(ExecContext& ctx,
     i += static_cast<int>(vl);
   }
   activate_array(eng, out_b, static_cast<std::size_t>(out_n_), act_);
+}
+
+bool ConnectedLayer::forward_batch(ExecContext& ctx,
+                                   const std::vector<const Tensor*>& inputs) {
+  VLACNN_REQUIRE(inputs.size() == 1, "connected expects one input");
+  const Tensor& in = *inputs[0];
+  const int nb = in.n();
+  if (nb < 2) return false;
+  VLACNN_REQUIRE(in.item_size() == static_cast<std::size_t>(in_n_),
+                 "connected input size mismatch");
+  VLACNN_REQUIRE(static_cast<bool>(ctx.gemm),
+                 "ExecContext has no GEMM implementation");
+  vla::VectorEngine& eng = ctx.engine();
+  // Batch items are contiguous (item stride == in_n_), so the batch IS a
+  // GEMM A matrix: out(nb×N) += X(nb×K) · W^T(K×N). One call streams the
+  // weight matrix once for the whole batch — and with M = nb > 1 the
+  // 6-loop packs each B panel and reuses it across every item's row —
+  // where the per-item GEMV re-streams all K×N weights per item. The
+  // per-element k-accumulation order is that of the M=1 call, so outputs
+  // are bit-identical to the forward_item loop.
+  fill_cpu(eng, static_cast<std::size_t>(nb) * out_n_, 0.0f, output_.data());
+  ctx.gemm(eng, nb, out_n_, in_n_, 1.0f, in.data(), in_n_, weights_.data(),
+           out_n_, output_.data(), out_n_);
+  for (int b = 0; b < nb; ++b) apply_bias_act(eng, output_.item_data(b));
+  return true;
 }
 
 // ------------------------------------------------------------- SoftmaxLayer

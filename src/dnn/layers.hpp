@@ -43,6 +43,20 @@ class Layer {
                             const std::vector<const Tensor*>& inputs,
                             int b) = 0;
 
+  /// Whole-batch fused forward: computes every item in ONE kernel dispatch
+  /// (the weight-resident execution path — each weight panel is streamed
+  /// once for the whole batch instead of once per item). Returns false when
+  /// the layer (or the installed backend) has no batch-fused form; the
+  /// caller then falls back to the per-item contract above. Must be
+  /// bit-identical to the forward_item loop. Requires prepare_batch() first
+  /// and runs on a single ExecContext (callers must not shard it).
+  virtual bool forward_batch(ExecContext& ctx,
+                             const std::vector<const Tensor*>& inputs) {
+    (void)ctx;
+    (void)inputs;
+    return false;
+  }
+
   /// Indices of the layers whose outputs this layer consumes; -1 denotes the
   /// network input. Default: the previous layer.
   [[nodiscard]] virtual std::vector<int> input_indices() const {
@@ -73,6 +87,8 @@ class ConvLayer final : public Layer {
 
   void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
                     int b) override;
+  bool forward_batch(ExecContext& ctx,
+                     const std::vector<const Tensor*>& inputs) override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double flops() const override {
     // A fused residual moves the shortcut's add into this layer's epilogue.
@@ -208,12 +224,21 @@ class ConnectedLayer final : public Layer {
 
   void forward_item(ExecContext& ctx, const std::vector<const Tensor*>& inputs,
                     int b) override;
+  bool forward_batch(ExecContext& ctx,
+                     const std::vector<const Tensor*>& inputs) override;
   [[nodiscard]] std::string name() const override { return "connected"; }
   [[nodiscard]] double flops() const override {
     return 2.0 * in_n_ * static_cast<double>(out_n_);
   }
+  [[nodiscard]] const float* weights() const { return weights_.data(); }
+  [[nodiscard]] int in_n() const { return in_n_; }
+  [[nodiscard]] int out_n() const { return out_n_; }
 
  private:
+  /// Bias add + activation of one item's output row (shared by the
+  /// per-item and batch-fused paths so the op sequence cannot drift).
+  void apply_bias_act(vla::VectorEngine& eng, float* out_b);
+
   int in_n_, out_n_;
   Activation act_;
   AlignedBuffer<float> weights_;  // in_n × out_n row-major (transposed for

@@ -15,6 +15,21 @@ namespace {
 constexpr int kMaxAccRegs = 30;
 constexpr vla::Vreg kVB = 30;
 constexpr vla::Vreg kVTmp = 31;
+
+/// Strip-mined unit-stride copy of `n` floats through kVTmp — the one
+/// vector-copy idiom (and its scalar bookkeeping charge) shared by the
+/// A-pack, the batched dense B-pack and the batched C scatter.
+void vcopy_run(vla::VectorEngine& eng, const float* src, float* dst, int n) {
+  eng.scalar_ops(2);
+  for (int i = 0; i < n;) {
+    const auto vl =
+        static_cast<int>(eng.setvl(static_cast<std::size_t>(n - i)));
+    eng.vload(kVTmp, src + i);
+    eng.vstore(kVTmp, dst + i);
+    eng.scalar_ops(2);
+    i += vl;
+  }
+}
 }  // namespace
 
 Gemm6::Gemm6(const Opt6Config& cfg) : cfg_(cfg) {
@@ -48,6 +63,50 @@ void Gemm6::pack_b_panel_implicit(vla::VectorEngine& eng,
     for (int k = 0; k < kc; ++k)
       dnn::im2col_pack_segment(eng, d, input, k0 + k, j0 + jp, w,
                                strip_base + static_cast<std::size_t>(k) * panel_w);
+  }
+}
+
+void Gemm6::pack_b_panel_batched(vla::VectorEngine& eng, const BatchB& bb,
+                                 const dnn::ConvDesc* conv, int k0, int kc,
+                                 int j0, int nc) {
+  // Same micro-panel layout as pack_b_panel, but the logical B matrix is
+  // the column-axis concatenation of every batch item's (implicit or dense)
+  // B. Strips may straddle item boundaries, so each row segment is gathered
+  // per item piece; the packed bytes are exactly what per-item packing
+  // would produce, which is what keeps the micro-kernel numerics
+  // bit-identical to the per-item path.
+  const int panel_w = static_cast<int>(eng.vlmax());
+  for (int jp = 0, strip = 0; jp < nc; jp += panel_w, ++strip) {
+    const int w = std::min(panel_w, nc - jp);
+    float* strip_base =
+        pack_b_buf_.data() + static_cast<std::size_t>(strip) * kc * panel_w;
+    eng.scalar_ops(2);
+    for (int k = 0; k < kc; ++k) {
+      float* dst = strip_base + static_cast<std::size_t>(k) * panel_w;
+      int col = j0 + jp;
+      int left = w;
+      int off = 0;
+      while (left > 0) {
+        const int item = col / bb.n_item;
+        const int local = col % bb.n_item;
+        const int take = std::min(left, bb.n_item - local);
+        const float* in_item =
+            bb.input + static_cast<std::size_t>(item) * bb.item_stride;
+        if (conv != nullptr) {
+          dnn::im2col_pack_segment(eng, *conv, in_item, k0 + k, local, take,
+                                   dst + off);
+        } else {
+          // Dense 1x1/s1 item: row k0+k of its B is a contiguous input run.
+          vcopy_run(eng,
+                    in_item + static_cast<std::size_t>(k0 + k) * bb.n_item +
+                        local,
+                    dst + off, take);
+        }
+        col += take;
+        off += take;
+        left -= take;
+      }
+    }
   }
 }
 
@@ -99,18 +158,9 @@ void Gemm6::pack_a_panel(vla::VectorEngine& eng, float* dst_buf,
                          int kc) {
   // Row-major mc x kc panel so the micro-kernel's scalar A loads walk
   // contiguous memory.
-  for (int i = 0; i < mc; ++i) {
-    const float* src = A + static_cast<std::size_t>(i0 + i) * lda + k0;
-    float* dst = dst_buf + static_cast<std::size_t>(i) * kc;
-    eng.scalar_ops(2);
-    for (int k = 0; k < kc;) {
-      const auto vl = static_cast<int>(eng.setvl(static_cast<std::size_t>(kc - k)));
-      eng.vload(kVTmp, src + k);
-      eng.vstore(kVTmp, dst + k);
-      eng.scalar_ops(2);
-      k += vl;
-    }
-  }
+  for (int i = 0; i < mc; ++i)
+    vcopy_run(eng, A + static_cast<std::size_t>(i0 + i) * lda + k0,
+              dst_buf + static_cast<std::size_t>(i) * kc, kc);
 }
 
 void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
@@ -209,7 +259,16 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
                        float alpha, const float* A, int lda, const float* B,
                        int ldb, float* C, int ldc) {
   run_blocked(eng, M, N, K, alpha, A, lda, B, ldb, nullptr, nullptr, C, ldc,
-              /*beta0=*/false, /*epi=*/nullptr);
+              /*beta0=*/false, /*epi=*/nullptr, /*bb=*/nullptr,
+              /*a_is_weights=*/false);
+}
+
+void Gemm6::gemm_weights(vla::VectorEngine& eng, int M, int N, int K,
+                         float alpha, const float* A, int lda, const float* B,
+                         int ldb, float* C, int ldc) {
+  run_blocked(eng, M, N, K, alpha, A, lda, B, ldb, nullptr, nullptr, C, ldc,
+              /*beta0=*/false, /*epi=*/nullptr, /*bb=*/nullptr,
+              /*a_is_weights=*/true);
 }
 
 bool Gemm6::conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
@@ -220,12 +279,57 @@ bool Gemm6::conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
     // 1x1/s1: the input already IS the dense B matrix (Darknet skips im2col
     // here too); beta=0 and the epilogue still fuse.
     run_blocked(eng, m, n, k, 1.0f, weights, k, input, n, nullptr, nullptr,
-                output, n, /*beta0=*/true, epi);
+                output, n, /*beta0=*/true, epi, /*bb=*/nullptr,
+                /*a_is_weights=*/true);
     return true;
   }
   if (!cfg_.pack_b) return false;  // the implicit gather IS the pack stage
   run_blocked(eng, m, n, k, 1.0f, weights, k, nullptr, 0, &d, input, output,
-              n, /*beta0=*/true, epi);
+              n, /*beta0=*/true, epi, /*bb=*/nullptr,
+              /*a_is_weights=*/true);
+  return true;
+}
+
+bool Gemm6::conv_fused_batch(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                             const float* weights, const float* input,
+                             std::size_t in_item_stride, float* output,
+                             std::size_t out_item_stride, int batch,
+                             const dnn::EpilogueDesc* epi) {
+  if (batch < 2) return false;  // no cross-item reuse to win
+  if (!cfg_.pack_b) return false;  // the batched gather IS a pack stage
+  VLACNN_REQUIRE(epi == nullptr || epi->residual == nullptr,
+                 "batch-fused conv cannot fuse a residual (per-item offsets)");
+  const int m = d.gemm_m(), n = d.gemm_n(), k = d.gemm_k();
+  const std::int64_t n_total64 = static_cast<std::int64_t>(n) * batch;
+  const std::int64_t c_elems64 = static_cast<std::int64_t>(m) * n_total64;
+  // Staging guard: the batched C must stay a sane fraction of memory. The
+  // weight-bound layers this path exists for have tiny outputs; a huge N'
+  // means the layer was activation-bound and mis-routed — decline it.
+  if (c_elems64 > (64ll << 20)) return false;
+  const int n_total = static_cast<int>(n_total64);
+  const auto c_elems = static_cast<std::size_t>(c_elems64);
+  if (batch_c_buf_.size() < c_elems) {
+    bc_reg_ = {};
+    batch_c_buf_.resize(c_elems);
+    bc_reg_ = sim::RegisteredRange(batch_c_buf_.data(),
+                                   batch_c_buf_.size() * sizeof(float));
+  }
+  const bool dense = d.ksize == 1 && d.stride == 1 && d.pad == 0;
+  const BatchB bb{input, in_item_stride, n, dense};
+  run_blocked(eng, m, n_total, k, 1.0f, weights, k, nullptr, 0,
+              dense ? nullptr : &d, nullptr, batch_c_buf_.data(), n_total,
+              /*beta0=*/true, epi, &bb, /*a_is_weights=*/true);
+  // Scatter each item's column block of the staged C back to its output
+  // slice. This extra round trip over the (small) output is what the
+  // batch× reuse of the (large) resident weight stream pays for.
+  for (int b = 0; b < batch; ++b) {
+    const float* src_base =
+        batch_c_buf_.data() + static_cast<std::size_t>(b) * n;
+    float* dst_base = output + static_cast<std::size_t>(b) * out_item_stride;
+    for (int i = 0; i < m; ++i)
+      vcopy_run(eng, src_base + static_cast<std::size_t>(i) * n_total,
+                dst_base + static_cast<std::size_t>(i) * n, n);
+  }
   return true;
 }
 
@@ -233,8 +337,25 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
                         float alpha, const float* A, int lda, const float* B,
                         int ldb, const dnn::ConvDesc* conv,
                         const float* conv_input, float* C, int ldc,
-                        bool beta0, const dnn::EpilogueDesc* epi) {
+                        bool beta0, const dnn::EpilogueDesc* epi,
+                        const BatchB* bb, bool a_is_weights) {
   const BlockSizes& bs = cfg_.blocks;
+  // Pack-once weight residency: if A has a resident image in the shared
+  // cache (packed during ConvolutionEngine::prepare() with this blocking
+  // config), consume its panels directly and skip pack_a_panel below — the
+  // image is immutable, so the serial loop and every intra-op worker may
+  // read it concurrently. The shared_ptr keeps the image alive across this
+  // call even if the cache evicts it meanwhile. Consulted only when the
+  // entry point vouched that A IS a weight matrix (a_is_weights — the conv
+  // paths and gemm_weights; never operator(), whose A may be an activation
+  // matrix, as in the FC layers' GEMM) and, via maybe_resident(), only when
+  // anything is resident at all — generic calls never take the shared
+  // mutex or pollute the hit/miss stats. lda == K is required for the
+  // cached layout to correspond to this call's A.
+  std::shared_ptr<const PackedWeights> resident;
+  if (a_is_weights && weight_cache_ != nullptr && cfg_.pack_a &&
+      A != nullptr && lda == K && weight_cache_->maybe_resident())
+    resident = weight_cache_->find(A, M, K, bs.block_k);
   // Fused epilogue: derive every channel's constants (and charge the
   // per-channel parameter reads the unfused passes would make) once per
   // call — the 1/sqrt is host work, and recharging per panel would
@@ -272,7 +393,8 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
       // configured pack_b — the BLIS ablations toggle it deliberately, so
       // no heuristic may silently override it. (Implicit conv packing has
       // no materialized B to stream from and always packs.)
-      const bool pack_b = conv != nullptr || (cfg_.pack_b && M > 1);
+      const bool pack_b =
+          bb != nullptr || conv != nullptr || (cfg_.pack_b && M > 1);
       if (pack_b) {
         // Micro-panel layout needs kc x round_up(nc, VLMAX) floats.
         const std::size_t panel_w = eng.vlmax();
@@ -284,7 +406,9 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
           pb_reg_ = sim::RegisteredRange(pack_b_buf_.data(),
                                          pack_b_buf_.size() * sizeof(float));
         }
-        if (conv != nullptr)
+        if (bb != nullptr)
+          pack_b_panel_batched(eng, *bb, conv, k1, kc, j1, nc);
+        else if (conv != nullptr)
           pack_b_panel_implicit(eng, *conv, conv_input, k1, kc, j1, nc);
         else
           pack_b_panel(eng, B, ldb, k1, kc, j1, nc);
@@ -307,7 +431,7 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
         // AddressMap registration order stays deterministic.
         for (int w = 0; w < pool_->size(); ++w) {
           worker_engine(w, vlen);
-          if (cfg_.pack_a) worker_pack_a(w);
+          if (cfg_.pack_a && !resident) worker_pack_a(w);
         }
         // Worker traffic folds into the coordinating engine's counters
         // after the fan-out (this runs once per (j1, k1) panel, inside the
@@ -319,7 +443,10 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
           vla::VectorEngine& weng = worker_engine(w, vlen);
           const float* a_panel;
           int a_stride;
-          if (cfg_.pack_a) {
+          if (resident) {
+            a_panel = resident->panel(i1, k1, kc);
+            a_stride = kc;
+          } else if (cfg_.pack_a) {
             float* buf = worker_pack_a(w);
             pack_a_panel(weng, buf, A, lda, i1, mc, k1, kc);
             a_panel = buf;
@@ -338,7 +465,10 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
         const int mc = std::min(bs.block_m, M - i1);
         const float* a_panel;
         int a_stride;
-        if (cfg_.pack_a) {
+        if (resident) {
+          a_panel = resident->panel(i1, k1, kc);
+          a_stride = kc;
+        } else if (cfg_.pack_a) {
           pack_a_panel(eng, pack_a_buf_.data(), A, lda, i1, mc, k1, kc);
           a_panel = pack_a_buf_.data();
           a_stride = kc;

@@ -8,6 +8,7 @@
 #include "dnn/conv_desc.hpp"
 #include "dnn/epilogue.hpp"
 #include "gemm/blocking.hpp"
+#include "gemm/packed_weight_cache.hpp"
 #include "sim/address_map.hpp"
 #include "vla/vector_engine.hpp"
 
@@ -46,10 +47,21 @@ class Gemm6 {
  public:
   explicit Gemm6(const Opt6Config& cfg = {});
 
-  /// C(MxN) += alpha * A(MxK) * B(KxN).
+  /// C(MxN) += alpha * A(MxK) * B(KxN). A is treated as anonymous data —
+  /// the pack-once weight cache is NOT consulted (see gemm_weights).
   void operator()(vla::VectorEngine& eng, int M, int N, int K, float alpha,
                   const float* A, int lda, const float* B, int ldb, float* C,
                   int ldc);
+
+  /// Same contract as operator(), for call sites that KNOW `A` is a layer's
+  /// weight matrix: the pack-once cache is consulted and a resident image's
+  /// panels are consumed directly. Kept separate so generic GEMM calls
+  /// (notably the FC layers', whose A is an activation matrix) never take
+  /// the shared cache mutex or pollute its hit/miss stats — residency is
+  /// signalled by the caller, not guessed from shapes.
+  void gemm_weights(vla::VectorEngine& eng, int M, int N, int K, float alpha,
+                    const float* A, int lda, const float* B, int ldb,
+                    float* C, int ldc);
 
   /// Fused convolution: output = epi(weights · im2col(input)) in one pass.
   ///
@@ -69,22 +81,62 @@ class Gemm6 {
                   const float* weights, const float* input, float* output,
                   const dnn::EpilogueDesc* epi);
 
+  /// Batch-fused convolution for weight-bound layers: one fused-GEMM pass
+  /// over the logical N' = N×batch column space — the im2col (or dense 1x1)
+  /// B matrices of all batch items concatenated along the column axis — so
+  /// every A panel that becomes cache-resident is reused batch× instead of
+  /// being re-streamed per item. The batched C (M×N') is staged in an
+  /// internal buffer and scattered back to the per-item output slices with
+  /// vector copies; `epi` (which must not carry a residual — the caller
+  /// applies residual adds per item, after the scatter) is applied in-kernel
+  /// exactly as conv_fused would. Bit-identical to running conv_fused item
+  /// by item: the per-element k-accumulation order is unchanged, only the
+  /// strip grouping differs, and every vector op is lane-independent.
+  ///
+  /// `input`/`output` point at item 0; items are `in_item_stride` /
+  /// `out_item_stride` floats apart. Returns false (declining) when packing
+  /// is disabled or batch < 2 — the caller keeps the per-item path.
+  bool conv_fused_batch(vla::VectorEngine& eng, const dnn::ConvDesc& d,
+                        const float* weights, const float* input,
+                        std::size_t in_item_stride, float* output,
+                        std::size_t out_item_stride, int batch,
+                        const dnn::EpilogueDesc* epi);
+
   /// Shards the M-panel loop across `pool` when running functionally.
   void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
+
+  /// Wires the engine-shared pack-once weight cache: run_blocked then
+  /// consults it per call (keyed by the A pointer and blocking config) and
+  /// consumes resident A panels directly, skipping pack_a_panel on the hot
+  /// path — for the serial loop and every intra-op worker alike, since the
+  /// resident image is immutable.
+  void set_weight_cache(PackedWeightCache* cache) { weight_cache_ = cache; }
 
   [[nodiscard]] const Opt6Config& config() const { return cfg_; }
 
  private:
+  /// Column-concatenated per-item B view of a batch-fused conv: global
+  /// column jg maps to item jg / n_item, local column jg % n_item.
+  struct BatchB {
+    const float* input;       ///< item 0 (input image, or dense 1x1 B)
+    std::size_t item_stride;  ///< floats between consecutive items
+    int n_item;               ///< per-item N
+    bool dense;               ///< 1x1/s1/p0: the input rows ARE the B rows
+  };
+
   void run_blocked(vla::VectorEngine& eng, int M, int N, int K, float alpha,
                    const float* A, int lda, const float* B, int ldb,
                    const dnn::ConvDesc* conv, const float* conv_input,
-                   float* C, int ldc, bool beta0,
-                   const dnn::EpilogueDesc* epi);
+                   float* C, int ldc, bool beta0, const dnn::EpilogueDesc* epi,
+                   const BatchB* bb, bool a_is_weights);
   void pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb, int k0,
                     int kc, int j0, int nc);
   void pack_b_panel_implicit(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                              const float* input, int k0, int kc, int j0,
                              int nc);
+  void pack_b_panel_batched(vla::VectorEngine& eng, const BatchB& bb,
+                            const dnn::ConvDesc* conv, int k0, int kc, int j0,
+                            int nc);
   void pack_a_panel(vla::VectorEngine& eng, float* dst_buf, const float* A,
                     int lda, int i0, int mc, int k0, int kc);
   void micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
@@ -98,7 +150,9 @@ class Gemm6 {
   Opt6Config cfg_;
   AlignedBuffer<float> pack_a_buf_;
   AlignedBuffer<float> pack_b_buf_;
-  sim::RegisteredRange pa_reg_, pb_reg_;
+  AlignedBuffer<float> batch_c_buf_;  ///< staged M×N' of conv_fused_batch
+  sim::RegisteredRange pa_reg_, pb_reg_, bc_reg_;
+  PackedWeightCache* weight_cache_ = nullptr;
 
   runtime::ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;

@@ -1,0 +1,121 @@
+#include "gemm/packed_weight_cache.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace vlacnn::gemm {
+
+PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k)
+    : m_(m), k_(k), block_k_(block_k) {
+  VLACNN_REQUIRE(m >= 1 && k >= 1 && block_k >= 1, "bad packed-weight dims");
+  data_.resize(static_cast<std::size_t>(m) * k);
+  // Offline scalar packing (uninstrumented, like the Winograd weight
+  // transform): per k-block, every row's [k1, k1+kc) slice lands
+  // contiguously — bytewise the pack_a_panel layout.
+  for (int k1 = 0; k1 < k; k1 += block_k) {
+    const int kc = std::min(block_k, k - k1);
+    float* block = data_.data() + static_cast<std::size_t>(m) * k1;
+    for (int i = 0; i < m; ++i) {
+      const float* src = weights + static_cast<std::size_t>(i) * k + k1;
+      float* dst = block + static_cast<std::size_t>(i) * kc;
+      std::copy(src, src + kc, dst);
+    }
+  }
+  reg_ = sim::RegisteredRange(data_.data(), data_.size() * sizeof(float));
+}
+
+std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
+    const float* weights, int m, int k, int block_k) {
+  const Key key{weights, m, k, block_k};
+  const std::size_t bytes =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k) *
+      sizeof(float);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second.last_use = ++tick_;
+      return it->second.image;
+    }
+    // Admission checks BEFORE the (expensive) pack: prepare() runs before
+    // every batch, so a layer that cannot be retained must cost O(1) here,
+    // not a full M×K copy that is then thrown away.
+    if (bytes > budget_) {
+      ++stats_.rejected;
+      return nullptr;  // caller keeps the run-time packing path
+    }
+    if (resident_bytes_ + bytes > budget_) {
+      ++stats_.deferred;  // budget full: no evict-on-insert churn
+      return nullptr;
+    }
+  }
+  // Pack outside the lock: concurrent first-touch of *different* layers
+  // proceeds in parallel; a duplicate pack of the same layer is harmless
+  // (the images are identical) and the second insert wins nothing.
+  auto image = std::make_shared<const PackedWeights>(weights, m, k, block_k);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    it->second.last_use = ++tick_;
+    return it->second.image;
+  }
+  ++stats_.packs;
+  if (resident_bytes_ + bytes > budget_) {
+    ++stats_.deferred;  // a concurrent prepare filled the budget meanwhile
+    return nullptr;
+  }
+  resident_bytes_ += image->bytes();
+  cache_.emplace(key, Entry{image, ++tick_});
+  entry_count_.store(cache_.size(), std::memory_order_relaxed);
+  return image;
+}
+
+std::shared_ptr<const PackedWeights> PackedWeightCache::find(
+    const float* weights, int m, int k, int block_k) {
+  const Key key{weights, m, k, block_k};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.last_use = ++tick_;
+  return it->second.image;
+}
+
+void PackedWeightCache::enforce_budget() {
+  while (resident_bytes_ > budget_ && !cache_.empty()) {
+    auto victim = cache_.begin();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it)
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    resident_bytes_ -= victim->second.image->bytes();
+    cache_.erase(victim);
+    ++stats_.evictions;
+  }
+  entry_count_.store(cache_.size(), std::memory_order_relaxed);
+}
+
+void PackedWeightCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  entry_count_.store(0, std::memory_order_relaxed);
+  resident_bytes_ = 0;
+}
+
+void PackedWeightCache::set_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_ = bytes;
+  enforce_budget();
+}
+
+PackedWeightCacheStats PackedWeightCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PackedWeightCacheStats s = stats_;
+  s.resident_bytes = resident_bytes_;
+  s.entries = cache_.size();
+  return s;
+}
+
+}  // namespace vlacnn::gemm

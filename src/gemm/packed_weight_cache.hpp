@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "common/aligned_buffer.hpp"
+#include "sim/address_map.hpp"
+
+namespace vlacnn::gemm {
+
+/// Immutable pack-once image of one weight matrix A (M×K, row-major,
+/// lda == K) in the exact BLIS panel layout Gemm6::pack_a_panel produces at
+/// run time: the K dimension is split into blocks of `block_k`; block k1
+/// holds all M rows of columns [k1, k1+kc) as consecutive mc×kc row-major
+/// panels (stride kc). Because panel i1 of block k1 simply starts at row i1,
+/// the whole image is the concatenation over k-blocks of an M×kc row-major
+/// slab, and
+///
+///   panel(i1, k1) = data() + M·k1 + i1·kc,   a_stride = kc
+///
+/// addresses any (i1, k1) panel directly. The values are bytewise what the
+/// run-time pack stage would have written, so the micro-kernel consuming a
+/// resident image is bit-identical to the packing hot path it replaces.
+class PackedWeights {
+ public:
+  PackedWeights(const float* weights, int m, int k, int block_k);
+
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] std::size_t bytes() const {
+    return data_.size() * sizeof(float);
+  }
+  [[nodiscard]] int m() const { return m_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int block_k() const { return block_k_; }
+
+  /// Panel for rows [i1, i1+mc) of k-block starting at column k1 whose
+  /// width is kc = min(block_k, K - k1); row stride is kc.
+  [[nodiscard]] const float* panel(int i1, int k1, int kc) const {
+    return data_.data() + static_cast<std::size_t>(m_) * k1 +
+           static_cast<std::size_t>(i1) * kc;
+  }
+
+ private:
+  int m_, k_, block_k_;
+  AlignedBuffer<float> data_;
+  sim::RegisteredRange reg_;
+};
+
+/// Counters describing what the cache has done so far (snapshot).
+struct PackedWeightCacheStats {
+  std::uint64_t hits = 0;       ///< find() located a resident image
+  std::uint64_t misses = 0;     ///< find() had no image for the key
+  std::uint64_t packs = 0;      ///< prepare() packed a new image
+  std::uint64_t evictions = 0;  ///< images dropped on a budget shrink
+  std::uint64_t rejected = 0;   ///< images larger than the whole budget
+  std::uint64_t deferred = 0;   ///< prepare() skips: budget already full
+  std::size_t resident_bytes = 0;
+  std::size_t entries = 0;
+};
+
+/// Cache of pack-once weight images shared by every per-context Gemm6 a
+/// core::ConvolutionEngine installs — the GEMM twin of
+/// winograd::WeightCache. Populated during ConvolutionEngine::prepare()
+/// (host-side scalar packing, uninstrumented: the paper's protocol excludes
+/// weight preparation from inference time, §VII-A) and read-only during
+/// forward passes, so any number of worker contexts may consume the same
+/// image concurrently.
+///
+/// Keys are (weights pointer, M, K, block_k): the layout depends on the
+/// blocking configuration, and — as with the Winograd cache — a recycled
+/// heap address from a destroyed network must never alias an entry of a
+/// different shape. Entries are handed out as shared_ptr, so an image a
+/// reader still holds survives its own eviction; the cache keeps at most
+/// `budget_bytes` resident (a YOLOv3's 200+ MB of conv weights must not
+/// pin memory forever). Admission is prepare-time only and STOPS at the
+/// budget: an image that does not fit the remaining budget is skipped
+/// without packing (`deferred` — its layers keep the run-time packing
+/// path), never admitted by evicting a resident image. prepare(net) runs
+/// before every batch, so evict-on-insert would repack the whole rotation
+/// of an over-budget layer set on every single batch; first-come residency
+/// is stable and churn-free instead. LRU eviction applies when the budget
+/// shrinks (set_budget); clear() restarts admission from scratch.
+class PackedWeightCache {
+ public:
+  static constexpr std::size_t kDefaultBudgetBytes = 256ull << 20;
+
+  explicit PackedWeightCache(std::size_t budget_bytes = kDefaultBudgetBytes)
+      : budget_(budget_bytes) {}
+
+  /// Packs (or refreshes the LRU stamp of) the image for `weights`; the
+  /// prepare step of the serving lifecycle. Returns the image, or nullptr
+  /// when it was not retained (larger than the whole budget, or the budget
+  /// is already full) — the size check precedes the packing work, so a
+  /// skipped prepare() is O(1).
+  std::shared_ptr<const PackedWeights> prepare(const float* weights, int m,
+                                               int k, int block_k);
+
+  /// Hot-path lookup: returns the resident image (bumping its LRU stamp)
+  /// or nullptr. Never packs.
+  std::shared_ptr<const PackedWeights> find(const float* weights, int m,
+                                            int k, int block_k);
+
+  /// Lock-free pre-check for the GEMM hot path: false means the cache is
+  /// empty and find() cannot possibly hit, so callers skip the mutexed
+  /// lookup (and the miss-stat noise) entirely — the common case for
+  /// every non-weight-resident policy.
+  [[nodiscard]] bool maybe_resident() const {
+    return entry_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Drops every resident image (e.g. after mutating weights in tests).
+  void clear();
+
+  void set_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t budget() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return budget_;
+  }
+  [[nodiscard]] PackedWeightCacheStats stats() const;
+
+ private:
+  using Key = std::tuple<const float*, int, int, int>;
+  struct Entry {
+    std::shared_ptr<const PackedWeights> image;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Evicts LRU entries until the budget holds. mu_ held.
+  void enforce_budget();
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> cache_;
+  std::atomic<std::size_t> entry_count_{0};  // == cache_.size(), lock-free
+  std::size_t budget_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  PackedWeightCacheStats stats_;
+};
+
+}  // namespace vlacnn::gemm

@@ -195,6 +195,33 @@ void BatchScheduler::execute(Slot& slot) {
     const int nb = layer.prepare_batch(ins);
     const auto t0 = clock::now();
 
+    // Weight-resident layers execute batch-fused: ONE dispatch covers the
+    // whole batch (per-item im2col matrices concatenated along the GEMM N
+    // axis), so each resident weight panel is streamed once per batch
+    // instead of once per item. This runs on the executor context — whose
+    // kernels may intra-op parallelize over the pool — because the batched
+    // call is a single kernel invocation, not shardable per item. A layer
+    // that declines (e.g. packing disabled) falls through to the per-item
+    // paths below.
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
+    const bool want_batch_fused =
+        nb > 1 &&
+        (conv != nullptr
+             ? engine_->plan().weight_resident_for(conv->desc())
+             : (engine_->plan().fc_weight_resident &&
+                dynamic_cast<const dnn::ConnectedLayer*>(&layer) != nullptr));
+    if (want_batch_fused && layer.forward_batch(*main_ctx_, ins)) {
+      dnn::LayerRecord rec;
+      rec.name = layer.name();
+      rec.flops = layer.flops() * nb;
+      rec.items = nb;
+      rec.algo = algo_of(layer) + "+batch";
+      rec.wall_seconds =
+          std::chrono::duration<double>(clock::now() - t0).count();
+      records.push_back(std::move(rec));
+      continue;
+    }
+
     if (nb == 1 || pool_.size() == 1) {
       // Too little batch-level work to shard: run on the executor thread,
       // whose context may intra-op parallelize inside GEMM / Winograd.

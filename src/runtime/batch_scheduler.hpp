@@ -63,6 +63,13 @@ struct BatchResult {
 /// batch-1 path, and per-worker LayerRecords are merged in worker-id order
 /// (dnn::merge_layer_records).
 ///
+/// Layers the engine's plan marks weight-resident (and FC layers under the
+/// plan's fc_weight_resident flag) are instead dispatched batch-fused: one
+/// Layer::forward_batch call on the executor context covers the whole
+/// batch, streaming each pack-once weight panel once per batch instead of
+/// once per item — bit-identical to the per-item path, which remains the
+/// fallback whenever the layer declines.
+///
 /// Two ways to drive it:
 ///  * run(net, input) — synchronous: blocks until the batch finishes and
 ///    returns the network's output tensor. This is a thin wrapper over the

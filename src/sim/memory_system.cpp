@@ -56,8 +56,27 @@ MemCost MemorySystem::touch_l2_line(std::uint64_t addr, bool write) {
     cost.overlappable_cycles = cfg_.l2.latency_cycles + cfg_.dram_latency_cycles;
     cost.dram_lines = 1;
     ++dram_lines_;
+    if (!watches_.empty()) {
+      for (const auto& [base, end] : watches_) {
+        if (addr >= base && addr < end) {
+          ++watched_dram_lines_;
+          break;
+        }
+      }
+    }
   }
   return cost;
+}
+
+void MemorySystem::add_dram_watch(std::uint64_t sim_base,
+                                  std::uint64_t bytes) {
+  if (bytes == 0) return;
+  watches_.emplace_back(sim_base, sim_base + bytes);
+}
+
+void MemorySystem::clear_dram_watches() {
+  watches_.clear();
+  watched_dram_lines_ = 0;
 }
 
 MemCost MemorySystem::touch_vector_line(std::uint64_t addr, bool write) {
@@ -181,6 +200,7 @@ void MemorySystem::reset() {
   if (vcache_) vcache_->reset();
   if (prefetcher_) prefetcher_->reset();
   dram_lines_ = 0;
+  watched_dram_lines_ = 0;  // watch windows are configuration: kept
   tlb_.clear();
   tlb_tick_ = 0;
   tlb_misses_ = 0;

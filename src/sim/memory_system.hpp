@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "sim/cache.hpp"
 #include "sim/machine_config.hpp"
@@ -75,6 +77,18 @@ class MemorySystem {
   [[nodiscard]] std::uint64_t tlb_misses() const { return tlb_misses_; }
   [[nodiscard]] const MachineConfig& config() const { return cfg_; }
 
+  /// DRAM-fill attribution: fills whose line address falls inside any
+  /// watched simulated-address window are additionally counted in
+  /// watched_dram_line_fills(). The weight-residency benches watch the
+  /// weight (and packed-weight) buffers — via sim::AddressMap translation —
+  /// to measure per-item weight DRAM traffic in isolation. Watches are
+  /// configuration, so reset() zeroes the counter but keeps the windows.
+  void add_dram_watch(std::uint64_t sim_base, std::uint64_t bytes);
+  void clear_dram_watches();
+  [[nodiscard]] std::uint64_t watched_dram_line_fills() const {
+    return watched_dram_lines_;
+  }
+
  private:
   /// Returns the page-walk penalty (0 on a TLB hit or when TLB modelling is
   /// off). Fully associative LRU over 4 KiB pages.
@@ -90,6 +104,8 @@ class MemorySystem {
   std::unique_ptr<CacheModel> vcache_;          // RVV only
   std::unique_ptr<StreamPrefetcher> prefetcher_;  // A64FX only
   std::uint64_t dram_lines_ = 0;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> watches_;  // [base,end)
+  std::uint64_t watched_dram_lines_ = 0;
 
   // TLB state: page number -> LRU stamp.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> tlb_;

@@ -184,6 +184,66 @@ TEST(BackendPlan, SelectedPlanMatchesUniformFusedWhereFusedWins) {
   }
 }
 
+TEST(BackendPlan, SelectorPricesPackOnceAmortization) {
+  // Satellite contract: select_per_layer must no longer charge the full
+  // A-packing cost on every simulated call for weight-bound layers — it is
+  // a one-time prepare() cost amortized over the micro-batch. Pins three
+  // decisions: (1) a weight-bound shape's GEMM candidates get cheaper as
+  // the pricing batch grows (the amortization is visible in the candidate
+  // table), (2) the winning GEMM backend on a weight-bound shape carries
+  // weight_resident, (3) an activation-bound shape does not.
+  auto gemm6_cycles = [](const PlanEntry& e, Backend b) -> std::uint64_t {
+    for (const auto& [cand, cycles] : e.candidates)
+      if (cand == b) return cycles;
+    ADD_FAILURE() << "candidate " << to_string(b) << " missing";
+    return 0;
+  };
+
+  // Weight-bound (M=256 >= N=64), 1x1 so Winograd cannot shadow the
+  // decision between the GEMM kinds.
+  dnn::Network heavy(256, 8, 8, 21);
+  heavy.add_conv(256, 1, 1, 0, dnn::Activation::Leaky, true);
+  const BackendPlan plan1 = select_per_layer(heavy, sim::sve_gem5(), 7, 1);
+  const BackendPlan plan8 = select_per_layer(heavy, sim::sve_gem5(), 7, 8);
+  ASSERT_EQ(plan1.entries.size(), 1u);
+  ASSERT_EQ(plan8.entries.size(), 1u);
+  for (Backend b : {Backend::Gemm6, Backend::FusedGemm6}) {
+    EXPECT_LT(gemm6_cycles(plan8.entries[0], b),
+              gemm6_cycles(plan1.entries[0], b))
+        << to_string(b);
+  }
+  EXPECT_TRUE(backend_fuses(plan8.entries[0].backend) ||
+              plan8.entries[0].backend == Backend::Gemm6);
+  EXPECT_TRUE(plan8.entries[0].weight_resident);
+  EXPECT_TRUE(plan8.weight_resident_for(
+      dynamic_cast<const dnn::ConvLayer&>(heavy.layer(0)).desc()));
+  // FC layers batch-fuse under the selector plan's dedicated flag; the
+  // conv fallback stays non-resident (an unseen shape could be
+  // activation-bound — batch-fusing it would cost staging and batch
+  // parallelism for nothing).
+  EXPECT_TRUE(plan8.fc_weight_resident);
+  EXPECT_FALSE(plan8.fallback_weight_resident);
+
+  // Activation-bound (M=16 << N=1024): packing is amortized away just the
+  // same, but the layer must NOT be marked weight-resident.
+  dnn::Network light(16, 32, 32, 22);
+  light.add_conv(16, 1, 1, 0, dnn::Activation::Leaky, true);
+  const BackendPlan lplan = select_per_layer(light, sim::sve_gem5(), 7, 8);
+  ASSERT_EQ(lplan.entries.size(), 1u);
+  EXPECT_FALSE(lplan.entries[0].weight_resident);
+  EXPECT_FALSE(lplan.weight_resident_for(
+      dynamic_cast<const dnn::ConvLayer&>(light.layer(0)).desc()));
+
+  // The resident plan serves bit-identically to its non-resident twin
+  // (batch-fused dispatch changes traffic, never bits).
+  BackendPlan nonresident = plan8;
+  nonresident.entries[0].weight_resident = false;
+  nonresident.fc_weight_resident = false;
+  const auto a = run_scheduled(heavy, plan8, 4, 4);
+  const auto b = run_scheduled(heavy, nonresident, 4, 4);
+  EXPECT_EQ(max_ulp(a, b), 0u);
+}
+
 TEST(BackendPlan, CodesignAdvisorRunsPlans) {
   // The codesign advisor's plan-emitting form: a selected plan runs
   // simulated end to end and reports per-layer records named after the
