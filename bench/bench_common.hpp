@@ -88,20 +88,36 @@ inline sim::MachineConfig machine_from_name(const std::string& name) {
 /// JSON records cannot drift.
 inline double weight_dram_bytes_per_item(
     dnn::Layer& layer, const float* weights, std::uint64_t weight_bytes,
-    const dnn::ConvDesc* conv_desc, const core::EnginePolicy& policy,
+    const dnn::ConvDesc* conv_desc, core::BackendPlan plan, bool batch_fused,
     const sim::MachineConfig& machine, const dnn::Tensor& input) {
   sim::SimContext sctx(machine);
   vla::VectorEngine eng(sctx);
   dnn::ExecContext ctx(eng);
-  core::ConvolutionEngine engine(policy);
+  core::ConvolutionEngine engine(std::move(plan));
   engine.install(ctx);
   if (conv_desc != nullptr) {
     engine.prepare(*conv_desc, weights);
-    if (const auto img = engine.packed_weights().find(
-            weights, conv_desc->gemm_m(), conv_desc->gemm_k(),
-            engine.plan().opt6.blocks.block_k))
+    // Watch the layer's resident image in the format the plan routes it
+    // to (falling back to the fp32 image — e.g. a quantized plan whose
+    // image was not retained); an int8 image's scale vector streams too.
+    const gemm::PackFormat fmt =
+        core::backend_pack_format(engine.plan().backend_for(*conv_desc));
+    auto img = engine.packed_weights().find(
+        weights, conv_desc->gemm_m(), conv_desc->gemm_k(),
+        engine.plan().opt6.blocks.block_k, fmt);
+    if (img == nullptr && fmt != gemm::PackFormat::F32)
+      img = engine.packed_weights().find(weights, conv_desc->gemm_m(),
+                                         conv_desc->gemm_k(),
+                                         engine.plan().opt6.blocks.block_k);
+    if (img != nullptr) {
       sctx.memory().add_dram_watch(
-          sim::AddressMap::instance().translate(img->data()), img->bytes());
+          sim::AddressMap::instance().translate(img->raw()),
+          img->data_bytes());
+      if (img->scales() != nullptr)
+        sctx.memory().add_dram_watch(
+            sim::AddressMap::instance().translate(img->scales()),
+            img->scales_bytes());
+    }
   }
   sctx.memory().add_dram_watch(
       sim::AddressMap::instance().translate(weights), weight_bytes);
@@ -110,12 +126,21 @@ inline double weight_dram_bytes_per_item(
   const std::vector<const dnn::Tensor*> ins{&input};
   layer.prepare_batch(ins);
   bool fused = false;
-  if (batch > 1 && policy.weight_resident)
-    fused = layer.forward_batch(ctx, ins);
+  if (batch > 1 && batch_fused) fused = layer.forward_batch(ctx, ins);
   if (!fused)
     for (int b = 0; b < batch; ++b) layer.forward_item(ctx, ins, b);
   return static_cast<double>(sctx.memory().watched_dram_line_fills()) *
          machine.l2.line_bytes / batch;
+}
+
+/// EnginePolicy convenience overload (the historical signature).
+inline double weight_dram_bytes_per_item(
+    dnn::Layer& layer, const float* weights, std::uint64_t weight_bytes,
+    const dnn::ConvDesc* conv_desc, const core::EnginePolicy& policy,
+    const sim::MachineConfig& machine, const dnn::Tensor& input) {
+  return weight_dram_bytes_per_item(layer, weights, weight_bytes, conv_desc,
+                                    core::BackendPlan::uniform(policy),
+                                    policy.weight_resident, machine, input);
 }
 
 /// The paper's L2 sweep points (Figs 7-10).

@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("requests", quick ? 16 : 48));
   const double load = args.get_double("load", 0.7);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  const std::string precision = args.get("precision", "f32");
   bench::BenchJson json("serving_latency", args.get("json", ""));
   if (requests < 1 || load <= 0.0) {
     std::fprintf(stderr, "error: --requests >= 1 and --load > 0 required\n");
@@ -100,8 +101,21 @@ int main(int argc, char** argv) {
   std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
   net->fuse_residuals();
 
-  core::ConvolutionEngine engine(
-      core::BackendPlan::uniform(core::EnginePolicy::fused()));
+  core::BackendPlan plan =
+      core::BackendPlan::uniform(core::EnginePolicy::fused());
+  // --precision routes the Gemm6-family convs through reduced-precision
+  // resident weight images, so serving percentiles compare across formats
+  // with one flag.
+  if (precision == "bf16") {
+    plan = plan.with_precision(gemm::PackFormat::Bf16);
+  } else if (precision == "int8") {
+    plan = plan.with_precision(gemm::PackFormat::Int8PerChannel);
+  } else if (precision != "f32") {
+    std::fprintf(stderr, "error: unknown --precision=%s (f32|bf16|int8)\n",
+                 precision.c_str());
+    return 1;
+  }
+  core::ConvolutionEngine engine(std::move(plan));
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
   runtime::BatchScheduler sched(engine, cfg);
@@ -158,7 +172,8 @@ int main(int argc, char** argv) {
                 p(res.compute_ms, 0.95), p(res.compute_ms, 0.99),
                 p(res.total_ms, 0.50), p(res.total_ms, 0.95),
                 p(res.total_ms, 0.99));
-    json.add(std::string("model=") + model + " policy=" + pc.name +
+    json.add(std::string("model=") + model + " precision=" + precision +
+                 " policy=" + pc.name +
                  " max_batch=" + std::to_string(pc.max_batch) +
                  " max_wait_ms=" + std::to_string(pc.max_wait_ms),
              res.wall_s * 1e3, static_cast<double>(res.bytes_moved),

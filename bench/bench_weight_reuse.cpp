@@ -1,6 +1,6 @@
 // Weight-resident batch-fused execution: per-item weight DRAM traffic vs
 // batch size on the weight-bound layer set (VGG block-5 convolutions and
-// the FC tail).
+// the FC tail), across weight storage precisions.
 //
 // For small-N / large-K layers the weight stream dominates DRAM traffic
 // and PR 2's epilogue fusion cannot help: every per-item pass re-streams
@@ -11,22 +11,34 @@
 // from DRAM once per batch instead of once per item. FC layers get the
 // same treatment through the batched out(nb×N) += X(nb×K)·W(K×N) GEMM.
 //
+// --format=bf16|int8 stores the resident conv images reduced-precision
+// (weight-only quantization; activations and accumulation stay fp32), so
+// the same resident stream touches half / a quarter of the DRAM lines.
+// The harness then also measures the fp32-resident baseline per batch and
+// reports the accuracy cost (max ULP distance and max abs error vs the
+// fp32 reference output). The FC case always stays fp32.
+//
 // Per batch in {1, 2, 4, 8} and per layer, the harness measures:
 //   * weight DRAM bytes/item: simulated DRAM line fills attributed (via
 //     MemorySystem watch ranges) to the raw-weight + packed-image buffers,
 //     divided by the batch — the metric that must fall ~batch×.
 //   * engine bytes/item and functional wall time/item, for context.
 // It also verifies, per layer, that the batch-fused outputs are
-// bit-identical to the per-item path.
+// bit-identical to the per-item path (in the SAME precision: quantized
+// batch-fused must equal quantized per-item bit-for-bit).
 //
 //   ./bench_weight_reuse [--machine=sve|rvv|a64fx] [--quick] [--check]
-//                        [--json=<path>]
+//                        [--format=f32|bf16|int8] [--json=<path>]
 //
 // --check (the CI smoke gate) exits non-zero if batch-4 weight DRAM
-// bytes/item exceeds 0.5x the batch-1 value on any layer, or if any
-// batch-fused output differs from the per-item path.
+// bytes/item exceeds 0.5x the batch-1 value on any layer, if any
+// batch-fused output differs from the per-item path, or — for the reduced
+// formats — if the batch-4 quantized stream misses its reduction target
+// versus fp32-resident (bf16: >= 1.8x; int8: >= 3.5x and <= 0.3x the fp32
+// batch-1 stream) or the accuracy gates of core/selector.hpp are broken.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -34,6 +46,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/selector.hpp"
 #include "dnn/layers.hpp"
 #include "sim/address_map.hpp"
 
@@ -54,7 +67,14 @@ struct Measurement {
   double engine_bytes_per_item = 0.0;
   double wall_ms_per_item = 0.0;
   double weight_bytes = 0.0;
+  double weight_bytes_packed = 0.0;
   double arithmetic_intensity = 0.0;
+};
+
+struct Accuracy {
+  double max_ulp = 0.0;
+  double max_abs_err = 0.0;
+  double max_abs_ref = 0.0;
 };
 
 std::unique_ptr<dnn::Layer> build_layer(const ReuseCase& rc) {
@@ -78,15 +98,26 @@ const float* case_weights(const ReuseCase& rc, const dnn::Layer& layer) {
   return static_cast<const dnn::ConvLayer&>(layer).weights();
 }
 
+/// Weight-resident fused plan routing the conv cases through `fmt`-format
+/// resident images. FC cases always run fp32 — an FC layer's GEMM is
+/// non-beta0 (its fp32 partial sums cannot join a quantized-domain
+/// accumulation), so reduced formats do not apply there.
+core::BackendPlan case_plan(const ReuseCase& rc, gemm::PackFormat fmt) {
+  core::EnginePolicy policy = core::EnginePolicy::fused();
+  policy.weight_resident = true;
+  core::BackendPlan plan = core::BackendPlan::uniform(policy);
+  if (!rc.fc && fmt != gemm::PackFormat::F32)
+    plan = plan.with_precision(fmt);
+  return plan;
+}
+
 /// Runs the case at `batch` — batch-fused when batch > 1 — and returns the
 /// traffic/time metrics. The weight-DRAM attribution is the shared
 /// bench::weight_dram_bytes_per_item metric (raw weights + resident packed
-/// image), so this bench and bench_fused_conv's weight-residency section
-/// measure identically.
+/// image, scale vector included), so this bench and bench_fused_conv's
+/// weight-residency section measure identically.
 Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
-                    int batch) {
-  core::EnginePolicy policy = core::EnginePolicy::fused();
-  policy.weight_resident = true;
+                    int batch, gemm::PackFormat fmt) {
   Measurement m;
 
   // Instrumented pass: DRAM fills attributed to the weight stream.
@@ -107,19 +138,28 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
     dnn::Tensor in = make_input(rc, batch);
     m.weight_dram_bytes_per_item = bench::weight_dram_bytes_per_item(
         *layer, case_weights(rc, *layer), weight_bytes,
-        rc.fc ? nullptr : &rc.desc, policy, machine, in);
+        rc.fc ? nullptr : &rc.desc, case_plan(rc, fmt), /*batch_fused=*/true,
+        machine, in);
   }
 
-  // Functional pass: engine bytes + host wall time (one warm-up rep).
+  // Functional pass: engine bytes + host wall time (one warm-up rep), plus
+  // the resident image's packed footprint.
   {
     auto layer = build_layer(rc);
     vla::VectorEngine eng(machine.vlen_bits);
     dnn::ExecContext ctx(eng);
-    core::ConvolutionEngine engine(policy);
+    core::ConvolutionEngine engine(case_plan(rc, fmt));
     engine.install(ctx);
-    if (!rc.fc)
-      engine.prepare(rc.desc,
-                     static_cast<const dnn::ConvLayer*>(layer.get())->weights());
+    if (!rc.fc) {
+      const float* w =
+          static_cast<const dnn::ConvLayer*>(layer.get())->weights();
+      engine.prepare(rc.desc, w);
+      if (const auto img = engine.packed_weights().find(
+              w, rc.desc.gemm_m(), rc.desc.gemm_k(),
+              engine.plan().opt6.blocks.block_k,
+              rc.fc ? gemm::PackFormat::F32 : fmt))
+        m.weight_bytes_packed = static_cast<double>(img->bytes());
+    }
     dnn::Tensor in = make_input(rc, batch);
     const std::vector<const dnn::Tensor*> ins{&in};
     layer->prepare_batch(ins);
@@ -143,37 +183,74 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
   return m;
 }
 
-/// Batch-fused vs per-item outputs, bytewise (functional engines).
-bool bit_identical(const ReuseCase& rc, int batch) {
-  core::EnginePolicy policy = core::EnginePolicy::fused();
-  policy.weight_resident = true;
-  auto run = [&](bool batched, std::vector<float>* out) {
-    auto layer = build_layer(rc);
-    vla::VectorEngine eng(512);
-    dnn::ExecContext ctx(eng);
-    core::ConvolutionEngine engine(policy);
-    engine.install(ctx);
-    if (!rc.fc)
-      engine.prepare(rc.desc,
-                     static_cast<const dnn::ConvLayer*>(layer.get())->weights());
-    dnn::Tensor in = make_input(rc, batch);
-    const std::vector<const dnn::Tensor*> ins{&in};
-    layer->prepare_batch(ins);
-    if (batched) {
-      if (!layer->forward_batch(ctx, ins)) return false;
-    } else {
-      for (int b = 0; b < batch; ++b) layer->forward_item(ctx, ins, b);
-    }
-    const dnn::Tensor& o = layer->output();
-    out->assign(o.data(), o.data() + o.size());
-    return true;
-  };
+/// Functional per-item or batch-fused outputs under `fmt`. Returns false if
+/// the batched path declined.
+bool run_outputs(const ReuseCase& rc, int batch, gemm::PackFormat fmt,
+                 bool batched, std::vector<float>* out) {
+  auto layer = build_layer(rc);
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  core::ConvolutionEngine engine(case_plan(rc, fmt));
+  engine.install(ctx);
+  if (!rc.fc)
+    engine.prepare(rc.desc,
+                   static_cast<const dnn::ConvLayer*>(layer.get())->weights());
+  dnn::Tensor in = make_input(rc, batch);
+  const std::vector<const dnn::Tensor*> ins{&in};
+  layer->prepare_batch(ins);
+  if (batched) {
+    if (!layer->forward_batch(ctx, ins)) return false;
+  } else {
+    for (int b = 0; b < batch; ++b) layer->forward_item(ctx, ins, b);
+  }
+  const dnn::Tensor& o = layer->output();
+  out->assign(o.data(), o.data() + o.size());
+  return true;
+}
+
+/// Batch-fused vs per-item outputs, bytewise, in the SAME precision: the
+/// strip-grouping contract holds for quantized images exactly as for fp32.
+bool bit_identical(const ReuseCase& rc, int batch, gemm::PackFormat fmt) {
   std::vector<float> batched, per_item;
-  if (!run(true, &batched)) return false;
-  if (!run(false, &per_item)) return false;
+  if (!run_outputs(rc, batch, fmt, true, &batched)) return false;
+  if (!run_outputs(rc, batch, fmt, false, &per_item)) return false;
   return batched.size() == per_item.size() &&
          std::memcmp(batched.data(), per_item.data(),
                      batched.size() * sizeof(float)) == 0;
+}
+
+double ulp_distance(float a, float b) {
+  auto to_ordered = [](float x) {
+    std::int32_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    return i < 0 ? -2147483648.0 - i : static_cast<double>(i);
+  };
+  return std::fabs(to_ordered(a) - to_ordered(b));
+}
+
+/// Quantized vs fp32 per-item outputs at batch 1 — the accuracy columns.
+/// ULP distance is taken over elements at working magnitude only (>= max
+/// |ref| / 1024): near-zero outputs (Relu-clipped, or cancellation-
+/// dominated sums) can sit enormous lexicographic distances from equally
+/// tiny references while being numerically fine — those are governed by
+/// the absolute-error gate instead. Same definition as the selector's
+/// accuracy check.
+Accuracy measure_accuracy(const ReuseCase& rc, gemm::PackFormat fmt) {
+  Accuracy acc;
+  std::vector<float> ref, quant;
+  run_outputs(rc, 1, gemm::PackFormat::F32, false, &ref);
+  run_outputs(rc, 1, fmt, false, &quant);
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    acc.max_abs_ref = std::max(acc.max_abs_ref,
+                               static_cast<double>(std::fabs(ref[i])));
+  const double ulp_floor = acc.max_abs_ref / 1024.0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    acc.max_abs_err = std::max(
+        acc.max_abs_err, static_cast<double>(std::fabs(ref[i] - quant[i])));
+    if (std::fabs(ref[i]) >= ulp_floor)
+      acc.max_ulp = std::max(acc.max_ulp, ulp_distance(ref[i], quant[i]));
+  }
+  return acc;
 }
 
 std::string mb(double bytes) {
@@ -187,17 +264,29 @@ int main(int argc, char** argv) {
   const auto opt = bench::BenchOptions::from_cli(argc, argv);
   const std::string machine_name = args.get("machine", "sve");
   const bool check = args.get_bool("check", false);
+  const std::string fmt_name = args.get("format", "f32");
+  gemm::PackFormat fmt = gemm::PackFormat::F32;
+  if (fmt_name == "bf16") {
+    fmt = gemm::PackFormat::Bf16;
+  } else if (fmt_name == "int8") {
+    fmt = gemm::PackFormat::Int8PerChannel;
+  } else if (fmt_name != "f32") {
+    std::fprintf(stderr, "unknown --format=%s (f32|bf16|int8)\n",
+                 fmt_name.c_str());
+    return 1;
+  }
   const sim::MachineConfig machine = bench::machine_from_name(machine_name);
 
   bench::print_header(
       "Weight-resident batch-fused execution — per-item weight DRAM vs batch",
       "ROADMAP fused follow-up (a): weight-resident blocking for small-N / "
-      "large-K layers",
+      "large-K layers; reduced-precision residency (bf16/int8)",
       opt);
-  std::printf("machine=%s (L2 %llu KiB, %u B lines)%s\n\n",
+  std::printf("machine=%s (L2 %llu KiB, %u B lines), format=%s%s\n\n",
               machine.name.c_str(),
               static_cast<unsigned long long>(machine.l2.size_bytes / 1024),
-              machine.l2.line_bytes, check ? ", --check on" : "");
+              machine.l2.line_bytes, fmt_name.c_str(),
+              check ? ", --check on" : "");
 
   // The weight-bound layer set: VGG block 5 (at the fused-conv bench's
   // 128-input scale) and the VGG FC tail (at the 64-input scale). --quick
@@ -241,35 +330,60 @@ int main(int argc, char** argv) {
 
   const std::vector<int> batches{1, 2, 4, 8};
   bench::BenchJson json("weight_reuse", opt.json_path);
-  Table table({"layer", "batch", "wt DRAM MB/item", "vs b1", "eng MB/item",
-               "wall ms/item", "bit-identical"});
+  Table table({"layer", "fmt", "batch", "wt DRAM MB/item", "vs b1", "vs f32",
+               "packed MB", "eng MB/item", "wall ms/item", "bit-identical"});
   bool ok = true;
   for (const ReuseCase& rc : cases) {
-    double base = 0.0;
-    double at4 = 0.0;
+    const gemm::PackFormat case_fmt = rc.fc ? gemm::PackFormat::F32 : fmt;
+    const bool case_quant = case_fmt != gemm::PackFormat::F32;
+    // Accuracy vs the fp32 reference, once per case (per-item path; the
+    // batch paths are bitwise-identical to it by the gate below).
+    Accuracy acc;
+    if (case_quant) acc = measure_accuracy(rc, case_fmt);
+    double base = 0.0, at4 = 0.0;
+    double f32_base = 0.0, f32_at4 = 0.0;
     for (int batch : batches) {
       // Bit-identity is checked PER batch size: strip/item-boundary
       // arithmetic differs with N' = N×batch, so a defect could manifest
       // at one batch size only.
-      const bool bits = batch == 1 || bit_identical(rc, batch);
+      const bool bits = batch == 1 || bit_identical(rc, batch, case_fmt);
       if (!bits) ok = false;
-      const Measurement m = measure(rc, machine, batch);
+      const Measurement m = measure(rc, machine, batch, case_fmt);
+      // Quantized runs price their fp32-resident baseline alongside, for
+      // the reduction-vs-f32 column and the --check ratio gates.
+      double f32_dram = m.weight_dram_bytes_per_item;
+      if (case_quant && (batch == 1 || batch == 4))
+        f32_dram = measure(rc, machine, batch, gemm::PackFormat::F32)
+                       .weight_dram_bytes_per_item;
       if (batch == 1) base = m.weight_dram_bytes_per_item;
       if (batch == 4) at4 = m.weight_dram_bytes_per_item;
+      if (batch == 1) f32_base = f32_dram;
+      if (batch == 4) f32_at4 = f32_dram;
       table.add_row(
-          {rc.name, std::to_string(batch), mb(m.weight_dram_bytes_per_item),
+          {rc.name, gemm::to_string(case_fmt), std::to_string(batch),
+           mb(m.weight_dram_bytes_per_item),
            base > 0 ? Table::fmt(m.weight_dram_bytes_per_item / base, 2) + "x"
                     : "-",
+           case_quant && (batch == 1 || batch == 4) && f32_dram > 0
+               ? Table::fmt(f32_dram / m.weight_dram_bytes_per_item, 2) + "x"
+               : "-",
+           m.weight_bytes_packed > 0 ? mb(m.weight_bytes_packed) : "-",
            mb(m.engine_bytes_per_item), Table::fmt(m.wall_ms_per_item, 3),
            batch == 1 ? "-" : (bits ? "yes" : "NO")});
-      json.add(rc.name + " b" + std::to_string(batch), m.wall_ms_per_item,
-               m.engine_bytes_per_item,
-               {{"batch", static_cast<double>(batch)},
-                {"weight_dram_bytes_per_item", m.weight_dram_bytes_per_item},
-                {"weight_bytes", m.weight_bytes},
-                {"arithmetic_intensity", m.arithmetic_intensity},
-                {"weight_resident", 1.0},
-                {"bit_identical", bits ? 1.0 : 0.0}});
+      json.add(
+          rc.name + " " + gemm::to_string(case_fmt) + " b" +
+              std::to_string(batch),
+          m.wall_ms_per_item, m.engine_bytes_per_item,
+          {{"batch", static_cast<double>(batch)},
+           {"weight_dram_bytes_per_item", m.weight_dram_bytes_per_item},
+           {"weight_bytes", m.weight_bytes},
+           {"weight_bytes_packed", m.weight_bytes_packed},
+           {"pack_format", static_cast<double>(case_fmt)},
+           {"max_ulp", acc.max_ulp},
+           {"max_abs_err", acc.max_abs_err},
+           {"arithmetic_intensity", m.arithmetic_intensity},
+           {"weight_resident", 1.0},
+           {"bit_identical", bits ? 1.0 : 0.0}});
     }
     if (base > 0 && at4 > 0.5 * base) {
       std::fprintf(stderr,
@@ -278,13 +392,57 @@ int main(int argc, char** argv) {
                    rc.name.c_str(), at4, base);
       ok = false;
     }
+    if (case_quant) {
+      // Traffic gates: the reduced stream must deliver its compression at
+      // batch 4 versus the fp32-resident baseline.
+      const double need =
+          case_fmt == gemm::PackFormat::Bf16 ? 1.8 : 3.5;
+      if (f32_at4 > 0 && at4 > f32_at4 / need) {
+        std::fprintf(stderr,
+                     "FAIL %s (%s): batch-4 weight DRAM %.0f misses the "
+                     "%.1fx reduction vs fp32-resident %.0f\n",
+                     rc.name.c_str(), gemm::to_string(case_fmt), at4, need,
+                     f32_at4);
+        ok = false;
+      }
+      if (case_fmt == gemm::PackFormat::Int8PerChannel && f32_base > 0 &&
+          at4 > 0.3 * f32_base) {
+        std::fprintf(stderr,
+                     "FAIL %s (int8): batch-4 weight DRAM %.0f > 0.3x the "
+                     "fp32 batch-1 stream %.0f\n",
+                     rc.name.c_str(), at4, f32_base);
+        ok = false;
+      }
+      // Accuracy gates: the pinned bounds of core/selector.hpp.
+      if (case_fmt == gemm::PackFormat::Bf16 &&
+          acc.max_ulp > static_cast<double>(core::kBf16OutputMaxUlp)) {
+        std::fprintf(stderr,
+                     "FAIL %s (bf16): max ULP %.0f exceeds the pinned bound "
+                     "%u\n",
+                     rc.name.c_str(), acc.max_ulp, core::kBf16OutputMaxUlp);
+        ok = false;
+      }
+      if (case_fmt == gemm::PackFormat::Int8PerChannel &&
+          acc.max_abs_err >
+              static_cast<double>(core::kInt8OutputRelTol) * acc.max_abs_ref) {
+        std::fprintf(stderr,
+                     "FAIL %s (int8): max abs err %.4f exceeds %.4f (rel tol "
+                     "%.4f of max |ref| %.2f)\n",
+                     rc.name.c_str(), acc.max_abs_err,
+                     core::kInt8OutputRelTol * acc.max_abs_ref,
+                     core::kInt8OutputRelTol, acc.max_abs_ref);
+        ok = false;
+      }
+    }
   }
   table.print();
   std::printf(
       "\nExpectation: weight DRAM bytes/item falls ~batch-fold (each "
       "resident weight panel is streamed once per batch), so batch 4 must "
       "sit at <= 0.5x batch 1; batch-fused outputs are bit-identical to the "
-      "per-item path.\n");
+      "per-item path. Reduced formats additionally halve (bf16) / quarter "
+      "(int8) the resident stream vs fp32 while staying inside the pinned "
+      "accuracy gates.\n");
   if (!json.write()) return 1;
   if (check && !ok) {
     std::fprintf(stderr, "weight-reuse check FAILED\n");

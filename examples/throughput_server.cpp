@@ -26,6 +26,7 @@
 //   ./throughput_server [--model=tiny|vgg|yolo] [--requests=32] [--batch=8]
 //                       [--threads=0 (hardware)] [--input=96] [--vlen=512]
 //                       [--policy=plan|fused|winograd|opt6]
+//                       [--precision=f32|bf16|int8]
 //                       [--machine=a64fx|rvv|sve]
 //                       [--max-wait-ms=2] [--deadline-ms=0 (none)]
 //                       [--queue-cap=64] [--block (block-when-full)]
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   const int input_hw = static_cast<int>(args.get_int("input", 96));
   const auto vlen = static_cast<unsigned>(args.get_int("vlen", 512));
   const std::string policy = args.get("policy", "plan");
+  const std::string precision = args.get("precision", "f32");
   const std::string machine_name = args.get("machine", "a64fx");
   const double max_wait_ms = args.get_double("max-wait-ms", 2.0);
   const double deadline_ms = args.get_double("deadline-ms", 0.0);
@@ -114,6 +116,18 @@ int main(int argc, char** argv) {
                  policy.c_str());
     return 1;
   }
+  // One-flag precision knob: route every Gemm6-family conv through the
+  // requested resident weight format (weight-only quantization; fp32
+  // activations/accumulation). f32 leaves the plan untouched.
+  if (precision == "bf16") {
+    plan = plan.with_precision(gemm::PackFormat::Bf16);
+  } else if (precision == "int8") {
+    plan = plan.with_precision(gemm::PackFormat::Int8PerChannel);
+  } else if (precision != "f32") {
+    std::fprintf(stderr, "error: unknown --precision=%s (f32|bf16|int8)\n",
+                 precision.c_str());
+    return 1;
+  }
 
   core::ConvolutionEngine engine(plan);
   runtime::SchedulerConfig cfg;
@@ -122,9 +136,9 @@ int main(int argc, char** argv) {
   runtime::BatchScheduler sched(engine, cfg);
 
   std::printf("serving %s (%zu layers, %d fused shortcuts) | %d requests, "
-              "batch<=%d, %d workers | policy=%s\n",
+              "batch<=%d, %d workers | policy=%s precision=%s\n",
               model.c_str(), net->num_layers(), folded, requests, batch,
-              sched.threads(), policy.c_str());
+              sched.threads(), policy.c_str(), precision.c_str());
   std::printf("per-layer dispatch table:\n%s\n",
               engine.plan().summary().c_str());
 
@@ -241,6 +255,7 @@ int main(int argc, char** argv) {
               p(total_ms, 0.95), p(total_ms, 0.99));
 
   json.add("model=" + model + " policy=" + policy +
+               " precision=" + precision +
                " batch=" + std::to_string(batch) +
                " max_wait_ms=" + std::to_string(max_wait_ms),
            total_s * 1e3, static_cast<double>(serve_bytes),

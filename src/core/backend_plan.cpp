@@ -16,12 +16,43 @@ const char* to_string(Backend b) {
     case Backend::Winograd: return "winograd";
     case Backend::FusedWinograd: return "fused-winograd";
     case Backend::Direct: return "direct";
+    case Backend::Gemm6Bf16: return "fused-gemm6-bf16";
+    case Backend::Gemm6Int8: return "fused-gemm6-int8";
   }
   return "?";
 }
 
 bool backend_fuses(Backend b) {
-  return b == Backend::FusedGemm6 || b == Backend::FusedWinograd;
+  return b == Backend::FusedGemm6 || b == Backend::FusedWinograd ||
+         backend_quantized(b);
+}
+
+bool backend_gemm6_family(Backend b) {
+  return b == Backend::Gemm6 || b == Backend::FusedGemm6 ||
+         backend_quantized(b);
+}
+
+bool backend_quantized(Backend b) {
+  return b == Backend::Gemm6Bf16 || b == Backend::Gemm6Int8;
+}
+
+gemm::PackFormat backend_pack_format(Backend b) {
+  if (b == Backend::Gemm6Bf16) return gemm::PackFormat::Bf16;
+  if (b == Backend::Gemm6Int8) return gemm::PackFormat::Int8PerChannel;
+  return gemm::PackFormat::F32;
+}
+
+Backend backend_with_format(Backend b, gemm::PackFormat fmt) {
+  if (!backend_gemm6_family(b)) return b;
+  switch (fmt) {
+    case gemm::PackFormat::F32:
+      // Dropping the quantization restores the fused fp32 backend; plain
+      // Gemm6 stays plain.
+      return backend_quantized(b) ? Backend::FusedGemm6 : b;
+    case gemm::PackFormat::Bf16: return Backend::Gemm6Bf16;
+    case gemm::PackFormat::Int8PerChannel: return Backend::Gemm6Int8;
+  }
+  return b;
 }
 
 bool backend_eligible(Backend b, const dnn::ConvDesc& d) {
@@ -90,7 +121,10 @@ Backend BackendPlan::backend_for(const dnn::ConvDesc& d) const {
 
 bool BackendPlan::weight_resident_for(const dnn::ConvDesc& d) const {
   const Backend b = backend_for(d);
-  if (b != Backend::Gemm6 && b != Backend::FusedGemm6) return false;
+  if (!backend_gemm6_family(b)) return false;
+  // A quantized backend is weight-resident by definition: the reduced-
+  // precision image only exists as a prepare()-time cache entry.
+  if (backend_quantized(b)) return true;
   if (const PlanEntry* e = find(d);
       e != nullptr && backend_eligible(e->backend, d))
     return e->weight_resident;
@@ -104,6 +138,20 @@ bool BackendPlan::may_use(Backend b) const {
   for (const PlanEntry& e : entries)
     if (e.backend == b) return true;
   return false;
+}
+
+BackendPlan BackendPlan::with_precision(gemm::PackFormat fmt) const {
+  BackendPlan p = *this;
+  if (backend_gemm6_family(p.fallback_gemm)) {
+    p.fallback_gemm = backend_with_format(p.fallback_gemm, fmt);
+    if (backend_quantized(p.fallback_gemm)) p.fallback_weight_resident = true;
+  }
+  for (PlanEntry& e : p.entries)
+    if (backend_gemm6_family(e.backend)) {
+      e.backend = backend_with_format(e.backend, fmt);
+      if (backend_quantized(e.backend)) e.weight_resident = true;
+    }
+  return p;
 }
 
 std::string BackendPlan::summary() const {

@@ -27,12 +27,31 @@ enum class Backend {
   Winograd,       ///< F(6x6,3x3), epilogue as post-passes
   FusedWinograd,  ///< F(6x6,3x3), epilogue on the output transform
   Direct,         ///< direct convolution (no im2col; best for tiny channels)
+  Gemm6Bf16,      ///< FusedGemm6 over a bf16 resident weight image
+  Gemm6Int8,      ///< FusedGemm6 over an int8 per-channel resident image
 };
 
 const char* to_string(Backend b);
 
 /// True for the backends that apply the epilogue in-kernel.
 [[nodiscard]] bool backend_fuses(Backend b);
+
+/// True for the Gemm6 fused/unfused/quantized family — the backends that
+/// can consume a pack-once resident weight image.
+[[nodiscard]] bool backend_gemm6_family(Backend b);
+
+/// True for the reduced-precision (weight-only quantized) backends. These
+/// are the only backends exempt from the fp32 bit-exactness contract; their
+/// outputs are instead held to the selector's accuracy budget.
+[[nodiscard]] bool backend_quantized(Backend b);
+
+/// Storage format of the resident weight image backend `b` consumes.
+[[nodiscard]] gemm::PackFormat backend_pack_format(Backend b);
+
+/// Maps a Gemm6-family backend to the variant consuming `fmt`-format
+/// resident weights (F32 restores FusedGemm6 for quantized inputs); any
+/// other backend is returned unchanged.
+[[nodiscard]] Backend backend_with_format(Backend b, gemm::PackFormat fmt);
 
 /// True when `b` can run the layer shape `d` at all (Winograd variants need
 /// 3x3/pad-1; everything else takes any shape).
@@ -127,6 +146,14 @@ struct BackendPlan {
 
   /// True when any entry or fallback route can reach `b`.
   [[nodiscard]] bool may_use(Backend b) const;
+
+  /// Copy of the plan with every Gemm6-family conv route (entries and the
+  /// GEMM fallback) switched to the variant consuming `fmt`-format resident
+  /// weights — the one-flag precision knob of the serving tools
+  /// (`--precision=bf16|int8`). Quantized routes are forced
+  /// weight-resident: the reduced image IS the backend. Non-GEMM routes
+  /// (Winograd, Direct, Naive/Gemm3) are left untouched.
+  [[nodiscard]] BackendPlan with_precision(gemm::PackFormat fmt) const;
 
   /// Printable per-layer table (one line per entry + the fallback), for
   /// serving startup logs and the advisor examples.

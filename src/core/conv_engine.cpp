@@ -71,7 +71,8 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
                                 const dnn::EpilogueDesc& epi)
       -> dnn::ConvStatus {
     vla::VectorEngine& eng = c.engine();
-    switch (plan->backend_for(d)) {
+    const Backend b = plan->backend_for(d);
+    switch (b) {
       case Backend::FusedWinograd:
         // Epilogue (and any folded residual) applied on the output
         // transform's registers; stride-2 fuses into the subsample pass.
@@ -89,8 +90,14 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
         dnn::direct_conv_vla(eng, d, input, weights, output);
         return dnn::ConvStatus::Ran;
       }
+      case Backend::Gemm6Bf16:
+      case Backend::Gemm6Int8:
       case Backend::FusedGemm6:
-        if (st->gemm6->conv_fused(eng, d, weights, input, output, &epi))
+        // Quantized kinds run the same fused kernel over the format-tagged
+        // resident image; a missing image (budget-evicted, or weights not
+        // prepared) silently falls back to the fp32 path inside the kernel.
+        if (st->gemm6->conv_fused(eng, d, weights, input, output, &epi,
+                                  backend_pack_format(b)))
           return dnn::ConvStatus::RanFused;
         [[fallthrough]];  // packing disabled: no fused equivalent — run the
                           // unfused 6-loop, NOT a silent fusion clear
@@ -120,7 +127,8 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
     if (!plan->weight_resident_for(d)) return dnn::ConvStatus::Declined;
     if (st->gemm6->conv_fused_batch(c.engine(), d, weights, input,
                                     in_item_stride, output, out_item_stride,
-                                    batch, &epi))
+                                    batch, &epi,
+                                    backend_pack_format(plan->backend_for(d))))
       return dnn::ConvStatus::RanFused;
     return dnn::ConvStatus::Declined;
   };
@@ -142,7 +150,8 @@ void ConvolutionEngine::prepare(const dnn::Network& net) {
     if (plan_->weight_resident_for(conv->desc()))
       packed_cache_.prepare(conv->weights(), conv->desc().gemm_m(),
                             conv->desc().gemm_k(),
-                            plan_->opt6.blocks.block_k);
+                            plan_->opt6.blocks.block_k,
+                            backend_pack_format(b));
   }
 }
 
@@ -152,7 +161,7 @@ void ConvolutionEngine::prepare(const dnn::ConvDesc& d, const float* weights) {
     weight_cache_.prepare(d, weights);
   if (plan_->weight_resident_for(d))
     packed_cache_.prepare(weights, d.gemm_m(), d.gemm_k(),
-                          plan_->opt6.blocks.block_k);
+                          plan_->opt6.blocks.block_k, backend_pack_format(b));
 }
 
 }  // namespace vlacnn::core

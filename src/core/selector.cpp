@@ -1,8 +1,11 @@
 #include "core/selector.hpp"
 
+#include <cmath>
+#include <cstring>
 #include <limits>
 #include <map>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "core/conv_engine.hpp"
@@ -58,11 +61,104 @@ std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
   return sctx.cycles();
 }
 
+/// ULP distance between two fp32 values (lexicographic integer mapping, so
+/// the measure is monotone across the sign boundary).
+[[nodiscard]] std::uint32_t ulp_distance(float a, float b) {
+  auto to_ordered = [](float x) {
+    std::int32_t i;
+    std::memcpy(&i, &x, sizeof(i));
+    return i < 0 ? std::int64_t{std::numeric_limits<std::int32_t>::min()} - i
+                 : std::int64_t{i};
+  };
+  const std::int64_t delta = to_ordered(a) - to_ordered(b);
+  const std::int64_t mag = delta < 0 ? -delta : delta;
+  return mag > std::numeric_limits<std::uint32_t>::max()
+             ? std::numeric_limits<std::uint32_t>::max()
+             : static_cast<std::uint32_t>(mag);
+}
+
+struct AccuracyStats {
+  float max_rel = 0.0f;         ///< max abs error / max |reference|
+  std::uint32_t max_ulp = 0;    ///< max per-element ULP distance
+  bool top1_preserved = true;   ///< per-position channel argmax unchanged
+};
+
+/// Functional (host-speed, vlen-512) run of the full layer through
+/// `backend` with a weight-resident plan, returning the output tensor's
+/// values. Deterministic weights/BN/input per shape — the same seeds the
+/// cycle simulations use.
+std::vector<float> run_functional(Backend backend, const dnn::ConvDesc& d,
+                                  const gemm::Opt6Config& o6,
+                                  std::uint64_t input_seed) {
+  const std::uint64_t key = conv_shape_key(d);
+  vla::VectorEngine eng(512);
+  dnn::ExecContext ctx(eng);
+  dnn::ConvLayer layer(d, key);
+
+  BackendPlan bench;
+  bench.opt6 = o6;
+  PlanEntry entry;
+  entry.shape_key = key;
+  entry.backend = backend;
+  entry.weight_resident = true;
+  bench.entries.push_back(std::move(entry));
+  ConvolutionEngine engine(std::move(bench));
+  engine.install(ctx);
+  engine.prepare(d, layer.weights());
+
+  dnn::Tensor input(d.in_c, d.in_h, d.in_w);
+  Rng rng(input_seed ^ key);
+  input.randomize(rng, -1.0f, 1.0f);
+  layer.forward(ctx, {&input});
+  const dnn::Tensor& out = layer.output();
+  return {out.data(), out.data() + out.size()};
+}
+
+/// Compares a quantized backend's layer output against the fp32 fused
+/// reference: the admission check behind the selector's accuracy budget.
+AccuracyStats measure_quantized_accuracy(Backend qb, const dnn::ConvDesc& d,
+                                         const gemm::Opt6Config& o6,
+                                         std::uint64_t input_seed) {
+  const std::vector<float> ref =
+      run_functional(Backend::FusedGemm6, d, o6, input_seed);
+  const std::vector<float> quant = run_functional(qb, d, o6, input_seed);
+  AccuracyStats st;
+  float max_abs_ref = 0.0f, max_abs_err = 0.0f;
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    max_abs_ref = std::max(max_abs_ref, std::fabs(ref[i]));
+  // ULP distance is only meaningful at working magnitude: a cancellation-
+  // dominated (or Relu-clipped) near-zero output can sit a billion "ULPs"
+  // from an equally tiny reference while being numerically fine — those
+  // elements are governed by the absolute/relative gate instead.
+  const float ulp_floor = max_abs_ref / 1024.0f;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    max_abs_err = std::max(max_abs_err, std::fabs(ref[i] - quant[i]));
+    if (std::fabs(ref[i]) >= ulp_floor)
+      st.max_ulp = std::max(st.max_ulp, ulp_distance(ref[i], quant[i]));
+  }
+  st.max_rel = max_abs_ref > 0.0f ? max_abs_err / max_abs_ref
+                                  : (max_abs_err > 0.0f ? 1.0f : 0.0f);
+  // Top-1 preservation: the argmax over output channels at every spatial
+  // position must survive quantization (the classification proxy of the
+  // paper's accuracy protocol).
+  const std::size_t hw = ref.size() / static_cast<std::size_t>(d.out_c);
+  for (std::size_t j = 0; j < hw && st.top1_preserved; ++j) {
+    std::size_t ref_arg = 0, q_arg = 0;
+    for (std::size_t c = 1; c < static_cast<std::size_t>(d.out_c); ++c) {
+      if (ref[c * hw + j] > ref[ref_arg * hw + j]) ref_arg = c;
+      if (quant[c * hw + j] > quant[q_arg * hw + j]) q_arg = c;
+    }
+    if (ref_arg != q_arg) st.top1_preserved = false;
+  }
+  return st;
+}
+
 }  // namespace
 
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
-                             std::uint64_t input_seed, int batch) {
+                             std::uint64_t input_seed, int batch,
+                             const AccuracyBudget& accuracy) {
   VLACNN_REQUIRE(batch >= 1, "selector batch must be >= 1");
   BackendPlan plan;
   plan.opt6.blocks = gemm::tune_block_sizes(machine);
@@ -90,6 +186,7 @@ BackendPlan select_per_layer(dnn::Network& net,
       PlanEntry e;
       e.shape_key = key;
       std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      std::uint64_t fused_pack = 0;  // FusedGemm6's cold-warm packing delta
       for (Backend b : kCandidates) {
         if (!backend_eligible(b, d)) continue;
         if (b == Backend::FusedGemm6 && !plan.opt6.pack_b) continue;
@@ -106,6 +203,7 @@ BackendPlan select_per_layer(dnn::Network& net,
           const std::uint64_t cold = simulate_backend(
               b, d, machine, plan.opt6, input_seed, /*weight_resident=*/false);
           const std::uint64_t pack = cold > warm ? cold - warm : 0;
+          if (b == Backend::FusedGemm6) fused_pack = pack;
           cycles = warm + pack / static_cast<std::uint64_t>(batch);
         } else {
           cycles = simulate_backend(b, d, machine, plan.opt6, input_seed,
@@ -118,8 +216,43 @@ BackendPlan select_per_layer(dnn::Network& net,
           e.cycles = cycles;
         }
       }
-      e.weight_resident =
-          weight_bound && is_gemm6_backend(e.backend) && plan.opt6.pack_a;
+      // Reduced-precision candidates: weight-bound layers only (elsewhere
+      // the weight stream is not the bottleneck and the accuracy spend buys
+      // nothing), requiring both pack stages (the quantized image IS a
+      // packed A; the fused kernel needs pack_b). Each candidate must first
+      // survive the functional accuracy gate against the fp32 fused
+      // reference; the simulation then prices its halved/quartered weight
+      // stream through the ordinary MemorySystem model — no synthetic
+      // discounts. The pack delta is the fp32 one: packing cost is
+      // dominated by reading the fp32 source weights either way.
+      if (weight_bound && plan.opt6.pack_a && plan.opt6.pack_b &&
+          (accuracy.allow_bf16 || accuracy.allow_int8)) {
+        for (Backend qb : {Backend::Gemm6Bf16, Backend::Gemm6Int8}) {
+          if (qb == Backend::Gemm6Bf16 && !accuracy.allow_bf16) continue;
+          if (qb == Backend::Gemm6Int8 && !accuracy.allow_int8) continue;
+          const AccuracyStats st =
+              measure_quantized_accuracy(qb, d, plan.opt6, input_seed);
+          const bool within =
+              qb == Backend::Gemm6Bf16
+                  ? st.max_rel <= accuracy.bf16_rel_tol &&
+                        st.max_ulp <= accuracy.bf16_max_ulp
+                  : st.max_rel <= accuracy.int8_rel_tol &&
+                        (!accuracy.int8_top1_preserving || st.top1_preserved);
+          if (!within) continue;  // over budget: not even listed
+          const std::uint64_t warm = simulate_backend(
+              qb, d, machine, plan.opt6, input_seed, /*weight_resident=*/true);
+          const std::uint64_t cycles =
+              warm + fused_pack / static_cast<std::uint64_t>(batch);
+          e.candidates.emplace_back(qb, cycles);
+          if (cycles < best) {
+            best = cycles;
+            e.backend = qb;
+            e.cycles = cycles;
+          }
+        }
+      }
+      e.weight_resident = weight_bound && backend_gemm6_family(e.backend) &&
+                          plan.opt6.pack_a;
       it = by_shape.emplace(key, std::move(e)).first;
     }
 

@@ -6,6 +6,49 @@
 
 namespace vlacnn::core {
 
+/// Pinned accuracy gates for the reduced-precision weight backends (the
+/// bounds `bench_weight_reuse --check` and the selector enforce; fp32
+/// backends stay bit-identical and never consult these).
+///
+/// bf16 rounds each weight to 8 mantissa bits (relative step 2^-8); the
+/// fp32 accumulation over K compounds that to output errors a few times
+/// larger, and the ULP distance is taken down to outputs 1024x below the
+/// peak magnitude, where a 2^-8-of-peak absolute error spans many more
+/// representable steps. The pinned bounds sit ~4x above the worst
+/// observation on the VGG/YOLO layer shapes (2.4e7 ULP on the 512-channel
+/// 3x3 block-5 conv) so routine runs never flake, while a real regression
+/// (double rounding, a wrong widen) overshoots them by orders of
+/// magnitude.
+inline constexpr float kBf16OutputRelTol = 1.0f / 128;  // 2^-7 of max |ref|
+inline constexpr std::uint32_t kBf16OutputMaxUlp = 1u << 27;
+/// int8 per-channel quantization has a relative weight step of ~1/127 on
+/// the channel's amax; the output bound is correspondingly looser, and the
+/// top-1 (argmax-over-channels) check is the classification-preserving
+/// gate the tolerance alone cannot give.
+inline constexpr float kInt8OutputRelTol = 1.0f / 16;   // 2^-4 of max |ref|
+
+/// Per-plan accuracy budget gating quantized candidates in
+/// select_per_layer. The default admits NONE (fp32-only selection, the
+/// historical behavior); relaxed() opts both formats in under the pinned
+/// gates above.
+struct AccuracyBudget {
+  bool allow_bf16 = false;
+  bool allow_int8 = false;
+  float bf16_rel_tol = kBf16OutputRelTol;
+  std::uint32_t bf16_max_ulp = kBf16OutputMaxUlp;
+  float int8_rel_tol = kInt8OutputRelTol;
+  /// Require the per-position argmax over output channels to survive int8
+  /// quantization (the top-1-preserving criterion).
+  bool int8_top1_preserving = true;
+
+  [[nodiscard]] static AccuracyBudget relaxed() {
+    AccuracyBudget b;
+    b.allow_bf16 = true;
+    b.allow_int8 = true;
+    return b;
+  }
+};
+
 /// Simulation-driven per-layer backend selection — the tool form of the
 /// paper's conclusion that "convolutional layers require careful
 /// algorithmic selection related to the kernel sizes and strides" (§VII-A).
@@ -36,8 +79,17 @@ namespace vlacnn::core {
 /// packs them and the BatchScheduler runs them batch-fused; the plan's
 /// fc_weight_resident is set so FC layers batch-fuse too. `batch` is
 /// the micro-batch size the plan is priced for (>= 1).
+///
+/// When `accuracy` opts reduced-precision formats in, weight-bound layers
+/// additionally get Gemm6Bf16/Gemm6Int8 candidates: each is first checked
+/// functionally against the fp32 fused reference on a deterministic input
+/// (rejected outright if it breaks the budget's gates), then priced as the
+/// warm quantized pass — whose reduced weight stream the MemorySystem
+/// simulation sees directly as fewer DRAM line fills — plus the fp32 pack
+/// delta amortized over `batch`, exactly like the fp32 resident pricing.
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
-                             std::uint64_t input_seed = 7, int batch = 4);
+                             std::uint64_t input_seed = 7, int batch = 4,
+                             const AccuracyBudget& accuracy = {});
 
 }  // namespace vlacnn::core

@@ -39,6 +39,13 @@ struct EpilogueDesc {
   const float* bn_var = nullptr;    ///< [channels], batch_norm only
   const float* bn_scale = nullptr;  ///< [channels], batch_norm only
   const float* bias = nullptr;      ///< [channels]; nullptr = no bias
+  /// Per-channel dequantization scale for int8 weight-resident backends,
+  /// applied FIRST (the accumulator holds q·b sums in the quantized domain;
+  /// multiplying by the channel scale restores the fp32 domain before any
+  /// batch-norm/bias constant touches it). Installed only by the GEMM
+  /// backend from a resident image's scale vector — layers never set it,
+  /// so the fp32 bit-exactness contract is untouched when it is null.
+  const float* dequant_scale = nullptr;  ///< [channels]; nullptr = fp32
   Activation act = Activation::Linear;
   /// Fused shortcut: [channels × out_h × out_w] elementwise addend (the skip
   /// tensor), applied after `act`; nullptr = no residual.
@@ -49,7 +56,7 @@ struct EpilogueDesc {
   /// True when applying the epilogue is a no-op.
   [[nodiscard]] bool empty() const {
     return !batch_norm && bias == nullptr && act == Activation::Linear &&
-           residual == nullptr;
+           residual == nullptr && dequant_scale == nullptr;
   }
 
   /// The affine constants for channel `c` in application order:
@@ -59,6 +66,7 @@ struct EpilogueDesc {
   /// subsample (and stays op-for-op equal to the unfused kernels).
   struct ChannelParams {
     float neg_mean = 0.0f, inv_std = 1.0f, scale = 1.0f, bias = 0.0f;
+    float dequant = 1.0f;  ///< int8 weight dequantization pre-multiply
   };
   [[nodiscard]] ChannelParams channel_params(int c) const {
     ChannelParams p;
@@ -68,6 +76,7 @@ struct EpilogueDesc {
       p.scale = bn_scale[c];
     }
     if (bias != nullptr) p.bias = bias[c];
+    if (dequant_scale != nullptr) p.dequant = dequant_scale[c];
     return p;
   }
 };
@@ -105,6 +114,7 @@ inline void apply_channel_epilogue(vla::VectorEngine& eng,
                                    const EpilogueDesc& epi,
                                    const EpilogueDesc::ChannelParams& p,
                                    vla::Vreg acc, vla::Vreg scratch) {
+  if (epi.dequant_scale != nullptr) eng.vmul_scalar(acc, acc, p.dequant);
   if (epi.batch_norm) {
     eng.vadd_scalar(acc, acc, p.neg_mean);
     eng.vmul_scalar(acc, acc, p.inv_std);

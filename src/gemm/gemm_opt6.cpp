@@ -164,14 +164,19 @@ void Gemm6::pack_a_panel(vla::VectorEngine& eng, float* dst_buf,
 }
 
 void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
-                         float alpha, const float* a_panel, int a_stride,
-                         const float* b_panel, int b_stride, float* C,
-                         int ldc, int i0, int j0, bool beta0,
-                         const dnn::EpilogueDesc* epi) {
+                         float alpha, const APanel& a, const float* b_panel,
+                         int b_stride, float* C, int ldc, int i0, int j0,
+                         bool beta0, const dnn::EpilogueDesc* epi) {
   const int unroll = cfg_.unroll_factor;
   // b_stride == -1 flags the packed micro-panel layout (see pack_b_panel).
   const bool b_packed = b_stride < 0;
   const int panel_w = static_cast<int>(eng.vlmax());
+  // A-panel addressing in bytes: a resident reduced-precision image stores
+  // 2-byte (bf16) or 1-byte (int8) elements in the identical panel
+  // geometry, which is precisely where the weight-stream DRAM saving comes
+  // from — the k-walk touches half / a quarter of the cache lines.
+  const auto* a_bytes = static_cast<const std::uint8_t*>(a.data);
+  const std::size_t a_elem = pack_elem_bytes(a.fmt);
   for (int j = 0; j < nc;) {
     const auto gvl = static_cast<int>(eng.setvl(static_cast<std::size_t>(nc - j)));
     eng.scalar_ops(2);
@@ -184,9 +189,8 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
         for (int u = 0; u < rows; ++u)
           eng.prefetch(C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j,
                        static_cast<std::size_t>(gvl) * sizeof(float), 1);
-        eng.prefetch(a_panel + static_cast<std::size_t>(i) * a_stride,
-                     static_cast<std::size_t>(rows) * a_stride * sizeof(float),
-                     2);
+        eng.prefetch(a_bytes + static_cast<std::size_t>(i) * a.stride * a_elem,
+                     static_cast<std::size_t>(rows) * a.stride * a_elem, 2);
         eng.prefetch(b_panel + static_cast<std::size_t>(j),
                      static_cast<std::size_t>(gvl) * sizeof(float), 2);
       }
@@ -211,21 +215,45 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
         if (cfg_.prefetch && (k & 15) == 0) {
           // Fig. 3 lines 16-17: stream the next packed lines into L1.
           eng.prefetch(b_addr, 64, 1);
-          eng.prefetch(a_panel + static_cast<std::size_t>(i) * a_stride + k,
+          eng.prefetch(a_bytes + (static_cast<std::size_t>(i) * a.stride + k) *
+                                     a_elem,
                        64, 1);
         }
         eng.vload(kVB, b_addr);
         eng.scalar_ops(2);
         for (int u = 0; u < rows; ++u) {
-          const float* a_ptr =
-              a_panel + static_cast<std::size_t>(i + u) * a_stride + k;
-          eng.scalar_mem(a_ptr, sizeof(float), false);
-          float a = *a_ptr;
+          const std::uint8_t* a_ptr =
+              a_bytes +
+              (static_cast<std::size_t>(i + u) * a.stride + k) * a_elem;
+          eng.scalar_mem(a_ptr, a_elem, false);
+          float av = 0.0f;
+          switch (a.fmt) {
+            case PackFormat::F32:
+              std::memcpy(&av, a_ptr, sizeof(float));
+              break;
+            case PackFormat::Bf16: {
+              // Cast-on-load, accumulate-in-fp32: the widen is a pure bit
+              // shift (exact), billed as one scalar op.
+              std::uint16_t h;
+              std::memcpy(&h, a_ptr, sizeof(h));
+              av = f32_from_bf16(h);
+              eng.scalar_ops(1);
+              break;
+            }
+            case PackFormat::Int8PerChannel:
+              // Integer-domain accumulation: the FMA sees the raw quantized
+              // value; the per-channel scale is applied once per output
+              // element by the epilogue (dequant pre-multiply), not per FMA.
+              av = static_cast<float>(
+                  *reinterpret_cast<const std::int8_t*>(a_ptr));
+              eng.scalar_ops(1);
+              break;
+          }
           if (alpha != 1.0f) {
-            a *= alpha;
+            av *= alpha;
             eng.scalar_ops(1);
           }
-          eng.vfma_scalar(u, a, kVB);
+          eng.vfma_scalar(u, av, kVB);
         }
       }
 
@@ -260,33 +288,36 @@ void Gemm6::operator()(vla::VectorEngine& eng, int M, int N, int K,
                        int ldb, float* C, int ldc) {
   run_blocked(eng, M, N, K, alpha, A, lda, B, ldb, nullptr, nullptr, C, ldc,
               /*beta0=*/false, /*epi=*/nullptr, /*bb=*/nullptr,
-              /*a_is_weights=*/false);
+              /*a_is_weights=*/false, PackFormat::F32);
 }
 
 void Gemm6::gemm_weights(vla::VectorEngine& eng, int M, int N, int K,
                          float alpha, const float* A, int lda, const float* B,
                          int ldb, float* C, int ldc) {
+  // Always fp32: without beta0 the C matrix may carry fp32-domain partial
+  // sums, which an int8 (quantized-domain) accumulation cannot join.
   run_blocked(eng, M, N, K, alpha, A, lda, B, ldb, nullptr, nullptr, C, ldc,
               /*beta0=*/false, /*epi=*/nullptr, /*bb=*/nullptr,
-              /*a_is_weights=*/true);
+              /*a_is_weights=*/true, PackFormat::F32);
 }
 
 bool Gemm6::conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                        const float* weights, const float* input,
-                       float* output, const dnn::EpilogueDesc* epi) {
+                       float* output, const dnn::EpilogueDesc* epi,
+                       PackFormat weight_format) {
   const int m = d.gemm_m(), n = d.gemm_n(), k = d.gemm_k();
   if (d.ksize == 1 && d.stride == 1 && d.pad == 0) {
     // 1x1/s1: the input already IS the dense B matrix (Darknet skips im2col
     // here too); beta=0 and the epilogue still fuse.
     run_blocked(eng, m, n, k, 1.0f, weights, k, input, n, nullptr, nullptr,
                 output, n, /*beta0=*/true, epi, /*bb=*/nullptr,
-                /*a_is_weights=*/true);
+                /*a_is_weights=*/true, weight_format);
     return true;
   }
   if (!cfg_.pack_b) return false;  // the implicit gather IS the pack stage
   run_blocked(eng, m, n, k, 1.0f, weights, k, nullptr, 0, &d, input, output,
               n, /*beta0=*/true, epi, /*bb=*/nullptr,
-              /*a_is_weights=*/true);
+              /*a_is_weights=*/true, weight_format);
   return true;
 }
 
@@ -294,7 +325,8 @@ bool Gemm6::conv_fused_batch(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                              const float* weights, const float* input,
                              std::size_t in_item_stride, float* output,
                              std::size_t out_item_stride, int batch,
-                             const dnn::EpilogueDesc* epi) {
+                             const dnn::EpilogueDesc* epi,
+                             PackFormat weight_format) {
   if (batch < 2) return false;  // no cross-item reuse to win
   if (!cfg_.pack_b) return false;  // the batched gather IS a pack stage
   VLACNN_REQUIRE(epi == nullptr || epi->residual == nullptr,
@@ -318,7 +350,7 @@ bool Gemm6::conv_fused_batch(vla::VectorEngine& eng, const dnn::ConvDesc& d,
   const BatchB bb{input, in_item_stride, n, dense};
   run_blocked(eng, m, n_total, k, 1.0f, weights, k, nullptr, 0,
               dense ? nullptr : &d, nullptr, batch_c_buf_.data(), n_total,
-              /*beta0=*/true, epi, &bb, /*a_is_weights=*/true);
+              /*beta0=*/true, epi, &bb, /*a_is_weights=*/true, weight_format);
   // Scatter each item's column block of the staged C back to its output
   // slice. This extra round trip over the (small) output is what the
   // batch× reuse of the (large) resident weight stream pays for.
@@ -338,7 +370,8 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
                         int ldb, const dnn::ConvDesc* conv,
                         const float* conv_input, float* C, int ldc,
                         bool beta0, const dnn::EpilogueDesc* epi,
-                        const BatchB* bb, bool a_is_weights) {
+                        const BatchB* bb, bool a_is_weights,
+                        PackFormat a_fmt) {
   const BlockSizes& bs = cfg_.blocks;
   // Pack-once weight residency: if A has a resident image in the shared
   // cache (packed during ConvolutionEngine::prepare() with this blocking
@@ -352,10 +385,32 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
   // anything is resident at all — generic calls never take the shared
   // mutex or pollute the hit/miss stats. lda == K is required for the
   // cached layout to correspond to this call's A.
+  //
+  // A reduced-precision request (a_fmt != F32) is residency-or-nothing:
+  // quantizing on the hot path would both cost a full M×K sweep per call
+  // and make the quantized values depend on the calling context, so a miss
+  // simply downgrades the call to the fp32 path (which may itself be
+  // resident).
+  const bool cache_ok = a_is_weights && weight_cache_ != nullptr &&
+                        cfg_.pack_a && A != nullptr && lda == K;
   std::shared_ptr<const PackedWeights> resident;
-  if (a_is_weights && weight_cache_ != nullptr && cfg_.pack_a &&
-      A != nullptr && lda == K && weight_cache_->maybe_resident())
+  if (cache_ok && a_fmt != PackFormat::F32 &&
+      weight_cache_->maybe_resident())
+    resident = weight_cache_->find(A, M, K, bs.block_k, a_fmt);
+  if (!resident) a_fmt = PackFormat::F32;
+  if (cache_ok && !resident && weight_cache_->maybe_resident())
     resident = weight_cache_->find(A, M, K, bs.block_k);
+  // An int8 image accumulates in the quantized domain; fold its per-channel
+  // dequantization scale into the epilogue so the restore to the fp32
+  // domain shares the one existing per-channel pass (a local copy — the
+  // caller's descriptor must stay untouched for the fp32 fallback path of
+  // the next call).
+  dnn::EpilogueDesc epi_q;
+  if (resident && resident->format() == PackFormat::Int8PerChannel) {
+    if (epi != nullptr) epi_q = *epi;
+    epi_q.dequant_scale = resident->scales();
+    epi = &epi_q;
+  }
   // Fused epilogue: derive every channel's constants (and charge the
   // per-channel parameter reads the unfused passes would make) once per
   // call — the 1/sqrt is host work, and recharging per panel would
@@ -374,6 +429,10 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
       }
       if (epi->bias != nullptr)
         eng.scalar_mem(epi->bias + ch, sizeof(float), false);
+      if (epi->dequant_scale != nullptr) {
+        eng.scalar_mem(epi->dequant_scale + ch, sizeof(float), false);
+        eng.scalar_ops(1);
+      }
     }
   }
   for (int j1 = 0; j1 < N; j1 += bs.block_n) {
@@ -441,43 +500,37 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
           const int i1 = p * bs.block_m;
           const int mc = std::min(bs.block_m, M - i1);
           vla::VectorEngine& weng = worker_engine(w, vlen);
-          const float* a_panel;
-          int a_stride;
+          APanel ap;
           if (resident) {
-            a_panel = resident->panel(i1, k1, kc);
-            a_stride = kc;
+            ap = {resident->panel_raw(i1, k1, kc), kc, resident->format()};
           } else if (cfg_.pack_a) {
             float* buf = worker_pack_a(w);
             pack_a_panel(weng, buf, A, lda, i1, mc, k1, kc);
-            a_panel = buf;
-            a_stride = kc;
+            ap = {buf, kc, PackFormat::F32};
           } else {
-            a_panel = A + static_cast<std::size_t>(i1) * lda + k1;
-            a_stride = lda;
+            ap = {A + static_cast<std::size_t>(i1) * lda + k1, lda,
+                  PackFormat::F32};
           }
-          micro_kernel(weng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
-                       b_stride, C, ldc, i1, j1, panel_beta0, panel_epi);
+          micro_kernel(weng, mc, nc, kc, alpha, ap, b_panel, b_stride, C,
+                       ldc, i1, j1, panel_beta0, panel_epi);
         });
         traffic_fold_.fold_into(eng, worker_engines_, pool_->size());
         continue;
       }
       for (int i1 = 0; i1 < M; i1 += bs.block_m) {
         const int mc = std::min(bs.block_m, M - i1);
-        const float* a_panel;
-        int a_stride;
+        APanel ap;
         if (resident) {
-          a_panel = resident->panel(i1, k1, kc);
-          a_stride = kc;
+          ap = {resident->panel_raw(i1, k1, kc), kc, resident->format()};
         } else if (cfg_.pack_a) {
           pack_a_panel(eng, pack_a_buf_.data(), A, lda, i1, mc, k1, kc);
-          a_panel = pack_a_buf_.data();
-          a_stride = kc;
+          ap = {pack_a_buf_.data(), kc, PackFormat::F32};
         } else {
-          a_panel = A + static_cast<std::size_t>(i1) * lda + k1;
-          a_stride = lda;
+          ap = {A + static_cast<std::size_t>(i1) * lda + k1, lda,
+                PackFormat::F32};
         }
-        micro_kernel(eng, mc, nc, kc, alpha, a_panel, a_stride, b_panel,
-                     b_stride, C, ldc, i1, j1, panel_beta0, panel_epi);
+        micro_kernel(eng, mc, nc, kc, alpha, ap, b_panel, b_stride, C, ldc,
+                     i1, j1, panel_beta0, panel_epi);
       }
     }
   }

@@ -77,9 +77,19 @@ class Gemm6 {
   /// Returns false (declining the layer) when `pack_b` is disabled — the
   /// implicit gather IS the pack stage, so the ablation configuration that
   /// removes packing has no fused equivalent.
+  ///
+  /// `weight_format` requests a reduced-precision resident weight image
+  /// (Bf16 / Int8PerChannel): the micro-kernel consumes the quantized
+  /// panels directly, widening each A element to fp32 on load (bf16: exact
+  /// bit shift; int8: integer-domain accumulation with the per-channel
+  /// dequantization scale folded into the epilogue's channel constants, so
+  /// the epilogue stays one pass). Activations, accumulation and C stay
+  /// fp32. If no image of that format is resident the call falls back to
+  /// the fp32 path — quantization never happens on the hot path.
   bool conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                   const float* weights, const float* input, float* output,
-                  const dnn::EpilogueDesc* epi);
+                  const dnn::EpilogueDesc* epi,
+                  PackFormat weight_format = PackFormat::F32);
 
   /// Batch-fused convolution for weight-bound layers: one fused-GEMM pass
   /// over the logical N' = N×batch column space — the im2col (or dense 1x1)
@@ -100,7 +110,8 @@ class Gemm6 {
                         const float* weights, const float* input,
                         std::size_t in_item_stride, float* output,
                         std::size_t out_item_stride, int batch,
-                        const dnn::EpilogueDesc* epi);
+                        const dnn::EpilogueDesc* epi,
+                        PackFormat weight_format = PackFormat::F32);
 
   /// Shards the M-panel loop across `pool` when running functionally.
   void set_intra_op_pool(runtime::ThreadPool* pool) { pool_ = pool; }
@@ -124,11 +135,20 @@ class Gemm6 {
     bool dense;               ///< 1x1/s1/p0: the input rows ARE the B rows
   };
 
+  /// The A panel a micro-kernel invocation consumes: run-time packed
+  /// buffers and streamed A are always F32; a resident cache image carries
+  /// its own storage format, which the micro-kernel widens on load.
+  struct APanel {
+    const void* data = nullptr;
+    int stride = 0;  ///< row stride in ELEMENTS (kc when packed, lda else)
+    PackFormat fmt = PackFormat::F32;
+  };
+
   void run_blocked(vla::VectorEngine& eng, int M, int N, int K, float alpha,
                    const float* A, int lda, const float* B, int ldb,
                    const dnn::ConvDesc* conv, const float* conv_input,
                    float* C, int ldc, bool beta0, const dnn::EpilogueDesc* epi,
-                   const BatchB* bb, bool a_is_weights);
+                   const BatchB* bb, bool a_is_weights, PackFormat a_fmt);
   void pack_b_panel(vla::VectorEngine& eng, const float* B, int ldb, int k0,
                     int kc, int j0, int nc);
   void pack_b_panel_implicit(vla::VectorEngine& eng, const dnn::ConvDesc& d,
@@ -140,9 +160,9 @@ class Gemm6 {
   void pack_a_panel(vla::VectorEngine& eng, float* dst_buf, const float* A,
                     int lda, int i0, int mc, int k0, int kc);
   void micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
-                    float alpha, const float* a_panel, int a_stride,
-                    const float* b_panel, int b_stride, float* C, int ldc,
-                    int i0, int j0, bool beta0, const dnn::EpilogueDesc* epi);
+                    float alpha, const APanel& a, const float* b_panel,
+                    int b_stride, float* C, int ldc, int i0, int j0,
+                    bool beta0, const dnn::EpilogueDesc* epi);
 
   vla::VectorEngine& worker_engine(int w, unsigned vlen_bits);
   float* worker_pack_a(int w);

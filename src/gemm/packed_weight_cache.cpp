@@ -1,36 +1,103 @@
 #include "gemm/packed_weight_cache.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
 namespace vlacnn::gemm {
 
-PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k)
-    : m_(m), k_(k), block_k_(block_k) {
+const char* to_string(PackFormat f) {
+  switch (f) {
+    case PackFormat::F32: return "f32";
+    case PackFormat::Bf16: return "bf16";
+    case PackFormat::Int8PerChannel: return "int8";
+  }
+  return "?";
+}
+
+float int8_channel_scale(const float* row, int k) {
+  float amax = 0.0f;
+  for (int c = 0; c < k; ++c) amax = std::max(amax, std::fabs(row[c]));
+  return amax > 0.0f ? amax / 127.0f : 1.0f;
+}
+
+namespace {
+
+/// round-to-nearest(-even) symmetric int8 quantization, clamped to ±127.
+std::int8_t quantize_int8(float x, float inv_scale) {
+  const long q = std::lrintf(x * inv_scale);
+  return static_cast<std::int8_t>(std::clamp(q, -127l, 127l));
+}
+
+}  // namespace
+
+PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k,
+                             PackFormat format)
+    : m_(m), k_(k), block_k_(block_k), format_(format) {
   VLACNN_REQUIRE(m >= 1 && k >= 1 && block_k >= 1, "bad packed-weight dims");
-  data_.resize(static_cast<std::size_t>(m) * k);
+  data_.resize(static_cast<std::size_t>(m) * k * elem_bytes());
+  // Int8 scales come first and cover the WHOLE row: the quantized value of
+  // a weight must not depend on which k-block a later sweep reads it from.
+  if (format == PackFormat::Int8PerChannel) {
+    scales_.resize(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i)
+      scales_[static_cast<std::size_t>(i)] =
+          int8_channel_scale(weights + static_cast<std::size_t>(i) * k, k);
+  }
   // Offline scalar packing (uninstrumented, like the Winograd weight
   // transform): per k-block, every row's [k1, k1+kc) slice lands
-  // contiguously — bytewise the pack_a_panel layout.
+  // contiguously — the pack_a_panel layout, cast per format on the way in.
   for (int k1 = 0; k1 < k; k1 += block_k) {
     const int kc = std::min(block_k, k - k1);
-    float* block = data_.data() + static_cast<std::size_t>(m) * k1;
+    std::uint8_t* block =
+        data_.data() + static_cast<std::size_t>(m) * k1 * elem_bytes();
     for (int i = 0; i < m; ++i) {
       const float* src = weights + static_cast<std::size_t>(i) * k + k1;
-      float* dst = block + static_cast<std::size_t>(i) * kc;
-      std::copy(src, src + kc, dst);
+      std::uint8_t* dst =
+          block + static_cast<std::size_t>(i) * kc * elem_bytes();
+      switch (format) {
+        case PackFormat::F32:
+          std::memcpy(dst, src, static_cast<std::size_t>(kc) * sizeof(float));
+          break;
+        case PackFormat::Bf16: {
+          auto* out = reinterpret_cast<std::uint16_t*>(dst);
+          for (int c = 0; c < kc; ++c) out[c] = bf16_from_f32(src[c]);
+          break;
+        }
+        case PackFormat::Int8PerChannel: {
+          auto* out = reinterpret_cast<std::int8_t*>(dst);
+          const float inv_scale = 1.0f / scales_[static_cast<std::size_t>(i)];
+          for (int c = 0; c < kc; ++c)
+            out[c] = quantize_int8(src[c], inv_scale);
+          break;
+        }
+      }
     }
   }
-  reg_ = sim::RegisteredRange(data_.data(), data_.size() * sizeof(float));
+  reg_ = sim::RegisteredRange(data_.data(), data_.size());
+  if (!scales_.empty())
+    scales_reg_ = sim::RegisteredRange(scales_.data(),
+                                       scales_.size() * sizeof(float));
+}
+
+const float* PackedWeights::data() const {
+  VLACNN_REQUIRE(format_ == PackFormat::F32,
+                 "fp32 view of a quantized packed-weight image");
+  return reinterpret_cast<const float*>(data_.data());
+}
+
+const float* PackedWeights::panel(int i1, int k1, int kc) const {
+  VLACNN_REQUIRE(format_ == PackFormat::F32,
+                 "fp32 panel of a quantized packed-weight image");
+  return reinterpret_cast<const float*>(panel_raw(i1, k1, kc));
 }
 
 std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
-    const float* weights, int m, int k, int block_k) {
-  const Key key{weights, m, k, block_k};
-  const std::size_t bytes =
-      static_cast<std::size_t>(m) * static_cast<std::size_t>(k) *
-      sizeof(float);
+    const float* weights, int m, int k, int block_k, PackFormat format) {
+  const Key key{weights, m, k, block_k,
+                static_cast<std::uint8_t>(format)};
+  const std::size_t bytes = image_bytes(m, k, format);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -53,7 +120,8 @@ std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
   // Pack outside the lock: concurrent first-touch of *different* layers
   // proceeds in parallel; a duplicate pack of the same layer is harmless
   // (the images are identical) and the second insert wins nothing.
-  auto image = std::make_shared<const PackedWeights>(weights, m, k, block_k);
+  auto image =
+      std::make_shared<const PackedWeights>(weights, m, k, block_k, format);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -65,15 +133,16 @@ std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
     ++stats_.deferred;  // a concurrent prepare filled the budget meanwhile
     return nullptr;
   }
-  resident_bytes_ += image->bytes();
+  account(*image, /*insert=*/true);
   cache_.emplace(key, Entry{image, ++tick_});
   entry_count_.store(cache_.size(), std::memory_order_relaxed);
   return image;
 }
 
 std::shared_ptr<const PackedWeights> PackedWeightCache::find(
-    const float* weights, int m, int k, int block_k) {
-  const Key key{weights, m, k, block_k};
+    const float* weights, int m, int k, int block_k, PackFormat format) {
+  const Key key{weights, m, k, block_k,
+                static_cast<std::uint8_t>(format)};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -85,12 +154,24 @@ std::shared_ptr<const PackedWeights> PackedWeightCache::find(
   return it->second.image;
 }
 
+void PackedWeightCache::account(const PackedWeights& image, bool insert) {
+  const std::size_t bytes = image.bytes();
+  const auto fmt = static_cast<std::size_t>(image.format());
+  if (insert) {
+    resident_bytes_ += bytes;
+    resident_by_format_[fmt] += bytes;
+  } else {
+    resident_bytes_ -= bytes;
+    resident_by_format_[fmt] -= bytes;
+  }
+}
+
 void PackedWeightCache::enforce_budget() {
   while (resident_bytes_ > budget_ && !cache_.empty()) {
     auto victim = cache_.begin();
     for (auto it = cache_.begin(); it != cache_.end(); ++it)
       if (it->second.last_use < victim->second.last_use) victim = it;
-    resident_bytes_ -= victim->second.image->bytes();
+    account(*victim->second.image, /*insert=*/false);
     cache_.erase(victim);
     ++stats_.evictions;
   }
@@ -102,6 +183,7 @@ void PackedWeightCache::clear() {
   cache_.clear();
   entry_count_.store(0, std::memory_order_relaxed);
   resident_bytes_ = 0;
+  resident_by_format_.fill(0);
 }
 
 void PackedWeightCache::set_budget(std::size_t bytes) {
@@ -114,6 +196,7 @@ PackedWeightCacheStats PackedWeightCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   PackedWeightCacheStats s = stats_;
   s.resident_bytes = resident_bytes_;
+  s.resident_bytes_by_format = resident_by_format_;
   s.entries = cache_.size();
   return s;
 }

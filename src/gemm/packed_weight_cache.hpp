@@ -1,7 +1,9 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,6 +14,50 @@
 
 namespace vlacnn::gemm {
 
+/// Storage format of a pack-once weight image. Precision is a pure
+/// storage-format question once weights are pack-once/run-many: the reduced
+/// formats shrink the resident A-panel stream (the dominant DRAM consumer of
+/// weight-bound layers) by 2x / 4x, and the microkernel widens back to fp32
+/// on the A load — activations and accumulation stay fp32 throughout (the
+/// popfloat cast-on-load / accumulate-in-fp32 idiom).
+enum class PackFormat : std::uint8_t {
+  F32 = 0,            ///< bytewise the run-time pack_a_panel layout
+  Bf16 = 1,           ///< round-to-nearest-even bf16; widened by a bit shift
+  Int8PerChannel = 2, ///< symmetric int8, one scale per output channel (row)
+};
+
+inline constexpr std::size_t kNumPackFormats = 3;
+
+const char* to_string(PackFormat f);
+
+/// Bytes per packed element.
+[[nodiscard]] constexpr std::size_t pack_elem_bytes(PackFormat f) {
+  return f == PackFormat::F32 ? 4 : f == PackFormat::Bf16 ? 2 : 1;
+}
+
+/// fp32 -> bf16 with round-to-nearest-even (the standard truncation-plus-
+/// rounding-bias formula). Values exactly representable in bf16 round-trip
+/// bit-exactly through f32_from_bf16.
+[[nodiscard]] inline std::uint16_t bf16_from_f32(float x) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  const std::uint32_t lsb = (bits >> 16) & 1u;
+  return static_cast<std::uint16_t>((bits + 0x7FFFu + lsb) >> 16);
+}
+
+/// bf16 -> fp32 widening: a pure bit shift, always exact.
+[[nodiscard]] inline float f32_from_bf16(std::uint16_t h) {
+  const std::uint32_t bits = static_cast<std::uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &bits, sizeof(x));
+  return x;
+}
+
+/// Symmetric per-channel int8 scale: amax/127, or 1.0 for an all-zero
+/// channel (whose quantized values are all exactly 0 either way — the scale
+/// only needs to be finite and non-zero so dequantization stays well-defined).
+[[nodiscard]] float int8_channel_scale(const float* row, int k);
+
 /// Immutable pack-once image of one weight matrix A (M×K, row-major,
 /// lda == K) in the exact BLIS panel layout Gemm6::pack_a_panel produces at
 /// run time: the K dimension is split into blocks of `block_k`; block k1
@@ -20,34 +66,65 @@ namespace vlacnn::gemm {
 /// the whole image is the concatenation over k-blocks of an M×kc row-major
 /// slab, and
 ///
-///   panel(i1, k1) = data() + M·k1 + i1·kc,   a_stride = kc
+///   panel(i1, k1) = data() + elem_bytes·(M·k1 + i1·kc),   a_stride = kc
 ///
-/// addresses any (i1, k1) panel directly. The values are bytewise what the
-/// run-time pack stage would have written, so the micro-kernel consuming a
-/// resident image is bit-identical to the packing hot path it replaces.
+/// addresses any (i1, k1) panel directly. For PackFormat::F32 the values are
+/// bytewise what the run-time pack stage would have written, so the
+/// micro-kernel consuming a resident image is bit-identical to the packing
+/// hot path it replaces. The reduced-precision formats keep the identical
+/// panel geometry with 2-byte (bf16) or 1-byte (int8) elements; an int8
+/// image additionally carries one dequantization scale per output channel
+/// (row), computed here at pack time over the whole row — NOT per k-block,
+/// so the quantized value of a weight never depends on the blocking sweep
+/// that reads it.
 class PackedWeights {
  public:
-  PackedWeights(const float* weights, int m, int k, int block_k);
+  PackedWeights(const float* weights, int m, int k, int block_k,
+                PackFormat format = PackFormat::F32);
 
-  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] PackFormat format() const { return format_; }
+  [[nodiscard]] std::size_t elem_bytes() const {
+    return pack_elem_bytes(format_);
+  }
+  /// The packed image, element type per format().
+  [[nodiscard]] const void* raw() const { return data_.data(); }
+  /// fp32 view of an F32 image (the historical accessor; refuses other
+  /// formats so a float* can never silently alias quantized bytes).
+  [[nodiscard]] const float* data() const;
+  /// Image bytes (panel data only — what the DRAM watch ranges cover).
+  [[nodiscard]] std::size_t data_bytes() const { return data_.size(); }
+  /// Per-channel dequantization scales (Int8PerChannel only, length m()).
+  [[nodiscard]] const float* scales() const {
+    return scales_.empty() ? nullptr : scales_.data();
+  }
+  [[nodiscard]] std::size_t scales_bytes() const {
+    return scales_.size() * sizeof(float);
+  }
+  /// Total resident footprint: panel data plus the scale vector. This is
+  /// what the cache budget accounts.
   [[nodiscard]] std::size_t bytes() const {
-    return data_.size() * sizeof(float);
+    return data_bytes() + scales_bytes();
   }
   [[nodiscard]] int m() const { return m_; }
   [[nodiscard]] int k() const { return k_; }
   [[nodiscard]] int block_k() const { return block_k_; }
 
   /// Panel for rows [i1, i1+mc) of k-block starting at column k1 whose
-  /// width is kc = min(block_k, K - k1); row stride is kc.
-  [[nodiscard]] const float* panel(int i1, int k1, int kc) const {
-    return data_.data() + static_cast<std::size_t>(m_) * k1 +
-           static_cast<std::size_t>(i1) * kc;
+  /// width is kc = min(block_k, K - k1); row stride is kc elements.
+  [[nodiscard]] const void* panel_raw(int i1, int k1, int kc) const {
+    return data_.data() + (static_cast<std::size_t>(m_) * k1 +
+                           static_cast<std::size_t>(i1) * kc) *
+                              elem_bytes();
   }
+  /// fp32 panel of an F32 image (historical accessor; see data()).
+  [[nodiscard]] const float* panel(int i1, int k1, int kc) const;
 
  private:
   int m_, k_, block_k_;
-  AlignedBuffer<float> data_;
-  sim::RegisteredRange reg_;
+  PackFormat format_;
+  AlignedBuffer<std::uint8_t> data_;
+  AlignedBuffer<float> scales_;  ///< per-row dequant scales (int8 only)
+  sim::RegisteredRange reg_, scales_reg_;
 };
 
 /// Counters describing what the cache has done so far (snapshot).
@@ -59,6 +136,10 @@ struct PackedWeightCacheStats {
   std::uint64_t rejected = 0;   ///< images larger than the whole budget
   std::uint64_t deferred = 0;   ///< prepare() skips: budget already full
   std::size_t resident_bytes = 0;
+  /// Per-format resident byte totals, indexed by PackFormat: mixed-precision
+  /// plans share one budget, so the aggregate alone cannot tell which
+  /// format's stream is pinning it.
+  std::array<std::size_t, kNumPackFormats> resident_bytes_by_format{};
   std::size_t entries = 0;
 };
 
@@ -70,10 +151,12 @@ struct PackedWeightCacheStats {
 /// forward passes, so any number of worker contexts may consume the same
 /// image concurrently.
 ///
-/// Keys are (weights pointer, M, K, block_k): the layout depends on the
-/// blocking configuration, and — as with the Winograd cache — a recycled
+/// Keys are (weights pointer, M, K, block_k, format): the layout depends on
+/// the blocking configuration, and — as with the Winograd cache — a recycled
 /// heap address from a destroyed network must never alias an entry of a
-/// different shape. Entries are handed out as shared_ptr, so an image a
+/// different shape. The format key lets mixed-precision plans keep an fp32
+/// and a quantized image of the same weights resident side by side under
+/// the one budget. Entries are handed out as shared_ptr, so an image a
 /// reader still holds survives its own eviction; the cache keeps at most
 /// `budget_bytes` resident (a YOLOv3's 200+ MB of conv weights must not
 /// pin memory forever). Admission is prepare-time only and STOPS at the
@@ -96,13 +179,15 @@ class PackedWeightCache {
   /// when it was not retained (larger than the whole budget, or the budget
   /// is already full) — the size check precedes the packing work, so a
   /// skipped prepare() is O(1).
-  std::shared_ptr<const PackedWeights> prepare(const float* weights, int m,
-                                               int k, int block_k);
+  std::shared_ptr<const PackedWeights> prepare(
+      const float* weights, int m, int k, int block_k,
+      PackFormat format = PackFormat::F32);
 
   /// Hot-path lookup: returns the resident image (bumping its LRU stamp)
   /// or nullptr. Never packs.
-  std::shared_ptr<const PackedWeights> find(const float* weights, int m,
-                                            int k, int block_k);
+  std::shared_ptr<const PackedWeights> find(
+      const float* weights, int m, int k, int block_k,
+      PackFormat format = PackFormat::F32);
 
   /// Lock-free pre-check for the GEMM hot path: false means the cache is
   /// empty and find() cannot possibly hit, so callers skip the mutexed
@@ -123,11 +208,24 @@ class PackedWeightCache {
   [[nodiscard]] PackedWeightCacheStats stats() const;
 
  private:
-  using Key = std::tuple<const float*, int, int, int>;
+  using Key = std::tuple<const float*, int, int, int, std::uint8_t>;
   struct Entry {
     std::shared_ptr<const PackedWeights> image;
     std::uint64_t last_use = 0;
   };
+
+  /// Image footprint for admission checks, computed BEFORE packing.
+  static std::size_t image_bytes(int m, int k, PackFormat format) {
+    std::size_t b = static_cast<std::size_t>(m) * static_cast<std::size_t>(k) *
+                    pack_elem_bytes(format);
+    if (format == PackFormat::Int8PerChannel)
+      b += static_cast<std::size_t>(m) * sizeof(float);  // the scale vector
+    return b;
+  }
+
+  /// Accounts `image` in (or out of, delta < 0) the per-format totals.
+  /// mu_ held.
+  void account(const PackedWeights& image, bool insert);
 
   /// Evicts LRU entries until the budget holds. mu_ held.
   void enforce_budget();
@@ -137,6 +235,7 @@ class PackedWeightCache {
   std::atomic<std::size_t> entry_count_{0};  // == cache_.size(), lock-free
   std::size_t budget_;
   std::size_t resident_bytes_ = 0;
+  std::array<std::size_t, kNumPackFormats> resident_by_format_{};
   std::uint64_t tick_ = 0;
   PackedWeightCacheStats stats_;
 };
