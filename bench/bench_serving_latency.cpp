@@ -11,9 +11,17 @@
 //
 //   ./bench_serving_latency [--model=tiny|vgg] [--input=96] [--threads=0]
 //                           [--requests=48] [--load=0.7 (fraction of
-//                            measured capacity)] [--seed=1234] [--quick]
+//                            measured capacity)] [--rate=<req/s> (absolute
+//                            override of load x capacity)] [--seed=1234]
+//                           [--executor=graph|serial] [--quick]
 //                           [--json=<path>]
+//
+// Per-request traces also carry the batch's worker occupancy and idle
+// fraction (runtime::ExecStats); their percentiles and quartile histograms
+// land in the JSON so the work-graph executor's overlap shows up in the
+// perf trajectory, and --executor=serial is the apples-to-apples baseline.
 
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <thread>
@@ -37,10 +45,25 @@ struct PolicyCase {
 
 struct PolicyResult {
   std::vector<double> queue_ms, compute_ms, total_ms;
+  std::vector<double> occupancy, idle_frac;
+  std::uint64_t overlap_starts = 0;  // summed over requests
   serve::ServerStats stats;
   double wall_s = 0.0;
   std::uint64_t bytes_moved = 0;
 };
+
+// Quartile histogram of values in [0, 1]: counts per [0,.25) [.25,.5)
+// [.5,.75) [.75,1].
+std::array<int, 4> quartile_hist(const std::vector<double>& v) {
+  std::array<int, 4> h{};
+  for (double x : v) {
+    int b = static_cast<int>(x * 4.0);
+    if (b < 0) b = 0;
+    if (b > 3) b = 3;
+    ++h[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
 
 PolicyResult serve_stream(runtime::BatchScheduler& sched, dnn::Network& net,
                           const PolicyCase& pc, int requests, double rate,
@@ -73,6 +96,9 @@ PolicyResult serve_stream(runtime::BatchScheduler& sched, dnn::Network& net,
     res.queue_ms.push_back(c.trace.queue_ms);
     res.compute_ms.push_back(c.trace.compute_ms);
     res.total_ms.push_back(c.trace.total_ms);
+    res.occupancy.push_back(c.trace.batch_occupancy);
+    res.idle_frac.push_back(c.trace.worker_idle_frac);
+    res.overlap_starts += c.trace.batch_overlap_starts;
   }
   res.stats = server.stats();
   return res;
@@ -89,8 +115,10 @@ int main(int argc, char** argv) {
   const int requests =
       static_cast<int>(args.get_int("requests", quick ? 16 : 48));
   const double load = args.get_double("load", 0.7);
+  const double rate_override = args.get_double("rate", 0.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
   const std::string precision = args.get("precision", "f32");
+  const std::string executor = args.get("executor", "graph");
   bench::BenchJson json("serving_latency", args.get("json", ""));
   if (requests < 1 || load <= 0.0) {
     std::fprintf(stderr, "error: --requests >= 1 and --load > 0 required\n");
@@ -118,6 +146,13 @@ int main(int argc, char** argv) {
   core::ConvolutionEngine engine(std::move(plan));
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
+  if (executor == "serial") {
+    cfg.executor = runtime::ExecutorKind::Serial;
+  } else if (executor != "graph") {
+    std::fprintf(stderr, "error: unknown --executor=%s (graph|serial)\n",
+                 executor.c_str());
+    return 1;
+  }
   runtime::BatchScheduler sched(engine, cfg);
 
   // Capacity measurement (and warm-up): batch-8 images/sec of the
@@ -133,16 +168,18 @@ int main(int argc, char** argv) {
                              std::chrono::steady_clock::now() - t0)
                              .count();
   }
-  const double rate = load * capacity_ips;
+  const double rate = rate_override > 0.0 ? rate_override : load * capacity_ips;
 
   std::printf("== serving latency vs. micro-batching policy ==\n");
-  std::printf("model=%s input=%d workers=%d | capacity ~%.1f images/sec, "
-              "offered %.1f req/sec (load %.2f) | %d requests/policy\n\n",
-              model.c_str(), input_hw, sched.threads(), capacity_ips, rate,
-              load, requests);
-  std::printf("%-10s %7s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s\n",
+  std::printf("model=%s input=%d workers=%d executor=%s | capacity ~%.1f "
+              "images/sec, offered %.1f req/sec (load %.2f%s) | %d "
+              "requests/policy\n\n",
+              model.c_str(), input_hw, sched.threads(), executor.c_str(),
+              capacity_ips, rate, rate / capacity_ips,
+              rate_override > 0.0 ? ", --rate override" : "", requests);
+  std::printf("%-10s %7s | %8s %8s %8s | %8s %8s %8s | %8s %8s %8s | %5s %7s\n",
               "policy", "avg_b", "q_p50", "q_p95", "q_p99", "c_p50", "c_p95",
-              "c_p99", "t_p50", "t_p95", "t_p99");
+              "c_p99", "t_p50", "t_p95", "t_p99", "occ", "ovl");
 
   std::vector<PolicyCase> cases;
   if (quick)
@@ -166,14 +203,17 @@ int main(int argc, char** argv) {
                   static_cast<double>(res.stats.batches)
             : 0.0;
     std::printf("%-10s %7.2f | %8.2f %8.2f %8.2f | %8.2f %8.2f %8.2f | "
-                "%8.2f %8.2f %8.2f\n",
+                "%8.2f %8.2f %8.2f | %5.2f %7llu\n",
                 pc.name, avg_b, p(res.queue_ms, 0.50), p(res.queue_ms, 0.95),
                 p(res.queue_ms, 0.99), p(res.compute_ms, 0.50),
                 p(res.compute_ms, 0.95), p(res.compute_ms, 0.99),
                 p(res.total_ms, 0.50), p(res.total_ms, 0.95),
-                p(res.total_ms, 0.99));
+                p(res.total_ms, 0.99), p(res.occupancy, 0.50),
+                static_cast<unsigned long long>(res.overlap_starts));
+    const std::array<int, 4> occ_h = quartile_hist(res.occupancy);
+    const std::array<int, 4> idle_h = quartile_hist(res.idle_frac);
     json.add(std::string("model=") + model + " precision=" + precision +
-                 " policy=" + pc.name +
+                 " executor=" + executor + " policy=" + pc.name +
                  " max_batch=" + std::to_string(pc.max_batch) +
                  " max_wait_ms=" + std::to_string(pc.max_wait_ms),
              res.wall_s * 1e3, static_cast<double>(res.bytes_moved),
@@ -188,7 +228,20 @@ int main(int argc, char** argv) {
               {"compute_p99_ms", p(res.compute_ms, 0.99)},
               {"total_p50_ms", p(res.total_ms, 0.50)},
               {"total_p95_ms", p(res.total_ms, 0.95)},
-              {"total_p99_ms", p(res.total_ms, 0.99)}});
+              {"total_p99_ms", p(res.total_ms, 0.99)},
+              {"occupancy_p50", p(res.occupancy, 0.50)},
+              {"occupancy_p95", p(res.occupancy, 0.95)},
+              {"idle_frac_p50", p(res.idle_frac, 0.50)},
+              {"idle_frac_p95", p(res.idle_frac, 0.95)},
+              {"occ_hist_q1", static_cast<double>(occ_h[0])},
+              {"occ_hist_q2", static_cast<double>(occ_h[1])},
+              {"occ_hist_q3", static_cast<double>(occ_h[2])},
+              {"occ_hist_q4", static_cast<double>(occ_h[3])},
+              {"idle_hist_q1", static_cast<double>(idle_h[0])},
+              {"idle_hist_q2", static_cast<double>(idle_h[1])},
+              {"idle_hist_q3", static_cast<double>(idle_h[2])},
+              {"idle_hist_q4", static_cast<double>(idle_h[3])},
+              {"overlap_task_starts", static_cast<double>(res.overlap_starts)}});
   }
   std::printf("\nqueue-wait grows with batch window (max_wait) while compute "
               "amortizes; batch1 minimizes queueing but forfeits batch "

@@ -23,7 +23,28 @@ namespace vlacnn::dnn {
 /// during forward passes.
 class Layer {
  public:
+  /// How this layer's output becomes ready to its consumers in a work-graph
+  /// execution (runtime::WorkGraph):
+  ///  * PerItem — forward_item(b) reads only item `b` of each input and
+  ///    writes only item `b` of the output, so item b is consumable as soon
+  ///    as it is computed; downstream per-item work may start before the
+  ///    rest of the batch exists.
+  ///  * Barrier — the layer must observe ALL items of its inputs before any
+  ///    work and publishes all output items at once: a sync point in the
+  ///    graph. Declared by layers whose execution couples items (a fused
+  ///    residual's epilogue reads a whole earlier tensor snapshot); the
+  ///    scheduler additionally pins a barrier on layers it dispatches
+  ///    batch-fused (weight-resident), whose single forward_batch kernel
+  ///    spans the batch by construction.
+  enum class Readiness { PerItem, Barrier };
+
   virtual ~Layer() = default;
+
+  /// Readiness shape of this layer (see Readiness). Defaults to PerItem —
+  /// the forward_item contract below is exactly the per-item guarantee.
+  [[nodiscard]] virtual Readiness readiness() const {
+    return Readiness::PerItem;
+  }
 
   /// Whole-batch forward: prepare_batch() + forward_item() for every item in
   /// order. Batch-1 numerics are bit-identical to the historical
@@ -89,6 +110,13 @@ class ConvLayer final : public Layer {
                     int b) override;
   bool forward_batch(ExecContext& ctx,
                      const std::vector<const Tensor*>& inputs) override;
+  /// A fused residual pins a sync point: the epilogue add consumes the skip
+  /// tensor, and the work-graph treats that read as whole-tensor so the
+  /// ordering against the shortcut source never depends on item-level
+  /// interleaving.
+  [[nodiscard]] Readiness readiness() const override {
+    return residual_from_ >= 0 ? Readiness::Barrier : Readiness::PerItem;
+  }
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] double flops() const override {
     // A fused residual moves the shortcut's add into this layer's epilogue.

@@ -2,12 +2,14 @@
 
 #include <chrono>
 #include <cstring>
+#include <utility>
 
 namespace vlacnn::runtime {
 
 BatchScheduler::BatchScheduler(core::ConvolutionEngine& engine,
                                const SchedulerConfig& cfg)
     : engine_(&engine), cfg_(cfg), pool_(cfg.threads) {
+  graph_ = std::make_unique<WorkGraph>(pool_);
   const int t = pool_.size();
   worker_ctxs_.reserve(static_cast<std::size_t>(t));
   for (int w = 0; w < t; ++w) {
@@ -116,8 +118,17 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
   return net.layer(net.num_layers() - 1).output();
 }
 
+void BatchScheduler::complete(Slot& slot) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot.owned_input = dnn::Tensor();  // release admitted input early
+    slot.input = nullptr;
+    slot.state = Slot::State::Done;
+  }
+  slot_cv_.notify_all();
+}
+
 void BatchScheduler::executor_loop() {
-  using clock = std::chrono::steady_clock;
   for (;;) {
     Slot* slot = nullptr;
     {
@@ -132,47 +143,56 @@ void BatchScheduler::executor_loop() {
       });
       // Queued batches drain even during shutdown (their submitters may be
       // blocked in wait()); exit only once nothing is queued.
-      if (slot == nullptr) return;
+      if (slot == nullptr) break;
       slot->state = Slot::State::Running;
-    }
-
-    const auto t0 = clock::now();
-    try {
-      execute(*slot);
-      if (slot->snapshot_output) {
-        const dnn::Tensor& out =
-            slot->net->layer(slot->net->num_layers() - 1).output();
-        slot->result.output.reshape(out.n(), out.c(), out.h(), out.w());
-        std::memcpy(slot->result.output.data(), out.data(),
-                    out.size() * sizeof(float));
-      }
-    } catch (...) {
-      slot->error = std::current_exception();
-    }
-    slot->result.compute_seconds =
-        std::chrono::duration<double>(clock::now() - t0).count();
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      slot->owned_input = dnn::Tensor();  // release admitted input early
-      slot->input = nullptr;
-      slot->state = Slot::State::Done;
       ++next_exec_;
     }
-    slot_cv_.notify_all();
+
+    // Batch-1 passes gain more from intra-op kernel parallelism (the whole
+    // pool inside one GEMM/Winograd call on the main context) than from a
+    // one-chunk-per-layer graph, so they take the serial path even under
+    // Graph. Everything else goes through the work graph — including a
+    // 1-worker pool, where the graph machinery still runs (zero overlap,
+    // same results).
+    const bool batch1_intra =
+        slot->input->n() == 1 && cfg_.intra_op && pool_.size() > 1;
+    if (cfg_.executor == ExecutorKind::Graph && !batch1_intra) {
+      launch_graph(*slot);  // returns immediately; on_done completes it
+    } else {
+      // The serial path runs outside the graph's hazard tracking, so any
+      // in-flight graph batches must fully retire first.
+      graph_->drain();
+      execute_serial(*slot);
+    }
+  }
+  graph_->drain();
+}
+
+void BatchScheduler::launch_graph(Slot& slot) {
+  try {
+    // Weight transforms happen before any task runs, so the shared caches
+    // are read-only lookups for the rest of the pass (they are also
+    // thread-safe, which keeps this prepare sound while an older batch is
+    // still executing on the pool).
+    engine_->prepare(*slot.net);
+    graph_->launch(build_program(slot));
+  } catch (...) {
+    slot.error = std::current_exception();
+    complete(slot);
   }
 }
 
-void BatchScheduler::execute(Slot& slot) {
-  using clock = std::chrono::steady_clock;
+GraphBatchSpec BatchScheduler::build_program(Slot& slot) {
   dnn::Network& net = *slot.net;
-  const dnn::Tensor& input = *slot.input;
-  std::vector<dnn::LayerRecord>& records = slot.result.records;
+  const dnn::Tensor* input = slot.input;
+  const int nb = input->n();
+  Slot* slotp = &slot;
 
-  // Weight transforms happen before any worker runs, so the shared cache is
-  // a read-only lookup for the rest of the pass.
-  engine_->prepare(net);
-  records.clear();
+  GraphBatchSpec spec;
+  spec.items = nb;
+  spec.chunks = pool_.size();
+  spec.layers.reserve(net.num_layers());
+
   // Per-layer backend names come from the engine's compiled plan (every
   // worker context shares the same plan, so the main context's label
   // function is authoritative for all of them).
@@ -185,24 +205,23 @@ void BatchScheduler::execute(Slot& slot) {
 
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     dnn::Layer& layer = net.layer(i);
+    const int li = static_cast<int>(i);
+    dnn::Layer* lp = &layer;
+
     std::vector<const dnn::Tensor*> ins;
     for (int idx : layer.input_indices()) {
       if (idx < 0)
-        ins.push_back(&input);
+        ins.push_back(input);
       else
         ins.push_back(&net.layer(static_cast<std::size_t>(idx)).output());
     }
-    const int nb = layer.prepare_batch(ins);
-    const auto t0 = clock::now();
 
     // Weight-resident layers execute batch-fused: ONE dispatch covers the
     // whole batch (per-item im2col matrices concatenated along the GEMM N
     // axis), so each resident weight panel is streamed once per batch
-    // instead of once per item. This runs on the executor context — whose
-    // kernels may intra-op parallelize over the pool — because the batched
-    // call is a single kernel invocation, not shardable per item. A layer
-    // that declines (e.g. packing disabled) falls through to the per-item
-    // paths below.
+    // instead of once per item. That single dispatch — like a fused
+    // residual fold, which must see every item of its shortcut source —
+    // pins a sync point: the layer becomes one barrier task.
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
     const bool want_batch_fused =
         nb > 1 &&
@@ -210,58 +229,192 @@ void BatchScheduler::execute(Slot& slot) {
              ? engine_->plan().weight_resident_for(conv->desc())
              : (engine_->plan().fc_weight_resident &&
                 dynamic_cast<const dnn::ConnectedLayer*>(&layer) != nullptr));
-    if (want_batch_fused && layer.forward_batch(*main_ctx_, ins)) {
-      dnn::LayerRecord rec;
-      rec.name = layer.name();
-      rec.flops = layer.flops() * nb;
-      rec.items = nb;
-      rec.algo = algo_of(layer) + "+batch";
-      rec.wall_seconds =
-          std::chrono::duration<double>(clock::now() - t0).count();
-      records.push_back(std::move(rec));
-      continue;
-    }
 
-    if (nb == 1 || pool_.size() == 1) {
-      // Too little batch-level work to shard: run on the executor thread,
-      // whose context may intra-op parallelize inside GEMM / Winograd.
-      for (int b = 0; b < nb; ++b) layer.forward_item(*main_ctx_, ins, b);
-      dnn::LayerRecord rec;
-      rec.name = layer.name();
-      rec.flops = layer.flops() * nb;
-      rec.items = nb;
-      rec.algo = algo_of(layer);
-      rec.wall_seconds =
-          std::chrono::duration<double>(clock::now() - t0).count();
-      records.push_back(std::move(rec));
-      continue;
-    }
+    GraphLayerSpec L;
+    L.inputs = layer.input_indices();
+    L.out_key = &layer.output();
+    L.barrier =
+        want_batch_fused || layer.readiness() == dnn::Layer::Readiness::Barrier;
+    L.prepare = [lp, ins] { lp->prepare_batch(ins); };
+    const std::string algo = algo_of(layer);
+    L.run = [this, lp, ins, algo, li, nb, want_batch_fused](
+                int begin, int end, int worker, dnn::LayerRecord& rec) {
+      dnn::ExecContext& ctx = *worker_ctxs_[static_cast<std::size_t>(worker)];
+      rec.name = lp->name();
+      if (want_batch_fused) {
+        if (test_item_hook) test_item_hook(li, -1);
+        if (lp->forward_batch(ctx, ins)) {
+          rec.algo = algo + "+batch";
+          rec.items = nb;
+          rec.flops = lp->flops() * static_cast<double>(nb);
+          return;
+        }
+        // Layer declined (e.g. packing disabled): per-item fallback below.
+      }
+      rec.algo = algo;
+      rec.items = 0;
+      for (int b = begin; b < end; ++b) {
+        if (test_item_hook) test_item_hook(li, b);
+        lp->forward_item(ctx, ins, b);
+        rec.items += 1;
+        rec.flops += lp->flops();
+      }
+    };
+    spec.layers.push_back(std::move(L));
+  }
 
-    // Shard batch items across the pool; each worker fills its own part
-    // record (static chunking makes the per-worker contents deterministic).
-    std::vector<std::vector<dnn::LayerRecord>> parts(
-        static_cast<std::size_t>(pool_.size()));
-    pool_.parallel_for(nb, [&](int b, int w) {
-      layer.forward_item(*worker_ctxs_[static_cast<std::size_t>(w)], ins, b);
-      auto& mine = parts[static_cast<std::size_t>(w)];
-      if (mine.empty()) {
+  spec.final_read_keys = {&net.layer(net.num_layers() - 1).output()};
+  spec.on_done = [this, slotp](GraphBatchResult&& res) {
+    Slot& s = *slotp;
+    s.error = res.error;
+    s.result.records = std::move(res.records);
+    s.result.exec = res.stats;
+    s.result.compute_seconds = res.stats.span_seconds;
+    if (!s.error && s.snapshot_output) {
+      // The graph's sink still holds the read guard on the output tensor
+      // here, so the next batch cannot overwrite it mid-copy.
+      try {
+        const dnn::Tensor& out = s.net->layer(s.net->num_layers() - 1).output();
+        s.result.output.reshape(out.n(), out.c(), out.h(), out.w());
+        std::memcpy(s.result.output.data(), out.data(),
+                    out.size() * sizeof(float));
+      } catch (...) {
+        s.error = std::current_exception();
+      }
+    }
+    complete(s);
+  };
+  return spec;
+}
+
+void BatchScheduler::execute_serial(Slot& slot) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  try {
+    dnn::Network& net = *slot.net;
+    const dnn::Tensor& input = *slot.input;
+    std::vector<dnn::LayerRecord>& records = slot.result.records;
+
+    // Weight transforms happen before any worker runs, so the shared cache
+    // is a read-only lookup for the rest of the pass.
+    engine_->prepare(net);
+    records.clear();
+    const auto algo_of = [this](const dnn::Layer& layer) -> std::string {
+      const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
+      if (conv == nullptr) return "aux";
+      return main_ctx_->conv_label ? main_ctx_->conv_label(conv->desc())
+                                   : "im2col+gemm";
+    };
+
+    for (std::size_t i = 0; i < net.num_layers(); ++i) {
+      dnn::Layer& layer = net.layer(i);
+      const int li = static_cast<int>(i);
+      std::vector<const dnn::Tensor*> ins;
+      for (int idx : layer.input_indices()) {
+        if (idx < 0)
+          ins.push_back(&input);
+        else
+          ins.push_back(&net.layer(static_cast<std::size_t>(idx)).output());
+      }
+      const int nb = layer.prepare_batch(ins);
+      const auto l0 = clock::now();
+
+      // Weight-resident layers execute batch-fused (see build_program). On
+      // this path the batched call runs on the executor context — whose
+      // kernels may intra-op parallelize over the pool — because it is a
+      // single kernel invocation, not shardable per item. A layer that
+      // declines (e.g. packing disabled) falls through to the per-item
+      // paths below.
+      const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
+      const bool want_batch_fused =
+          nb > 1 &&
+          (conv != nullptr
+               ? engine_->plan().weight_resident_for(conv->desc())
+               : (engine_->plan().fc_weight_resident &&
+                  dynamic_cast<const dnn::ConnectedLayer*>(&layer) !=
+                      nullptr));
+      if (want_batch_fused) {
+        if (test_item_hook) test_item_hook(li, -1);
+        if (layer.forward_batch(*main_ctx_, ins)) {
+          dnn::LayerRecord rec;
+          rec.name = layer.name();
+          rec.flops = layer.flops() * nb;
+          rec.items = nb;
+          rec.algo = algo_of(layer) + "+batch";
+          rec.wall_seconds =
+              std::chrono::duration<double>(clock::now() - l0).count();
+          records.push_back(std::move(rec));
+          continue;
+        }
+      }
+
+      if (nb == 1 || pool_.size() == 1) {
+        // Too little batch-level work to shard: run on the executor thread,
+        // whose context may intra-op parallelize inside GEMM / Winograd.
+        for (int b = 0; b < nb; ++b) {
+          if (test_item_hook) test_item_hook(li, b);
+          layer.forward_item(*main_ctx_, ins, b);
+        }
         dnn::LayerRecord rec;
         rec.name = layer.name();
-        rec.items = 0;
-        mine.push_back(std::move(rec));
+        rec.flops = layer.flops() * nb;
+        rec.items = nb;
+        rec.algo = algo_of(layer);
+        rec.wall_seconds =
+            std::chrono::duration<double>(clock::now() - l0).count();
+        records.push_back(std::move(rec));
+        continue;
       }
-      mine.back().items += 1;
-      mine.back().flops += layer.flops();
-    });
-    dnn::LayerRecord rec;
-    std::vector<dnn::LayerRecord> merged = dnn::merge_layer_records(parts);
-    if (!merged.empty()) rec = std::move(merged.front());
-    rec.name = layer.name();
-    rec.algo = algo_of(layer);
-    // The layer barrier waits for the slowest worker: report the span.
-    rec.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
-    records.push_back(std::move(rec));
+
+      // Shard batch items across the pool; each worker fills its own part
+      // record (static chunking makes the per-worker contents
+      // deterministic).
+      std::vector<std::vector<dnn::LayerRecord>> parts(
+          static_cast<std::size_t>(pool_.size()));
+      pool_.parallel_for(nb, [&](int b, int w) {
+        if (test_item_hook) test_item_hook(li, b);
+        layer.forward_item(*worker_ctxs_[static_cast<std::size_t>(w)], ins, b);
+        auto& mine = parts[static_cast<std::size_t>(w)];
+        if (mine.empty()) {
+          dnn::LayerRecord rec;
+          rec.name = layer.name();
+          rec.items = 0;
+          mine.push_back(std::move(rec));
+        }
+        mine.back().items += 1;
+        mine.back().flops += layer.flops();
+      });
+      dnn::LayerRecord rec;
+      std::vector<dnn::LayerRecord> merged = dnn::merge_layer_records(parts);
+      if (!merged.empty()) rec = std::move(merged.front());
+      rec.name = layer.name();
+      rec.algo = algo_of(layer);
+      // The layer barrier waits for the slowest worker: report the span.
+      rec.wall_seconds =
+          std::chrono::duration<double>(clock::now() - l0).count();
+      records.push_back(std::move(rec));
+    }
+
+    if (slot.snapshot_output) {
+      const dnn::Tensor& out =
+          slot.net->layer(slot.net->num_layers() - 1).output();
+      slot.result.output.reshape(out.n(), out.c(), out.h(), out.w());
+      std::memcpy(slot.result.output.data(), out.data(),
+                  out.size() * sizeof(float));
+    }
+  } catch (...) {
+    slot.error = std::current_exception();
   }
+
+  const double wall = std::chrono::duration<double>(clock::now() - t0).count();
+  slot.result.compute_seconds = wall;
+  // One execution stream: the batch's span is fully busy on (effectively)
+  // one worker-equivalent, so occupancy reads 1/workers.
+  slot.result.exec.span_seconds = wall;
+  slot.result.exec.busy_seconds = wall;
+  slot.result.exec.workers = pool_.size();
+  slot.result.exec.tasks = slot.result.records.size();
+  complete(slot);
 }
 
 }  // namespace vlacnn::runtime

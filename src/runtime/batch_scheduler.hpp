@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -10,8 +11,19 @@
 #include "core/conv_engine.hpp"
 #include "dnn/network.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/work_graph.hpp"
 
 namespace vlacnn::runtime {
+
+/// Which executor drives batched forward passes (see BatchScheduler).
+enum class ExecutorKind {
+  /// One batch at a time; within a batch, a global barrier per layer
+  /// (parallel_for sweep). The reference path.
+  Serial,
+  /// Work-graph execution: (batch, layer, item-chunk) tasks with per-item
+  /// readiness and cross-batch overlap. Bit-identical to Serial.
+  Graph,
+};
 
 struct SchedulerConfig {
   /// Worker count; <= 0 selects the hardware concurrency.
@@ -21,6 +33,9 @@ struct SchedulerConfig {
   /// Shard the GEMM M-panel / Winograd tile loops across the pool when a
   /// layer has fewer batch items than workers (the batch-1 latency case).
   bool intra_op = true;
+  /// Runtime escape hatch: Graph is the default; Serial restores the
+  /// pre-work-graph executor (one batch at a time, per-layer barriers).
+  ExecutorKind executor = ExecutorKind::Graph;
 };
 
 /// Handle to a batch accepted by BatchScheduler::submit(). Single-use:
@@ -40,57 +55,68 @@ struct BatchResult {
   /// Deterministically merged per-layer records of this batch (same
   /// contents records() holds after a synchronous run()).
   std::vector<dnn::LayerRecord> records;
-  /// Wall time of the forward pass on the executor thread. Excludes the
-  /// time the batch spent queued in its admission slot, so callers can
-  /// separate queue wait from compute.
+  /// Wall time of the forward pass (first task start to completion under
+  /// the graph executor). Excludes the time the batch spent queued in its
+  /// admission slot, so callers can separate queue wait from compute.
   double compute_seconds = 0.0;
+  /// Worker occupancy and cross-batch overlap counters for this batch.
+  ExecStats exec;
 };
 
 /// Parallel layer scheduler: runs batched forward passes of a Network with
 /// every core busy.
 ///
-/// Layers execute in topological (definition) order — each may consume
-/// earlier outputs via route/shortcut, so layer-level execution stays
-/// sequential — but within a layer the batch items are independent and are
-/// sharded across the pool. Each worker owns a functional VectorEngine and
-/// an ExecContext (its own im2col workspace, packed-GEMM buffers and
-/// Winograd scratch, installed by the ConvolutionEngine), so workers never
-/// share mutable kernel state; weights and the Winograd weight cache are
-/// read-only during the pass (every pass calls engine.prepare() first).
+/// Each worker owns a functional VectorEngine and an ExecContext (its own
+/// im2col workspace, packed-GEMM buffers and Winograd scratch, installed by
+/// the ConvolutionEngine), so workers never share mutable kernel state;
+/// weights and the Winograd/packed weight caches are read-only during a
+/// pass (every pass calls engine.prepare() first, and the caches themselves
+/// are thread-safe for the prepare-during-execution overlap below).
 ///
-/// Scheduling is deterministic: items map to workers by a static chunked
-/// partition, every worker's arithmetic is bit-identical to the serial
-/// batch-1 path, and per-worker LayerRecords are merged in worker-id order
-/// (dnn::merge_layer_records).
+/// Under the default Graph executor the pass is decomposed into a work
+/// graph (runtime::WorkGraph): per-item layers split into item chunks whose
+/// readiness follows the items they consume, so a worker finishing its
+/// chunk of layer i starts layer i+1 on those items instead of waiting at a
+/// global barrier; layers that pin a sync point — batch-fused
+/// weight-resident dispatch and fused residual folds (Layer::readiness())
+/// — become single barrier tasks. The kSlots slot ring feeds the same
+/// graph, so batch k+1's early layers overlap batch k's late layers on free
+/// workers (write-after-read edges on the shared layer tensors keep it
+/// sound). The Serial executor (SchedulerConfig::executor) is the
+/// reference: one batch at a time, parallel_for per layer.
+///
+/// Scheduling is deterministic under both executors and they are
+/// bit-identical to each other: items map to chunks by the same static
+/// partition, every worker's arithmetic depends only on the engine vector
+/// length, readiness edges reproduce exactly the data dependences the
+/// serial order obeyed, and LayerRecords are merged in canonical chunk
+/// order regardless of interleaving.
 ///
 /// Layers the engine's plan marks weight-resident (and FC layers under the
-/// plan's fc_weight_resident flag) are instead dispatched batch-fused: one
-/// Layer::forward_batch call on the executor context covers the whole
-/// batch, streaming each pack-once weight panel once per batch instead of
-/// once per item — bit-identical to the per-item path, which remains the
-/// fallback whenever the layer declines.
+/// plan's fc_weight_resident flag) are dispatched batch-fused: one
+/// Layer::forward_batch call covers the whole batch, streaming each
+/// pack-once weight panel once per batch instead of once per item —
+/// bit-identical to the per-item path, which remains the fallback whenever
+/// the layer declines.
 ///
 /// Two ways to drive it:
 ///  * run(net, input) — synchronous: blocks until the batch finishes and
 ///    returns the network's output tensor. This is a thin wrapper over the
 ///    async API below and is bit-identical to it.
 ///  * submit(net, batch) -> BatchTicket / wait(ticket) -> BatchResult —
-///    pipelined: batches execute FIFO on a dedicated executor thread while
-///    the caller forms/packs the next one. kSlots batches may be in flight
-///    (one executing + one admitted, double buffering); a further submit()
-///    blocks until a slot frees — the natural backpressure the serving
-///    layer leans on. Forward passes themselves are serialized on the
-///    executor (layer outputs live in the Network), so the overlap won is
-///    admission/packing vs. execution, and the worker pool flows from the
-///    last layer of batch k straight into the first layer of batch k+1
-///    without a drain back to the submitting thread.
+///    pipelined: batches execute FIFO while the caller forms/packs the next
+///    one. kSlots batches may be in flight; a further submit() blocks until
+///    a slot frees — the natural backpressure the serving layer leans on.
+///    Under Graph both in-flight batches make progress concurrently; under
+///    Serial the overlap is admission/packing vs. execution only.
 ///
 /// submit() and wait() are thread-safe; run() may be freely mixed with
 /// them, but the reference it returns (into the Network's last layer) is
 /// only stable until the next batch executes on that network.
 class BatchScheduler {
  public:
-  /// In-flight batch slots: one executing + one admitted.
+  /// In-flight batch slots: one executing + one admitted (Serial), or two
+  /// overlapping in the work graph (Graph).
   static constexpr int kSlots = 2;
 
   BatchScheduler(core::ConvolutionEngine& engine,
@@ -129,6 +155,13 @@ class BatchScheduler {
   /// traffic. Call only while no batch is in flight.
   [[nodiscard]] std::uint64_t mem_bytes_moved() const;
 
+  /// TEST-ONLY: invoked before every per-item kernel as (layer, item), and
+  /// as (layer, -1) before a batch-fused dispatch — on both executors, from
+  /// whichever thread runs the work. Tests use it to inject delays (stress
+  /// interleavings) or throw (exercise error propagation). Set / clear only
+  /// while no batch is in flight.
+  std::function<void(int layer, int item)> test_item_hook;
+
  private:
   struct Slot {
     enum class State { Free, Queued, Running, Done };
@@ -145,15 +178,21 @@ class BatchScheduler {
   BatchTicket enqueue(dnn::Network& net, const dnn::Tensor* borrowed,
                       dnn::Tensor owned, bool snapshot_output);
   void executor_loop();
-  void execute(Slot& slot);
+  void execute_serial(Slot& slot);
+  void launch_graph(Slot& slot);
+  GraphBatchSpec build_program(Slot& slot);
+  void complete(Slot& slot);  // release input, mark Done, wake waiters
 
   core::ConvolutionEngine* engine_;
   SchedulerConfig cfg_;
   ThreadPool pool_;
+  // Declared after pool_ so it is destroyed first: the graph drains its
+  // posted tasks before the pool's destructor checks for strays.
+  std::unique_ptr<WorkGraph> graph_;
   std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;
   std::vector<std::unique_ptr<dnn::ExecContext>> worker_ctxs_;
-  // Driven by the executor thread when a layer's batch is too small to
-  // shard; its kernels may intra-op parallelize over the same pool.
+  // Driven by the executor thread on the Serial path (and for batch-1
+  // passes, where its kernels intra-op parallelize over the same pool).
   std::unique_ptr<vla::VectorEngine> main_engine_;
   std::unique_ptr<dnn::ExecContext> main_ctx_;
   std::vector<dnn::LayerRecord> records_;
@@ -163,7 +202,7 @@ class BatchScheduler {
   std::condition_variable exec_cv_;  // slot became Queued (or stopping)
   Slot slots_[kSlots];
   std::uint64_t next_ticket_ = 1;  // id the next submit() will take
-  std::uint64_t next_exec_ = 1;    // id the executor runs next (FIFO)
+  std::uint64_t next_exec_ = 1;    // id the executor claims next (FIFO)
   bool stopping_ = false;
   std::thread executor_;
 };

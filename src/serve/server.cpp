@@ -158,6 +158,9 @@ void Server::completion_loop() {
       c.trace.batch_items = nb;
       c.trace.trigger = inf.trigger;
       c.trace.deadline_met = r.deadline == kNoDeadline || done <= r.deadline;
+      c.trace.batch_occupancy = res.exec.occupancy();
+      c.trace.worker_idle_frac = res.exec.idle_fraction();
+      c.trace.batch_overlap_starts = res.exec.overlap_task_starts;
       c.output.reshape(res.output.c(), res.output.h(), res.output.w());
       std::memcpy(c.output.data(), res.output.item_data(b),
                   c.output.size() * sizeof(float));

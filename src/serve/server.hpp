@@ -22,6 +22,15 @@ struct RequestTrace {
   int batch_items = 1;       ///< size of that micro-batch
   Trigger trigger = Trigger::Full;
   bool deadline_met = true;
+  /// Mean fraction of the pool busy on this request's batch over its span
+  /// (runtime::ExecStats::occupancy of the batch it rode in).
+  double batch_occupancy = 0.0;
+  /// 1 - batch_occupancy: worker time idle (or lent to an overlapping
+  /// batch) during the batch's span.
+  double worker_idle_frac = 1.0;
+  /// Work-graph tasks of this batch that started while an older batch was
+  /// still in flight — nonzero means the executor overlapped batches.
+  std::uint64_t batch_overlap_starts = 0;
 };
 
 /// A finished request: its trace plus its slice of the network output.

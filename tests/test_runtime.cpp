@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "core/conv_engine.hpp"
@@ -74,6 +75,58 @@ TEST(ThreadPool, PropagatesExceptions) {
   std::atomic<int> n{0};
   pool.parallel_for(4, [&](int, int) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 4);
+}
+
+// TSan-covered: parallel_for's documented contract is that concurrent calls
+// from different external threads serialize on submit_mu_ — both callers
+// must still run every one of their items exactly once, with no cross-talk.
+TEST(ThreadPool, ConcurrentExternalCallersSerializeSafely) {
+  ThreadPool pool(4);
+  constexpr int kItems = 200;
+  std::vector<std::atomic<int>> hits_a(kItems), hits_b(kItems);
+  std::thread other([&] {
+    pool.parallel_for(kItems, [&](int i, int) {
+      hits_a[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  pool.parallel_for(kItems, [&](int i, int) {
+    hits_b[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  other.join();
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits_a[static_cast<std::size_t>(i)].load(), 1) << i;
+    EXPECT_EQ(hits_b[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, PostedTasksAllRunOnWorkers) {
+  ThreadPool pool(3);
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i)
+    pool.post([&](int worker) {
+      EXPECT_GE(worker, 0);
+      EXPECT_LT(worker, 3);
+      ran.fetch_add(1);
+    });
+  // post() is non-blocking; tasks drain asynchronously.
+  while (pool.pending_tasks() > 0) std::this_thread::yield();
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPool, ParallelForInsideTaskRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.post([&](int w) {
+    // Nested data parallelism from a posted task must not deadlock on the
+    // full-pool barrier; it degrades to an inline loop on this worker.
+    pool.parallel_for(7, [&](int, int inner_w) {
+      EXPECT_EQ(inner_w, w);
+      total.fetch_add(1);
+    });
+  });
+  while (pool.pending_tasks() > 0) std::this_thread::yield();
+  EXPECT_EQ(total.load(), 7);
 }
 
 // ------------------------------------------------------------- record merge
@@ -341,6 +394,88 @@ TEST(BatchScheduler, TicketsAreSingleUse) {
   EXPECT_THROW((void)sched.wait(t), InvalidArgument);       // already waited
   EXPECT_THROW((void)sched.wait(BatchTicket{}), InvalidArgument);
   EXPECT_THROW((void)sched.wait(BatchTicket{99}), InvalidArgument);  // never issued
+}
+
+TEST(BatchScheduler, OutOfOrderWaitAcrossAllSlots) {
+  // Tickets complete FIFO but may be COLLECTED in any order: fill every
+  // kSlots slot, then wait newest-first. Each result must still carry its
+  // own batch's output.
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  BatchScheduler sched(engine, cfg);
+
+  std::vector<BatchTicket> tickets;
+  for (int k = 0; k < BatchScheduler::kSlots; ++k) {
+    dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(500 + k));
+    tickets.push_back(sched.submit(*net, std::move(in)));
+  }
+  std::vector<std::vector<float>> outs(tickets.size());
+  for (int k = BatchScheduler::kSlots - 1; k >= 0; --k) {
+    BatchResult r = sched.wait(tickets[static_cast<std::size_t>(k)]);
+    outs[static_cast<std::size_t>(k)].assign(
+        r.output.data(), r.output.data() + r.output.size());
+  }
+  for (int k = 0; k < BatchScheduler::kSlots; ++k) {
+    dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(500 + k));
+    const dnn::Tensor& ref = sched.run(*net, in);
+    const auto& got = outs[static_cast<std::size_t>(k)];
+    ASSERT_EQ(got.size(), ref.size()) << k;
+    EXPECT_EQ(std::memcmp(got.data(), ref.data(), ref.size() * sizeof(float)),
+              0)
+        << k;
+  }
+}
+
+TEST(BatchScheduler, ExecutorExceptionPropagatesIntoWait) {
+  auto net = dnn::build_vgg16(32, 4);
+  for (ExecutorKind kind : {ExecutorKind::Serial, ExecutorKind::Graph}) {
+    core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+    SchedulerConfig cfg;
+    cfg.threads = 2;
+    cfg.executor = kind;
+    BatchScheduler sched(engine, cfg);
+    sched.test_item_hook = [](int layer, int) {
+      if (layer == 1) throw std::runtime_error("injected layer failure");
+    };
+    dnn::Tensor in(4, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(9);
+    const BatchTicket t = sched.submit(*net, std::move(in));
+    EXPECT_THROW((void)sched.wait(t), std::runtime_error);
+
+    // A failed batch must not wedge the scheduler: the next one succeeds.
+    sched.test_item_hook = nullptr;
+    dnn::Tensor ok(4, net->in_c(), net->in_h(), net->in_w());
+    ok.randomize_batch(9);
+    BatchResult r = sched.wait(sched.submit(*net, std::move(ok)));
+    EXPECT_EQ(r.records.size(), net->num_layers());
+    EXPECT_GT(r.output.size(), 0u);
+  }
+}
+
+TEST(BatchScheduler, SerialEscapeHatchMatchesGraphBitwise) {
+  auto net = dnn::build_vgg16(32, 4);
+  auto run_kind = [&](ExecutorKind kind) {
+    core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+    SchedulerConfig cfg;
+    cfg.threads = 2;
+    cfg.executor = kind;
+    BatchScheduler sched(engine, cfg);
+    dnn::Tensor in(3, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(77);
+    BatchResult r = sched.wait(sched.submit(*net, std::move(in)));
+    return std::vector<float>(r.output.data(),
+                              r.output.data() + r.output.size());
+  };
+  const auto serial = run_kind(ExecutorKind::Serial);
+  const auto graph = run_kind(ExecutorKind::Graph);
+  ASSERT_EQ(serial.size(), graph.size());
+  EXPECT_EQ(
+      std::memcmp(serial.data(), graph.data(), serial.size() * sizeof(float)),
+      0);
 }
 
 TEST(BatchScheduler, SubmitValidatesShapeSynchronously) {

@@ -1,0 +1,208 @@
+// Work-graph executor: bitwise equivalence with the serialized executor
+// across models / batch sizes / worker counts / backend plans, proof that
+// batches overlap in the graph, and a sleep-injection stress test gating
+// that interleaving never changes outputs or merged LayerRecord order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/conv_engine.hpp"
+#include "dnn/models.hpp"
+#include "runtime/batch_scheduler.hpp"
+#include "test_util.hpp"
+
+namespace vlacnn::runtime {
+namespace {
+
+struct SchedRun {
+  std::vector<float> output;
+  std::vector<dnn::LayerRecord> records;
+  ExecStats exec;
+};
+
+SchedRun run_sched(dnn::Network& net, const core::EnginePolicy& policy,
+                   int batch, int threads, ExecutorKind kind,
+                   std::function<void(int, int)> hook = nullptr) {
+  core::ConvolutionEngine engine(policy);
+  SchedulerConfig cfg;
+  cfg.threads = threads;
+  cfg.executor = kind;
+  BatchScheduler sched(engine, cfg);
+  sched.test_item_hook = std::move(hook);
+  dnn::Tensor in(batch, net.in_c(), net.in_h(), net.in_w());
+  in.randomize_batch(4321, 0.0f, 1.0f);
+  BatchResult r = sched.wait(sched.submit(net, std::move(in)));
+  SchedRun out;
+  out.output.assign(r.output.data(), r.output.data() + r.output.size());
+  out.records = std::move(r.records);
+  out.exec = r.exec;
+  return out;
+}
+
+// Accounting identity between executors: same layer order, same backend
+// labels, same item/flop totals. Wall times naturally differ.
+void expect_same_records(const std::vector<dnn::LayerRecord>& a,
+                         const std::vector<dnn::LayerRecord>& b,
+                         const std::string& tag) {
+  ASSERT_EQ(a.size(), b.size()) << tag;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name) << tag << " layer " << i;
+    EXPECT_EQ(a[i].algo, b[i].algo) << tag << " layer " << i;
+    EXPECT_EQ(a[i].items, b[i].items) << tag << " layer " << i;
+    EXPECT_DOUBLE_EQ(a[i].flops, b[i].flops) << tag << " layer " << i;
+  }
+}
+
+struct ModelCase {
+  const char* tag;
+  std::unique_ptr<dnn::Network> (*build)();
+};
+
+const ModelCase kModels[] = {
+    {"vgg", [] { return dnn::build_vgg16(32, 4); }},
+    // Residual-fused yolo: the fused shortcut pins a barrier layer whose
+    // output tensor aliases its producer's — the aliasing-hazard case.
+    {"yolo-res",
+     [] {
+       auto net = dnn::build_yolov3(32, 8);
+       net->fuse_residuals();
+       return net;
+     }},
+};
+
+TEST(WorkGraph, BitIdenticalToSerialAcrossModelsBatchesWorkersPlans) {
+  struct PolicyCase {
+    const char* tag;
+    core::EnginePolicy policy;
+  };
+  core::EnginePolicy resident = core::EnginePolicy::fused();
+  resident.weight_resident = true;
+  const PolicyCase policies[] = {
+      {"opt6loop", core::EnginePolicy::opt6loop()},
+      {"fused", core::EnginePolicy::fused()},
+      {"fused+resident", resident},
+  };
+  for (const auto& m : kModels) {
+    auto net = m.build();
+    for (const auto& p : policies) {
+      for (int batch : {1, 2, 4, 8}) {
+        // The serial executor is the reference; it is already known to be
+        // thread-count-invariant, so one reference per (model, plan, batch)
+        // suffices.
+        const SchedRun ref =
+            run_sched(*net, p.policy, batch, 1, ExecutorKind::Serial);
+        for (int threads : {1, 2, 4}) {
+          const std::string tag = std::string(m.tag) + "/" + p.tag +
+                                  " batch=" + std::to_string(batch) +
+                                  " threads=" + std::to_string(threads);
+          const SchedRun graph =
+              run_sched(*net, p.policy, batch, threads, ExecutorKind::Graph);
+          ASSERT_EQ(graph.output.size(), ref.output.size()) << tag;
+          EXPECT_EQ(std::memcmp(graph.output.data(), ref.output.data(),
+                                ref.output.size() * sizeof(float)),
+                    0)
+              << tag;
+          expect_same_records(graph.records, ref.records, tag);
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkGraph, OverlapStartsBeforePreviousBatchCompletes) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.executor = ExecutorKind::Graph;
+  BatchScheduler sched(engine, cfg);
+
+  // Slow down the first chunk of the LATE layers only: one worker crawls
+  // through batch 1's tail while the other drains its own chunks fast and
+  // has nothing left of batch 1 to steal — the only work available is
+  // batch 2's early layers, which the graph must hand it.
+  const int late = static_cast<int>(net->num_layers()) / 2;
+  sched.test_item_hook = [late](int layer, int item) {
+    if (layer >= late && item >= 0 && item < 2)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+
+  dnn::Tensor in1(4, net->in_c(), net->in_h(), net->in_w());
+  dnn::Tensor in2(4, net->in_c(), net->in_h(), net->in_w());
+  in1.randomize_batch(1);
+  in2.randomize_batch(2);
+  const BatchTicket t1 = sched.submit(*net, std::move(in1));
+  const BatchTicket t2 = sched.submit(*net, std::move(in2));
+  const BatchResult r1 = sched.wait(t1);
+  const BatchResult r2 = sched.wait(t2);
+
+  // Batch 2 must have entered the network before batch 1 left it.
+  EXPECT_GT(r2.exec.overlap_task_starts, 0u);
+  EXPECT_GT(r2.exec.overlap_first_layer_starts, 0u);
+  EXPECT_EQ(r1.exec.overlap_task_starts, 0u);  // nothing older than batch 1
+  EXPECT_GT(r1.exec.workers, 1);
+  EXPECT_GT(r1.exec.occupancy(), 0.0);
+  EXPECT_LE(r1.exec.occupancy(), 1.0);
+
+  // Overlap must not have corrupted either batch.
+  sched.test_item_hook = nullptr;
+  for (int k = 0; k < 2; ++k) {
+    dnn::Tensor in(4, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(1 + k));
+    const BatchResult ref = sched.wait(sched.submit(*net, std::move(in)));
+    const BatchResult& got = k == 0 ? r1 : r2;
+    ASSERT_EQ(got.output.size(), ref.output.size());
+    EXPECT_EQ(std::memcmp(got.output.data(), ref.output.data(),
+                          ref.output.size() * sizeof(float)),
+              0)
+        << "batch " << k;
+  }
+}
+
+// Random per-chunk delays shake the interleaving; outputs and merged record
+// order must not move. Runs under TSan in CI (job regex includes WorkGraph).
+TEST(WorkGraphStress, RandomSleepsNeverChangeOutputsOrRecordOrder) {
+  core::EnginePolicy resident = core::EnginePolicy::fused();
+  resident.weight_resident = true;
+  for (const auto& m : kModels) {
+    auto net = m.build();
+    const SchedRun ref = run_sched(*net, resident, 6, 1, ExecutorKind::Serial);
+    std::atomic<std::uint32_t> salt{0};
+    const auto jitter = [&salt](int layer, int item) {
+      // Cheap per-call pseudo-random delay, deliberately unsynchronized
+      // with the schedule (0-200us).
+      std::uint32_t x =
+          salt.fetch_add(1, std::memory_order_relaxed) * 2654435761u +
+          static_cast<std::uint32_t>(layer * 131 + item * 31);
+      x ^= x >> 13;
+      std::this_thread::sleep_for(std::chrono::microseconds(x % 200));
+    };
+    for (int threads : {1, 2, 4, 8}) {
+      for (int round = 0; round < 2; ++round) {
+        const std::string tag = std::string(m.tag) +
+                                " threads=" + std::to_string(threads) +
+                                " round=" + std::to_string(round);
+        const SchedRun got =
+            run_sched(*net, resident, 6, threads, ExecutorKind::Graph, jitter);
+        ASSERT_EQ(got.output.size(), ref.output.size()) << tag;
+        EXPECT_EQ(std::memcmp(got.output.data(), ref.output.data(),
+                              ref.output.size() * sizeof(float)),
+                  0)
+            << tag;
+        expect_same_records(got.records, ref.records, tag);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vlacnn::runtime
