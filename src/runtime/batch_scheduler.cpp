@@ -222,6 +222,16 @@ GraphBatchSpec BatchScheduler::build_program(Slot& slot) {
     // instead of once per item. That single dispatch — like a fused
     // residual fold, which must see every item of its shortcut source —
     // pins a sync point: the layer becomes one barrier task.
+    //
+    // Tradeoff vs the serial executor: a barrier task runs on ONE pool
+    // worker, and worker ExecContexts have no intra-op pool installed (a
+    // nested parallel_for from inside a posted task would degrade to an
+    // inline serial loop anyway — see ThreadPool), so the whole-batch GEMM
+    // that intra-op parallelized across the pool under Serial executes
+    // single-worker here. The graph's bet is that cross-batch overlap
+    // refills the other workers; for weight-resident-dominant plans with no
+    // second batch in flight, --executor=serial restores the pool-wide
+    // intra-op dispatch.
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&layer);
     const bool want_batch_fused =
         nb > 1 &&

@@ -43,6 +43,18 @@ void WorkGraph::launch(GraphBatchSpec&& spec) {
   const int n_layers = static_cast<int>(spec.layers.size());
   VLACNN_REQUIRE(n_layers > 0, "work graph batch has no layers");
   VLACNN_REQUIRE(spec.items >= 1, "work graph batch has no items");
+  // Validate the whole spec before touching any shared state: the build
+  // below registers out-edges into still-live older batches' nodes as it
+  // goes, so a mid-build throw would leave them pointing into the destroyed
+  // Batch (the only throw left past this point is std::bad_alloc, which
+  // nothing in the runtime recovers from).
+  for (int li = 0; li < n_layers; ++li) {
+    const GraphLayerSpec& L = spec.layers[static_cast<std::size_t>(li)];
+    VLACNN_REQUIRE(L.out_key != nullptr, "graph layer missing out_key");
+    VLACNN_REQUIRE(static_cast<bool>(L.run), "graph layer missing run");
+    for (int j : L.inputs)
+      VLACNN_REQUIRE(j < li, "graph layer inputs must precede it");
+  }
 
   auto batch = std::make_unique<Batch>();
   Batch& b = *batch;
@@ -76,7 +88,6 @@ void WorkGraph::launch(GraphBatchSpec&& spec) {
   std::vector<Node*> prep(static_cast<std::size_t>(n_layers), nullptr);
   for (int li = 0; li < n_layers; ++li) {
     const GraphLayerSpec& L = b.spec.layers[static_cast<std::size_t>(li)];
-    VLACNN_REQUIRE(L.out_key != nullptr, "graph layer missing out_key");
 
     // Prepare node: reshape/validate before any chunk of this layer runs.
     auto pn = std::make_unique<Node>();
@@ -85,7 +96,6 @@ void WorkGraph::launch(GraphBatchSpec&& spec) {
     pn->is_prepare = true;
     for (int j : L.inputs) {
       if (j < 0) continue;  // batch input tensor: private, always ready
-      VLACNN_ASSERT(j < li, "graph layer inputs must precede it");
       prep[static_cast<std::size_t>(j)]->out.push_back(pn.get());
       ++pn->deps;
     }
@@ -140,6 +150,19 @@ void WorkGraph::launch(GraphBatchSpec&& spec) {
   for (const void* key : b.spec.final_read_keys) {
     live_deps(key, &b.sink);  // e.g. guard against future batches: below
     touch(key, &b.sink);
+  }
+
+  // Completion-order chain: the new sink also waits on the youngest live
+  // batch's sink, so batches complete (and retire) strictly FIFO even when
+  // they share no tensors — two in-flight batches on different Networks
+  // build no hazard edges against each other, and without this edge the
+  // younger sink could fire first and retire() would pop the wrong batch.
+  // A live batch's sink is never `done` while mu_ is held (a sink marks
+  // itself done and retires its batch inside one critical section), so
+  // this edge is never added to an already-completed sink.
+  if (!live_.empty()) {
+    live_.back()->sink.out.push_back(&b.sink);
+    ++b.sink.deps;
   }
 
   for (auto& n : b.nodes)
@@ -278,8 +301,9 @@ void WorkGraph::retire(Batch& b) {
     v.erase(std::remove(v.begin(), v.end(), &b.sink), v.end());
     if (v.empty()) live_touch_.erase(it);
   }
-  // Batches retire strictly FIFO: the sink reads the final tensor, which
-  // every later batch's writer of that tensor waits on.
+  // Batches retire strictly FIFO by construction: launch() chains every new
+  // sink onto its predecessor's, so the retiring batch is the oldest live
+  // one even when in-flight batches share no tensors.
   VLACNN_ASSERT(!live_.empty() && live_.front().get() == &b,
                 "work-graph batches must retire FIFO");
   live_.pop_front();

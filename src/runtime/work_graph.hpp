@@ -119,8 +119,10 @@ struct GraphBatchSpec {
 /// every task runs the same per-item kernels on an equivalent ExecContext,
 /// and the edges reproduce exactly the data dependences the serial order
 /// obeyed; record merges are in (layer, chunk) order, so accounting is
-/// byte-stable regardless of interleaving. Batches complete strictly FIFO
-/// (the sink of batch k reads the final tensor, which batch k+1 rewrites).
+/// byte-stable regardless of interleaving. Batches complete strictly FIFO:
+/// launch() chains the youngest live batch's sink onto the new batch's
+/// sink, so completion (and retirement) order is launch order even for
+/// batches that share no tensors (e.g. different Networks in flight).
 ///
 /// launch() must be called from one thread at a time (the scheduler's
 /// executor thread); completion callbacks run on pool workers.
@@ -134,7 +136,10 @@ class WorkGraph {
 
   /// Admits one batch: builds its task graph (with ordering edges against
   /// every batch still in flight) and starts executing it. Returns
-  /// immediately; completion is reported through spec.on_done.
+  /// immediately; completion is reported through spec.on_done. The spec is
+  /// validated in full before any shared state is touched — on throw
+  /// (InvalidArgument), in-flight batches are unaffected and the graph
+  /// remains usable.
   void launch(GraphBatchSpec&& spec);
 
   /// Blocks until every launched batch has completed.

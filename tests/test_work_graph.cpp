@@ -10,14 +10,17 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/conv_engine.hpp"
 #include "dnn/models.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "runtime/work_graph.hpp"
 #include "test_util.hpp"
 
 namespace vlacnn::runtime {
@@ -165,6 +168,147 @@ TEST(WorkGraph, OverlapStartsBeforePreviousBatchCompletes) {
                           ref.output.size() * sizeof(float)),
               0)
         << "batch " << k;
+  }
+}
+
+// Batches that share NO tensors build no hazard edges against each other;
+// only the launch-time sink-to-sink chain keeps completion FIFO. The fast
+// batch here would finish first without it, and retire() would pop (and
+// destroy) the wrong, still-executing batch.
+TEST(WorkGraph, DisjointKeyBatchesCompleteFifo) {
+  ThreadPool pool(4);
+  WorkGraph graph(pool);
+  std::mutex mu;
+  std::vector<int> order;
+  int key_a = 0, key_b = 0;
+
+  GraphBatchSpec slow;
+  slow.items = 4;
+  slow.chunks = 4;
+  GraphLayerSpec la;
+  la.inputs = {-1};
+  la.out_key = &key_a;
+  la.run = [](int, int, int, dnn::LayerRecord&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  slow.layers.push_back(la);
+  slow.final_read_keys = {&key_a};
+  slow.on_done = [&](GraphBatchResult&&) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(1);
+  };
+
+  GraphBatchSpec fast;
+  fast.items = 1;
+  fast.chunks = 1;
+  GraphLayerSpec lb;
+  lb.inputs = {-1};
+  lb.out_key = &key_b;  // disjoint from key_a: no WAR/WAW edge possible
+  lb.run = [](int, int, int, dnn::LayerRecord&) {};
+  fast.layers.push_back(lb);
+  fast.on_done = [&](GraphBatchResult&&) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(2);
+  };
+
+  graph.launch(std::move(slow));
+  graph.launch(std::move(fast));
+  graph.drain();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(graph.live_batches(), 0);
+}
+
+// launch() must validate the whole spec before registering anything: a
+// malformed LATER layer may not leave edges from a live batch's nodes into
+// the rejected (destroyed) batch, nor stale live_touch_ entries.
+TEST(WorkGraph, RejectsMalformedSpecWithoutTouchingLiveBatches) {
+  ThreadPool pool(2);
+  WorkGraph graph(pool);
+  int key0 = 0, key1 = 0;
+  std::atomic<int> completed{0};
+
+  const auto make_valid = [&](int sleep_ms) {
+    GraphBatchSpec s;
+    s.items = 2;
+    s.chunks = 2;
+    GraphLayerSpec l0;
+    l0.inputs = {-1};
+    l0.out_key = &key0;
+    l0.run = [sleep_ms](int, int, int, dnn::LayerRecord&) {
+      if (sleep_ms > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    };
+    GraphLayerSpec l1;
+    l1.inputs = {0};
+    l1.out_key = &key1;
+    l1.run = [](int, int, int, dnn::LayerRecord&) {};
+    s.layers = {l0, l1};
+    s.final_read_keys = {&key1};
+    s.on_done = [&](GraphBatchResult&& res) {
+      if (!res.error) completed.fetch_add(1);
+    };
+    return s;
+  };
+
+  graph.launch(make_valid(3));
+
+  // Layer 0 shares key0 with the live batch (would register cross-batch
+  // edges); layer 1 is malformed — the whole spec must be rejected first.
+  GraphBatchSpec bad = make_valid(0);
+  bad.layers[1].out_key = nullptr;
+  EXPECT_THROW(graph.launch(std::move(bad)), InvalidArgument);
+
+  GraphBatchSpec self_input = make_valid(0);
+  self_input.layers[1].inputs = {1};  // inputs must precede the layer
+  EXPECT_THROW(graph.launch(std::move(self_input)), InvalidArgument);
+
+  // The live batch and a subsequent one on the same keys still run clean.
+  graph.launch(make_valid(0));
+  graph.drain();
+  EXPECT_EQ(completed.load(), 2);
+  EXPECT_EQ(graph.live_batches(), 0);
+}
+
+// The reviewer scenario end-to-end: BatchScheduler::submit accepts a
+// different Network per call, so two in-flight batches may share no tensor
+// keys at all. The hook slows only the older batch (items >= 4 exist only
+// there), so absent the FIFO sink chain the younger batch would complete
+// first. Runs under TSan in CI (job regex includes WorkGraph).
+TEST(WorkGraph, DistinctNetworksInFlightRetireFifo) {
+  auto net_a = dnn::build_vgg16(32, 4);
+  auto net_b = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.executor = ExecutorKind::Graph;
+  BatchScheduler sched(engine, cfg);
+  sched.test_item_hook = [](int, int item) {
+    if (item >= 4) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+
+  dnn::Tensor in_a(8, net_a->in_c(), net_a->in_h(), net_a->in_w());
+  dnn::Tensor in_b(2, net_b->in_c(), net_b->in_h(), net_b->in_w());
+  in_a.randomize_batch(7);
+  in_b.randomize_batch(8);
+  const BatchTicket ta = sched.submit(*net_a, std::move(in_a));
+  const BatchTicket tb = sched.submit(*net_b, std::move(in_b));
+  const BatchResult ra = sched.wait(ta);
+  const BatchResult rb = sched.wait(tb);
+
+  // Neither batch may be corrupted by the overlap: both must match a fresh
+  // un-overlapped run of the same (network, input).
+  sched.test_item_hook = nullptr;
+  for (int k = 0; k < 2; ++k) {
+    dnn::Network& net = k == 0 ? *net_a : *net_b;
+    dnn::Tensor in(k == 0 ? 8 : 2, net.in_c(), net.in_h(), net.in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(7 + k));
+    const BatchResult ref = sched.wait(sched.submit(net, std::move(in)));
+    const BatchResult& got = k == 0 ? ra : rb;
+    ASSERT_EQ(got.output.size(), ref.output.size()) << "net " << k;
+    EXPECT_EQ(std::memcmp(got.output.data(), ref.output.data(),
+                          ref.output.size() * sizeof(float)),
+              0)
+        << "net " << k;
   }
 }
 
