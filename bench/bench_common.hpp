@@ -99,12 +99,17 @@ inline double weight_dram_bytes_per_item(
     engine.prepare(*conv_desc, weights);
     // Watch the layer's resident image in the format the plan routes it
     // to (falling back to the fp32 image — e.g. a quantized plan whose
-    // image was not retained); an int8 image's scale vector streams too.
+    // image was not retained); an int8 image's scale vector streams too,
+    // and a sparse image's bitmap/offset metadata — the skip test reads it
+    // on every panel, so leaving it unwatched would flatter the format.
     const gemm::PackFormat fmt =
         core::backend_pack_format(engine.plan().backend_for(*conv_desc));
+    const int density_pm = gemm::pack_format_sparse(fmt)
+                               ? engine.plan().sparsity_pm
+                               : 1000;
     auto img = engine.packed_weights().find(
         weights, conv_desc->gemm_m(), conv_desc->gemm_k(),
-        engine.plan().opt6.blocks.block_k, fmt);
+        engine.plan().opt6.blocks.block_k, fmt, density_pm);
     if (img == nullptr && fmt != gemm::PackFormat::F32)
       img = engine.packed_weights().find(weights, conv_desc->gemm_m(),
                                          conv_desc->gemm_k(),
@@ -117,6 +122,10 @@ inline double weight_dram_bytes_per_item(
         sctx.memory().add_dram_watch(
             sim::AddressMap::instance().translate(img->scales()),
             img->scales_bytes());
+      if (img->sparse_meta() != nullptr)
+        sctx.memory().add_dram_watch(
+            sim::AddressMap::instance().translate(img->sparse_meta()),
+            img->sparse_meta_bytes());
     }
   }
   sctx.memory().add_dram_watch(

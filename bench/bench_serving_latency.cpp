@@ -14,6 +14,9 @@
 //                            measured capacity)] [--rate=<req/s> (absolute
 //                            override of load x capacity)] [--seed=1234]
 //                           [--executor=graph|serial] [--quick]
+//                           [--precision=f32|bf16|int8]
+//                           [--sparsity=0 (block-sparse weight density in
+//                            (0,1); 0 = dense)]
 //                           [--json=<path>]
 //
 // Per-request traces also carry the batch's worker occupancy and idle
@@ -143,6 +146,15 @@ int main(int argc, char** argv) {
                  precision.c_str());
     return 1;
   }
+  // --sparsity composes with --precision: block-sparse resident images at
+  // the given density (0 = dense), the Gemm6-family convs skip-walking only
+  // the kept 4x16 blocks.
+  const double sparsity = args.get_double("sparsity", 0.0);
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    std::fprintf(stderr, "error: --sparsity=%g must be in [0,1]\n", sparsity);
+    return 1;
+  }
+  if (sparsity > 0.0) plan = plan.with_sparsity(sparsity);
   core::ConvolutionEngine engine(std::move(plan));
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
@@ -213,7 +225,8 @@ int main(int argc, char** argv) {
     const std::array<int, 4> occ_h = quartile_hist(res.occupancy);
     const std::array<int, 4> idle_h = quartile_hist(res.idle_frac);
     json.add(std::string("model=") + model + " precision=" + precision +
-                 " executor=" + executor + " policy=" + pc.name +
+                 " sparsity=" + Table::fmt(sparsity, 2) + " executor=" +
+                 executor + " policy=" + pc.name +
                  " max_batch=" + std::to_string(pc.max_batch) +
                  " max_wait_ms=" + std::to_string(pc.max_wait_ms),
              res.wall_s * 1e3, static_cast<double>(res.bytes_moved),

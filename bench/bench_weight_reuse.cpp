@@ -14,9 +14,14 @@
 // --format=bf16|int8 stores the resident conv images reduced-precision
 // (weight-only quantization; activations and accumulation stay fp32), so
 // the same resident stream touches half / a quarter of the DRAM lines.
-// The harness then also measures the fp32-resident baseline per batch and
-// reports the accuracy cost (max ULP distance and max abs error vs the
-// fp32 reference output). The FC case always stays fp32.
+// --format=sparse50|sparse25 stores them block-sparse instead: a magnitude
+// prune keeps 50% / 25% of the 4x16 weight blocks and the skip-aware
+// kernel streams only the kept blocks (plus the bitmap/offset metadata,
+// which the DRAM attribution watches too), so the resident stream shrinks
+// ~density-fold without touching the element precision. The harness then
+// also measures the fp32-resident baseline per batch and reports the
+// accuracy cost (max ULP distance and max abs error vs the fp32 reference
+// output). The FC case always stays fp32.
 //
 // Per batch in {1, 2, 4, 8} and per layer, the harness measures:
 //   * weight DRAM bytes/item: simulated DRAM line fills attributed (via
@@ -28,14 +33,18 @@
 // batch-fused must equal quantized per-item bit-for-bit).
 //
 //   ./bench_weight_reuse [--machine=sve|rvv|a64fx] [--quick] [--check]
-//                        [--format=f32|bf16|int8] [--json=<path>]
+//                        [--format=f32|bf16|int8|sparse50|sparse25]
+//                        [--json=<path>]
 //
 // --check (the CI smoke gate) exits non-zero if batch-4 weight DRAM
 // bytes/item exceeds 0.5x the batch-1 value on any layer, if any
 // batch-fused output differs from the per-item path, or — for the reduced
 // formats — if the batch-4 quantized stream misses its reduction target
 // versus fp32-resident (bf16: >= 1.8x; int8: >= 3.5x and <= 0.3x the fp32
-// batch-1 stream) or the accuracy gates of core/selector.hpp are broken.
+// batch-1 stream; sparseNN: <= density+0.05 of the fp32-resident stream)
+// or the accuracy gates of core/selector.hpp are broken. The sparse
+// formats additionally gate that the fp32 sparse path is bit-identical to
+// the dense fp32-resident path over apply_block_mask-pruned weights.
 
 #include <chrono>
 #include <cmath>
@@ -99,15 +108,19 @@ const float* case_weights(const ReuseCase& rc, const dnn::Layer& layer) {
 }
 
 /// Weight-resident fused plan routing the conv cases through `fmt`-format
-/// resident images. FC cases always run fp32 — an FC layer's GEMM is
-/// non-beta0 (its fp32 partial sums cannot join a quantized-domain
-/// accumulation), so reduced formats do not apply there.
-core::BackendPlan case_plan(const ReuseCase& rc, gemm::PackFormat fmt) {
+/// resident images (block-pruned at `sparsity_pm` for the sparse formats).
+/// FC cases always run fp32 — an FC layer's GEMM is non-beta0 (its fp32
+/// partial sums cannot join a quantized-domain accumulation), so reduced
+/// formats do not apply there.
+core::BackendPlan case_plan(const ReuseCase& rc, gemm::PackFormat fmt,
+                            int sparsity_pm) {
   core::EnginePolicy policy = core::EnginePolicy::fused();
   policy.weight_resident = true;
   core::BackendPlan plan = core::BackendPlan::uniform(policy);
-  if (!rc.fc && fmt != gemm::PackFormat::F32)
-    plan = plan.with_precision(fmt);
+  if (rc.fc) return plan;
+  if (gemm::pack_format_sparse(fmt))
+    return plan.with_sparsity(sparsity_pm / 1000.0);
+  if (fmt != gemm::PackFormat::F32) plan = plan.with_precision(fmt);
   return plan;
 }
 
@@ -117,7 +130,7 @@ core::BackendPlan case_plan(const ReuseCase& rc, gemm::PackFormat fmt) {
 /// image, scale vector included), so this bench and bench_fused_conv's
 /// weight-residency section measure identically.
 Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
-                    int batch, gemm::PackFormat fmt) {
+                    int batch, gemm::PackFormat fmt, int sparsity_pm = 1000) {
   Measurement m;
 
   // Instrumented pass: DRAM fills attributed to the weight stream.
@@ -138,8 +151,8 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
     dnn::Tensor in = make_input(rc, batch);
     m.weight_dram_bytes_per_item = bench::weight_dram_bytes_per_item(
         *layer, case_weights(rc, *layer), weight_bytes,
-        rc.fc ? nullptr : &rc.desc, case_plan(rc, fmt), /*batch_fused=*/true,
-        machine, in);
+        rc.fc ? nullptr : &rc.desc, case_plan(rc, fmt, sparsity_pm),
+        /*batch_fused=*/true, machine, in);
   }
 
   // Functional pass: engine bytes + host wall time (one warm-up rep), plus
@@ -148,7 +161,7 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
     auto layer = build_layer(rc);
     vla::VectorEngine eng(machine.vlen_bits);
     dnn::ExecContext ctx(eng);
-    core::ConvolutionEngine engine(case_plan(rc, fmt));
+    core::ConvolutionEngine engine(case_plan(rc, fmt, sparsity_pm));
     engine.install(ctx);
     if (!rc.fc) {
       const float* w =
@@ -156,8 +169,8 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
       engine.prepare(rc.desc, w);
       if (const auto img = engine.packed_weights().find(
               w, rc.desc.gemm_m(), rc.desc.gemm_k(),
-              engine.plan().opt6.blocks.block_k,
-              rc.fc ? gemm::PackFormat::F32 : fmt))
+              engine.plan().opt6.blocks.block_k, fmt,
+              gemm::pack_format_sparse(fmt) ? sparsity_pm : 1000))
         m.weight_bytes_packed = static_cast<double>(img->bytes());
     }
     dnn::Tensor in = make_input(rc, batch);
@@ -184,17 +197,29 @@ Measurement measure(const ReuseCase& rc, const sim::MachineConfig& machine,
 }
 
 /// Functional per-item or batch-fused outputs under `fmt`. Returns false if
-/// the batched path declined.
+/// the batched path declined. `prune_weights_pm` != 0 zeroes the blocks a
+/// magnitude prune at that density drops BEFORE preparing — the dense
+/// reference the sparse path must match bit-for-bit.
 bool run_outputs(const ReuseCase& rc, int batch, gemm::PackFormat fmt,
-                 bool batched, std::vector<float>* out) {
+                 bool batched, std::vector<float>* out, int sparsity_pm = 1000,
+                 int prune_weights_pm = 0) {
   auto layer = build_layer(rc);
   vla::VectorEngine eng(512);
   dnn::ExecContext ctx(eng);
-  core::ConvolutionEngine engine(case_plan(rc, fmt));
+  core::ConvolutionEngine engine(case_plan(rc, fmt, sparsity_pm));
   engine.install(ctx);
-  if (!rc.fc)
-    engine.prepare(rc.desc,
-                   static_cast<const dnn::ConvLayer*>(layer.get())->weights());
+  if (!rc.fc) {
+    auto* conv = static_cast<dnn::ConvLayer*>(layer.get());
+    if (prune_weights_pm != 0) {
+      const auto mask = gemm::prune_block_mask(
+          conv->mutable_weights(), rc.desc.gemm_m(), rc.desc.gemm_k(),
+          engine.plan().opt6.blocks.block_k, prune_weights_pm);
+      gemm::apply_block_mask(conv->mutable_weights(), rc.desc.gemm_m(),
+                             rc.desc.gemm_k(),
+                             engine.plan().opt6.blocks.block_k, mask);
+    }
+    engine.prepare(rc.desc, conv->weights());
+  }
   dnn::Tensor in = make_input(rc, batch);
   const std::vector<const dnn::Tensor*> ins{&in};
   layer->prepare_batch(ins);
@@ -209,14 +234,34 @@ bool run_outputs(const ReuseCase& rc, int batch, gemm::PackFormat fmt,
 }
 
 /// Batch-fused vs per-item outputs, bytewise, in the SAME precision: the
-/// strip-grouping contract holds for quantized images exactly as for fp32.
-bool bit_identical(const ReuseCase& rc, int batch, gemm::PackFormat fmt) {
+/// strip-grouping contract holds for quantized and sparse images exactly
+/// as for fp32.
+bool bit_identical(const ReuseCase& rc, int batch, gemm::PackFormat fmt,
+                   int sparsity_pm = 1000) {
   std::vector<float> batched, per_item;
-  if (!run_outputs(rc, batch, fmt, true, &batched)) return false;
-  if (!run_outputs(rc, batch, fmt, false, &per_item)) return false;
+  if (!run_outputs(rc, batch, fmt, true, &batched, sparsity_pm)) return false;
+  if (!run_outputs(rc, batch, fmt, false, &per_item, sparsity_pm))
+    return false;
   return batched.size() == per_item.size() &&
          std::memcmp(batched.data(), per_item.data(),
                      batched.size() * sizeof(float)) == 0;
+}
+
+/// The sparse-correctness gate: the fp32 skip-aware path over a resident
+/// sparse image must be BIT-IDENTICAL to the dense fp32-resident path over
+/// weights pruned by the same mask — skipping a zeroed block is
+/// arithmetically invisible.
+bool sparse_matches_pruned_dense(const ReuseCase& rc, int sparsity_pm) {
+  std::vector<float> sparse_out, dense_pruned;
+  if (!run_outputs(rc, 1, gemm::PackFormat::SparseF32, false, &sparse_out,
+                   sparsity_pm))
+    return false;
+  if (!run_outputs(rc, 1, gemm::PackFormat::F32, false, &dense_pruned, 1000,
+                   sparsity_pm))
+    return false;
+  return sparse_out.size() == dense_pruned.size() &&
+         std::memcmp(sparse_out.data(), dense_pruned.data(),
+                     sparse_out.size() * sizeof(float)) == 0;
 }
 
 double ulp_distance(float a, float b) {
@@ -235,11 +280,12 @@ double ulp_distance(float a, float b) {
 /// tiny references while being numerically fine — those are governed by
 /// the absolute-error gate instead. Same definition as the selector's
 /// accuracy check.
-Accuracy measure_accuracy(const ReuseCase& rc, gemm::PackFormat fmt) {
+Accuracy measure_accuracy(const ReuseCase& rc, gemm::PackFormat fmt,
+                          int sparsity_pm = 1000) {
   Accuracy acc;
   std::vector<float> ref, quant;
   run_outputs(rc, 1, gemm::PackFormat::F32, false, &ref);
-  run_outputs(rc, 1, fmt, false, &quant);
+  run_outputs(rc, 1, fmt, false, &quant, sparsity_pm);
   for (std::size_t i = 0; i < ref.size(); ++i)
     acc.max_abs_ref = std::max(acc.max_abs_ref,
                                static_cast<double>(std::fabs(ref[i])));
@@ -266,12 +312,20 @@ int main(int argc, char** argv) {
   const bool check = args.get_bool("check", false);
   const std::string fmt_name = args.get("format", "f32");
   gemm::PackFormat fmt = gemm::PackFormat::F32;
+  int sparsity_pm = 1000;
   if (fmt_name == "bf16") {
     fmt = gemm::PackFormat::Bf16;
   } else if (fmt_name == "int8") {
     fmt = gemm::PackFormat::Int8PerChannel;
+  } else if (fmt_name == "sparse50") {
+    fmt = gemm::PackFormat::SparseF32;
+    sparsity_pm = 500;
+  } else if (fmt_name == "sparse25") {
+    fmt = gemm::PackFormat::SparseF32;
+    sparsity_pm = 250;
   } else if (fmt_name != "f32") {
-    std::fprintf(stderr, "unknown --format=%s (f32|bf16|int8)\n",
+    std::fprintf(stderr,
+                 "unknown --format=%s (f32|bf16|int8|sparse50|sparse25)\n",
                  fmt_name.c_str());
     return 1;
   }
@@ -335,20 +389,29 @@ int main(int argc, char** argv) {
   bool ok = true;
   for (const ReuseCase& rc : cases) {
     const gemm::PackFormat case_fmt = rc.fc ? gemm::PackFormat::F32 : fmt;
+    const bool case_sparse = gemm::pack_format_sparse(case_fmt);
     const bool case_quant = case_fmt != gemm::PackFormat::F32;
     // Accuracy vs the fp32 reference, once per case (per-item path; the
     // batch paths are bitwise-identical to it by the gate below).
     Accuracy acc;
-    if (case_quant) acc = measure_accuracy(rc, case_fmt);
+    if (case_quant) acc = measure_accuracy(rc, case_fmt, sparsity_pm);
+    if (case_sparse && !sparse_matches_pruned_dense(rc, sparsity_pm)) {
+      std::fprintf(stderr,
+                   "FAIL %s (sparse): fp32 sparse path is not bit-identical "
+                   "to the dense fp32-resident path over pruned weights\n",
+                   rc.name.c_str());
+      ok = false;
+    }
     double base = 0.0, at4 = 0.0;
     double f32_base = 0.0, f32_at4 = 0.0;
     for (int batch : batches) {
       // Bit-identity is checked PER batch size: strip/item-boundary
       // arithmetic differs with N' = N×batch, so a defect could manifest
       // at one batch size only.
-      const bool bits = batch == 1 || bit_identical(rc, batch, case_fmt);
+      const bool bits =
+          batch == 1 || bit_identical(rc, batch, case_fmt, sparsity_pm);
       if (!bits) ok = false;
-      const Measurement m = measure(rc, machine, batch, case_fmt);
+      const Measurement m = measure(rc, machine, batch, case_fmt, sparsity_pm);
       // Quantized runs price their fp32-resident baseline alongside, for
       // the reduction-vs-f32 column and the --check ratio gates.
       double f32_dram = m.weight_dram_bytes_per_item;
@@ -379,6 +442,8 @@ int main(int argc, char** argv) {
            {"weight_bytes", m.weight_bytes},
            {"weight_bytes_packed", m.weight_bytes_packed},
            {"pack_format", static_cast<double>(case_fmt)},
+           {"sparsity_pm",
+            static_cast<double>(case_sparse ? sparsity_pm : 1000)},
            {"max_ulp", acc.max_ulp},
            {"max_abs_err", acc.max_abs_err},
            {"arithmetic_intensity", m.arithmetic_intensity},
@@ -394,13 +459,16 @@ int main(int argc, char** argv) {
     }
     if (case_quant) {
       // Traffic gates: the reduced stream must deliver its compression at
-      // batch 4 versus the fp32-resident baseline.
+      // batch 4 versus the fp32-resident baseline. For the sparse formats
+      // the target is density-proportional with a +0.05 allowance for the
+      // bitmap/offset metadata and partially-filled lines.
       const double need =
-          case_fmt == gemm::PackFormat::Bf16 ? 1.8 : 3.5;
+          case_sparse ? 1.0 / (sparsity_pm / 1000.0 + 0.05)
+                      : (case_fmt == gemm::PackFormat::Bf16 ? 1.8 : 3.5);
       if (f32_at4 > 0 && at4 > f32_at4 / need) {
         std::fprintf(stderr,
                      "FAIL %s (%s): batch-4 weight DRAM %.0f misses the "
-                     "%.1fx reduction vs fp32-resident %.0f\n",
+                     "%.2fx reduction vs fp32-resident %.0f\n",
                      rc.name.c_str(), gemm::to_string(case_fmt), at4, need,
                      f32_at4);
         ok = false;
@@ -433,6 +501,22 @@ int main(int argc, char** argv) {
                      core::kInt8OutputRelTol, acc.max_abs_ref);
         ok = false;
       }
+      // Sparse accuracy is REPORTED (max_abs_err in the JSON), not gated:
+      // the bench forces the sparse plan onto incompressible random
+      // weights, where a low-density prune legitimately exceeds the
+      // selector's admission ceiling — at serving time the selector's
+      // functional gate rejects such a layer and the dense sibling runs.
+      // The sparse correctness gate is the pruned-dense bit-identity above.
+      if (case_sparse &&
+          acc.max_abs_err > static_cast<double>(core::kSparseOutputRelTol) *
+                                acc.max_abs_ref) {
+        std::printf(
+            "note: %s (%s) max abs err %.4f exceeds the selector admission "
+            "ceiling (%.2f of max |ref|) — the selector would keep this "
+            "layer dense\n",
+            rc.name.c_str(), gemm::to_string(case_fmt), acc.max_abs_err,
+            core::kSparseOutputRelTol);
+      }
     }
   }
   table.print();
@@ -442,7 +526,8 @@ int main(int argc, char** argv) {
       "sit at <= 0.5x batch 1; batch-fused outputs are bit-identical to the "
       "per-item path. Reduced formats additionally halve (bf16) / quarter "
       "(int8) the resident stream vs fp32 while staying inside the pinned "
-      "accuracy gates.\n");
+      "accuracy gates; the sparse formats shrink it ~density-fold and the "
+      "fp32 sparse path stays bit-identical to dense-over-pruned-weights.\n");
   if (!json.write()) return 1;
   if (check && !ok) {
     std::fprintf(stderr, "weight-reuse check FAILED\n");

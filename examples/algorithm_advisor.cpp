@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   }
   table.print("per-layer BackendPlan (fastest simulated backend):");
 
-  int wino = 0, direct = 0, g3 = 0, g6 = 0, fused = 0, quant = 0;
+  int wino = 0, direct = 0, g3 = 0, g6 = 0, fused = 0, quant = 0, sparse = 0;
   for (const auto& e : plan.entries) {
     switch (e.backend) {
       case core::Backend::Winograd: ++wino; break;
@@ -75,10 +75,13 @@ int main(int argc, char** argv) {
       case core::Backend::FusedWinograd: ++fused; break;
       case core::Backend::Gemm6Bf16:
       case core::Backend::Gemm6Int8: ++quant; break;
+      case core::Backend::Gemm6Sparse:
+      case core::Backend::Gemm6SparseBf16: ++sparse; break;
     }
   }
-  std::printf("\nsummary: fused=%d quantized=%d winograd=%d direct=%d gemm3=%d "
-              "gemm6=%d — no one-size-fits-all (paper §II-B/§VII-A)\n",
-              fused, quant, wino, direct, g3, g6);
+  std::printf("\nsummary: fused=%d quantized=%d sparse=%d winograd=%d "
+              "direct=%d gemm3=%d gemm6=%d — no one-size-fits-all (paper "
+              "§II-B/§VII-A)\n",
+              fused, quant, sparse, wino, direct, g3, g6);
   return 0;
 }

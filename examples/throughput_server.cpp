@@ -27,6 +27,8 @@
 //                       [--threads=0 (hardware)] [--input=96] [--vlen=512]
 //                       [--policy=plan|fused|winograd|opt6]
 //                       [--precision=f32|bf16|int8]
+//                       [--sparsity=0 (block-sparse weight density in
+//                        (0,1); 0 = dense)]
 //                       [--machine=a64fx|rvv|sve]
 //                       [--max-wait-ms=2] [--deadline-ms=0 (none)]
 //                       [--queue-cap=64] [--block (block-when-full)]
@@ -61,6 +63,7 @@ int main(int argc, char** argv) {
   const auto vlen = static_cast<unsigned>(args.get_int("vlen", 512));
   const std::string policy = args.get("policy", "plan");
   const std::string precision = args.get("precision", "f32");
+  const double sparsity = args.get_double("sparsity", 0.0);
   const std::string machine_name = args.get("machine", "a64fx");
   const double max_wait_ms = args.get_double("max-wait-ms", 2.0);
   const double deadline_ms = args.get_double("deadline-ms", 0.0);
@@ -130,6 +133,15 @@ int main(int argc, char** argv) {
                  precision.c_str());
     return 1;
   }
+  // One-flag sparsity knob, composable with --precision: route the
+  // Gemm6-family convs through block-sparse resident images pruned to the
+  // given density (e.g. --sparsity=0.5 keeps half the 4x16 weight blocks;
+  // int8 entries stay dense). 0 leaves the plan dense.
+  if (sparsity < 0.0 || sparsity > 1.0) {
+    std::fprintf(stderr, "error: --sparsity=%g must be in [0,1]\n", sparsity);
+    return 1;
+  }
+  if (sparsity > 0.0) plan = plan.with_sparsity(sparsity);
 
   core::ConvolutionEngine engine(plan);
   runtime::SchedulerConfig cfg;

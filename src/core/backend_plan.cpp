@@ -1,5 +1,6 @@
 #include "core/backend_plan.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/conv_engine.hpp"
@@ -18,39 +19,51 @@ const char* to_string(Backend b) {
     case Backend::Direct: return "direct";
     case Backend::Gemm6Bf16: return "fused-gemm6-bf16";
     case Backend::Gemm6Int8: return "fused-gemm6-int8";
+    case Backend::Gemm6Sparse: return "fused-gemm6-sparse";
+    case Backend::Gemm6SparseBf16: return "fused-gemm6-sparse-bf16";
   }
   return "?";
 }
 
 bool backend_fuses(Backend b) {
   return b == Backend::FusedGemm6 || b == Backend::FusedWinograd ||
-         backend_quantized(b);
+         backend_quantized(b) || backend_sparse(b);
 }
 
 bool backend_gemm6_family(Backend b) {
   return b == Backend::Gemm6 || b == Backend::FusedGemm6 ||
-         backend_quantized(b);
+         backend_quantized(b) || backend_sparse(b);
 }
 
 bool backend_quantized(Backend b) {
   return b == Backend::Gemm6Bf16 || b == Backend::Gemm6Int8;
 }
 
+bool backend_sparse(Backend b) {
+  return b == Backend::Gemm6Sparse || b == Backend::Gemm6SparseBf16;
+}
+
 gemm::PackFormat backend_pack_format(Backend b) {
-  if (b == Backend::Gemm6Bf16) return gemm::PackFormat::Bf16;
-  if (b == Backend::Gemm6Int8) return gemm::PackFormat::Int8PerChannel;
-  return gemm::PackFormat::F32;
+  switch (b) {
+    case Backend::Gemm6Bf16: return gemm::PackFormat::Bf16;
+    case Backend::Gemm6Int8: return gemm::PackFormat::Int8PerChannel;
+    case Backend::Gemm6Sparse: return gemm::PackFormat::SparseF32;
+    case Backend::Gemm6SparseBf16: return gemm::PackFormat::SparseBf16;
+    default: return gemm::PackFormat::F32;
+  }
 }
 
 Backend backend_with_format(Backend b, gemm::PackFormat fmt) {
   if (!backend_gemm6_family(b)) return b;
   switch (fmt) {
     case gemm::PackFormat::F32:
-      // Dropping the quantization restores the fused fp32 backend; plain
-      // Gemm6 stays plain.
-      return backend_quantized(b) ? Backend::FusedGemm6 : b;
+      // Dropping the quantization/sparsity restores the fused fp32 backend;
+      // plain Gemm6 stays plain.
+      return b == Backend::Gemm6 ? b : Backend::FusedGemm6;
     case gemm::PackFormat::Bf16: return Backend::Gemm6Bf16;
     case gemm::PackFormat::Int8PerChannel: return Backend::Gemm6Int8;
+    case gemm::PackFormat::SparseF32: return Backend::Gemm6Sparse;
+    case gemm::PackFormat::SparseBf16: return Backend::Gemm6SparseBf16;
   }
   return b;
 }
@@ -122,9 +135,9 @@ Backend BackendPlan::backend_for(const dnn::ConvDesc& d) const {
 bool BackendPlan::weight_resident_for(const dnn::ConvDesc& d) const {
   const Backend b = backend_for(d);
   if (!backend_gemm6_family(b)) return false;
-  // A quantized backend is weight-resident by definition: the reduced-
-  // precision image only exists as a prepare()-time cache entry.
-  if (backend_quantized(b)) return true;
+  // A quantized or sparse backend is weight-resident by definition: the
+  // reduced/pruned image only exists as a prepare()-time cache entry.
+  if (backend_quantized(b) || backend_sparse(b)) return true;
   if (const PlanEntry* e = find(d);
       e != nullptr && backend_eligible(e->backend, d))
     return e->weight_resident;
@@ -150,6 +163,28 @@ BackendPlan BackendPlan::with_precision(gemm::PackFormat fmt) const {
     if (backend_gemm6_family(e.backend)) {
       e.backend = backend_with_format(e.backend, fmt);
       if (backend_quantized(e.backend)) e.weight_resident = true;
+    }
+  return p;
+}
+
+BackendPlan BackendPlan::with_sparsity(double density) const {
+  BackendPlan p = *this;
+  const int pm = static_cast<int>(density * 1000.0 + 0.5);
+  p.sparsity_pm = std::clamp(pm, 1, 1000);
+  const auto sparsify = [](Backend b) {
+    if (b == Backend::Gemm6Int8) return b;  // no sparse integer kernel
+    if (b == Backend::Gemm6Bf16 || b == Backend::Gemm6SparseBf16)
+      return Backend::Gemm6SparseBf16;
+    return backend_gemm6_family(b) ? Backend::Gemm6Sparse : b;
+  };
+  if (backend_gemm6_family(p.fallback_gemm)) {
+    p.fallback_gemm = sparsify(p.fallback_gemm);
+    if (backend_sparse(p.fallback_gemm)) p.fallback_weight_resident = true;
+  }
+  for (PlanEntry& e : p.entries)
+    if (backend_gemm6_family(e.backend)) {
+      e.backend = sparsify(e.backend);
+      if (backend_sparse(e.backend)) e.weight_resident = true;
     }
   return p;
 }

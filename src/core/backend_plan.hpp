@@ -29,6 +29,8 @@ enum class Backend {
   Direct,         ///< direct convolution (no im2col; best for tiny channels)
   Gemm6Bf16,      ///< FusedGemm6 over a bf16 resident weight image
   Gemm6Int8,      ///< FusedGemm6 over an int8 per-channel resident image
+  Gemm6Sparse,    ///< FusedGemm6 over a block-sparse fp32 resident image
+  Gemm6SparseBf16,///< block-sparse resident image with bf16 values
 };
 
 const char* to_string(Backend b);
@@ -44,6 +46,12 @@ const char* to_string(Backend b);
 /// are the only backends exempt from the fp32 bit-exactness contract; their
 /// outputs are instead held to the selector's accuracy budget.
 [[nodiscard]] bool backend_quantized(Backend b);
+
+/// True for the block-sparse (magnitude-pruned) backends. Like the
+/// quantized kinds they are accuracy-budgeted and residency-or-nothing;
+/// unlike them Gemm6Sparse stays bit-identical to dense FusedGemm6 over the
+/// block-pruned weights — the lossy step is the prune, not the kernel.
+[[nodiscard]] bool backend_sparse(Backend b);
 
 /// Storage format of the resident weight image backend `b` consumes.
 [[nodiscard]] gemm::PackFormat backend_pack_format(Backend b);
@@ -126,6 +134,12 @@ struct BackendPlan {
   /// Byte budget of the engine's pack-once weight cache (LRU beyond it).
   std::size_t packed_weight_budget = gemm::PackedWeightCache::kDefaultBudgetBytes;
 
+  /// Block-prune density (per-mille) of the plan's sparse routes: the
+  /// fraction of 4x16 weight blocks a Gemm6Sparse* layer keeps. 1000 (all
+  /// blocks) when no route is sparse; installed into every context's Gemm6
+  /// so sparse residency lookups and prepare() agree on the key.
+  int sparsity_pm = 1000;
+
   /// Per-layer table, matched by conv_shape_key.
   std::vector<PlanEntry> entries;
 
@@ -154,6 +168,17 @@ struct BackendPlan {
   /// weight-resident: the reduced image IS the backend. Non-GEMM routes
   /// (Winograd, Direct, Naive/Gemm3) are left untouched.
   [[nodiscard]] BackendPlan with_precision(gemm::PackFormat fmt) const;
+
+  /// Copy of the plan with every Gemm6-family conv route switched to its
+  /// block-sparse variant at `density` (fraction of 4x16 blocks kept, in
+  /// (0, 1]) — the serving tools' `--sparsity=0.5` knob. Precision
+  /// composes: bf16 routes become Gemm6SparseBf16, fp32/fused routes
+  /// Gemm6Sparse; int8 routes are left dense (no sparse integer kernel —
+  /// the scale fold and the skip walk would fight over the epilogue).
+  /// Sparse routes are forced weight-resident: the pruned image IS the
+  /// backend, and a residency miss falls back to the dense sibling at run
+  /// time.
+  [[nodiscard]] BackendPlan with_sparsity(double density) const;
 
   /// Printable per-layer table (one line per entry + the fallback), for
   /// serving startup logs and the advisor examples.

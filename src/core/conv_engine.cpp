@@ -39,6 +39,9 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
   // is a weight matrix by construction; the generic gemm6_fn (FC layers,
   // base path) must not guess.
   st->gemm6->set_weight_cache(&packed_cache_);
+  // Sparse routes key their residency lookups by the plan's prune density;
+  // installing it here keeps the conv_fused signature density-free.
+  st->gemm6->set_sparsity_pm(plan->sparsity_pm);
   st->gemm6_fn = gemm::wrap_gemm6(st->gemm6);
   st->gemm6_conv_fn = [impl = st->gemm6](vla::VectorEngine& eng, int M, int N,
                                          int K, float alpha, const float* A,
@@ -92,10 +95,13 @@ void ConvolutionEngine::install(dnn::ExecContext& ctx,
       }
       case Backend::Gemm6Bf16:
       case Backend::Gemm6Int8:
+      case Backend::Gemm6Sparse:
+      case Backend::Gemm6SparseBf16:
       case Backend::FusedGemm6:
-        // Quantized kinds run the same fused kernel over the format-tagged
-        // resident image; a missing image (budget-evicted, or weights not
-        // prepared) silently falls back to the fp32 path inside the kernel.
+        // Quantized and sparse kinds run the same fused kernel over the
+        // format-tagged resident image; a missing image (budget-evicted, or
+        // weights not prepared) silently falls back to the dense fp32 path
+        // inside the kernel.
         if (st->gemm6->conv_fused(eng, d, weights, input, output, &epi,
                                   backend_pack_format(b)))
           return dnn::ConvStatus::RanFused;
@@ -147,11 +153,14 @@ void ConvolutionEngine::prepare(const dnn::Network& net) {
     if (any_winograd &&
         (b == Backend::Winograd || b == Backend::FusedWinograd))
       weight_cache_.prepare(conv->desc(), conv->weights());
-    if (plan_->weight_resident_for(conv->desc()))
+    if (plan_->weight_resident_for(conv->desc())) {
+      const gemm::PackFormat fmt = backend_pack_format(b);
       packed_cache_.prepare(conv->weights(), conv->desc().gemm_m(),
                             conv->desc().gemm_k(),
-                            plan_->opt6.blocks.block_k,
-                            backend_pack_format(b));
+                            plan_->opt6.blocks.block_k, fmt,
+                            gemm::pack_format_sparse(fmt) ? plan_->sparsity_pm
+                                                          : 1000);
+    }
   }
 }
 
@@ -159,9 +168,13 @@ void ConvolutionEngine::prepare(const dnn::ConvDesc& d, const float* weights) {
   const Backend b = plan_->backend_for(d);
   if (b == Backend::Winograd || b == Backend::FusedWinograd)
     weight_cache_.prepare(d, weights);
-  if (plan_->weight_resident_for(d))
+  if (plan_->weight_resident_for(d)) {
+    const gemm::PackFormat fmt = backend_pack_format(b);
     packed_cache_.prepare(weights, d.gemm_m(), d.gemm_k(),
-                          plan_->opt6.blocks.block_k, backend_pack_format(b));
+                          plan_->opt6.blocks.block_k, fmt,
+                          gemm::pack_format_sparse(fmt) ? plan_->sparsity_pm
+                                                        : 1000);
+  }
 }
 
 }  // namespace vlacnn::core

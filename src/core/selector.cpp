@@ -1,5 +1,6 @@
 #include "core/selector.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -36,7 +37,7 @@ std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
                                const sim::MachineConfig& machine,
                                const gemm::Opt6Config& o6,
                                std::uint64_t input_seed,
-                               bool weight_resident) {
+                               bool weight_resident, int sparsity_pm = 1000) {
   const std::uint64_t key = conv_shape_key(d);
   sim::SimContext sctx(machine);
   vla::VectorEngine eng(sctx);
@@ -45,6 +46,7 @@ std::uint64_t simulate_backend(Backend backend, const dnn::ConvDesc& d,
 
   BackendPlan bench;
   bench.opt6 = o6;
+  bench.sparsity_pm = sparsity_pm;
   PlanEntry entry;
   entry.shape_key = key;
   entry.backend = backend;
@@ -89,7 +91,8 @@ struct AccuracyStats {
 /// cycle simulations use.
 std::vector<float> run_functional(Backend backend, const dnn::ConvDesc& d,
                                   const gemm::Opt6Config& o6,
-                                  std::uint64_t input_seed) {
+                                  std::uint64_t input_seed,
+                                  int sparsity_pm = 1000) {
   const std::uint64_t key = conv_shape_key(d);
   vla::VectorEngine eng(512);
   dnn::ExecContext ctx(eng);
@@ -97,6 +100,7 @@ std::vector<float> run_functional(Backend backend, const dnn::ConvDesc& d,
 
   BackendPlan bench;
   bench.opt6 = o6;
+  bench.sparsity_pm = sparsity_pm;
   PlanEntry entry;
   entry.shape_key = key;
   entry.backend = backend;
@@ -114,14 +118,17 @@ std::vector<float> run_functional(Backend backend, const dnn::ConvDesc& d,
   return {out.data(), out.data() + out.size()};
 }
 
-/// Compares a quantized backend's layer output against the fp32 fused
-/// reference: the admission check behind the selector's accuracy budget.
+/// Compares a quantized/sparse backend's layer output against the fp32
+/// fused reference: the admission check behind the selector's accuracy
+/// budget.
 AccuracyStats measure_quantized_accuracy(Backend qb, const dnn::ConvDesc& d,
                                          const gemm::Opt6Config& o6,
-                                         std::uint64_t input_seed) {
+                                         std::uint64_t input_seed,
+                                         int sparsity_pm = 1000) {
   const std::vector<float> ref =
       run_functional(Backend::FusedGemm6, d, o6, input_seed);
-  const std::vector<float> quant = run_functional(qb, d, o6, input_seed);
+  const std::vector<float> quant =
+      run_functional(qb, d, o6, input_seed, sparsity_pm);
   AccuracyStats st;
   float max_abs_ref = 0.0f, max_abs_err = 0.0f;
   for (std::size_t i = 0; i < ref.size(); ++i)
@@ -169,10 +176,26 @@ BackendPlan select_per_layer(dnn::Network& net,
   // — a shape the plan never saw could be activation-bound, and
   // batch-fusing one of those costs staging and batch parallelism.
   plan.fc_weight_resident = true;
+  // Sparse routes (entries or just listed candidates) key their residency
+  // by the plan's density; harmless when nothing sparse ends up admitted.
+  if (accuracy.allow_sparse)
+    plan.sparsity_pm = std::clamp(
+        static_cast<int>(accuracy.sparse_density * 1000.0f + 0.5f), 1, 1000);
 
   // Identical shapes get identical candidate simulations, so the cycle
-  // table is memoized per shape key (YOLO repeats its body shapes a lot).
-  std::map<std::uint64_t, PlanEntry> by_shape;
+  // table is memoized — but the key must carry the format axes of the
+  // candidate set (which reduced-precision/sparse kinds the budget admits,
+  // and at what density) alongside the shape: the simulated cost of a shape
+  // is format-specific, and a memo keyed by shape alone would silently hand
+  // a dense entry to a quantized/sparse variant of the same shape.
+  const std::uint64_t sparsity_pm =
+      static_cast<std::uint64_t>(plan.sparsity_pm);
+  const std::uint64_t fmt_sig = (accuracy.allow_bf16 ? 1u : 0u) |
+                                (accuracy.allow_int8 ? 2u : 0u) |
+                                (accuracy.allow_sparse ? 4u : 0u) |
+                                (sparsity_pm << 3);
+  using ShapeFormatKey = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<ShapeFormatKey, PlanEntry> by_shape;
 
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     const auto* conv = dynamic_cast<const dnn::ConvLayer*>(&net.layer(i));
@@ -180,7 +203,7 @@ BackendPlan select_per_layer(dnn::Network& net,
     const dnn::ConvDesc& d = conv->desc();
     const std::uint64_t key = conv_shape_key(d);
 
-    auto it = by_shape.find(key);
+    auto it = by_shape.find({key, fmt_sig});
     if (it == by_shape.end()) {
       const bool weight_bound = conv_weight_bound(d);
       PlanEntry e;
@@ -251,9 +274,43 @@ BackendPlan select_per_layer(dnn::Network& net,
           }
         }
       }
+      // Block-sparse candidates: same weight-bound + pack-stage conditions
+      // as the quantized kinds, plus the kernel's 4-row panel-alignment
+      // requirement. The prune happens functionally first — a candidate
+      // whose pruned output breaks the sparse gate is not even listed —
+      // then the warm sparse pass is priced through the ordinary sim, where
+      // the skip-aware kernel's density-proportional weight stream AND FMA
+      // count show up as real line fills and issue slots. Pack delta: the
+      // fp32 one again (prune + pack both stream the fp32 source once).
+      if (weight_bound && plan.opt6.pack_a && plan.opt6.pack_b &&
+          plan.opt6.blocks.block_m % gemm::kSparseBlockM == 0 &&
+          accuracy.allow_sparse) {
+        const int pm = static_cast<int>(sparsity_pm);
+        for (Backend sb : {Backend::Gemm6Sparse, Backend::Gemm6SparseBf16}) {
+          if (sb == Backend::Gemm6SparseBf16 && !accuracy.allow_bf16)
+            continue;
+          const AccuracyStats st =
+              measure_quantized_accuracy(sb, d, plan.opt6, input_seed, pm);
+          const bool within =
+              st.max_rel <= accuracy.sparse_rel_tol &&
+              (!accuracy.sparse_top1_preserving || st.top1_preserved);
+          if (!within) continue;  // over budget: not even listed
+          const std::uint64_t warm =
+              simulate_backend(sb, d, machine, plan.opt6, input_seed,
+                               /*weight_resident=*/true, pm);
+          const std::uint64_t cycles =
+              warm + fused_pack / static_cast<std::uint64_t>(batch);
+          e.candidates.emplace_back(sb, cycles);
+          if (cycles < best) {
+            best = cycles;
+            e.backend = sb;
+            e.cycles = cycles;
+          }
+        }
+      }
       e.weight_resident = weight_bound && backend_gemm6_family(e.backend) &&
                           plan.opt6.pack_a;
-      it = by_shape.emplace(key, std::move(e)).first;
+      it = by_shape.emplace(ShapeFormatKey{key, fmt_sig}, std::move(e)).first;
     }
 
     PlanEntry e = it->second;

@@ -26,6 +26,15 @@ inline constexpr std::uint32_t kBf16OutputMaxUlp = 1u << 27;
 /// top-1 (argmax-over-channels) check is the classification-preserving
 /// gate the tolerance alone cannot give.
 inline constexpr float kInt8OutputRelTol = 1.0f / 16;   // 2^-4 of max |ref|
+/// Block-sparse backends drop whole 4x16 weight blocks, so the output error
+/// is governed by the pruned mass, not a rounding step: on the selector's
+/// deterministic uniform-random weights (the incompressible worst case — no
+/// real checkpoint's magnitude distribution is that flat) a 0.5-density
+/// prune leaves roughly half the L1 weight mass out of every output
+/// channel. The pinned bound covers that worst case with headroom; plans
+/// built for genuinely pruned checkpoints should pass a far tighter
+/// sparse_rel_tol through the budget instead of relying on this ceiling.
+inline constexpr float kSparseOutputRelTol = 0.75f;
 
 /// Per-plan accuracy budget gating quantized candidates in
 /// select_per_layer. The default admits NONE (fp32-only selection, the
@@ -40,11 +49,28 @@ struct AccuracyBudget {
   /// Require the per-position argmax over output channels to survive int8
   /// quantization (the top-1-preserving criterion).
   bool int8_top1_preserving = true;
+  /// Opt block-sparse candidates in (Gemm6Sparse; plus Gemm6SparseBf16 when
+  /// allow_bf16 is also set) at `sparse_density` (fraction of 4x16 blocks
+  /// kept). Sparse admission uses its own rel gate; top-1 preservation is
+  /// off by default — magnitude pruning at serving time is a deliberate
+  /// accuracy/throughput trade the budget owner opts into.
+  bool allow_sparse = false;
+  float sparse_density = 0.5f;
+  float sparse_rel_tol = kSparseOutputRelTol;
+  bool sparse_top1_preserving = false;
 
   [[nodiscard]] static AccuracyBudget relaxed() {
     AccuracyBudget b;
     b.allow_bf16 = true;
     b.allow_int8 = true;
+    return b;
+  }
+
+  /// Budget admitting sparse candidates at `density` (and nothing else).
+  [[nodiscard]] static AccuracyBudget sparse(float density) {
+    AccuracyBudget b;
+    b.allow_sparse = true;
+    b.sparse_density = density;
     return b;
   }
 };
@@ -87,6 +113,17 @@ struct AccuracyBudget {
 /// warm quantized pass — whose reduced weight stream the MemorySystem
 /// simulation sees directly as fewer DRAM line fills — plus the fp32 pack
 /// delta amortized over `batch`, exactly like the fp32 resident pricing.
+///
+/// allow_sparse adds block-sparse candidates the same way: the skip-aware
+/// kernel's simulation sees both the density-proportional weight stream
+/// (fewer resident-image line fills) AND the density-proportional MAC count
+/// (skipped FMA runs) — the lever neither reduced-precision format has.
+/// Admission is identical in spirit: functional accuracy gate first,
+/// residency-or-nothing at run time (a budget-evicted sparse image falls
+/// back to the dense sibling inside the kernel). The candidate table is
+/// memoized per (shape, format-budget signature), never per shape alone —
+/// a dense sim result must not be silently reused for a quantized/sparse
+/// variant of the same shape.
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
                              std::uint64_t input_seed = 7, int batch = 4,

@@ -167,6 +167,11 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                          float alpha, const APanel& a, const float* b_panel,
                          int b_stride, float* C, int ldc, int i0, int j0,
                          bool beta0, const dnn::EpilogueDesc* epi) {
+  if (a.sparse != nullptr) {
+    micro_kernel_sparse(eng, mc, nc, kc, alpha, a, b_panel, b_stride, C, ldc,
+                        i0, j0, beta0, epi);
+    return;
+  }
   const int unroll = cfg_.unroll_factor;
   // b_stride == -1 flags the packed micro-panel layout (see pack_b_panel).
   const bool b_packed = b_stride < 0;
@@ -248,6 +253,9 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
                   *reinterpret_cast<const std::int8_t*>(a_ptr));
               eng.scalar_ops(1);
               break;
+            case PackFormat::SparseF32:
+            case PackFormat::SparseBf16:
+              break;  // unreachable: sparse panels take micro_kernel_sparse
           }
           if (alpha != 1.0f) {
             av *= alpha;
@@ -271,6 +279,119 @@ void Gemm6::micro_kernel(vla::VectorEngine& eng, int mc, int nc, int kc,
             // Fused shortcut: the skip tensor shares C's layout, so the
             // addend for this tile slice sits at the same offset (kVTmp is
             // dead outside the packing stages).
+            eng.vload(kVB, epi->residual + c_off);
+            eng.vadd(u, u, kVB);
+            dnn::apply_activation_reg(eng, epi->residual_act, u, kVTmp);
+          }
+        }
+        eng.vstore(u, C + c_off);
+      }
+    }
+    j += gvl;
+  }
+}
+
+void Gemm6::micro_kernel_sparse(vla::VectorEngine& eng, int mc, int nc,
+                                int kc, float alpha, const APanel& a,
+                                const float* b_panel, int b_stride, float* C,
+                                int ldc, int i0, int j0, bool beta0,
+                                const dnn::EpilogueDesc* epi) {
+  const PackedWeights& img = *a.sparse;
+  const bool b_packed = b_stride < 0;
+  const int panel_w = static_cast<int>(eng.vlmax());
+  const std::size_t a_elem = img.elem_bytes();
+  const int nchunks = (kc + kSparseBlockK - 1) / kSparseBlockK;
+  // Rows advance in the sparse granule (kSparseBlockM) rather than the
+  // configured unroll: each output element's k-walk is strictly ascending
+  // either way, so the grouping does not change any accumulation order —
+  // only which rows share a bitmap word. run_blocked guarantees i0 is
+  // granule-aligned (block_m % kSparseBlockM == 0).
+  for (int j = 0; j < nc;) {
+    const auto gvl =
+        static_cast<int>(eng.setvl(static_cast<std::size_t>(nc - j)));
+    eng.scalar_ops(2);
+    for (int i = 0; i < mc; i += kSparseBlockM) {
+      const int rows = std::min(kSparseBlockM, mc - i);
+      eng.scalar_ops(3);
+      // One bitmap + offset read per (strip, row block); both words live in
+      // the image's index structure, so the weight-DRAM watch sees them.
+      const std::size_t seg = img.sparse_segment(i0 + i, a.k1);
+      const std::uint64_t* bits_w = img.sparse_bitmap_word(seg);
+      const std::uint64_t* offs_w = img.sparse_offset_word(seg);
+      eng.scalar_mem(bits_w, sizeof(std::uint64_t), false);
+      eng.scalar_mem(offs_w, sizeof(std::uint64_t), false);
+      eng.scalar_ops(2);
+      const std::uint64_t bits = *bits_w;
+      const auto* vals = static_cast<const std::uint8_t*>(img.sparse_values(seg));
+
+      if (cfg_.prefetch) {
+        for (int u = 0; u < rows; ++u)
+          eng.prefetch(C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j,
+                       static_cast<std::size_t>(gvl) * sizeof(float), 1);
+        eng.prefetch(vals, static_cast<std::size_t>(rows) * kSparseBlockK *
+                               a_elem, 2);
+        eng.prefetch(b_panel + static_cast<std::size_t>(j),
+                     static_cast<std::size_t>(gvl) * sizeof(float), 2);
+      }
+
+      for (int u = 0; u < rows; ++u) {
+        if (beta0) {
+          eng.vbroadcast(u, 0.0f);
+        } else {
+          eng.vload(u, C + static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j);
+        }
+      }
+
+      // THE skip: a cleared bit drops the whole 4x16 block — its A loads
+      // AND its 16-iteration FMA run — and the compacted stream means the
+      // kept blocks it jumps between are still contiguous in memory.
+      for (int cb = 0; cb < nchunks; ++cb) {
+        eng.scalar_ops(1);  // the bit test
+        if ((bits & (1ull << cb)) == 0) continue;
+        const int cw = std::min(kSparseBlockK, kc - cb * kSparseBlockK);
+        if (cfg_.prefetch) eng.prefetch(vals, 64, 1);
+        for (int c = 0; c < cw; ++c) {
+          const int k = cb * kSparseBlockK + c;
+          const float* b_addr =
+              b_packed ? b_panel + (static_cast<std::size_t>(j) / panel_w) *
+                                       kc * panel_w +
+                             static_cast<std::size_t>(k) * panel_w
+                       : b_panel + static_cast<std::size_t>(k) * b_stride + j;
+          eng.vload(kVB, b_addr);
+          eng.scalar_ops(2);
+          for (int u = 0; u < rows; ++u) {
+            const std::uint8_t* a_ptr =
+                vals + (static_cast<std::size_t>(u) * cw + c) * a_elem;
+            eng.scalar_mem(a_ptr, a_elem, false);
+            float av;
+            if (img.format() == PackFormat::SparseF32) {
+              std::memcpy(&av, a_ptr, sizeof(float));
+            } else {
+              std::uint16_t h;
+              std::memcpy(&h, a_ptr, sizeof(h));
+              av = f32_from_bf16(h);
+              eng.scalar_ops(1);
+            }
+            if (alpha != 1.0f) {
+              av *= alpha;
+              eng.scalar_ops(1);
+            }
+            eng.vfma_scalar(u, av, kVB);
+          }
+        }
+        vals += static_cast<std::size_t>(rows) * cw * a_elem;
+      }
+
+      // beta0 stores and the one-pass epilogue run for EVERY row block,
+      // occupied or not — a fully pruned block still owns its output rows.
+      for (int u = 0; u < rows; ++u) {
+        const std::size_t c_off =
+            static_cast<std::size_t>(i0 + i + u) * ldc + j0 + j;
+        if (epi != nullptr) {
+          dnn::apply_channel_epilogue(
+              eng, *epi, epi_params_[static_cast<std::size_t>(i0 + i + u)], u,
+              kVB);
+          if (epi->residual != nullptr) {
             eng.vload(kVB, epi->residual + c_off);
             eng.vadd(u, u, kVB);
             dnn::apply_activation_reg(eng, epi->residual_act, u, kVTmp);
@@ -394,9 +515,15 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
   const bool cache_ok = a_is_weights && weight_cache_ != nullptr &&
                         cfg_.pack_a && A != nullptr && lda == K;
   std::shared_ptr<const PackedWeights> resident;
+  // A sparse image's row blocks live on a global kSparseBlockM grid, so
+  // every M panel must start 4-row aligned; an exotic unroll that breaks
+  // that simply treats the sparse request as a miss (dense sibling below).
+  const bool sparse_req = pack_format_sparse(a_fmt);
   if (cache_ok && a_fmt != PackFormat::F32 &&
-      weight_cache_->maybe_resident())
-    resident = weight_cache_->find(A, M, K, bs.block_k, a_fmt);
+      weight_cache_->maybe_resident() &&
+      (!sparse_req || bs.block_m % kSparseBlockM == 0))
+    resident = weight_cache_->find(A, M, K, bs.block_k, a_fmt,
+                                   sparse_req ? sparsity_pm_ : 1000);
   if (!resident) a_fmt = PackFormat::F32;
   if (cache_ok && !resident && weight_cache_->maybe_resident())
     resident = weight_cache_->find(A, M, K, bs.block_k);
@@ -501,7 +628,11 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
           const int mc = std::min(bs.block_m, M - i1);
           vla::VectorEngine& weng = worker_engine(w, vlen);
           APanel ap;
-          if (resident) {
+          if (resident && resident->sparse()) {
+            ap.fmt = resident->format();
+            ap.sparse = resident.get();
+            ap.k1 = k1;
+          } else if (resident) {
             ap = {resident->panel_raw(i1, k1, kc), kc, resident->format()};
           } else if (cfg_.pack_a) {
             float* buf = worker_pack_a(w);
@@ -520,7 +651,11 @@ void Gemm6::run_blocked(vla::VectorEngine& eng, int M, int N, int K,
       for (int i1 = 0; i1 < M; i1 += bs.block_m) {
         const int mc = std::min(bs.block_m, M - i1);
         APanel ap;
-        if (resident) {
+        if (resident && resident->sparse()) {
+          ap.fmt = resident->format();
+          ap.sparse = resident.get();
+          ap.k1 = k1;
+        } else if (resident) {
           ap = {resident->panel_raw(i1, k1, kc), kc, resident->format()};
         } else if (cfg_.pack_a) {
           pack_a_panel(eng, pack_a_buf_.data(), A, lda, i1, mc, k1, kc);

@@ -86,6 +86,16 @@ class Gemm6 {
   /// the epilogue stays one pass). Activations, accumulation and C stay
   /// fp32. If no image of that format is resident the call falls back to
   /// the fp32 path — quantization never happens on the hot path.
+  ///
+  /// The sparse formats (SparseF32 / SparseBf16, looked up at the density
+  /// set via set_sparsity_pm) route the A side through the skip-aware
+  /// micro-kernel: per 4-row block it reads the panel's occupancy bitmap
+  /// and walks only the kept 16-column chunks of the compacted value
+  /// stream — a pruned block skips both its A loads and its FMA run, so
+  /// weight traffic AND MACs scale with density. The epilogue is unchanged
+  /// (beta0 stores and the one-pass EpilogueDesc run for every row block,
+  /// occupied or not), and a sparse miss falls back to the dense chain
+  /// like any other non-resident format.
   bool conv_fused(vla::VectorEngine& eng, const dnn::ConvDesc& d,
                   const float* weights, const float* input, float* output,
                   const dnn::EpilogueDesc* epi,
@@ -123,6 +133,12 @@ class Gemm6 {
   /// resident image is immutable.
   void set_weight_cache(PackedWeightCache* cache) { weight_cache_ = cache; }
 
+  /// Block-prune density (per-mille) used to key sparse-format residency
+  /// lookups; a plan's sparsity is installed here once, not threaded through
+  /// every conv_fused call.
+  void set_sparsity_pm(int pm) { sparsity_pm_ = pm; }
+  [[nodiscard]] int sparsity_pm() const { return sparsity_pm_; }
+
   [[nodiscard]] const Opt6Config& config() const { return cfg_; }
 
  private:
@@ -142,6 +158,11 @@ class Gemm6 {
     const void* data = nullptr;
     int stride = 0;  ///< row stride in ELEMENTS (kc when packed, lda else)
     PackFormat fmt = PackFormat::F32;
+    /// Sparse resident image + the panel's column origin: the micro-kernel
+    /// reads the (panel, row-block) bitmap/offset words itself. data/stride
+    /// are unused when set.
+    const PackedWeights* sparse = nullptr;
+    int k1 = 0;
   };
 
   void run_blocked(vla::VectorEngine& eng, int M, int N, int K, float alpha,
@@ -163,6 +184,12 @@ class Gemm6 {
                     float alpha, const APanel& a, const float* b_panel,
                     int b_stride, float* C, int ldc, int i0, int j0,
                     bool beta0, const dnn::EpilogueDesc* epi);
+  /// Skip-aware variant consuming a sparse resident image (a.sparse set):
+  /// walks only occupied 4×16 blocks of each A panel.
+  void micro_kernel_sparse(vla::VectorEngine& eng, int mc, int nc, int kc,
+                           float alpha, const APanel& a, const float* b_panel,
+                           int b_stride, float* C, int ldc, int i0, int j0,
+                           bool beta0, const dnn::EpilogueDesc* epi);
 
   vla::VectorEngine& worker_engine(int w, unsigned vlen_bits);
   float* worker_pack_a(int w);
@@ -173,6 +200,7 @@ class Gemm6 {
   AlignedBuffer<float> batch_c_buf_;  ///< staged M×N' of conv_fused_batch
   sim::RegisteredRange pa_reg_, pb_reg_, bc_reg_;
   PackedWeightCache* weight_cache_ = nullptr;
+  int sparsity_pm_ = 1000;
 
   runtime::ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<vla::VectorEngine>> worker_engines_;

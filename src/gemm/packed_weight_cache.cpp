@@ -12,6 +12,8 @@ const char* to_string(PackFormat f) {
     case PackFormat::F32: return "f32";
     case PackFormat::Bf16: return "bf16";
     case PackFormat::Int8PerChannel: return "int8";
+    case PackFormat::SparseF32: return "sparse-f32";
+    case PackFormat::SparseBf16: return "sparse-bf16";
   }
   return "?";
 }
@@ -32,10 +34,69 @@ std::int8_t quantize_int8(float x, float inv_scale) {
 
 }  // namespace
 
+std::vector<std::uint8_t> prune_block_mask(const float* weights, int m, int k,
+                                           int block_k, int density_pm) {
+  VLACNN_REQUIRE(density_pm >= 1 && density_pm <= 1000,
+                 "block-prune density must be in (0, 1000] per-mille");
+  const SparseGrid g(m, k, block_k);
+  std::vector<std::uint8_t> mask(g.size(), 0);
+  // L1 mass per valid block, ranked descending (ties by lower index so the
+  // mask — and therefore the packed image — is fully deterministic).
+  std::vector<std::pair<double, std::size_t>> rank;
+  rank.reserve(g.valid_blocks());
+  for (int pk = 0; pk < g.num_pk; ++pk) {
+    const int k1 = pk * block_k;
+    for (int rb = 0; rb < g.num_rb; ++rb) {
+      const int r0 = rb * kSparseBlockM, rows = g.rows(rb);
+      for (int cb = 0; cb < g.chunks(pk); ++cb) {
+        const int c0 = k1 + cb * kSparseBlockK, cols = g.cols(pk, cb);
+        double mag = 0.0;
+        for (int r = 0; r < rows; ++r) {
+          const float* row = weights + static_cast<std::size_t>(r0 + r) * k + c0;
+          for (int c = 0; c < cols; ++c) mag += std::fabs(row[c]);
+        }
+        rank.emplace_back(mag, g.index(pk, rb, cb));
+      }
+    }
+  }
+  const std::size_t kept =
+      (rank.size() * static_cast<std::size_t>(density_pm) + 999) / 1000;
+  std::stable_sort(rank.begin(), rank.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  for (std::size_t i = 0; i < kept && i < rank.size(); ++i)
+    mask[rank[i].second] = 1;
+  return mask;
+}
+
+void apply_block_mask(float* weights, int m, int k, int block_k,
+                      const std::vector<std::uint8_t>& mask) {
+  const SparseGrid g(m, k, block_k);
+  VLACNN_REQUIRE(mask.size() == g.size(), "block mask / grid mismatch");
+  for (int pk = 0; pk < g.num_pk; ++pk)
+    for (int rb = 0; rb < g.num_rb; ++rb)
+      for (int cb = 0; cb < g.chunks(pk); ++cb) {
+        if (mask[g.index(pk, rb, cb)]) continue;
+        const int r0 = rb * kSparseBlockM, rows = g.rows(rb);
+        const int c0 = pk * block_k + cb * kSparseBlockK, cols = g.cols(pk, cb);
+        for (int r = 0; r < rows; ++r)
+          std::memset(weights + static_cast<std::size_t>(r0 + r) * k + c0, 0,
+                      static_cast<std::size_t>(cols) * sizeof(float));
+      }
+}
+
 PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k,
-                             PackFormat format)
-    : m_(m), k_(k), block_k_(block_k), format_(format) {
+                             PackFormat format, int density_pm)
+    : m_(m), k_(k), block_k_(block_k), format_(format),
+      density_pm_(pack_format_sparse(format) ? density_pm : 1000) {
   VLACNN_REQUIRE(m >= 1 && k >= 1 && block_k >= 1, "bad packed-weight dims");
+  if (pack_format_sparse(format)) {
+    pack_sparse(weights);
+    reg_ = sim::RegisteredRange(data_.data(), data_.size());
+    meta_reg_ = sim::RegisteredRange(sparse_meta_.data(),
+                                     sparse_meta_.size() * sizeof(std::uint64_t));
+    return;
+  }
   data_.resize(static_cast<std::size_t>(m) * k * elem_bytes());
   // Int8 scales come first and cover the WHOLE row: the quantized value of
   // a weight must not depend on which k-block a later sweep reads it from.
@@ -72,6 +133,9 @@ PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k,
             out[c] = quantize_int8(src[c], inv_scale);
           break;
         }
+        case PackFormat::SparseF32:
+        case PackFormat::SparseBf16:
+          break;  // unreachable: sparse formats take pack_sparse above
       }
     }
   }
@@ -79,6 +143,56 @@ PackedWeights::PackedWeights(const float* weights, int m, int k, int block_k,
   if (!scales_.empty())
     scales_reg_ = sim::RegisteredRange(scales_.data(),
                                        scales_.size() * sizeof(float));
+}
+
+void PackedWeights::pack_sparse(const float* weights) {
+  const SparseGrid g(m_, k_, block_k_);
+  VLACNN_REQUIRE(g.chunk_cap <= 64,
+                 "sparse block bitmap needs block_k <= 64*kSparseBlockK");
+  const auto mask = prune_block_mask(weights, m_, k_, block_k_, density_pm_);
+  num_rb_ = static_cast<std::size_t>(g.num_rb);
+  nsegs_ = g.segments();
+  sparse_meta_.resize(2 * nsegs_);
+  sparse_meta_.fill(0);
+  // First sweep sizes the compacted stream and writes bitmaps + offsets.
+  std::size_t cursor = 0;  // elements
+  for (int pk = 0; pk < g.num_pk; ++pk)
+    for (int rb = 0; rb < g.num_rb; ++rb) {
+      const std::size_t seg = static_cast<std::size_t>(pk) * num_rb_ + rb;
+      sparse_meta_[nsegs_ + seg] = cursor;
+      std::uint64_t bits = 0;
+      for (int cb = 0; cb < g.chunks(pk); ++cb)
+        if (mask[g.index(pk, rb, cb)]) {
+          bits |= 1ull << cb;
+          cursor += static_cast<std::size_t>(g.rows(rb)) * g.cols(pk, cb);
+        }
+      sparse_meta_[seg] = bits;
+    }
+  data_.resize(cursor * elem_bytes());
+  // Second sweep copies kept blocks: each a rows×cols row-major tile, blocks
+  // consecutive in (pk, rb, ascending cb) order — the order the skip-aware
+  // microkernel consumes them in.
+  std::uint8_t* out = data_.data();
+  for (int pk = 0; pk < g.num_pk; ++pk)
+    for (int rb = 0; rb < g.num_rb; ++rb)
+      for (int cb = 0; cb < g.chunks(pk); ++cb) {
+        if (!mask[g.index(pk, rb, cb)]) continue;
+        const int r0 = rb * kSparseBlockM, rows = g.rows(rb);
+        const int c0 = pk * block_k_ + cb * kSparseBlockK;
+        const int cols = g.cols(pk, cb);
+        for (int r = 0; r < rows; ++r) {
+          const float* src =
+              weights + static_cast<std::size_t>(r0 + r) * k_ + c0;
+          if (format_ == PackFormat::SparseF32) {
+            std::memcpy(out, src, static_cast<std::size_t>(cols) * 4);
+            out += static_cast<std::size_t>(cols) * 4;
+          } else {
+            auto* dst = reinterpret_cast<std::uint16_t*>(out);
+            for (int c = 0; c < cols; ++c) dst[c] = bf16_from_f32(src[c]);
+            out += static_cast<std::size_t>(cols) * 2;
+          }
+        }
+      }
 }
 
 const float* PackedWeights::data() const {
@@ -94,10 +208,12 @@ const float* PackedWeights::panel(int i1, int k1, int kc) const {
 }
 
 std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
-    const float* weights, int m, int k, int block_k, PackFormat format) {
+    const float* weights, int m, int k, int block_k, PackFormat format,
+    int density_pm) {
+  if (!pack_format_sparse(format)) density_pm = 1000;
   const Key key{weights, m, k, block_k,
-                static_cast<std::uint8_t>(format)};
-  const std::size_t bytes = image_bytes(m, k, format);
+                static_cast<std::uint8_t>(format), density_pm};
+  const std::size_t bytes = image_bytes(m, k, block_k, format, density_pm);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -120,8 +236,8 @@ std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
   // Pack outside the lock: concurrent first-touch of *different* layers
   // proceeds in parallel; a duplicate pack of the same layer is harmless
   // (the images are identical) and the second insert wins nothing.
-  auto image =
-      std::make_shared<const PackedWeights>(weights, m, k, block_k, format);
+  auto image = std::make_shared<const PackedWeights>(weights, m, k, block_k,
+                                                     format, density_pm);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -140,9 +256,11 @@ std::shared_ptr<const PackedWeights> PackedWeightCache::prepare(
 }
 
 std::shared_ptr<const PackedWeights> PackedWeightCache::find(
-    const float* weights, int m, int k, int block_k, PackFormat format) {
+    const float* weights, int m, int k, int block_k, PackFormat format,
+    int density_pm) {
+  if (!pack_format_sparse(format)) density_pm = 1000;
   const Key key{weights, m, k, block_k,
-                static_cast<std::uint8_t>(format)};
+                static_cast<std::uint8_t>(format), density_pm};
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {

@@ -316,23 +316,24 @@ TEST(QuantizedWeights, ConcurrentReadersOfFormatTaggedEntries) {
   const auto w = test::random_vec(static_cast<std::size_t>(m) * k, 41);
   const PackFormat formats[] = {PackFormat::F32, PackFormat::Bf16,
                                 PackFormat::Int8PerChannel};
+  constexpr std::size_t kNumFormats = std::size(formats);
   PackedWeightCache cache;
   for (PackFormat f : formats)
     ASSERT_NE(cache.prepare(w.data(), m, k, block_k, f), nullptr);
 
   constexpr int kThreads = 4;
-  std::vector<std::uint64_t> sums(kThreads * kNumPackFormats, 0);
+  std::vector<std::uint64_t> sums(kThreads * kNumFormats, 0);
   std::vector<std::thread> readers;
   for (int t = 0; t < kThreads; ++t) {
     readers.emplace_back([&, t] {
       for (int rep = 0; rep < 50; ++rep) {
-        for (std::size_t fi = 0; fi < kNumPackFormats; ++fi) {
+        for (std::size_t fi = 0; fi < kNumFormats; ++fi) {
           auto img = cache.find(w.data(), m, k, block_k, formats[fi]);
           ASSERT_NE(img, nullptr);
           const auto* bytes = static_cast<const std::uint8_t*>(img->raw());
           std::uint64_t s = 0;
           for (std::size_t i = 0; i < img->data_bytes(); ++i) s += bytes[i];
-          sums[static_cast<std::size_t>(t) * kNumPackFormats + fi] = s;
+          sums[static_cast<std::size_t>(t) * kNumFormats + fi] = s;
           cache.prepare(w.data(), m, k, block_k, formats[fi]);
         }
       }
@@ -340,10 +341,10 @@ TEST(QuantizedWeights, ConcurrentReadersOfFormatTaggedEntries) {
   }
   for (auto& th : readers) th.join();
   for (int t = 1; t < kThreads; ++t)
-    for (std::size_t fi = 0; fi < kNumPackFormats; ++fi)
+    for (std::size_t fi = 0; fi < kNumFormats; ++fi)
       EXPECT_EQ(sums[fi],
-                sums[static_cast<std::size_t>(t) * kNumPackFormats + fi]);
-  EXPECT_EQ(cache.stats().packs, kNumPackFormats);
+                sums[static_cast<std::size_t>(t) * kNumFormats + fi]);
+  EXPECT_EQ(cache.stats().packs, kNumFormats);
 }
 
 TEST(QuantizedWeights, SelectorAdmitsQuantizedOnlyUnderBudget) {
