@@ -17,12 +17,24 @@
 //                           [--precision=f32|bf16|int8]
 //                           [--sparsity=0 (block-sparse weight density in
 //                            (0,1); 0 = dense)]
+//                           [--scenario=steady|ramp|burst]
 //                           [--json=<path>]
 //
 // Per-request traces also carry the batch's worker occupancy and idle
 // fraction (runtime::ExecStats); their percentiles and quartile histograms
 // land in the JSON so the work-graph executor's overlap shows up in the
 // perf trajectory, and --executor=serial is the apples-to-apples baseline.
+//
+// --scenario=ramp|burst switches to the traffic-shift harness: arrivals
+// come from an inhomogeneous Poisson process (piecewise-constant rate,
+// simulated by thinning) whose rate ramps up from a fraction of capacity to
+// full offered load (ramp) or spikes in the middle of a quiet stream
+// (burst). The identical arrival stream is served twice — online
+// re-planning off, then on (a serve::Replanner watching the batch-size
+// regime and swapping analytically re-priced plans at batch boundaries) —
+// and the p50/p95/p99 latencies plus the replanner's counters land in the
+// table and the JSON record per scenario. This is the harness behind CI's
+// BENCH_replanning.json artifact.
 
 #include <array>
 #include <chrono>
@@ -33,7 +45,9 @@
 #include "bench_common.hpp"
 #include "common/arrival_process.hpp"
 #include "common/percentile.hpp"
+#include "core/selector.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "serve/replanner.hpp"
 #include "serve/server.hpp"
 
 using namespace vlacnn;
@@ -107,6 +121,165 @@ PolicyResult serve_stream(runtime::BatchScheduler& sched, dnn::Network& net,
   return res;
 }
 
+// One pass of the traffic-shift harness: serves the scenario's arrival
+// stream (identical across passes for a given seed) with re-planning off or
+// on, and returns the latency vectors plus the server's merged counters.
+PolicyResult serve_scenario(runtime::BatchScheduler& sched, dnn::Network& net,
+                            const std::vector<PiecewiseRateArrivals::Segment>&
+                                segments,
+                            std::uint64_t seed, serve::Replanner* rp) {
+  serve::ServerConfig cfg;
+  cfg.policy.max_batch = 8;
+  cfg.policy.max_wait = std::chrono::duration_cast<serve::Clock::duration>(
+      std::chrono::duration<double, std::milli>(2.0));
+  cfg.queue_capacity = 512;
+  cfg.block_when_full = true;  // identical stream: never shed
+  cfg.replanner = rp;
+  serve::Server server(sched, net, cfg);
+  server.start();
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  PiecewiseRateArrivals arrivals(seed, segments);
+  const double horizon = arrivals.horizon_seconds();
+  for (std::uint64_t r = 0;; ++r) {
+    const double at = arrivals.next_arrival_seconds();
+    if (at >= horizon) break;
+    std::this_thread::sleep_until(
+        t0 + std::chrono::duration_cast<clock::duration>(
+                 std::chrono::duration<double>(at)));
+    dnn::Tensor in(1, net.in_c(), net.in_h(), net.in_w());
+    in.randomize_item(0, seed + r);
+    server.submit(r, std::move(in));
+  }
+  server.stop();
+
+  PolicyResult res;
+  res.wall_s = std::chrono::duration<double>(clock::now() - t0).count();
+  for (const serve::Completion& c : server.drain_completions()) {
+    res.queue_ms.push_back(c.trace.queue_ms);
+    res.compute_ms.push_back(c.trace.compute_ms);
+    res.total_ms.push_back(c.trace.total_ms);
+    res.occupancy.push_back(c.trace.batch_occupancy);
+    res.idle_frac.push_back(c.trace.worker_idle_frac);
+    res.overlap_starts += c.trace.batch_overlap_starts;
+  }
+  res.stats = server.stats();
+  return res;
+}
+
+int run_scenario(const std::string& scenario, const std::string& model,
+                 int input_hw, int threads, int requests, double load,
+                 double rate_override, std::uint64_t seed,
+                 bench::BenchJson& json) {
+  std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
+  net->fuse_residuals();
+
+  // A per-layer analytic plan priced for batch 1 (the low-traffic regime a
+  // scenario starts in): the structural CostModel ranks in microseconds, no
+  // simulator in the bench loop. The replanner re-prices the same admitted
+  // candidates as the regime shifts.
+  const sim::MachineConfig machine = sim::a64fx();
+  core::BackendPlan tuned;
+  tuned.opt6.blocks = gemm::tune_block_sizes(machine);
+  core::CostModel cm(machine, tuned.opt6);
+  core::BackendPlan plan = core::select_per_layer(
+      *net, machine, 7, /*batch=*/1, {}, core::CostSource::Analytic, &cm);
+
+  core::ConvolutionEngine engine(plan);
+  runtime::SchedulerConfig scfg;
+  scfg.threads = threads;
+  runtime::BatchScheduler sched(engine, scfg);
+
+  double capacity_ips;
+  {
+    dnn::Tensor warm(8, net->in_c(), net->in_h(), net->in_w());
+    warm.randomize_batch(99);
+    sched.run(*net, warm);
+    const auto t0 = std::chrono::steady_clock::now();
+    sched.run(*net, warm);
+    capacity_ips = 8.0 / std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  }
+  const double peak = rate_override > 0.0 ? rate_override : load * capacity_ips;
+
+  // Segment durations sized so the expected arrival count matches
+  // --requests at the scenario's mean rate.
+  std::vector<PiecewiseRateArrivals::Segment> segments;
+  if (scenario == "ramp") {
+    const double mean = 0.625 * peak;  // mean of 0.25..1.0 over 4 steps
+    segments = PiecewiseRateArrivals::ramp(0.25 * peak, peak, 4,
+                                           requests / mean / 4.0);
+  } else {
+    const double mean = (0.4 + 1.0) / 3.0 * peak;  // quiet/spike/quiet thirds
+    const double third = requests / mean / 3.0;
+    segments = PiecewiseRateArrivals::burst(0.2 * peak, peak, third, third);
+  }
+
+  std::printf("== serving latency under traffic shift (%s) ==\n",
+              scenario.c_str());
+  std::printf("model=%s input=%d workers=%d | capacity ~%.1f images/sec, "
+              "peak offered %.1f req/sec | horizon %.1fs\n\n",
+              model.c_str(), input_hw, sched.threads(), capacity_ips, peak,
+              PiecewiseRateArrivals(seed, segments).horizon_seconds());
+  std::printf("%-10s %5s %7s | %8s %8s %8s | %7s %6s %9s %7s\n", "replan",
+              "done", "avg_b", "t_p50", "t_p95", "t_p99", "replans", "swaps",
+              "plan_us", "priced");
+
+  for (const bool replan : {false, true}) {
+    serve::Replanner rp(
+        sched, *net, cm, plan,
+        {/*max_batch=*/8, /*window=*/8, /*hysteresis=*/1.5,
+         /*min_batches=*/6, /*cooldown_batches=*/6});
+    if (replan) rp.start();
+    PolicyResult res =
+        serve_scenario(sched, *net, segments, seed, replan ? &rp : nullptr);
+    if (replan) rp.stop();
+    const auto p = [](const std::vector<double>& v, double q) {
+      return percentile(v, q);
+    };
+    const double avg_b =
+        res.stats.batches > 0
+            ? res.stats.sum_batch_items / static_cast<double>(res.stats.batches)
+            : 0.0;
+    std::printf("%-10s %5llu %7.2f | %8.2f %8.2f %8.2f | %7llu %6llu %9llu "
+                "%7d\n",
+                replan ? "on" : "off",
+                static_cast<unsigned long long>(res.stats.completed), avg_b,
+                p(res.total_ms, 0.50), p(res.total_ms, 0.95),
+                p(res.total_ms, 0.99),
+                static_cast<unsigned long long>(res.stats.plans_recomputed),
+                static_cast<unsigned long long>(res.stats.plan_swaps_applied),
+                static_cast<unsigned long long>(res.stats.last_plan_compute_us),
+                res.stats.plan_priced_batch);
+    json.add(std::string("model=") + model + " scenario=" + scenario +
+                 " replan=" + (replan ? "on" : "off"),
+             res.wall_s * 1e3, 0.0,
+             {{"images_per_sec",
+               static_cast<double>(res.stats.completed) / res.wall_s},
+              {"avg_batch", avg_b},
+              {"queue_p99_ms", p(res.queue_ms, 0.99)},
+              {"compute_p99_ms", p(res.compute_ms, 0.99)},
+              {"total_p50_ms", p(res.total_ms, 0.50)},
+              {"total_p95_ms", p(res.total_ms, 0.95)},
+              {"total_p99_ms", p(res.total_ms, 0.99)},
+              {"plans_recomputed",
+               static_cast<double>(res.stats.plans_recomputed)},
+              {"plan_swaps_applied",
+               static_cast<double>(res.stats.plan_swaps_applied)},
+              {"last_plan_compute_us",
+               static_cast<double>(res.stats.last_plan_compute_us)},
+              {"plan_priced_batch",
+               static_cast<double>(res.stats.plan_priced_batch)}});
+  }
+  std::printf("\nre-planning re-prices the admitted candidates for the "
+              "regime's effective batch and swaps at a batch boundary; "
+              "outputs stay bit-identical (pinned in test_serve).\n");
+  if (!json.write()) return 1;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -122,13 +295,25 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
   const std::string precision = args.get("precision", "f32");
   const std::string executor = args.get("executor", "graph");
+  const std::string scenario = args.get("scenario", "steady");
   bench::BenchJson json("serving_latency", args.get("json", ""));
   if (requests < 1 || load <= 0.0) {
     std::fprintf(stderr, "error: --requests >= 1 and --load > 0 required\n");
     return 1;
   }
+  if (scenario != "steady" && scenario != "ramp" && scenario != "burst") {
+    std::fprintf(stderr, "error: unknown --scenario=%s (steady|ramp|burst)\n",
+                 scenario.c_str());
+    return 1;
+  }
 
   dnn::warn_if_input_resized(model, input_hw);
+  if (scenario != "steady")
+    // Traffic-shift harness: per-layer analytic plan + optional online
+    // re-planning instead of the per-policy sweep (fp32 dense; --precision /
+    // --sparsity / --executor apply to the steady sweep only).
+    return run_scenario(scenario, model, input_hw, threads, requests, load,
+                        rate_override, seed, json);
   std::unique_ptr<dnn::Network> net = dnn::build_model(model, input_hw);
   net->fuse_residuals();
 

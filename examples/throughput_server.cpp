@@ -23,9 +23,17 @@
 // folded into their producing convolutions (Network::fuse_residuals) so
 // models with skip connections serve them in-epilogue.
 //
+// --replan (policy=plan only) wires a serve::Replanner into the loop: the
+// analytic cost model is calibrated once against the simulated plan, then
+// watches the served batch-size histogram and queue depth and re-prices the
+// plan for the observed regime off the hot path, swapping it in between
+// batches (bit-identical outputs). Its counters — plans recomputed, swaps
+// applied, last plan-compute time, per-backend wins of the live plan — are
+// reported and land in --json.
+//
 //   ./throughput_server [--model=tiny|vgg|yolo] [--requests=32] [--batch=8]
 //                       [--threads=0 (hardware)] [--input=96] [--vlen=512]
-//                       [--policy=plan|fused|winograd|opt6]
+//                       [--policy=plan|fused|winograd|opt6] [--replan]
 //                       [--precision=f32|bf16|int8]
 //                       [--sparsity=0 (block-sparse weight density in
 //                        (0,1); 0 = dense)]
@@ -39,6 +47,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -46,9 +55,11 @@
 #include "common/bench_json.hpp"
 #include "common/cli.hpp"
 #include "common/percentile.hpp"
+#include "core/cost_model.hpp"
 #include "core/selector.hpp"
 #include "dnn/models.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "serve/replanner.hpp"
 #include "serve/server.hpp"
 
 using namespace vlacnn;
@@ -70,6 +81,7 @@ int main(int argc, char** argv) {
   const auto queue_cap =
       static_cast<std::size_t>(args.get_int("queue-cap", 64));
   const bool block_when_full = args.get_bool("block", false);
+  const bool replan = args.get_bool("replan", false);
   double rate = args.get_double("rate", 0.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
   bench::BenchJson json("throughput_server", args.get("json", ""));
@@ -94,18 +106,24 @@ int main(int argc, char** argv) {
   // an extra output-streaming layer.
   const int folded = net->fuse_residuals();
 
+  sim::MachineConfig machine = sim::a64fx();
+  if (machine_name == "rvv") {
+    machine = sim::rvv_gem5();
+  } else if (machine_name == "sve") {
+    machine = sim::sve_gem5();
+  } else if (machine_name != "a64fx") {
+    std::fprintf(stderr, "error: unknown --machine=%s (a64fx|rvv|sve)\n",
+                 machine_name.c_str());
+    return 1;
+  }
+  if (replan && policy != "plan") {
+    std::fprintf(stderr, "error: --replan requires --policy=plan (the "
+                         "analytic model re-ranks the plan's candidates)\n");
+    return 1;
+  }
+
   core::BackendPlan plan;
   if (policy == "plan") {
-    sim::MachineConfig machine = sim::a64fx();
-    if (machine_name == "rvv") {
-      machine = sim::rvv_gem5();
-    } else if (machine_name == "sve") {
-      machine = sim::sve_gem5();
-    } else if (machine_name != "a64fx") {
-      std::fprintf(stderr, "error: unknown --machine=%s (a64fx|rvv|sve)\n",
-                   machine_name.c_str());
-      return 1;
-    }
     std::printf("selecting per-layer backends on %s (simulating all "
                 "candidates)...\n", machine.name.c_str());
     plan = core::select_per_layer(*net, machine);
@@ -192,6 +210,21 @@ int main(int argc, char** argv) {
               deadline_ms > 0.0 ? batch_compute_ms : 0.0));
   scfg.queue_capacity = queue_cap;
   scfg.block_when_full = block_when_full;
+  // Declared before the server so the server (its only caller) is torn
+  // down first.
+  std::optional<serve::Replanner> replanner;
+  if (replan) {
+    // One-shot calibration against the simulated plan just computed: fits
+    // the analytic model's per-kernel constants from the plan's own
+    // candidate cycles, so re-planning needs no further simulation.
+    core::CostModel cm(machine, plan.opt6);
+    cm.calibrate_from(*net, plan);
+    serve::ReplannerConfig rcfg;
+    rcfg.max_batch = batch;
+    replanner.emplace(sched, *net, std::move(cm), plan, rcfg);
+    replanner->start();
+    scfg.replanner = &*replanner;
+  }
   serve::Server server(sched, *net, scfg);
   server.start();
 
@@ -231,6 +264,7 @@ int main(int argc, char** argv) {
                         deadline);
   }
   server.stop();  // drain everything admitted
+  if (replanner) replanner->stop();
   const double total_s =
       std::chrono::duration<double>(clock::now() - serve_t0).count();
   const std::uint64_t serve_bytes = sched.mem_bytes_moved() - bytes0;
@@ -264,6 +298,21 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0.0)
     std::printf("deadline misses: %llu\n",
                 static_cast<unsigned long long>(stats.deadline_misses));
+  if (replan) {
+    std::printf("re-planning: %llu plans recomputed, %llu swaps applied, "
+                "last plan compute %llu us, live plan priced for batch %d\n",
+                static_cast<unsigned long long>(stats.plans_recomputed),
+                static_cast<unsigned long long>(stats.plan_swaps_applied),
+                static_cast<unsigned long long>(stats.last_plan_compute_us),
+                stats.plan_priced_batch);
+    std::printf("live plan backend wins:");
+    for (std::size_t b = 0; b < core::kBackendCount; ++b)
+      if (stats.backend_wins[b] > 0)
+        std::printf(" %s=%llu",
+                    core::to_string(static_cast<core::Backend>(b)),
+                    static_cast<unsigned long long>(stats.backend_wins[b]));
+    std::printf("\n");
+  }
 
   const auto p = [](const std::vector<double>& v, double q) {
     return percentile(v, q);
@@ -297,7 +346,14 @@ int main(int argc, char** argv) {
             {"compute_p99_ms", p(compute_ms, 0.99)},
             {"total_p50_ms", p(total_ms, 0.50)},
             {"total_p95_ms", p(total_ms, 0.95)},
-            {"total_p99_ms", p(total_ms, 0.99)}});
+            {"total_p99_ms", p(total_ms, 0.99)},
+            {"plans_recomputed", static_cast<double>(stats.plans_recomputed)},
+            {"plan_swaps_applied",
+             static_cast<double>(stats.plan_swaps_applied)},
+            {"last_plan_compute_us",
+             static_cast<double>(stats.last_plan_compute_us)},
+            {"plan_priced_batch",
+             static_cast<double>(stats.plan_priced_batch)}});
   if (!json.write()) return 1;
   return 0;
 }

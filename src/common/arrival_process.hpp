@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -36,6 +38,99 @@ class PoissonArrivals {
  private:
   Rng rng_;
   double rate_;
+};
+
+/// Inhomogeneous Poisson arrivals with a piecewise-constant rate function —
+/// the traffic-shift scenarios (ramps, bursts) that make online re-planning
+/// pay off. Simulated by thinning (the IPPP approach, Hohmann 2019):
+/// candidate arrivals are drawn from a homogeneous process at the peak rate
+/// λ_max and each candidate at time t is kept with probability λ(t)/λ_max,
+/// which yields exactly the target inhomogeneous process. Deterministic in
+/// (seed, segments), independent of service speed, and sharing
+/// PoissonArrivals' dedicated Rng stream id so arrival draws never alias
+/// the per-request input streams.
+///
+/// Unlike PoissonArrivals this yields ABSOLUTE arrival times (seconds since
+/// the process start): with a time-varying rate, gaps only make sense
+/// anchored to the clock. After the last segment the final segment's rate
+/// continues forever.
+class PiecewiseRateArrivals {
+ public:
+  struct Segment {
+    double duration_s = 1.0;      ///< segment length in seconds
+    double rate_per_sec = 1.0;    ///< constant rate λ within the segment
+  };
+
+  PiecewiseRateArrivals(std::uint64_t seed, std::vector<Segment> segments)
+      : rng_(Rng::for_stream(seed, PoissonArrivals::kStreamId)),
+        segments_(std::move(segments)) {
+    lambda_max_ = 0.0;
+    for (const Segment& s : segments_)
+      lambda_max_ = s.rate_per_sec > lambda_max_ ? s.rate_per_sec : lambda_max_;
+    if (segments_.empty() || lambda_max_ <= 0.0) {
+      segments_ = {Segment{1.0, 1.0}};
+      lambda_max_ = 1.0;
+    }
+  }
+
+  /// Rate λ(t) at absolute time t (the last segment's rate past the end).
+  [[nodiscard]] double rate_at(double t_s) const {
+    double edge = 0.0;
+    for (const Segment& s : segments_) {
+      edge += s.duration_s;
+      if (t_s < edge) return s.rate_per_sec;
+    }
+    return segments_.back().rate_per_sec;
+  }
+
+  /// Absolute time (seconds since start) of the next accepted arrival.
+  double next_arrival_seconds() {
+    for (;;) {
+      // Homogeneous candidate at the peak rate...
+      t_ += -std::log(1.0 - static_cast<double>(rng_.next_float())) /
+            lambda_max_;
+      // ...thinned by the local rate ratio.
+      if (static_cast<double>(rng_.next_float()) * lambda_max_ <= rate_at(t_))
+        return t_;
+    }
+  }
+
+  /// Total duration of the declared segments (harnesses stop offering
+  /// traffic here; the process itself extrapolates past it).
+  [[nodiscard]] double horizon_seconds() const {
+    double total = 0.0;
+    for (const Segment& s : segments_) total += s.duration_s;
+    return total;
+  }
+
+  /// Ramp scenario: rate climbs from `low` to `high` over `steps` equal
+  /// segments of `segment_s` seconds — the diurnal-ramp shape where the
+  /// optimal plan's amortization point drifts upward.
+  [[nodiscard]] static std::vector<Segment> ramp(double low, double high,
+                                                 int steps,
+                                                 double segment_s) {
+    std::vector<Segment> segs;
+    for (int i = 0; i < steps; ++i) {
+      const double f = steps > 1 ? static_cast<double>(i) / (steps - 1) : 1.0;
+      segs.push_back({segment_s, low + (high - low) * f});
+    }
+    return segs;
+  }
+
+  /// Burst scenario: quiet `low` traffic, a `high` spike in the middle,
+  /// then quiet again — the flash-crowd shape that tests re-planning's
+  /// hysteresis in both directions.
+  [[nodiscard]] static std::vector<Segment> burst(double low, double high,
+                                                  double quiet_s,
+                                                  double burst_s) {
+    return {{quiet_s, low}, {burst_s, high}, {quiet_s, low}};
+  }
+
+ private:
+  Rng rng_;
+  std::vector<Segment> segments_;
+  double lambda_max_ = 1.0;
+  double t_ = 0.0;  ///< absolute time of the last candidate
 };
 
 }  // namespace vlacnn

@@ -43,6 +43,14 @@ bool backend_sparse(Backend b) {
   return b == Backend::Gemm6Sparse || b == Backend::Gemm6SparseBf16;
 }
 
+bool backend_bit_compatible(Backend a, Backend b) {
+  if (a == b) return true;
+  const auto dense_gemm6 = [](Backend x) {
+    return x == Backend::Gemm6 || x == Backend::FusedGemm6;
+  };
+  return dense_gemm6(a) && dense_gemm6(b);
+}
+
 gemm::PackFormat backend_pack_format(Backend b) {
   switch (b) {
     case Backend::Gemm6Bf16: return gemm::PackFormat::Bf16;

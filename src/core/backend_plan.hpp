@@ -70,6 +70,14 @@ const char* to_string(Backend b);
 /// backend choice depends on shape only).
 [[nodiscard]] std::uint64_t conv_shape_key(const dnn::ConvDesc& d);
 
+/// True when swapping a layer's route from `a` to `b` cannot change output
+/// bits: either the same backend, or both in the Gemm6/FusedGemm6 pair
+/// (epilogue fusion reorders nothing — pinned bit-identical since PR 2).
+/// Winograd vs FusedWinograd is NOT in this relation (the fused output
+/// transform differs by ≤2 ULP), and the quantized/sparse kinds are lossy
+/// by design. The Replanner's bit-identical pinning consults this.
+[[nodiscard]] bool backend_bit_compatible(Backend a, Backend b);
+
 /// True when the layer's GEMM is weight-bound: the weight matrix A (M×K) is
 /// at least as large as one item's im2col matrix B (K×N), i.e. M >= N —
 /// VGG block 5 and the deep small-spatial YOLO layers, where the weight
@@ -139,6 +147,12 @@ struct BackendPlan {
   /// blocks) when no route is sparse; installed into every context's Gemm6
   /// so sparse residency lookups and prepare() agree on the key.
   int sparsity_pm = 1000;
+
+  /// Micro-batch size the plan's candidate cycles were priced at (the
+  /// `batch` that amortized the pack deltas). Lets a re-planner and
+  /// CostModel::calibrate_from interpret `PlanEntry::cycles` without
+  /// guessing; 1 for hand-written plans.
+  int priced_batch = 1;
 
   /// Per-layer table, matched by conv_shape_key.
   std::vector<PlanEntry> entries;

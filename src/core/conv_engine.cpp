@@ -15,6 +15,10 @@ ConvolutionEngine::ConvolutionEngine(BackendPlan plan)
     : plan_(std::make_shared<const BackendPlan>(std::move(plan))),
       packed_cache_(plan_->packed_weight_budget) {}
 
+void ConvolutionEngine::set_plan(BackendPlan plan) {
+  plan_ = std::make_shared<const BackendPlan>(std::move(plan));
+}
+
 void ConvolutionEngine::install(dnn::ExecContext& ctx,
                                 runtime::ThreadPool* intra_op_pool) {
   const std::shared_ptr<const BackendPlan> plan = plan_;

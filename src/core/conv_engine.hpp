@@ -129,6 +129,18 @@ class ConvolutionEngine {
   /// weight-residency benches drive layers outside a Network).
   void prepare(const dnn::ConvDesc& d, const float* weights);
 
+  /// Replaces the plan (online re-planning). Cheap: swaps the shared_ptr.
+  /// Already-installed ExecContexts keep dispatching through the plan they
+  /// were compiled against (each compiled dispatch owns a shared_ptr to
+  /// it), so a swap never yanks state out from under a running pass —
+  /// re-install each context at a quiescent point to pick the new plan up,
+  /// then prepare() packs/transforms whatever the new routing needs. The
+  /// shared weight caches are (shape, format, density)-keyed, so entries
+  /// valid under both plans stay warm across the swap; the packed-cache
+  /// byte budget is fixed at construction and the new plan's budget field
+  /// is ignored.
+  void set_plan(BackendPlan plan);
+
   /// The compiled plan — authoritative whichever constructor was used.
   [[nodiscard]] const BackendPlan& plan() const { return *plan_; }
   [[nodiscard]] winograd::WeightCache& weight_cache() { return weight_cache_; }

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/backend_plan.hpp"
+#include "dnn/conv_desc.hpp"
+#include "gemm/gemm_opt6.hpp"
+#include "sim/machine_config.hpp"
+
+namespace vlacnn::dnn {
+class Network;
+}  // namespace vlacnn::dnn
+
+namespace vlacnn::core {
+
+/// How select_per_layer prices candidate backends.
+enum class CostSource {
+  /// Full cache/timing simulation per (shape, backend) — the reference
+  /// path. Seconds per network; use offline.
+  Simulated,
+  /// Closed-form CostModel estimators calibrated against the simulator —
+  /// microseconds per network; the online re-planning path.
+  Analytic,
+};
+
+/// Number of Backend enum values (kept next to the estimator that must
+/// cover every one of them).
+inline constexpr std::size_t kBackendCount =
+    static_cast<std::size_t>(Backend::Gemm6SparseBf16) + 1;
+
+/// Observability counters of one plan-selection / re-planning pass:
+/// shape-memo effectiveness (satellite of the long-standing "accumulated
+/// but never reported" gap), the wall-clock cost of computing the plan, and
+/// which backend won how many layer entries.
+struct SelectorStats {
+  std::uint64_t memo_hits = 0;    ///< layer entries served from the memo
+  std::uint64_t memo_misses = 0;  ///< shapes priced from scratch
+  std::uint64_t plan_compute_us = 0;  ///< wall-clock µs of the whole pass
+  std::array<std::uint64_t, kBackendCount> wins{};  ///< entries per backend
+
+  [[nodiscard]] std::uint64_t win_count(Backend b) const {
+    return wins[static_cast<std::size_t>(b)];
+  }
+};
+
+/// One analytic cost estimate, split the same way the selector prices
+/// simulated candidates: a steady-state per-call term plus a one-time
+/// packing delta amortized over the micro-batch (PR 5's
+/// `cycles = warm + pack/batch` formula).
+struct CostEstimate {
+  double warm_cycles = 0.0;  ///< steady-state per-call cycles
+  double pack_cycles = 0.0;  ///< one-time A-pack delta (cold - warm); 0 for
+                             ///< non-resident pricing
+  double dram_bytes = 0.0;   ///< estimated cold-call DRAM traffic
+
+  [[nodiscard]] double priced(int batch) const {
+    return warm_cycles + pack_cycles / static_cast<double>(batch < 1 ? 1 : batch);
+  }
+};
+
+/// Closed-form per-backend cycle estimators over (conv dims, vector length,
+/// cache blocking, density/precision) — the poplibs
+/// `PerformanceEstimation.hpp` idiom: small per-kernel formulas that mirror
+/// each kernel's loop structure (instruction mix, pipe occupancy, stream
+/// traffic classified against the cache capacities) instead of simulating
+/// it. A handful of per-backend scale constants, fitted once against the
+/// simulator on the paper's layer set (`calibrate` / `calibrated_from`),
+/// absorb the systematic bias of the closed forms; the structural terms
+/// carry the shape dependence, so the calibrated model picks the same
+/// per-layer winner as the simulator while pricing a whole network in
+/// microseconds.
+///
+/// The estimators model one cold-cache forward call — exactly what
+/// `select_per_layer`'s simulation harness measures — so calibrated cycles
+/// are directly comparable with simulated PlanEntry candidates.
+class CostModel {
+ public:
+  CostModel(const sim::MachineConfig& machine, const gemm::Opt6Config& opt6);
+
+  /// Structural (uncalibrated) estimate for `b` on shape `d`.
+  /// `weight_resident` prices the Gemm6-family steady state without the
+  /// hot-path A-pack stage and reports the pack delta separately; for
+  /// non-resident pricing the pack cost is folded into warm_cycles and
+  /// pack_cycles is 0. `sparsity_pm` is the block-prune density (per
+  /// mille) of the sparse kinds.
+  [[nodiscard]] CostEstimate estimate(Backend b, const dnn::ConvDesc& d,
+                                      bool weight_resident,
+                                      int sparsity_pm = 1000) const;
+
+  /// Calibrated price of one candidate, in simulator-comparable cycles:
+  /// `scale(b) * (warm + pack_scale * pack / batch)`, rounded. This is the
+  /// quantity the analytic selector ranks.
+  [[nodiscard]] std::uint64_t cycles(Backend b, const dnn::ConvDesc& d,
+                                     bool weight_resident, int batch,
+                                     int sparsity_pm = 1000) const;
+
+  /// Calibration buckets: per-kernel constants are fitted per (backend,
+  /// shape class) rather than per backend alone — a 1x1 GEMM and a 3x3
+  /// implicit-GEMM exercise different code paths of the same kernel with
+  /// systematically different structural bias, and the winner margins the
+  /// argmax gate must preserve are small. The class axes are exactly the
+  /// ones the paper names as driving algorithm choice (kernel size and
+  /// stride, §VII-A) plus weight-boundedness (which flips the pricing
+  /// formula). 8 buckets x backends is still a handful of constants, not a
+  /// lookup table: every bucket covers an open family of shapes.
+  static constexpr std::size_t kBuckets = 8;
+  [[nodiscard]] static std::size_t shape_bucket(const dnn::ConvDesc& d);
+
+  [[nodiscard]] double scale(Backend b) const;
+  void set_scale(Backend b, double s);
+  /// Scale used for backend `b` on shape `d`: the (backend, bucket) fit
+  /// when calibration covered that class, else the backend-global fit,
+  /// else the FusedGemm6 chain for quantized/sparse kinds, else 1.
+  [[nodiscard]] double scale_for(Backend b, const dnn::ConvDesc& d) const;
+  [[nodiscard]] double pack_scale() const { return pack_scale_; }
+  void set_pack_scale(double s) { pack_scale_ = s; }
+
+  /// One-shot calibration pass: runs the simulator on every eligible fp32
+  /// candidate of every shape (deduplicated) and fits the per-backend scale
+  /// constants as the geometric mean of simulated/structural ratios.
+  /// Weight-bound shapes fit the resident warm term and the pack delta
+  /// separately, mirroring the selector's pricing. Quantized/sparse kinds
+  /// run the same fused kernel as FusedGemm6 and inherit its scale.
+  /// Simulator-seconds; do once, then price forever.
+  void calibrate(const std::vector<dnn::ConvDesc>& shapes,
+                 std::uint64_t input_seed = 7);
+
+  /// Fits the scales from an already-simulated plan's candidate tables
+  /// (priced at `plan.priced_batch`) instead of re-running the simulator —
+  /// free calibration for a server that already selected its plan offline.
+  /// `net` supplies the ConvDesc for each entry's layer_index.
+  void calibrate_from(const dnn::Network& net, const BackendPlan& plan);
+
+  /// Convenience: construct + calibrate against the simulator on `shapes`.
+  [[nodiscard]] static CostModel calibrated(
+      const sim::MachineConfig& machine, const gemm::Opt6Config& opt6,
+      const std::vector<dnn::ConvDesc>& shapes, std::uint64_t input_seed = 7);
+
+  /// The paper's VGG16 + YOLOv3 conv layer set (deduplicated by shape key)
+  /// — the calibration and CI agreement-gate shape set.
+  [[nodiscard]] static std::vector<dnn::ConvDesc> paper_layer_set();
+
+  [[nodiscard]] const sim::MachineConfig& machine() const { return machine_; }
+  [[nodiscard]] const gemm::Opt6Config& opt6() const { return opt6_; }
+
+ private:
+  sim::MachineConfig machine_;
+  gemm::Opt6Config opt6_;
+  std::array<double, kBackendCount> scales_;                   // global fits
+  std::array<std::array<double, kBuckets>, kBackendCount> bucket_scales_;
+  double pack_scale_ = 1.0;
+};
+
+}  // namespace vlacnn::core

@@ -1,6 +1,7 @@
 #include "core/selector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -162,11 +163,26 @@ AccuracyStats measure_quantized_accuracy(Backend qb, const dnn::ConvDesc& d,
 
 }  // namespace
 
+std::uint64_t simulate_backend_cycles(Backend backend, const dnn::ConvDesc& d,
+                                      const sim::MachineConfig& machine,
+                                      const gemm::Opt6Config& o6,
+                                      std::uint64_t input_seed,
+                                      bool weight_resident, int sparsity_pm) {
+  return simulate_backend(backend, d, machine, o6, input_seed,
+                          weight_resident, sparsity_pm);
+}
+
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
                              std::uint64_t input_seed, int batch,
-                             const AccuracyBudget& accuracy) {
+                             const AccuracyBudget& accuracy,
+                             CostSource source, const CostModel* model,
+                             SelectorStats* stats) {
   VLACNN_REQUIRE(batch >= 1, "selector batch must be >= 1");
+  VLACNN_REQUIRE(source == CostSource::Simulated || model != nullptr,
+                 "analytic selection needs a calibrated CostModel");
+  const bool analytic = source == CostSource::Analytic;
+  const auto t0 = std::chrono::steady_clock::now();
   BackendPlan plan;
   plan.opt6.blocks = gemm::tune_block_sizes(machine);
   plan.fallback_gemm = Backend::Gemm6;
@@ -204,6 +220,12 @@ BackendPlan select_per_layer(dnn::Network& net,
     const std::uint64_t key = conv_shape_key(d);
 
     auto it = by_shape.find({key, fmt_sig});
+    if (stats != nullptr) {
+      if (it != by_shape.end())
+        ++stats->memo_hits;
+      else
+        ++stats->memo_misses;
+    }
     if (it == by_shape.end()) {
       const bool weight_bound = conv_weight_bound(d);
       PlanEntry e;
@@ -220,14 +242,23 @@ BackendPlan select_per_layer(dnn::Network& net,
           // delta — what the cold path pays over the resident one — is a
           // one-time cost amortized over the micro-batch, not a per-call
           // charge. cold >= warm by construction (same pipeline minus the
-          // pack stage), but saturate anyway against simulator noise.
-          const std::uint64_t warm = simulate_backend(
-              b, d, machine, plan.opt6, input_seed, /*weight_resident=*/true);
-          const std::uint64_t cold = simulate_backend(
-              b, d, machine, plan.opt6, input_seed, /*weight_resident=*/false);
-          const std::uint64_t pack = cold > warm ? cold - warm : 0;
-          if (b == Backend::FusedGemm6) fused_pack = pack;
-          cycles = warm + pack / static_cast<std::uint64_t>(batch);
+          // pack stage), but saturate anyway against simulator noise. The
+          // analytic model prices warm + pack_scale·pack/batch directly.
+          if (analytic) {
+            cycles = model->cycles(b, d, /*weight_resident=*/true, batch);
+          } else {
+            const std::uint64_t warm =
+                simulate_backend(b, d, machine, plan.opt6, input_seed,
+                                 /*weight_resident=*/true);
+            const std::uint64_t cold =
+                simulate_backend(b, d, machine, plan.opt6, input_seed,
+                                 /*weight_resident=*/false);
+            const std::uint64_t pack = cold > warm ? cold - warm : 0;
+            if (b == Backend::FusedGemm6) fused_pack = pack;
+            cycles = warm + pack / static_cast<std::uint64_t>(batch);
+          }
+        } else if (analytic) {
+          cycles = model->cycles(b, d, /*weight_resident=*/false, 1);
         } else {
           cycles = simulate_backend(b, d, machine, plan.opt6, input_seed,
                                     /*weight_resident=*/false);
@@ -262,10 +293,12 @@ BackendPlan select_per_layer(dnn::Network& net,
                   : st.max_rel <= accuracy.int8_rel_tol &&
                         (!accuracy.int8_top1_preserving || st.top1_preserved);
           if (!within) continue;  // over budget: not even listed
-          const std::uint64_t warm = simulate_backend(
-              qb, d, machine, plan.opt6, input_seed, /*weight_resident=*/true);
           const std::uint64_t cycles =
-              warm + fused_pack / static_cast<std::uint64_t>(batch);
+              analytic
+                  ? model->cycles(qb, d, /*weight_resident=*/true, batch)
+                  : simulate_backend(qb, d, machine, plan.opt6, input_seed,
+                                     /*weight_resident=*/true) +
+                        fused_pack / static_cast<std::uint64_t>(batch);
           e.candidates.emplace_back(qb, cycles);
           if (cycles < best) {
             best = cycles;
@@ -295,11 +328,12 @@ BackendPlan select_per_layer(dnn::Network& net,
               st.max_rel <= accuracy.sparse_rel_tol &&
               (!accuracy.sparse_top1_preserving || st.top1_preserved);
           if (!within) continue;  // over budget: not even listed
-          const std::uint64_t warm =
-              simulate_backend(sb, d, machine, plan.opt6, input_seed,
-                               /*weight_resident=*/true, pm);
           const std::uint64_t cycles =
-              warm + fused_pack / static_cast<std::uint64_t>(batch);
+              analytic
+                  ? model->cycles(sb, d, /*weight_resident=*/true, batch, pm)
+                  : simulate_backend(sb, d, machine, plan.opt6, input_seed,
+                                     /*weight_resident=*/true, pm) +
+                        fused_pack / static_cast<std::uint64_t>(batch);
           e.candidates.emplace_back(sb, cycles);
           if (cycles < best) {
             best = cycles;
@@ -317,6 +351,70 @@ BackendPlan select_per_layer(dnn::Network& net,
     e.layer_index = static_cast<int>(i);
     e.layer_name = conv->name();
     plan.entries.push_back(std::move(e));
+  }
+  plan.priced_batch = batch;
+  if (stats != nullptr) {
+    for (const PlanEntry& e : plan.entries)
+      ++stats->wins[static_cast<std::size_t>(e.backend)];
+    stats->plan_compute_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  return plan;
+}
+
+BackendPlan replan_for_batch(const dnn::Network& net, const BackendPlan& base,
+                             const CostModel& model, int batch,
+                             bool pin_bit_identical, SelectorStats* stats) {
+  VLACNN_REQUIRE(batch >= 1, "replan batch must be >= 1");
+  const auto t0 = std::chrono::steady_clock::now();
+  BackendPlan plan = base;
+  plan.priced_batch = batch;
+  for (PlanEntry& e : plan.entries) {
+    if (e.layer_index < 0 ||
+        static_cast<std::size_t>(e.layer_index) >= net.num_layers())
+      continue;
+    const auto* conv = dynamic_cast<const dnn::ConvLayer*>(
+        &net.layer(static_cast<std::size_t>(e.layer_index)));
+    if (conv == nullptr || e.candidates.empty()) continue;
+    const dnn::ConvDesc& d = conv->desc();
+    const bool weight_bound = conv_weight_bound(d);
+    Backend best_backend = e.backend;
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t incumbent = 0;
+    for (auto& [b, cycles] : e.candidates) {
+      // Re-rank only the candidates `base` already admitted; residency
+      // re-derives per candidate exactly as original selection did.
+      const bool resident =
+          weight_bound && backend_gemm6_family(b) && plan.opt6.pack_a;
+      cycles = model.cycles(b, d, resident, batch, plan.sparsity_pm);
+      if (b == e.backend) incumbent = cycles;
+      if (cycles < best) {
+        best = cycles;
+        best_backend = b;
+      }
+    }
+    if (pin_bit_identical &&
+        !backend_bit_compatible(e.backend, best_backend)) {
+      // The cheaper kernel would change output bits mid-stream: keep the
+      // incumbent route. Residency below still re-derives, which is also
+      // bit-identical (resident vs hot-path pack is pinned equal).
+      best_backend = e.backend;
+      best = incumbent;
+    }
+    e.backend = best_backend;
+    e.cycles = best;
+    e.weight_resident = weight_bound && backend_gemm6_family(e.backend) &&
+                        plan.opt6.pack_a;
+  }
+  if (stats != nullptr) {
+    for (const PlanEntry& e : plan.entries)
+      ++stats->wins[static_cast<std::size_t>(e.backend)];
+    stats->plan_compute_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
   }
   return plan;
 }

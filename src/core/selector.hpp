@@ -1,6 +1,10 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "core/backend_plan.hpp"
+#include "core/cost_model.hpp"
 #include "dnn/network.hpp"
 #include "sim/machine_config.hpp"
 
@@ -124,9 +128,52 @@ struct AccuracyBudget {
 /// memoized per (shape, format-budget signature), never per shape alone —
 /// a dense sim result must not be silently reused for a quantized/sparse
 /// variant of the same shape.
+///
+/// `source` picks how candidates are priced: CostSource::Simulated runs the
+/// full cache/timing simulator per candidate (the reference path,
+/// simulator-seconds per network); CostSource::Analytic prices through the
+/// supplied calibrated `model` in closed form — microseconds per network,
+/// the online re-planning path. Accuracy gates (functional, host-speed) run
+/// identically under both sources whenever the budget admits lossy formats;
+/// the default fp32 budget runs none, which is what makes the analytic path
+/// ≥100× faster end to end. `stats`, when given, receives the shape-memo
+/// hit/miss counters, the wall-clock plan-compute time, and per-backend win
+/// counts.
 BackendPlan select_per_layer(dnn::Network& net,
                              const sim::MachineConfig& machine,
                              std::uint64_t input_seed = 7, int batch = 4,
-                             const AccuracyBudget& accuracy = {});
+                             const AccuracyBudget& accuracy = {},
+                             CostSource source = CostSource::Simulated,
+                             const CostModel* model = nullptr,
+                             SelectorStats* stats = nullptr);
+
+/// Simulates one full conv layer (convolution + epilogue) routed through
+/// `backend` on `machine` and returns the cycle count — the selector's
+/// reference measurement, exported for CostModel::calibrate and the
+/// agreement tests. `weight_resident` prices the Gemm6-family steady state
+/// with the A-panel image pre-packed (the pack stage uncharged).
+std::uint64_t simulate_backend_cycles(Backend backend, const dnn::ConvDesc& d,
+                                      const sim::MachineConfig& machine,
+                                      const gemm::Opt6Config& o6,
+                                      std::uint64_t input_seed,
+                                      bool weight_resident,
+                                      int sparsity_pm = 1000);
+
+/// Re-prices an already-selected plan for a different effective batch size
+/// through the analytic `model` — the Replanner's core operation, and the
+/// reason re-planning needs neither the simulator NOR the accuracy gates:
+/// every entry's candidate set was admitted (accuracy-gated) when `base`
+/// was built, and re-planning only re-ranks those same admitted candidates
+/// at the new amortization point. Microseconds per network.
+///
+/// With `pin_bit_identical` (the serving default), an entry only moves to a
+/// new winner when `backend_bit_compatible` with the incumbent — so a live
+/// swap mid-stream changes which kernel runs, never the bits it produces.
+/// Residency flags re-derive from the (possibly re-pinned) winner; the
+/// returned plan records `priced_batch = batch`.
+BackendPlan replan_for_batch(const dnn::Network& net, const BackendPlan& base,
+                             const CostModel& model, int batch,
+                             bool pin_bit_identical = true,
+                             SelectorStats* stats = nullptr);
 
 }  // namespace vlacnn::core

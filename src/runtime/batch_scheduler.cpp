@@ -124,7 +124,36 @@ void BatchScheduler::complete(Slot& slot) {
     slot.owned_input = dnn::Tensor();  // release admitted input early
     slot.input = nullptr;
     slot.state = Slot::State::Done;
+    --running_;
   }
+  slot_cv_.notify_all();
+}
+
+void BatchScheduler::install_plan(core::BackendPlan plan) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // One swap at a time; a second caller queues behind the first.
+  slot_cv_.wait(lock, [&] { return !swap_pending_; });
+  swap_pending_ = true;  // executor claims no further queued batches
+  // Quiesce: every claimed batch must retire (complete() notifies
+  // slot_cv_). Queued batches stay queued and run under the new plan.
+  slot_cv_.wait(lock, [&] { return running_ == 0; });
+  lock.unlock();
+
+  // No batch in flight: the graph's remaining work is bookkeeping only.
+  graph_->drain();
+  engine_->set_plan(std::move(plan));
+  // Recompile every context's dispatch against the new plan (same
+  // install() calls as construction; per-context scratch is rebuilt, the
+  // shared weight caches persist). The next launch's prepare() packs and
+  // transforms whatever the new routing needs.
+  for (auto& ctx : worker_ctxs_) engine_->install(*ctx);
+  engine_->install(*main_ctx_,
+                   cfg_.intra_op && pool_.size() > 1 ? &pool_ : nullptr);
+
+  lock.lock();
+  swap_pending_ = false;
+  lock.unlock();
+  exec_cv_.notify_all();
   slot_cv_.notify_all();
 }
 
@@ -135,16 +164,18 @@ void BatchScheduler::executor_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       exec_cv_.wait(lock, [&] {
         Slot& s = slots_[next_exec_ % kSlots];
-        if (s.state == Slot::State::Queued && s.id == next_exec_) {
+        if (!swap_pending_ && s.state == Slot::State::Queued &&
+            s.id == next_exec_) {
           slot = &s;
           return true;
         }
-        return stopping_;
+        return stopping_ && !swap_pending_;
       });
       // Queued batches drain even during shutdown (their submitters may be
       // blocked in wait()); exit only once nothing is queued.
       if (slot == nullptr) break;
       slot->state = Slot::State::Running;
+      ++running_;
       ++next_exec_;
     }
 

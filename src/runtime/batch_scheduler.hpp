@@ -146,6 +146,18 @@ class BatchScheduler {
     return records_;
   }
 
+  /// Atomically swaps the engine's plan at a batch boundary: pauses the
+  /// executor from claiming further queued batches, waits for every
+  /// in-flight batch to retire (FIFO — the ring drains in order), drains
+  /// the work graph, installs `plan` into the engine, recompiles every
+  /// worker/main ExecContext against it, then resumes. Queued batches are
+  /// never dropped — they simply execute under the new plan; a batch
+  /// already executing finishes entirely under the old one (its compiled
+  /// dispatch owns the old plan). Safe to call from any thread (the
+  /// Replanner's worker calls it off the hot path); callers blocked in
+  /// submit()/wait() are unaffected beyond the pause.
+  void install_plan(core::BackendPlan plan);
+
   [[nodiscard]] int threads() const { return pool_.size(); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
@@ -204,6 +216,8 @@ class BatchScheduler {
   std::uint64_t next_ticket_ = 1;  // id the next submit() will take
   std::uint64_t next_exec_ = 1;    // id the executor claims next (FIFO)
   bool stopping_ = false;
+  bool swap_pending_ = false;  // install_plan() gate: executor claims nothing
+  std::uint64_t running_ = 0;  // slots claimed but not yet Done
   std::thread executor_;
 };
 

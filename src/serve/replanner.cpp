@@ -1,0 +1,152 @@
+#include "serve/replanner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace vlacnn::serve {
+
+namespace {
+
+/// Two plans dispatch identically iff every entry routes to the same
+/// backend with the same residency (cycles are bookkeeping, not dispatch).
+bool same_dispatch(const core::BackendPlan& a, const core::BackendPlan& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const core::PlanEntry& ea = a.entries[i];
+    const core::PlanEntry& eb = b.entries[i];
+    if (ea.backend != eb.backend || ea.weight_resident != eb.weight_resident)
+      return false;
+  }
+  return true;
+}
+
+void tally_wins(const core::BackendPlan& plan,
+                std::array<std::uint64_t, core::kBackendCount>& wins) {
+  wins.fill(0);
+  for (const core::PlanEntry& e : plan.entries)
+    ++wins[static_cast<std::size_t>(e.backend)];
+}
+
+}  // namespace
+
+Replanner::Replanner(runtime::BatchScheduler& sched, dnn::Network& net,
+                     core::CostModel model, core::BackendPlan base,
+                     ReplannerConfig cfg)
+    : sched_(&sched),
+      net_(&net),
+      model_(std::move(model)),
+      cfg_(cfg),
+      plan_(std::move(base)) {
+  VLACNN_REQUIRE(cfg_.max_batch >= 1, "replanner max_batch must be >= 1");
+  VLACNN_REQUIRE(cfg_.window >= 1, "replanner window must be >= 1");
+  VLACNN_REQUIRE(cfg_.hysteresis >= 1.0, "hysteresis is a ratio >= 1");
+  stats_.current_priced_batch = std::max(1, plan_.priced_batch);
+  tally_wins(plan_, stats_.wins);
+}
+
+Replanner::~Replanner() { stop(); }
+
+void Replanner::start() {
+  VLACNN_REQUIRE(!started_, "replanner already started");
+  started_ = true;
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+void Replanner::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Replanner::observe(int batch_items, std::size_t queue_depth) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_.emplace_back(batch_items, queue_depth);
+    while (window_.size() > cfg_.window) window_.pop_front();
+    ++observed_;
+  }
+  cv_.notify_one();
+}
+
+ReplanStats Replanner::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+core::BackendPlan Replanner::current_plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+int Replanner::effective_batch_locked() const {
+  double sum_items = 0.0, sum_depth = 0.0;
+  for (const auto& [items, depth] : window_) {
+    sum_items += items;
+    sum_depth += static_cast<double>(depth);
+  }
+  const double n = static_cast<double>(window_.size());
+  const double mean_items = sum_items / n;
+  // Queue depth is only evidence up to what one micro-batch can absorb.
+  const double mean_depth =
+      std::min(sum_depth / n, static_cast<double>(cfg_.max_batch));
+  const double eff = std::max(mean_items, mean_depth);
+  return std::clamp(static_cast<int>(std::lround(eff)), 1, cfg_.max_batch);
+}
+
+void Replanner::worker_loop() {
+  std::uint64_t last_seen = 0;
+  for (;;) {
+    int target = 0;
+    core::BackendPlan base;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || observed_ > last_seen; });
+      if (stop_) return;
+      last_seen = observed_;
+      if (window_.size() < cfg_.min_batches) continue;
+      if (observed_ - last_swap_obs_ < cfg_.cooldown_batches &&
+          last_swap_obs_ != 0)
+        continue;
+      const int eff = effective_batch_locked();
+      const int cur = std::max(1, plan_.priced_batch);
+      const double shift = eff > cur ? static_cast<double>(eff) / cur
+                                     : static_cast<double>(cur) / eff;
+      if (shift < cfg_.hysteresis) continue;
+      target = eff;
+      base = plan_;  // re-rank from the live plan's admitted candidates
+    }
+
+    // Analytic re-plan off the hot path — no lock held, no simulator, no
+    // accuracy gates, bit-identical pinning on.
+    core::SelectorStats sel;
+    core::BackendPlan next = core::replan_for_batch(
+        *net_, base, model_, target, /*pin_bit_identical=*/true, &sel);
+    const bool differs = !same_dispatch(base, next);
+    if (differs) {
+      // Quiesces in-flight batches and recompiles the contexts; queued
+      // batches execute under the new plan, finished ones are untouched.
+      sched_->install_plan(next);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.plans_recomputed;
+    stats_.last_plan_compute_us = sel.plan_compute_us;
+    stats_.current_priced_batch = target;
+    // Adopt the re-priced plan even when dispatch is unchanged: the
+    // amortization point moved, and recording it stops the hysteresis
+    // check from re-triggering on the same regime every batch.
+    plan_ = std::move(next);
+    tally_wins(plan_, stats_.wins);
+    if (differs) {
+      ++stats_.swaps_applied;
+      last_swap_obs_ = observed_;
+    }
+  }
+}
+
+}  // namespace vlacnn::serve

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "serve/replanner.hpp"
+
 namespace vlacnn::serve {
 
 namespace {
@@ -75,11 +77,22 @@ std::vector<Completion> Server::drain_completions() {
 
 ServerStats Server::stats() const {
   const RequestQueue::Stats qs = queue_.stats();
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ServerStats s = stats_;
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
   s.admitted = qs.accepted;
   s.rejected = qs.rejected;
   s.queue_peak_depth = qs.peak_depth;
+  if (cfg_.replanner != nullptr) {
+    const ReplanStats rs = cfg_.replanner->stats();
+    s.plans_recomputed = rs.plans_recomputed;
+    s.plan_swaps_applied = rs.swaps_applied;
+    s.last_plan_compute_us = rs.last_plan_compute_us;
+    s.plan_priced_batch = rs.current_priced_batch;
+    s.backend_wins = rs.wins;
+  }
   return s;
 }
 
@@ -144,6 +157,11 @@ void Server::completion_loop() {
     }
     const Clock::time_point done = Clock::now();
     const int nb = static_cast<int>(inf.requests.size());
+
+    // Feed the traffic-regime observer (cheap: one lock + a cv signal;
+    // planning itself happens on the replanner's own thread).
+    if (cfg_.replanner != nullptr)
+      cfg_.replanner->observe(nb, queue_.size());
 
     std::vector<Completion> local;
     local.reserve(static_cast<std::size_t>(nb));

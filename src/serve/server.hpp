@@ -6,10 +6,13 @@
 #include <thread>
 #include <vector>
 
+#include "core/cost_model.hpp"
 #include "runtime/batch_scheduler.hpp"
 #include "serve/micro_batcher.hpp"
 
 namespace vlacnn::serve {
+
+class Replanner;
 
 /// Per-request latency breakdown, in milliseconds.
 struct RequestTrace {
@@ -47,6 +50,12 @@ struct ServerConfig {
   /// Invoked on the completion thread as each request finishes. When unset,
   /// completions accumulate internally; collect with drain_completions().
   std::function<void(Completion&&)> on_complete;
+  /// Online re-planning hook (optional; must outlive the server and be
+  /// start()ed by the caller). The completion loop reports every finished
+  /// micro-batch (size + queue depth) to it, and Server::stats() merges its
+  /// counters. The server never blocks on it: planning happens on the
+  /// replanner's own thread, plan swaps at scheduler batch boundaries.
+  Replanner* replanner = nullptr;
 };
 
 /// Aggregate throughput counters (monotonic over the server's life).
@@ -62,6 +71,15 @@ struct ServerStats {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::size_t queue_peak_depth = 0;
+  // Re-planning counters (zero when no Replanner is wired in; otherwise a
+  // snapshot of ReplanStats at the stats() call).
+  std::uint64_t plans_recomputed = 0;
+  std::uint64_t plan_swaps_applied = 0;
+  std::uint64_t last_plan_compute_us = 0;
+  int plan_priced_batch = 0;  ///< batch the live plan is priced for
+  /// Per-backend layer-entry win counts of the live plan (indexed by
+  /// static_cast<std::size_t>(core::Backend)).
+  std::array<std::uint64_t, core::kBackendCount> backend_wins{};
 };
 
 /// The async serving runtime: admission queue -> deadline-aware

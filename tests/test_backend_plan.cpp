@@ -15,6 +15,7 @@
 #include "core/conv_engine.hpp"
 #include "core/selector.hpp"
 #include "dnn/models.hpp"
+#include "gemm/blocking.hpp"
 #include "runtime/batch_scheduler.hpp"
 #include "test_util.hpp"
 
@@ -272,6 +273,43 @@ TEST(BackendPlan, SummaryListsEntriesAndFallback) {
   EXPECT_NE(s.find("direct"), std::string::npos);
   EXPECT_NE(s.find("fused-gemm6"), std::string::npos);
   EXPECT_NE(s.find("fused-winograd"), std::string::npos);
+}
+
+// The selector memoizes per (shape, format): yolov3's repeated
+// 1x1-squeeze / 3x3-expand blocks must hit the memo, and memoized entries
+// must carry identical verdicts to their first-seen twins. The counters
+// are the regression pin — the memo existed before but its stats were
+// never surfaced, so a silently-disabled memo was unobservable.
+TEST(BackendPlan, SelectorShapeMemoReusedAcrossRepeatedLayers) {
+  auto net = dnn::build_yolov3(48, 16);
+  const sim::MachineConfig machine = sim::sve_gem5();
+  gemm::Opt6Config o6;
+  o6.blocks = gemm::tune_block_sizes(machine);
+  CostModel model(machine, o6);  // uncalibrated: memo behavior is scale-free
+  SelectorStats stats;
+  const BackendPlan plan = select_per_layer(
+      *net, model.machine(), 7, 4, {}, CostSource::Analytic, &model, &stats);
+
+  // yolov3 repeats its squeeze/expand shapes: strictly fewer unique shapes
+  // than plan entries.
+  EXPECT_GE(stats.memo_hits, 2u);
+  EXPECT_GE(stats.memo_misses, 1u);
+  EXPECT_EQ(stats.memo_hits + stats.memo_misses, plan.entries.size());
+  EXPECT_LT(stats.memo_misses, plan.entries.size());
+  EXPECT_GT(stats.plan_compute_us, 0u);
+  std::uint64_t wins = 0;
+  for (const auto& w : stats.wins) wins += w;
+  EXPECT_EQ(wins, plan.entries.size());
+
+  // Memoized entries repeat the original verdict verbatim.
+  for (std::size_t i = 0; i < plan.entries.size(); ++i)
+    for (std::size_t j = i + 1; j < plan.entries.size(); ++j)
+      if (plan.entries[i].shape_key == plan.entries[j].shape_key) {
+        EXPECT_EQ(plan.entries[i].backend, plan.entries[j].backend);
+        EXPECT_EQ(plan.entries[i].cycles, plan.entries[j].cycles);
+        EXPECT_EQ(plan.entries[i].weight_resident,
+                  plan.entries[j].weight_resident);
+      }
 }
 
 }  // namespace
