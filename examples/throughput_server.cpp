@@ -44,6 +44,15 @@
 //                        batch executor)]
 //                       [--rate=0 (requests/sec; 0 = 80% of measured
 //                        capacity)] [--seed=1234] [--json=<path>]
+//                       [--chaos=0 (fault-injection seed; 0 = off)]
+//
+// --chaos=<seed> arms a deterministic runtime::FaultInjector (task stalls,
+// slow workers, per-item failures — the FaultPlan::chaos profile) plus the
+// scheduler's batch watchdog. Failures are isolated per request: an injected
+// item fault surfaces as that request's InternalError completion while its
+// batch-mates finish normally, and the outcome tally printed at the end
+// accounts for every request. Same seed, same fault set — chaos runs are
+// replayable.
 
 #include <chrono>
 #include <cstdio>
@@ -59,6 +68,7 @@
 #include "core/selector.hpp"
 #include "dnn/models.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "runtime/fault_injector.hpp"
 #include "serve/replanner.hpp"
 #include "serve/server.hpp"
 
@@ -84,6 +94,7 @@ int main(int argc, char** argv) {
   const bool replan = args.get_bool("replan", false);
   double rate = args.get_double("rate", 0.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1234));
+  const auto chaos_seed = static_cast<std::uint64_t>(args.get_int("chaos", 0));
   bench::BenchJson json("throughput_server", args.get("json", ""));
   if (requests < 1 || batch < 1 || queue_cap < 1 || max_wait_ms < 0.0) {
     std::fprintf(stderr,
@@ -165,6 +176,14 @@ int main(int argc, char** argv) {
   runtime::SchedulerConfig cfg;
   cfg.threads = threads;
   cfg.vlen_bits = vlen;
+  // --chaos: deterministic fault injection + the batch watchdog. The
+  // injector must outlive the scheduler.
+  std::optional<runtime::FaultInjector> injector;
+  if (chaos_seed != 0) {
+    injector.emplace(runtime::FaultPlan::chaos(chaos_seed));
+    cfg.fault_injector = &*injector;
+    cfg.watchdog_timeout_s = 2.0;
+  }
   const std::string executor = args.get("executor", "graph");
   if (executor == "serial") {
     cfg.executor = runtime::ExecutorKind::Serial;
@@ -273,7 +292,8 @@ int main(int argc, char** argv) {
   const serve::ServerStats stats = server.stats();
   std::vector<double> queue_ms, compute_ms, total_ms;
   for (const serve::Completion& c : done) {
-    queue_ms.push_back(c.trace.queue_ms);
+    if (c.trace.outcome != serve::Outcome::Ok) continue;  // chaos/shed: no
+    queue_ms.push_back(c.trace.queue_ms);                 // latency sample
     compute_ms.push_back(c.trace.compute_ms);
     total_ms.push_back(c.trace.total_ms);
   }
@@ -298,6 +318,24 @@ int main(int argc, char** argv) {
   if (deadline_ms > 0.0)
     std::printf("deadline misses: %llu\n",
                 static_cast<unsigned long long>(stats.deadline_misses));
+  if (chaos_seed != 0) {
+    const runtime::FaultInjector::Stats fi = injector->stats();
+    std::printf("chaos (seed %llu): %llu task stalls, %llu slow-worker "
+                "delays, %llu item failures injected; %llu watchdog "
+                "cancellations\n",
+                static_cast<unsigned long long>(chaos_seed),
+                static_cast<unsigned long long>(fi.task_stalls),
+                static_cast<unsigned long long>(fi.worker_slows),
+                static_cast<unsigned long long>(fi.item_failures),
+                static_cast<unsigned long long>(stats.watchdog_wedges));
+    std::printf("outcomes:");
+    for (std::size_t o = 0; o < serve::kOutcomeCount; ++o)
+      if (stats.outcomes[o] > 0)
+        std::printf(" %s=%llu",
+                    serve::outcome_name(static_cast<serve::Outcome>(o)),
+                    static_cast<unsigned long long>(stats.outcomes[o]));
+    std::printf("\n");
+  }
   if (replan) {
     std::printf("re-planning: %llu plans recomputed, %llu swaps applied, "
                 "last plan compute %llu us, live plan priced for batch %d\n",
@@ -353,7 +391,12 @@ int main(int argc, char** argv) {
             {"last_plan_compute_us",
              static_cast<double>(stats.last_plan_compute_us)},
             {"plan_priced_batch",
-             static_cast<double>(stats.plan_priced_batch)}});
+             static_cast<double>(stats.plan_priced_batch)},
+            {"chaos_seed", static_cast<double>(chaos_seed)},
+            {"internal_errors",
+             static_cast<double>(stats.outcomes[static_cast<std::size_t>(
+                 serve::Outcome::InternalError)])},
+            {"watchdog_wedges", static_cast<double>(stats.watchdog_wedges)}});
   if (!json.write()) return 1;
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "runtime/batch_scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <utility>
+
+#include "runtime/fault_injector.hpp"
 
 namespace vlacnn::runtime {
 
@@ -21,7 +24,14 @@ BatchScheduler::BatchScheduler(core::ConvolutionEngine& engine,
   main_engine_ = std::make_unique<vla::VectorEngine>(cfg_.vlen_bits);
   main_ctx_ = std::make_unique<dnn::ExecContext>(*main_engine_);
   engine_->install(*main_ctx_, cfg_.intra_op && t > 1 ? &pool_ : nullptr);
+  if (cfg_.fault_injector != nullptr) {
+    graph_->set_fault_injector(cfg_.fault_injector);
+    FaultInjector* inj = cfg_.fault_injector;
+    pool_.task_start_hook = [inj](int worker) { inj->on_worker_task(worker); };
+  }
   executor_ = std::thread([this] { executor_loop(); });
+  if (cfg_.watchdog_timeout_s > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 BatchScheduler::~BatchScheduler() {
@@ -30,7 +40,58 @@ BatchScheduler::~BatchScheduler() {
     stopping_ = true;
   }
   exec_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   if (executor_.joinable()) executor_.join();
+}
+
+void BatchScheduler::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(std::max(1e-4,
+                                                   cfg_.watchdog_poll_s))),
+        [&] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    if (graph_->cancel_if_wedged(cfg_.watchdog_timeout_s) > 0)
+      watchdog_wedges_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+}
+
+void BatchScheduler::init_item_errors(Slot& slot, int items) {
+  std::lock_guard<std::mutex> lock(item_mu_);
+  slot.result.item_errors.assign(static_cast<std::size_t>(items), nullptr);
+}
+
+bool BatchScheduler::item_failed(Slot& slot, int item) {
+  std::lock_guard<std::mutex> lock(item_mu_);
+  return slot.result.item_errors[static_cast<std::size_t>(item)] != nullptr;
+}
+
+bool BatchScheduler::any_item_failed(Slot& slot) {
+  std::lock_guard<std::mutex> lock(item_mu_);
+  for (const auto& e : slot.result.item_errors)
+    if (e) return true;
+  return false;
+}
+
+void BatchScheduler::fail_item(Slot& slot, int item, std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(item_mu_);
+  auto& cell = slot.result.item_errors[static_cast<std::size_t>(item)];
+  if (!cell) cell = std::move(e);  // first failure wins (the root cause)
+}
+
+void BatchScheduler::fail_items(Slot& slot, int begin, int end,
+                                std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(item_mu_);
+  for (int b = begin; b < end; ++b) {
+    auto& cell = slot.result.item_errors[static_cast<std::size_t>(b)];
+    if (!cell) cell = e;
+  }
 }
 
 std::uint64_t BatchScheduler::mem_bytes_moved() const {
@@ -120,6 +181,17 @@ const dnn::Tensor& BatchScheduler::run(dnn::Network& net,
 
 void BatchScheduler::complete(Slot& slot) {
   {
+    // Collapse an all-null item-error vector to empty: the common fault-free
+    // path hands callers `item_errors.empty()`, and a batch-level error
+    // supersedes per-item bookkeeping entirely.
+    std::lock_guard<std::mutex> item_lock(item_mu_);
+    auto& errs = slot.result.item_errors;
+    bool any = false;
+    for (const auto& e : errs)
+      if (e) { any = true; break; }
+    if (!any || slot.error) errs.clear();
+  }
+  {
     std::lock_guard<std::mutex> lock(mu_);
     slot.owned_input = dnn::Tensor();  // release admitted input early
     slot.input = nullptr;
@@ -200,6 +272,7 @@ void BatchScheduler::executor_loop() {
 }
 
 void BatchScheduler::launch_graph(Slot& slot) {
+  init_item_errors(slot, slot.input->n());
   try {
     // Weight transforms happen before any task runs, so the shared caches
     // are read-only lookups for the rest of the pass (they are also
@@ -278,25 +351,49 @@ GraphBatchSpec BatchScheduler::build_program(Slot& slot) {
         want_batch_fused || layer.readiness() == dnn::Layer::Readiness::Barrier;
     L.prepare = [lp, ins] { lp->prepare_batch(ins); };
     const std::string algo = algo_of(layer);
-    L.run = [this, lp, ins, algo, li, nb, want_batch_fused](
+    L.run = [this, lp, ins, algo, li, nb, want_batch_fused, slotp](
                 int begin, int end, int worker, dnn::LayerRecord& rec) {
       dnn::ExecContext& ctx = *worker_ctxs_[static_cast<std::size_t>(worker)];
       rec.name = lp->name();
-      if (want_batch_fused) {
-        if (test_item_hook) test_item_hook(li, -1);
-        if (lp->forward_batch(ctx, ins)) {
+      // One batch-fused dispatch covers every item, so it only runs while
+      // the batch is fault-free: a failed item would poison the fused
+      // output of all the others. With a failure aboard, fall through to
+      // the per-item path (bit-identical by the residency contract), which
+      // skips poisoned items individually.
+      if (want_batch_fused && !any_item_failed(*slotp)) {
+        try {
+          if (test_item_hook) test_item_hook(li, -1);
+          if (lp->forward_batch(ctx, ins)) {
+            rec.algo = algo + "+batch";
+            rec.items = nb;
+            rec.flops = lp->flops() * static_cast<double>(nb);
+            return;
+          }
+          // Layer declined (e.g. packing disabled): per-item fallback.
+        } catch (...) {
+          // The fused kernel failed with all items in flight: every item of
+          // this task fails together (a barrier task spans the full batch).
+          fail_items(*slotp, begin, end, std::current_exception());
           rec.algo = algo + "+batch";
-          rec.items = nb;
-          rec.flops = lp->flops() * static_cast<double>(nb);
+          rec.items = 0;
           return;
         }
-        // Layer declined (e.g. packing disabled): per-item fallback below.
       }
       rec.algo = algo;
       rec.items = 0;
       for (int b = begin; b < end; ++b) {
-        if (test_item_hook) test_item_hook(li, b);
-        lp->forward_item(ctx, ins, b);
+        if (item_failed(*slotp, b)) continue;  // poisoned upstream: skip
+        try {
+          if (cfg_.fault_injector != nullptr)
+            cfg_.fault_injector->maybe_fail_item(slotp->id, li, b);
+          if (test_item_hook) test_item_hook(li, b);
+          lp->forward_item(ctx, ins, b);
+        } catch (...) {
+          // Isolate: this item fails, its siblings' outputs stay untouched
+          // and bit-identical; downstream layers skip it.
+          fail_item(*slotp, b, std::current_exception());
+          continue;
+        }
         rec.items += 1;
         rec.flops += lp->flops();
       }
@@ -331,6 +428,7 @@ GraphBatchSpec BatchScheduler::build_program(Slot& slot) {
 void BatchScheduler::execute_serial(Slot& slot) {
   using clock = std::chrono::steady_clock;
   const auto t0 = clock::now();
+  init_item_errors(slot, slot.input->n());
   try {
     dnn::Network& net = *slot.net;
     const dnn::Tensor& input = *slot.input;
@@ -374,9 +472,18 @@ void BatchScheduler::execute_serial(Slot& slot) {
                : (engine_->plan().fc_weight_resident &&
                   dynamic_cast<const dnn::ConnectedLayer*>(&layer) !=
                       nullptr));
-      if (want_batch_fused) {
-        if (test_item_hook) test_item_hook(li, -1);
-        if (layer.forward_batch(*main_ctx_, ins)) {
+      // Batch-fused only while the batch is fault-free (see build_program);
+      // a fused-kernel failure fails every item together.
+      if (want_batch_fused && !any_item_failed(slot)) {
+        bool fused = false;
+        try {
+          if (test_item_hook) test_item_hook(li, -1);
+          fused = layer.forward_batch(*main_ctx_, ins);
+        } catch (...) {
+          fail_items(slot, 0, nb, std::current_exception());
+          fused = true;  // all items failed: nothing left for per-item
+        }
+        if (fused) {
           dnn::LayerRecord rec;
           rec.name = layer.name();
           rec.flops = layer.flops() * nb;
@@ -392,14 +499,24 @@ void BatchScheduler::execute_serial(Slot& slot) {
       if (nb == 1 || pool_.size() == 1) {
         // Too little batch-level work to shard: run on the executor thread,
         // whose context may intra-op parallelize inside GEMM / Winograd.
+        int done_items = 0;
         for (int b = 0; b < nb; ++b) {
-          if (test_item_hook) test_item_hook(li, b);
-          layer.forward_item(*main_ctx_, ins, b);
+          if (item_failed(slot, b)) continue;
+          try {
+            if (cfg_.fault_injector != nullptr)
+              cfg_.fault_injector->maybe_fail_item(slot.id, li, b);
+            if (test_item_hook) test_item_hook(li, b);
+            layer.forward_item(*main_ctx_, ins, b);
+          } catch (...) {
+            fail_item(slot, b, std::current_exception());
+            continue;
+          }
+          ++done_items;
         }
         dnn::LayerRecord rec;
         rec.name = layer.name();
-        rec.flops = layer.flops() * nb;
-        rec.items = nb;
+        rec.flops = layer.flops() * done_items;
+        rec.items = done_items;
         rec.algo = algo_of(layer);
         rec.wall_seconds =
             std::chrono::duration<double>(clock::now() - l0).count();
@@ -413,8 +530,17 @@ void BatchScheduler::execute_serial(Slot& slot) {
       std::vector<std::vector<dnn::LayerRecord>> parts(
           static_cast<std::size_t>(pool_.size()));
       pool_.parallel_for(nb, [&](int b, int w) {
-        if (test_item_hook) test_item_hook(li, b);
-        layer.forward_item(*worker_ctxs_[static_cast<std::size_t>(w)], ins, b);
+        if (item_failed(slot, b)) return;
+        try {
+          if (cfg_.fault_injector != nullptr)
+            cfg_.fault_injector->maybe_fail_item(slot.id, li, b);
+          if (test_item_hook) test_item_hook(li, b);
+          layer.forward_item(*worker_ctxs_[static_cast<std::size_t>(w)], ins,
+                             b);
+        } catch (...) {
+          fail_item(slot, b, std::current_exception());
+          return;
+        }
         auto& mine = parts[static_cast<std::size_t>(w)];
         if (mine.empty()) {
           dnn::LayerRecord rec;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -36,6 +37,20 @@ struct SchedulerConfig {
   /// Runtime escape hatch: Graph is the default; Serial restores the
   /// pre-work-graph executor (one batch at a time, per-layer barriers).
   ExecutorKind executor = ExecutorKind::Graph;
+  /// Deterministic fault source for chaos runs: injected task stalls reach
+  /// the work graph, worker-slow faults the pool, item failures the layer
+  /// dispatch (where per-item isolation catches them). Must outlive the
+  /// scheduler. Null = no injection (production default).
+  FaultInjector* fault_injector = nullptr;
+  /// Batch watchdog: when > 0, a monitor thread declares the oldest
+  /// in-flight graph batch wedged after this many seconds without progress
+  /// and cancels it (WorkGraph::cancel_if_wedged) — the batch completes
+  /// with BatchCancelled instead of blocking the slot ring forever. 0
+  /// disables the watchdog. Graph executor only; the serial path has no
+  /// cancellation point.
+  double watchdog_timeout_s = 0.0;
+  /// Watchdog poll period.
+  double watchdog_poll_s = 0.01;
 };
 
 /// Handle to a batch accepted by BatchScheduler::submit(). Single-use:
@@ -61,6 +76,14 @@ struct BatchResult {
   double compute_seconds = 0.0;
   /// Worker occupancy and cross-batch overlap counters for this batch.
   ExecStats exec;
+  /// Per-item execution errors: empty when every item succeeded; otherwise
+  /// size n() with a non-null exception_ptr per failed item. A failed
+  /// item's slice of `output` is meaningless; every other item is
+  /// bit-identical to a fault-free run (its kernels ran on the same
+  /// contexts with the same inputs — failed items are skipped, never
+  /// recomputed differently). Batch-level failures (prepare, shape,
+  /// watchdog cancellation) surface as a wait() throw instead.
+  std::vector<std::exception_ptr> item_errors;
 };
 
 /// Parallel layer scheduler: runs batched forward passes of a Network with
@@ -161,6 +184,11 @@ class BatchScheduler {
   [[nodiscard]] int threads() const { return pool_.size(); }
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
+  /// Batches the watchdog declared wedged and cancelled so far.
+  [[nodiscard]] std::uint64_t watchdog_wedges() const {
+    return watchdog_wedges_.load(std::memory_order_relaxed);
+  }
+
   /// Cumulative bytes moved by every engine this scheduler drives (main +
   /// batch workers; intra-op worker traffic is folded into the main engine
   /// by the GEMM/Winograd kernels). Sample before/after a batch to get its
@@ -194,6 +222,16 @@ class BatchScheduler {
   void launch_graph(Slot& slot);
   GraphBatchSpec build_program(Slot& slot);
   void complete(Slot& slot);  // release input, mark Done, wake waiters
+  void watchdog_loop();
+
+  // Per-item error isolation (guarded by item_mu_: entries are written by
+  // whichever worker hits the failure and read by every later layer's
+  // skip check).
+  void init_item_errors(Slot& slot, int items);
+  [[nodiscard]] bool item_failed(Slot& slot, int item);
+  [[nodiscard]] bool any_item_failed(Slot& slot);
+  void fail_item(Slot& slot, int item, std::exception_ptr e);
+  void fail_items(Slot& slot, int begin, int end, std::exception_ptr e);
 
   core::ConvolutionEngine* engine_;
   SchedulerConfig cfg_;
@@ -209,6 +247,9 @@ class BatchScheduler {
   std::unique_ptr<dnn::ExecContext> main_ctx_;
   std::vector<dnn::LayerRecord> records_;
 
+  std::mutex item_mu_;  // guards every Slot::result.item_errors
+  std::atomic<std::uint64_t> watchdog_wedges_{0};
+
   std::mutex mu_;                  // guards slots_ + counters below
   std::condition_variable slot_cv_;  // slot became Free or Done
   std::condition_variable exec_cv_;  // slot became Queued (or stopping)
@@ -219,6 +260,8 @@ class BatchScheduler {
   bool swap_pending_ = false;  // install_plan() gate: executor claims nothing
   std::uint64_t running_ = 0;  // slots claimed but not yet Done
   std::thread executor_;
+  std::condition_variable watchdog_cv_;  // wakes the watchdog on shutdown
+  std::thread watchdog_;
 };
 
 }  // namespace vlacnn::runtime

@@ -1,0 +1,87 @@
+#include "runtime/fault_injector.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace vlacnn::runtime {
+
+namespace {
+
+// splitmix64: the standard 64-bit finalizer — full avalanche, so adjacent
+// (batch, layer, item) triples decorrelate completely.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::roll(std::uint64_t stream, std::uint64_t a,
+                         std::uint64_t b, std::uint64_t c,
+                         double prob) const {
+  if (prob <= 0) return false;
+  std::uint64_t h = mix(plan_.seed ^ mix(stream));
+  h = mix(h ^ mix(a));
+  h = mix(h ^ mix(b));
+  h = mix(h ^ mix(c));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < prob;
+}
+
+double FaultInjector::task_stall_ms(std::uint64_t batch_seq, int layer,
+                                    int chunk) const {
+  return roll(1, batch_seq, static_cast<std::uint64_t>(layer),
+              static_cast<std::uint64_t>(chunk), plan_.task_stall_prob)
+             ? plan_.task_stall_ms
+             : 0.0;
+}
+
+bool FaultInjector::fail_item(std::uint64_t batch_seq, int layer,
+                              int item) const {
+  return roll(2, batch_seq, static_cast<std::uint64_t>(layer),
+              static_cast<std::uint64_t>(item), plan_.item_fail_prob);
+}
+
+void FaultInjector::maybe_fail_item(std::uint64_t batch_seq, int layer,
+                                    int item) {
+  if (!fail_item(batch_seq, layer, item)) return;
+  item_failures_.fetch_add(1, std::memory_order_relaxed);
+  throw FaultInjected("injected item failure (batch " +
+                      std::to_string(batch_seq) + ", layer " +
+                      std::to_string(layer) + ", item " +
+                      std::to_string(item) + ")");
+}
+
+void FaultInjector::on_worker_task(int worker) noexcept {
+  if (plan_.worker_slow_prob <= 0 || plan_.worker_slow_ms <= 0) return;
+  const int w = worker >= 0 && worker < kMaxWorkers ? worker : 0;
+  const std::uint64_t seq =
+      worker_seq_[static_cast<std::size_t>(w)].fetch_add(
+          1, std::memory_order_relaxed);
+  if (!roll(3, static_cast<std::uint64_t>(w), seq, 0,
+            plan_.worker_slow_prob))
+    return;
+  worker_slows_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(plan_.worker_slow_ms));
+}
+
+void FaultInjector::stall(double ms) noexcept {
+  if (ms <= 0) return;
+  task_stalls_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  Stats s;
+  s.task_stalls = task_stalls_.load(std::memory_order_relaxed);
+  s.worker_slows = worker_slows_.load(std::memory_order_relaxed);
+  s.item_failures = item_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vlacnn::runtime

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+namespace vlacnn::runtime {
+
+/// What a FaultInjector injects and how often. Probabilities are per
+/// decision point; every decision is a pure hash of (seed, ids), so a given
+/// seed produces the same fault set regardless of thread interleaving or
+/// wall-clock — chaos runs are replayable.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Stall a work-graph task (one (batch, layer, chunk) node) before it
+  /// runs: models a descheduled or page-faulting worker. Finite stalls —
+  /// the watchdog's cancellation takes effect when the task returns.
+  double task_stall_prob = 0.0;
+  double task_stall_ms = 0.0;
+  /// Slow a ThreadPool worker at task pickup (keyed on (worker, per-worker
+  /// sequence) — deterministic per worker, but WHICH task it lands on
+  /// depends on scheduling; timing-only chaos, never correctness).
+  double worker_slow_prob = 0.0;
+  double worker_slow_ms = 0.0;
+  /// Throw FaultInjected out of one item's layer forward: models a
+  /// poisoned input or transient kernel failure. The scheduler's per-item
+  /// isolation turns it into that request's InternalError.
+  double item_fail_prob = 0.0;
+
+  /// The one-knob chaos profile the serving tools' --chaos=<seed> wires up.
+  static FaultPlan chaos(std::uint64_t seed) {
+    FaultPlan p;
+    p.seed = seed;
+    p.task_stall_prob = 0.02;
+    p.task_stall_ms = 20.0;
+    p.worker_slow_prob = 0.05;
+    p.worker_slow_ms = 2.0;
+    p.item_fail_prob = 0.05;
+    return p;
+  }
+};
+
+/// The exception an injected item failure throws.
+struct FaultInjected : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Deterministic, seed-driven fault source for the runtime. Decision
+/// points hash their stable ids (batch sequence number, layer, chunk/item)
+/// against the seed, so the injected fault set is a pure function of the
+/// plan — independent of how threads interleave. Thread-safe; hooks are
+/// called from pool workers.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  /// Milliseconds to stall the (batch_seq, layer, chunk) graph task, 0 for
+  /// none. Pure — the WorkGraph sleeps and counts via stall().
+  [[nodiscard]] double task_stall_ms(std::uint64_t batch_seq, int layer,
+                                     int chunk) const;
+
+  /// True when item `item` of layer `layer` in batch `batch_seq` must fail.
+  [[nodiscard]] bool fail_item(std::uint64_t batch_seq, int layer,
+                               int item) const;
+
+  /// Throws FaultInjected (and counts it) when fail_item() says so.
+  void maybe_fail_item(std::uint64_t batch_seq, int layer, int item);
+
+  /// ThreadPool task-pickup hook: sleeps the worker when its per-worker
+  /// decision stream says so. Must not throw (pool tasks are noexcept).
+  void on_worker_task(int worker) noexcept;
+
+  /// Sleeps `ms` and counts a task stall (the WorkGraph's stall path).
+  void stall(double ms) noexcept;
+
+  struct Stats {
+    std::uint64_t task_stalls = 0;
+    std::uint64_t worker_slows = 0;
+    std::uint64_t item_failures = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  [[nodiscard]] bool roll(std::uint64_t stream, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c,
+                          double prob) const;
+
+  static constexpr int kMaxWorkers = 64;
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kMaxWorkers> worker_seq_{};
+  std::atomic<std::uint64_t> task_stalls_{0};
+  std::atomic<std::uint64_t> worker_slows_{0};
+  std::atomic<std::uint64_t> item_failures_{0};
+};
+
+}  // namespace vlacnn::runtime

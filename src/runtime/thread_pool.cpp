@@ -105,6 +105,7 @@ void ThreadPool::worker_loop(int id) {
     } else {
       {
         TlsPoolScope scope(this, id);
+        if (task_start_hook) task_start_hook(id);
         task(id);  // must not throw (see Task)
       }
       std::lock_guard<std::mutex> lock(mu_);

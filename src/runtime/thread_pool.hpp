@@ -72,6 +72,13 @@ class ThreadPool {
   /// Tasks posted but not yet finished (approximate; for tests).
   [[nodiscard]] int pending_tasks() const;
 
+  /// Fault-injection hook: when set, runs on the worker right before each
+  /// POSTED task executes (parallel_for chunks are exempt — they sit on the
+  /// synchronous hot path and their caller blocks on the barrier). Must not
+  /// throw; intended for timing-only chaos (runtime::FaultInjector's
+  /// worker-slow faults). Set it only while no tasks are in flight.
+  std::function<void(int worker)> task_start_hook;
+
  private:
   void worker_loop(int id);
   void run_chunk(int worker);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace vlacnn::runtime {
 
@@ -64,6 +66,7 @@ void WorkGraph::launch(GraphBatchSpec&& spec) {
 
   std::lock_guard<std::mutex> lock(mu_);
   b.seq = next_seq_++;
+  b.launched_at = std::chrono::steady_clock::now();
   b.layer_chunks.resize(static_cast<std::size_t>(n_layers));
 
   // Adds an ordering edge from every still-incomplete node of an OLDER batch
@@ -188,6 +191,11 @@ void WorkGraph::run_token(int worker) {
     ready_.pop();
     Batch& b = *n->batch;
     const auto now = std::chrono::steady_clock::now();
+    // A task being picked up is progress too: back-to-back long tasks keep
+    // refreshing the watchdog at every boundary, so only a single task
+    // exceeding the timeout outright (with nothing else starting or
+    // finishing) can be declared wedged.
+    last_progress_ = now;
     if (!b.started) {
       b.started = true;
       b.first_start = now;
@@ -219,6 +227,13 @@ void WorkGraph::run_token(int worker) {
   std::exception_ptr err;
   double dur = 0.0;
   if (!skip) {
+    if (injector_ != nullptr && !n->is_prepare) {
+      // Injected stall: the worker holds this task (and nothing else) for a
+      // bounded time — the scenario the watchdog must ride out or, past its
+      // timeout, declare wedged.
+      const double ms = injector_->task_stall_ms(b.seq, n->layer, n->chunk);
+      if (ms > 0) injector_->stall(ms);
+    }
     const auto t0 = std::chrono::steady_clock::now();
     try {
       if (n->is_prepare) {
@@ -242,6 +257,7 @@ void WorkGraph::run_token(int worker) {
     b.error = err;
   }
   if (!n->is_prepare) b.busy_seconds += dur;
+  last_progress_ = std::chrono::steady_clock::now();
   n->done = true;
   for (Node* d : n->out) {
     VLACNN_ASSERT(d->deps > 0, "work-graph dependency underflow");
@@ -318,6 +334,24 @@ void WorkGraph::drain() {
 int WorkGraph::live_batches() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(live_.size());
+}
+
+int WorkGraph::cancel_if_wedged(double timeout_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.empty()) return 0;
+  Batch& b = *live_.front();
+  if (b.failed) return 0;  // already failing/cancelled; skips are in flight
+  auto since = b.launched_at;
+  if (last_progress_ > since) since = last_progress_;
+  const double idle_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - since)
+                            .count();
+  if (idle_s < timeout_s) return 0;
+  b.failed = true;
+  b.error = std::make_exception_ptr(BatchCancelled(
+      "watchdog: batch made no progress for " + std::to_string(idle_s) +
+      "s (timeout " + std::to_string(timeout_s) + "s)"));
+  return 1;
 }
 
 }  // namespace vlacnn::runtime

@@ -9,12 +9,23 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "dnn/exec_context.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace vlacnn::runtime {
+
+class FaultInjector;
+
+/// The error a watchdog-cancelled batch completes with: the batch made no
+/// progress for the configured timeout, so its remaining tasks were skipped
+/// and the whole batch failed. Callers (serve::Server) map it to a typed
+/// per-request Cancelled outcome rather than an internal error.
+struct BatchCancelled : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 /// Execution statistics of one batch under an executor. Under the work-graph
 /// executor, `span_seconds` runs from the batch's first task start to its
@@ -148,6 +159,24 @@ class WorkGraph {
   /// Batches currently in flight (for tests).
   [[nodiscard]] int live_batches() const;
 
+  /// Wires a deterministic fault source: compute tasks consult it for an
+  /// injected stall before running. Set while the graph is drained (the
+  /// scheduler wires it at construction); the injector must outlive the
+  /// graph's batches.
+  void set_fault_injector(FaultInjector* inj) { injector_ = inj; }
+
+  /// The watchdog's wedge check: when the OLDEST live batch has made no
+  /// progress (no task of ANY batch started or completed — younger batches
+  /// overlapping the front one count as progress, since FIFO retirement
+  /// gates on the front) for `timeout_s`, marks it failed with
+  /// BatchCancelled so its remaining tasks skip and it completes with a
+  /// typed error instead of wedging the slot ring forever. Returns 1 when
+  /// a batch was declared wedged, else 0.
+  /// Cancellation takes effect when the stuck task returns:
+  /// a finitely stalled worker (the FaultInjector's model) unwedges; a task
+  /// that never returns cannot be reclaimed without killing its thread.
+  int cancel_if_wedged(double timeout_s);
+
  private:
   struct Batch;
   struct Node {
@@ -172,6 +201,7 @@ class WorkGraph {
     bool failed = false;
     std::exception_ptr error;
     bool started = false;
+    std::chrono::steady_clock::time_point launched_at{};
     std::chrono::steady_clock::time_point first_start{};
     double busy_seconds = 0.0;
     std::uint64_t tasks = 0;
@@ -190,8 +220,12 @@ class WorkGraph {
   void retire(Batch& b);               // mu_ held
 
   ThreadPool* pool_;
+  FaultInjector* injector_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
+  // Last instant any task of any batch completed — the watchdog's liveness
+  // signal (guarded by mu_).
+  std::chrono::steady_clock::time_point last_progress_{};
   std::uint64_t next_seq_ = 1;
   std::deque<std::unique_ptr<Batch>> live_;  // FIFO by seq
   // Every incomplete node touching (reading or writing) a tensor, keyed by

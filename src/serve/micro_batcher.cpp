@@ -51,13 +51,29 @@ LaunchDecision decide(const BatchPolicy& policy, int queued,
 }
 
 std::optional<FormedBatch> MicroBatcher::next_batch() {
-  InferRequest first;
-  if (!queue_->pop(first)) return std::nullopt;  // closed and drained
-
   FormedBatch fb;
-  const Clock::time_point oldest = first.arrival;
-  Clock::time_point min_deadline = first.deadline;
-  fb.requests.push_back(std::move(first));
+  Clock::time_point min_deadline = kNoDeadline;
+
+  // Boards a freshly popped request unless its deadline has already passed,
+  // in which case it is shed on the spot — the check runs at every pop
+  // point so stale requests never occupy a batch slot.
+  const auto board = [&](InferRequest&& r) {
+    if (should_shed(policy_, r.deadline, Clock::now())) {
+      if (on_shed) on_shed(std::move(r));
+      return false;
+    }
+    min_deadline = std::min(min_deadline, r.deadline);
+    fb.requests.push_back(std::move(r));
+    return true;
+  };
+
+  // Block for the first live request of the batch, shedding stale ones.
+  for (;;) {
+    InferRequest first;
+    if (!queue_->pop(first)) return std::nullopt;  // closed and drained
+    if (board(std::move(first))) break;
+  }
+  const Clock::time_point oldest = fb.requests.front().arrival;
 
   for (;;) {
     // Greedy drain first: admit everything already queued (up to
@@ -70,8 +86,7 @@ std::optional<FormedBatch> MicroBatcher::next_batch() {
     while (static_cast<int>(fb.requests.size()) < policy_.max_batch) {
       InferRequest ready;
       if (queue_->try_pop(ready) != RequestQueue::PopStatus::Ok) break;
-      min_deadline = std::min(min_deadline, ready.deadline);
-      fb.requests.push_back(std::move(ready));
+      board(std::move(ready));
     }
     const LaunchDecision d =
         decide(policy_, static_cast<int>(fb.requests.size()), oldest,
@@ -84,8 +99,7 @@ std::optional<FormedBatch> MicroBatcher::next_batch() {
     const RequestQueue::PopStatus st =
         queue_->pop_wait_until(more, d.launch_by);
     if (st == RequestQueue::PopStatus::Ok) {
-      min_deadline = std::min(min_deadline, more.deadline);
-      fb.requests.push_back(std::move(more));
+      board(std::move(more));
       continue;
     }
     if (st == RequestQueue::PopStatus::Closed) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -29,7 +30,21 @@ struct BatchPolicy {
   /// max_wait-expired. Callers typically set it to an estimate of one
   /// batch's forward-pass time.
   Clock::duration deadline_slack = Clock::duration::zero();
+  /// Shed requests whose deadline has already passed at dequeue time
+  /// instead of boarding them: a stale request can only be served late, and
+  /// under overload every slot it occupies makes the batch behind it later
+  /// too. Off restores the old serve-late behavior.
+  bool shed_expired = true;
 };
+
+/// The pure shed rule: true when `policy` says a request with this deadline
+/// must be dropped at dequeue rather than boarded. Stale means the deadline
+/// has already passed — a request at exactly its deadline can no longer be
+/// served in time, so `now >= deadline` sheds.
+inline bool should_shed(const BatchPolicy& policy, Clock::time_point deadline,
+                        Clock::time_point now) {
+  return policy.shed_expired && deadline != kNoDeadline && now >= deadline;
+}
 
 /// decide()'s verdict for the current batch-in-formation.
 struct LaunchDecision {
@@ -73,6 +88,13 @@ class MicroBatcher {
   std::optional<FormedBatch> next_batch();
 
   [[nodiscard]] const BatchPolicy& policy() const { return policy_; }
+
+  /// Invoked (from the batcher thread) for every request shed at dequeue
+  /// because its deadline had already passed. Unset: shed requests are
+  /// destroyed silently. The shed check runs at every pop point, so a stale
+  /// request never occupies a batch slot; requests already aboard are not
+  /// re-checked (their staleness is bounded by the launch window).
+  std::function<void(InferRequest&&)> on_shed;
 
  private:
   RequestQueue* queue_;

@@ -30,6 +30,14 @@ void tally_wins(const core::BackendPlan& plan,
 
 }  // namespace
 
+std::vector<core::BackendPlan> default_degradation_tiers(
+    const core::BackendPlan& base) {
+  std::vector<core::BackendPlan> tiers;
+  tiers.push_back(base.with_precision(gemm::PackFormat::Bf16));
+  tiers.push_back(base.with_precision(gemm::PackFormat::Int8PerChannel));
+  return tiers;
+}
+
 Replanner::Replanner(runtime::BatchScheduler& sched, dnn::Network& net,
                      core::CostModel model, core::BackendPlan base,
                      ReplannerConfig cfg)
@@ -37,7 +45,8 @@ Replanner::Replanner(runtime::BatchScheduler& sched, dnn::Network& net,
       net_(&net),
       model_(std::move(model)),
       cfg_(cfg),
-      plan_(std::move(base)) {
+      plan_(base),
+      tier0_(std::move(base)) {
   VLACNN_REQUIRE(cfg_.max_batch >= 1, "replanner max_batch must be >= 1");
   VLACNN_REQUIRE(cfg_.window >= 1, "replanner window must be >= 1");
   VLACNN_REQUIRE(cfg_.hysteresis >= 1.0, "hysteresis is a ratio >= 1");
@@ -73,6 +82,26 @@ void Replanner::observe(int batch_items, std::size_t queue_depth) {
   cv_.notify_one();
 }
 
+void Replanner::set_tiers(std::vector<core::BackendPlan> tiers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VLACNN_REQUIRE(!started_, "set_tiers must run before start()");
+  tiers_ = std::move(tiers);
+}
+
+void Replanner::request_tier(int tier) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    requested_tier_ =
+        std::clamp(tier, 0, static_cast<int>(tiers_.size()));
+  }
+  cv_.notify_one();
+}
+
+int Replanner::current_tier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_tier_;
+}
+
 ReplanStats Replanner::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -105,9 +134,33 @@ void Replanner::worker_loop() {
     core::BackendPlan base;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_ || observed_ > last_seen; });
+      cv_.wait(lock, [&] {
+        return stop_ || observed_ > last_seen ||
+               requested_tier_ != current_tier_;
+      });
       if (stop_) return;
+      if (requested_tier_ != current_tier_) {
+        // Ladder move beats regime re-ranking: install the requested tier
+        // plan as-is. Tier plans are pre-built (with_precision /
+        // with_sparsity over the admitted base), never re-ranked — within a
+        // tier, dispatch is frozen and outputs stay bit-identical.
+        const int tier = requested_tier_;
+        core::BackendPlan next = tier == 0 ? tier0_ : tiers_[tier - 1];
+        current_tier_ = tier;
+        lock.unlock();
+        sched_->install_plan(next);
+        lock.lock();
+        plan_ = std::move(next);
+        ++stats_.tier_swaps;
+        ++stats_.swaps_applied;
+        stats_.current_tier = tier;
+        stats_.current_priced_batch = std::max(1, plan_.priced_batch);
+        tally_wins(plan_, stats_.wins);
+        last_swap_obs_ = observed_;  // cooldown before regime replans resume
+        continue;
+      }
       last_seen = observed_;
+      if (current_tier_ != 0) continue;  // re-ranking frozen while degraded
       if (window_.size() < cfg_.min_batches) continue;
       if (observed_ - last_swap_obs_ < cfg_.cooldown_batches &&
           last_swap_obs_ != 0)

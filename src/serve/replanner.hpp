@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "core/cost_model.hpp"
 #include "core/selector.hpp"
@@ -39,9 +40,20 @@ struct ReplanStats {
   std::uint64_t swaps_applied = 0;     ///< plans actually installed
   std::uint64_t last_plan_compute_us = 0;  ///< wall µs of the last re-plan
   int current_priced_batch = 0;        ///< batch the live plan is priced for
+  int current_tier = 0;                ///< active degradation-ladder tier
+  std::uint64_t tier_swaps = 0;        ///< tier plans installed (both ways)
   /// Per-backend layer-entry win counts of the live plan.
   std::array<std::uint64_t, core::kBackendCount> wins{};
 };
+
+/// The default graceful-degradation ladder above a full-precision base
+/// plan: tier 1 swaps every Gemm6-family route to bf16 resident weights
+/// (~2x weight-DRAM cut), tier 2 to int8 per-channel (~4x). Each tier is a
+/// complete BackendPlan, so installing one goes through the same quiesce +
+/// recompile path as any replan; within a tier the plan is frozen, so
+/// outputs stay bit-identical until the governor moves tiers.
+std::vector<core::BackendPlan> default_degradation_tiers(
+    const core::BackendPlan& base);
 
 /// Online re-planning driver: watches the traffic regime the server
 /// actually sees (micro-batch sizes and queue depth, reported by the
@@ -82,6 +94,21 @@ class Replanner {
   /// completion loop calls this inline per batch.
   void observe(int batch_items, std::size_t queue_depth);
 
+  /// Installs the degradation ladder: tiers[i] serves as tier i+1 (tier 0
+  /// is the base plan the replanner was built with). Call before start().
+  void set_tiers(std::vector<core::BackendPlan> tiers);
+
+  /// Asks the worker to move to `tier` (clamped to the installed ladder).
+  /// Thread-safe and cheap — the OverloadGovernor calls this from its
+  /// admission/observation path; the actual install_plan happens on the
+  /// worker thread at a batch boundary. While a non-zero tier is active,
+  /// regime re-ranking is frozen (the tier plan never mutates), so outputs
+  /// stay bit-identical within a tier; recovery to tier 0 restores the
+  /// original base plan and re-ranking resumes from it.
+  void request_tier(int tier);
+
+  [[nodiscard]] int current_tier() const;
+
   [[nodiscard]] ReplanStats stats() const;
 
   /// The plan currently installed (for tests and the advisor).
@@ -102,7 +129,11 @@ class Replanner {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  core::BackendPlan plan_;  // the live plan (what the scheduler runs)
+  core::BackendPlan plan_;   // the live plan (what the scheduler runs)
+  core::BackendPlan tier0_;  // pristine base; reinstalled on recovery
+  std::vector<core::BackendPlan> tiers_;  // tiers_[i] = ladder tier i+1
+  int requested_tier_ = 0;
+  int current_tier_ = 0;
   std::deque<std::pair<int, std::size_t>> window_;  // (items, depth)
   std::uint64_t observed_ = 0;        // total observe() calls
   std::uint64_t last_swap_obs_ = 0;   // observed_ at the last swap

@@ -60,6 +60,22 @@ RequestQueue::PopStatus RequestQueue::try_pop(InferRequest& out) {
   return PopStatus::Ok;
 }
 
+std::vector<InferRequest> RequestQueue::close_and_cancel() {
+  std::vector<InferRequest> cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cancelled.reserve(q_.size());
+    while (!q_.empty()) {
+      cancelled.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+  }
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+  return cancelled;
+}
+
 void RequestQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "dnn/tensor.hpp"
 
@@ -32,9 +33,34 @@ struct InferRequest {
 /// Outcome of offering a request to the admission queue.
 enum class Admit {
   Accepted,
-  Rejected,  ///< queue full under the reject-on-full policy
-  Closed,    ///< queue shut down; no further admissions
+  Rejected,          ///< queue full under the reject-on-full policy
+  Closed,            ///< queue shut down; no further admissions
+  RejectedOverload,  ///< OverloadGovernor turned the request away (Server)
 };
+
+/// Terminal status of a request that made it past admission. Every admitted
+/// request resolves to exactly one of these, carried on RequestTrace and
+/// tallied in ServerStats::outcomes — nothing vanishes silently.
+enum class Outcome : std::uint8_t {
+  Ok = 0,            ///< served; output delivered
+  RejectedOverload,  ///< turned away at admission (governor or full queue)
+  ShedDeadline,      ///< dropped at dequeue: deadline already passed
+  Cancelled,         ///< shutdown drain or watchdog-cancelled batch
+  InternalError,     ///< execution failed for this request
+};
+
+inline constexpr std::size_t kOutcomeCount = 5;
+
+inline const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Ok: return "ok";
+    case Outcome::RejectedOverload: return "rejected_overload";
+    case Outcome::ShedDeadline: return "shed_deadline";
+    case Outcome::Cancelled: return "cancelled";
+    case Outcome::InternalError: return "internal_error";
+  }
+  return "?";
+}
 
 /// Bounded MPSC admission queue with configurable backpressure.
 ///
@@ -72,6 +98,14 @@ class RequestQueue {
   /// Closes admission; wakes every blocked producer and, once drained, the
   /// consumer. Idempotent.
   void close();
+
+  /// Closes admission AND removes every still-queued request in one atomic
+  /// step, returning them so the caller can stamp each with a Cancelled
+  /// status. Unlike close() + a drain loop, there is no window in which a
+  /// request can sit in a closed queue with no consumer — either the
+  /// consumer popped it (and it resolves through the serving path) or it is
+  /// returned here. Idempotent; a second call returns an empty vector.
+  std::vector<InferRequest> close_and_cancel();
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t size() const;

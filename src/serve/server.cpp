@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "serve/overload_governor.hpp"
 #include "serve/replanner.hpp"
 
 namespace vlacnn::serve {
@@ -23,6 +25,11 @@ Server::Server(runtime::BatchScheduler& sched, dnn::Network& net,
       batcher_(queue_, cfg_.policy) {
   VLACNN_REQUIRE(cfg_.queue_capacity >= 1, "queue capacity must be >= 1");
   VLACNN_REQUIRE(cfg_.policy.max_batch >= 1, "max_batch must be >= 1");
+  // A request the batcher sheds at dequeue (deadline already passed) still
+  // resolves: deliver its typed completion from the batcher thread.
+  batcher_.on_shed = [this](InferRequest&& r) {
+    emit(terminal(r, Outcome::ShedDeadline, Clock::now()));
+  };
 }
 
 Server::~Server() {
@@ -47,6 +54,11 @@ Admit Server::submit(std::uint64_t id, dnn::Tensor input,
                      input.h() == net_->in_h() && input.w() == net_->in_w(),
                  "request input must be a batch-1 tensor of the network's "
                  "input shape");
+  if (cfg_.governor != nullptr) {
+    const AdmitVerdict v =
+        cfg_.governor->admit(Clock::now(), queue_.size(), deadline);
+    if (v != AdmitVerdict::Admit) return Admit::RejectedOverload;
+  }
   InferRequest req;
   req.id = id;
   req.input = std::move(input);
@@ -55,8 +67,20 @@ Admit Server::submit(std::uint64_t id, dnn::Tensor input,
 }
 
 void Server::stop() {
-  if (!started_ || stopped_) return;
+  if (stopped_) return;
   stopped_ = true;
+  if (!started_) {
+    // Never started: no batcher thread exists to drain the queue, but
+    // submit() may already have admitted requests. Atomically close and
+    // pull them back, resolving each with a Cancelled completion — the
+    // "every admitted request gets a typed outcome" contract holds even
+    // for a server that was torn down before serving anything.
+    std::vector<InferRequest> orphans = queue_.close_and_cancel();
+    const Clock::time_point now = Clock::now();
+    for (const InferRequest& r : orphans)
+      emit(terminal(r, Outcome::Cancelled, now));
+    return;
+  }
   queue_.close();
   if (batcher_thread_.joinable()) batcher_thread_.join();
   if (completion_thread_.joinable()) completion_thread_.join();
@@ -92,8 +116,50 @@ ServerStats Server::stats() const {
     s.last_plan_compute_us = rs.last_plan_compute_us;
     s.plan_priced_batch = rs.current_priced_batch;
     s.backend_wins = rs.wins;
+    s.tier = rs.current_tier;
   }
+  if (cfg_.governor != nullptr) {
+    const GovernorStats gs = cfg_.governor->stats();
+    s.governor_rejected_overload = gs.rejected_overload;
+    s.governor_rejected_doomed = gs.rejected_doomed;
+    s.drop_intervals = gs.drop_intervals;
+    s.tier = gs.tier;
+    s.tier_degrades = gs.tier_degrades;
+    s.tier_recoveries = gs.tier_recoveries;
+  }
+  // Admission rejections never produce a Completion; fold them into the
+  // outcome tally here so outcomes sums to every resolved request.
+  s.outcomes[static_cast<std::size_t>(Outcome::RejectedOverload)] +=
+      qs.rejected + s.governor_rejected_overload + s.governor_rejected_doomed;
+  s.watchdog_wedges = sched_->watchdog_wedges();
   return s;
+}
+
+Completion Server::terminal(const InferRequest& r, Outcome outcome,
+                            Clock::time_point now) const {
+  Completion c;
+  c.trace.id = r.id;
+  c.trace.outcome = outcome;
+  c.trace.queue_ms = ms_between(r.arrival, now);
+  c.trace.total_ms = c.trace.queue_ms;
+  c.trace.batch_items = 0;
+  c.trace.deadline_met = r.deadline == kNoDeadline || now <= r.deadline;
+  return c;
+}
+
+void Server::emit(Completion&& c) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.completed += 1;
+    stats_.outcomes[static_cast<std::size_t>(c.trace.outcome)] += 1;
+    if (c.trace.outcome == Outcome::Ok && !c.trace.deadline_met)
+      ++stats_.deadline_misses;
+    if (!cfg_.on_complete) {
+      completions_.push_back(std::move(c));
+      return;
+    }
+  }
+  cfg_.on_complete(std::move(c));
 }
 
 void Server::batcher_loop() {
@@ -146,13 +212,29 @@ void Server::completion_loop() {
     }
 
     runtime::BatchResult res;
+    bool cancelled = false;
     try {
       res = sched_->wait(inf.ticket);
+    } catch (const runtime::BatchCancelled&) {
+      // The watchdog declared the batch wedged and cancelled it: not an
+      // internal fault of the server (no error_ recorded, stop() stays
+      // clean) — resolve every rider with a typed Cancelled completion.
+      cancelled = true;
     } catch (...) {
       // A failed forward pass: remember the first error (stop() rethrows)
-      // and drop the batch — its requests never complete.
+      // and resolve the batch's requests as InternalError — they still
+      // complete, just without an output.
       std::lock_guard<std::mutex> lock(stats_mu_);
       if (!error_) error_ = std::current_exception();
+      const Clock::time_point now = Clock::now();
+      for (const InferRequest& r : inf.requests)
+        emit(terminal(r, Outcome::InternalError, now));
+      continue;
+    }
+    if (cancelled) {
+      const Clock::time_point now = Clock::now();
+      for (const InferRequest& r : inf.requests)
+        emit(terminal(r, Outcome::Cancelled, now));
       continue;
     }
     const Clock::time_point done = Clock::now();
@@ -162,13 +244,27 @@ void Server::completion_loop() {
     // planning itself happens on the replanner's own thread).
     if (cfg_.replanner != nullptr)
       cfg_.replanner->observe(nb, queue_.size());
+    // Feed the admission controller: sojourn of the oldest rider is the
+    // CoDel signal, per-item compute corrects the capacity estimate.
+    if (cfg_.governor != nullptr) {
+      double sojourn_s = 0.0;
+      for (const InferRequest& r : inf.requests)
+        sojourn_s = std::max(
+            sojourn_s,
+            std::chrono::duration<double>(inf.formed_at - r.arrival).count());
+      cfg_.governor->observe_batch(done, sojourn_s, nb, res.compute_seconds);
+    }
 
     std::vector<Completion> local;
     local.reserve(static_cast<std::size_t>(nb));
     for (int b = 0; b < nb; ++b) {
       const InferRequest& r = inf.requests[static_cast<std::size_t>(b)];
+      const bool item_failed =
+          !res.item_errors.empty() &&
+          res.item_errors[static_cast<std::size_t>(b)] != nullptr;
       Completion c;
       c.trace.id = r.id;
+      c.trace.outcome = item_failed ? Outcome::InternalError : Outcome::Ok;
       c.trace.queue_ms = ms_between(r.arrival, inf.formed_at);
       c.trace.dispatch_ms = ms_between(inf.formed_at, inf.submitted_at);
       c.trace.compute_ms = res.compute_seconds * 1e3;
@@ -179,9 +275,13 @@ void Server::completion_loop() {
       c.trace.batch_occupancy = res.exec.occupancy();
       c.trace.worker_idle_frac = res.exec.idle_fraction();
       c.trace.batch_overlap_starts = res.exec.overlap_task_starts;
-      c.output.reshape(res.output.c(), res.output.h(), res.output.w());
-      std::memcpy(c.output.data(), res.output.item_data(b),
-                  c.output.size() * sizeof(float));
+      if (!item_failed) {
+        // A failed item's output slice is meaningless (per-item isolation
+        // skipped its remaining layers) — deliver an empty tensor instead.
+        c.output.reshape(res.output.c(), res.output.h(), res.output.w());
+        std::memcpy(c.output.data(), res.output.item_data(b),
+                    c.output.size() * sizeof(float));
+      }
       local.push_back(std::move(c));
     }
 
@@ -191,8 +291,11 @@ void Server::completion_loop() {
       stats_.batches += 1;
       stats_.sum_batch_items += nb;
       stats_.trigger_counts[static_cast<std::size_t>(inf.trigger)] += 1;
-      for (const Completion& c : local)
-        if (!c.trace.deadline_met) ++stats_.deadline_misses;
+      for (const Completion& c : local) {
+        stats_.outcomes[static_cast<std::size_t>(c.trace.outcome)] += 1;
+        if (c.trace.outcome == Outcome::Ok && !c.trace.deadline_met)
+          ++stats_.deadline_misses;
+      }
       if (!cfg_.on_complete) {
         for (Completion& c : local) completions_.push_back(std::move(c));
         continue;

@@ -12,17 +12,22 @@
 
 namespace vlacnn::serve {
 
+class OverloadGovernor;
 class Replanner;
 
 /// Per-request latency breakdown, in milliseconds.
 struct RequestTrace {
   std::uint64_t id = 0;
+  /// Terminal status. Only Ok completions carry a meaningful output; for
+  /// every other outcome the Completion's output tensor is empty and the
+  /// compute/dispatch fields are zero.
+  Outcome outcome = Outcome::Ok;
   double queue_ms = 0.0;     ///< arrival -> micro-batch launched
   double dispatch_ms = 0.0;  ///< batch launched -> accepted by a scheduler
                              ///< slot (packing + slot backpressure)
   double compute_ms = 0.0;   ///< forward pass of the batch it rode in
   double total_ms = 0.0;     ///< arrival -> result delivered
-  int batch_items = 1;       ///< size of that micro-batch
+  int batch_items = 1;       ///< size of that micro-batch (0: never batched)
   Trigger trigger = Trigger::Full;
   bool deadline_met = true;
   /// Mean fraction of the pool busy on this request's batch over its span
@@ -56,10 +61,21 @@ struct ServerConfig {
   /// counters. The server never blocks on it: planning happens on the
   /// replanner's own thread, plan swaps at scheduler batch boundaries.
   Replanner* replanner = nullptr;
+  /// Adaptive admission control + degradation-ladder driver (optional; must
+  /// outlive the server). submit() consults it before offering the request
+  /// to the queue — a governor rejection returns Admit::RejectedOverload and
+  /// the request never occupies a queue slot. The completion loop feeds
+  /// every finished batch back into it, and Server::stats() merges its
+  /// counters. Wire its on_tier callback to Replanner::request_tier to
+  /// close the graceful-degradation loop.
+  OverloadGovernor* governor = nullptr;
 };
 
 /// Aggregate throughput counters (monotonic over the server's life).
 struct ServerStats {
+  /// Completions delivered — every terminal outcome except admission
+  /// rejections (a rejected request was never copied in, so nothing
+  /// completes for it; rejections are tallied in `outcomes` below).
   std::uint64_t completed = 0;
   std::uint64_t batches = 0;
   std::uint64_t deadline_misses = 0;
@@ -80,6 +96,21 @@ struct ServerStats {
   /// Per-backend layer-entry win counts of the live plan (indexed by
   /// static_cast<std::size_t>(core::Backend)).
   std::array<std::uint64_t, core::kBackendCount> backend_wins{};
+  /// Terminal outcome tally, indexed by static_cast<std::size_t>(Outcome).
+  /// outcomes[RejectedOverload] merges queue-full rejections with the
+  /// governor's CoDel/doomed rejections; the other entries count delivered
+  /// Completions. Sum == every request that ever entered submit() and
+  /// resolved — nothing vanishes silently.
+  std::array<std::uint64_t, kOutcomeCount> outcomes{};
+  // Overload-governor counters (zero when no governor is wired in).
+  std::uint64_t governor_rejected_overload = 0;
+  std::uint64_t governor_rejected_doomed = 0;
+  std::uint64_t drop_intervals = 0;
+  int tier = 0;  ///< current degradation-ladder tier
+  std::uint64_t tier_degrades = 0;
+  std::uint64_t tier_recoveries = 0;
+  /// Batches the scheduler's watchdog declared wedged and cancelled.
+  std::uint64_t watchdog_wedges = 0;
 };
 
 /// The async serving runtime: admission queue -> deadline-aware
@@ -123,7 +154,8 @@ class Server {
 
   /// Closes admission, serves everything already accepted, joins the
   /// pipeline threads, and rethrows the first execution error if any.
-  /// Idempotent.
+  /// On a never-started server, cancels every admitted request with a typed
+  /// Cancelled completion instead (nothing vanishes). Idempotent.
   void stop();
 
   /// Moves out the completions accumulated so far (only meaningful without
@@ -145,6 +177,13 @@ class Server {
 
   void batcher_loop();
   void completion_loop();
+  /// Delivers one out-of-band completion (shed / cancelled / internal
+  /// error): updates the outcome counters and routes it to on_complete or
+  /// the internal buffer, same as the batch path.
+  void emit(Completion&& c);
+  /// Builds the empty-output completion for a request that never executed.
+  Completion terminal(const InferRequest& r, Outcome outcome,
+                      Clock::time_point now) const;
 
   runtime::BatchScheduler* sched_;
   dnn::Network* net_;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <numeric>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "dnn/models.hpp"
 #include "gemm/gemm_opt6.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/sim_context.hpp"
@@ -430,7 +432,9 @@ TEST(BatchScheduler, OutOfOrderWaitAcrossAllSlots) {
   }
 }
 
-TEST(BatchScheduler, ExecutorExceptionPropagatesIntoWait) {
+TEST(BatchScheduler, ItemFailuresAreIsolatedPerRequest) {
+  // A kernel throwing for every item no longer fails the batch wholesale:
+  // wait() returns normally with every item marked failed in item_errors.
   auto net = dnn::build_vgg16(32, 4);
   for (ExecutorKind kind : {ExecutorKind::Serial, ExecutorKind::Graph}) {
     core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
@@ -438,22 +442,254 @@ TEST(BatchScheduler, ExecutorExceptionPropagatesIntoWait) {
     cfg.threads = 2;
     cfg.executor = kind;
     BatchScheduler sched(engine, cfg);
-    sched.test_item_hook = [](int layer, int) {
-      if (layer == 1) throw std::runtime_error("injected layer failure");
+    sched.test_item_hook = [](int layer, int item) {
+      if (layer == 1 && item >= 0)
+        throw std::runtime_error("injected layer failure");
     };
     dnn::Tensor in(4, net->in_c(), net->in_h(), net->in_w());
     in.randomize_batch(9);
-    const BatchTicket t = sched.submit(*net, std::move(in));
-    EXPECT_THROW((void)sched.wait(t), std::runtime_error);
+    BatchResult failed = sched.wait(sched.submit(*net, std::move(in)));
+    ASSERT_EQ(failed.item_errors.size(), 4u);
+    for (int b = 0; b < 4; ++b) {
+      ASSERT_NE(failed.item_errors[static_cast<std::size_t>(b)], nullptr)
+          << "item " << b;
+      EXPECT_THROW(std::rethrow_exception(
+                       failed.item_errors[static_cast<std::size_t>(b)]),
+                   std::runtime_error);
+    }
 
     // A failed batch must not wedge the scheduler: the next one succeeds.
     sched.test_item_hook = nullptr;
     dnn::Tensor ok(4, net->in_c(), net->in_h(), net->in_w());
     ok.randomize_batch(9);
     BatchResult r = sched.wait(sched.submit(*net, std::move(ok)));
+    EXPECT_TRUE(r.item_errors.empty());
     EXPECT_EQ(r.records.size(), net->num_layers());
     EXPECT_GT(r.output.size(), 0u);
   }
+}
+
+TEST(BatchScheduler, OneFailedItemLeavesSiblingsBitIdentical) {
+  // The per-item isolation pin (both executors): item 1 throwing mid-layer
+  // fails only its own request — every other item's output is bit-identical
+  // to a fault-free run, and the scheduler keeps serving afterwards.
+  auto net = dnn::build_vgg16(32, 4);
+  constexpr int kItems = 4;
+  for (ExecutorKind kind : {ExecutorKind::Serial, ExecutorKind::Graph}) {
+    core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+    SchedulerConfig cfg;
+    cfg.threads = 2;
+    cfg.executor = kind;
+    BatchScheduler sched(engine, cfg);
+    const auto make_in = [&] {
+      dnn::Tensor in(kItems, net->in_c(), net->in_h(), net->in_w());
+      in.randomize_batch(31);
+      return in;
+    };
+    // Fault-free reference first (the hook is installed afterwards).
+    BatchResult ref = sched.wait(sched.submit(*net, make_in()));
+    ASSERT_TRUE(ref.item_errors.empty());
+
+    sched.test_item_hook = [](int layer, int item) {
+      if (layer == 1 && item == 1)
+        throw std::runtime_error("injected item-1 failure");
+    };
+    BatchResult res = sched.wait(sched.submit(*net, make_in()));
+    ASSERT_EQ(res.item_errors.size(), static_cast<std::size_t>(kItems));
+    for (int b = 0; b < kItems; ++b) {
+      if (b == 1) {
+        EXPECT_NE(res.item_errors[1], nullptr);
+        continue;
+      }
+      ASSERT_EQ(res.item_errors[static_cast<std::size_t>(b)], nullptr)
+          << "item " << b << " collaterally failed";
+      EXPECT_EQ(std::memcmp(res.output.item_data(b), ref.output.item_data(b),
+                            res.output.item_size() * sizeof(float)),
+                0)
+          << "item " << b << " diverged from the fault-free run";
+    }
+
+    // No dangling state: the very next batch is clean and bit-identical.
+    sched.test_item_hook = nullptr;
+    BatchResult after = sched.wait(sched.submit(*net, make_in()));
+    EXPECT_TRUE(after.item_errors.empty());
+    EXPECT_EQ(std::memcmp(after.output.data(), ref.output.data(),
+                          ref.output.size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST(BatchScheduler, BatchFusedFailureFailsWholeBatchViaItemErrors) {
+  // A batch-fused dispatch (hook item == -1) spans every item: a throw
+  // there cannot be attributed to one request, so all items fail — still
+  // through item_errors, not a wait() throw.
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  BatchScheduler sched(engine, cfg);
+  std::atomic<bool> saw_fused{false};
+  sched.test_item_hook = [&](int, int item) {
+    if (item == -1) {
+      saw_fused.store(true);
+      throw std::runtime_error("injected fused failure");
+    }
+  };
+  dnn::Tensor in(4, net->in_c(), net->in_h(), net->in_w());
+  in.randomize_batch(9);
+  BatchResult res = sched.wait(sched.submit(*net, std::move(in)));
+  if (saw_fused.load()) {  // plan-dependent: only when a layer fused
+    ASSERT_EQ(res.item_errors.size(), 4u);
+    for (const auto& e : res.item_errors) EXPECT_NE(e, nullptr);
+  } else {
+    EXPECT_TRUE(res.item_errors.empty());
+  }
+}
+
+// -------------------------------------------------------- FaultInjector
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  const FaultPlan plan = FaultPlan::chaos(1234);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (std::uint64_t batch = 0; batch < 20; ++batch)
+    for (int layer = 0; layer < 8; ++layer)
+      for (int chunk = 0; chunk < 4; ++chunk) {
+        EXPECT_EQ(a.task_stall_ms(batch, layer, chunk),
+                  b.task_stall_ms(batch, layer, chunk));
+        EXPECT_EQ(a.fail_item(batch, layer, chunk),
+                  b.fail_item(batch, layer, chunk));
+      }
+}
+
+TEST(FaultInjector, DecisionsIndependentOfQueryOrder) {
+  // Decisions hash (seed, stream, ids) — not call history — so concurrent
+  // workers interleaving queries cannot perturb each other's faults.
+  const FaultPlan plan = FaultPlan::chaos(77);
+  FaultInjector fwd(plan);
+  FaultInjector rev(plan);
+  std::vector<double> a, b;
+  for (int i = 0; i < 64; ++i)
+    a.push_back(fwd.task_stall_ms(7, i, 0));
+  for (int i = 63; i >= 0; --i)
+    b.push_back(rev.task_stall_ms(7, i, 0));
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(a[static_cast<std::size_t>(i)],
+              b[static_cast<std::size_t>(63 - i)]);
+}
+
+TEST(FaultInjector, SeedsDiverge) {
+  FaultInjector a(FaultPlan::chaos(1));
+  FaultInjector b(FaultPlan::chaos(2));
+  int differ = 0;
+  for (int i = 0; i < 256; ++i)
+    differ += a.fail_item(0, 0, i) != b.fail_item(0, 0, i) ? 1 : 0;
+  EXPECT_GT(differ, 0);
+}
+
+TEST(FaultInjector, ZeroProbabilitiesNeverFire) {
+  FaultPlan plan;  // all probabilities default 0
+  plan.seed = 99;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(inj.task_stall_ms(1, 2, i), 0.0);
+    EXPECT_FALSE(inj.fail_item(1, 2, i));
+    inj.maybe_fail_item(1, 2, i);  // must not throw
+    inj.on_worker_task(i % 4);     // timing-only; no stall at prob 0
+  }
+  const FaultInjector::Stats st = inj.stats();
+  EXPECT_EQ(st.task_stalls, 0u);
+  EXPECT_EQ(st.worker_slows, 0u);
+  EXPECT_EQ(st.item_failures, 0u);
+}
+
+TEST(FaultInjector, MaybeFailItemThrowsAndCounts) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.item_fail_prob = 1.0;  // every item fails
+  FaultInjector inj(plan);
+  EXPECT_THROW(inj.maybe_fail_item(3, 1, 0), FaultInjected);
+  EXPECT_THROW(inj.maybe_fail_item(3, 1, 1), FaultInjected);
+  EXPECT_EQ(inj.stats().item_failures, 2u);
+}
+
+TEST(FaultInjector, InjectedItemFaultsSurfaceAsItemErrors) {
+  // End to end through the scheduler: a 100%-item-failure plan fails every
+  // request via per-item isolation; the identical run without the injector
+  // is clean.
+  auto net = dnn::build_vgg16(32, 4);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.item_fail_prob = 1.0;
+  FaultInjector inj(plan);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.fault_injector = &inj;
+  BatchScheduler sched(engine, cfg);
+  dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+  in.randomize_batch(3);
+  BatchResult res = sched.wait(sched.submit(*net, std::move(in)));
+  ASSERT_EQ(res.item_errors.size(), 2u);
+  EXPECT_NE(res.item_errors[0], nullptr);
+  EXPECT_NE(res.item_errors[1], nullptr);
+  EXPECT_THROW(std::rethrow_exception(res.item_errors[0]), FaultInjected);
+  EXPECT_GT(inj.stats().item_failures, 0u);
+}
+
+// ------------------------------------------------------------- Watchdog
+
+TEST(Watchdog, WedgedBatchIsCancelledAndSchedulerRecovers) {
+  // One task sleeps far past the watchdog timeout: the batch is declared
+  // wedged and completes with BatchCancelled instead of blocking the slot
+  // ring; the next batch runs clean. The margins are deliberately wide —
+  // the truncated net's largest conv is ~1M MACs so every legit task runs
+  // in well under a millisecond even under TSan, the timeout is 0.5s, and
+  // the injected stall 2.5s — a loaded CI box or TSan's slowdown cannot
+  // blur wedged and slow into each other.
+  auto net = dnn::build_yolov3_tiny(32, 8);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.executor = ExecutorKind::Graph;
+  cfg.watchdog_timeout_s = 0.5;
+  cfg.watchdog_poll_s = 0.01;
+  BatchScheduler sched(engine, cfg);
+  std::atomic<bool> armed{true};
+  sched.test_item_hook = [&](int layer, int) {
+    if (layer == 2 && armed.exchange(false))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2500));
+  };
+  dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+  in.randomize_batch(8);
+  const BatchTicket t = sched.submit(*net, std::move(in));
+  EXPECT_THROW((void)sched.wait(t), BatchCancelled);
+  EXPECT_EQ(sched.watchdog_wedges(), 1u);
+
+  // The stalled task returned and the batch retired: the ring is clean.
+  sched.test_item_hook = nullptr;
+  dnn::Tensor ok(2, net->in_c(), net->in_h(), net->in_w());
+  ok.randomize_batch(8);
+  BatchResult r = sched.wait(sched.submit(*net, std::move(ok)));
+  EXPECT_TRUE(r.item_errors.empty());
+  EXPECT_GT(r.output.size(), 0u);
+}
+
+TEST(Watchdog, HealthyTrafficIsNeverCancelled) {
+  auto net = dnn::build_vgg16(32, 4);
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.watchdog_timeout_s = 30.0;  // far above any real batch, even on TSan
+  cfg.watchdog_poll_s = 0.002;
+  BatchScheduler sched(engine, cfg);
+  for (int k = 0; k < 4; ++k) {
+    dnn::Tensor in(2, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_batch(static_cast<std::uint64_t>(k));
+    BatchResult r = sched.wait(sched.submit(*net, std::move(in)));
+    EXPECT_TRUE(r.item_errors.empty()) << k;
+  }
+  EXPECT_EQ(sched.watchdog_wedges(), 0u);
 }
 
 TEST(BatchScheduler, SerialEscapeHatchMatchesGraphBitwise) {

@@ -17,6 +17,8 @@
 #include "dnn/models.hpp"
 #include "gemm/blocking.hpp"
 #include "runtime/batch_scheduler.hpp"
+#include "runtime/fault_injector.hpp"
+#include "serve/overload_governor.hpp"
 #include "serve/replanner.hpp"
 #include "serve/server.hpp"
 
@@ -161,6 +163,39 @@ TEST(RequestQueue, CloseWakesBlockedProducer) {
   EXPECT_EQ(verdict.load(), static_cast<int>(Admit::Closed));
 }
 
+TEST(RequestQueue, CloseAndCancelReturnsEveryPendingRequest) {
+  RequestQueue q(8, /*block_when_full=*/false);
+  ASSERT_EQ(q.push(make_req(1)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(2)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(3)), Admit::Accepted);
+  const std::vector<InferRequest> orphans = q.close_and_cancel();
+  ASSERT_EQ(orphans.size(), 3u);
+  EXPECT_EQ(orphans[0].id, 1u);  // FIFO order preserved
+  EXPECT_EQ(orphans[1].id, 2u);
+  EXPECT_EQ(orphans[2].id, 3u);
+  // Atomic close+drain: nothing can sit in the closed queue afterwards.
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.push(make_req(4)), Admit::Closed);
+  InferRequest r;
+  EXPECT_FALSE(q.pop(r));
+  // Idempotent: a second call finds nothing.
+  EXPECT_TRUE(q.close_and_cancel().empty());
+}
+
+TEST(RequestQueue, CloseAndCancelWakesBlockedProducer) {
+  RequestQueue q(1, /*block_when_full=*/true);
+  ASSERT_EQ(q.push(make_req(1)), Admit::Accepted);
+  std::atomic<int> verdict{-1};
+  std::thread producer(
+      [&] { verdict.store(static_cast<int>(q.push(make_req(2)))); });
+  std::this_thread::sleep_for(milliseconds(20));
+  const std::vector<InferRequest> orphans = q.close_and_cancel();
+  producer.join();
+  EXPECT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(verdict.load(), static_cast<int>(Admit::Closed));
+}
+
 TEST(RequestQueue, PopWaitUntilTimesOut) {
   RequestQueue q(4, false);
   InferRequest r;
@@ -262,6 +297,66 @@ TEST(MicroBatcher, MaxWaitLaunchesPartialBatch) {
   EXPECT_EQ(b->requests.size(), 1u);
   EXPECT_GE(elapsed, milliseconds(10));  // held the full launch window
   q.close();
+}
+
+TEST(MicroBatcher, ShouldShedTable) {
+  // Pure predicate: a request is shed at dequeue iff shedding is enabled,
+  // it has a real deadline, and that deadline has passed.
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  BatchPolicy on;  // shed_expired defaults true
+  BatchPolicy off;
+  off.shed_expired = false;
+  struct Case {
+    const char* label;
+    const BatchPolicy& pol;
+    Clock::time_point deadline;
+    Clock::time_point now;
+    bool shed;
+  };
+  const Case cases[] = {
+      {"no deadline never sheds", on, kNoDeadline, t0, false},
+      {"future deadline holds", on, t0 + milliseconds(5), t0, false},
+      {"deadline exactly now sheds", on, t0, t0, true},
+      {"expired deadline sheds", on, t0 - milliseconds(1), t0, true},
+      {"policy off: expired still boards", off, t0 - milliseconds(1), t0,
+       false},
+  };
+  for (const Case& c : cases)
+    EXPECT_EQ(should_shed(c.pol, c.deadline, c.now), c.shed) << c.label;
+}
+
+TEST(MicroBatcher, ShedsExpiredAtEveryDequeuePoint) {
+  // Stale requests interleaved with live ones: the batcher must drop every
+  // expired request via on_shed (wherever it pops — seed, greedy drain or
+  // timed wait) and board only the live ones. A batch slot is never spent
+  // on a request that can no longer meet its deadline.
+  RequestQueue q(16, false);
+  const auto now = Clock::now();
+  const auto stale_arrival = now - std::chrono::seconds(1);
+  const auto expired = now - milliseconds(10);
+  const auto live = now + std::chrono::seconds(10);
+  ASSERT_EQ(q.push(make_req(0, stale_arrival, expired)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(1, stale_arrival, live)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(2, stale_arrival, expired)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(3, stale_arrival, live)), Admit::Accepted);
+  ASSERT_EQ(q.push(make_req(4, stale_arrival, expired)), Admit::Accepted);
+
+  BatchPolicy pol;
+  pol.max_batch = 2;
+  pol.max_wait = milliseconds(1);
+  MicroBatcher mb(q, pol);
+  std::vector<std::uint64_t> shed;
+  mb.on_shed = [&](InferRequest&& r) { shed.push_back(r.id); };
+
+  auto fb = mb.next_batch();
+  ASSERT_TRUE(fb.has_value());
+  ASSERT_EQ(fb->requests.size(), 2u);
+  EXPECT_EQ(fb->requests[0].id, 1u);
+  EXPECT_EQ(fb->requests[1].id, 3u);
+  q.close();
+  auto drain = mb.next_batch();
+  EXPECT_FALSE(drain.has_value());  // nothing left but shed requests
+  EXPECT_EQ(shed, (std::vector<std::uint64_t>{0, 2, 4}));
 }
 
 TEST(MicroBatcher, DeadlineCutsTheWaitShort) {
@@ -415,13 +510,85 @@ TEST(Server, RejectsWhenQueueFullBeforeStart) {
   EXPECT_EQ(stats.rejected, 1u);
 }
 
-TEST(Server, DeadlineMissesAreCounted) {
+TEST(Server, StopBeforeStartCancelsPendingWithTypedOutcome) {
+  // Regression: a server torn down before start() used to strand admitted
+  // requests in the closed queue — they vanished without any completion.
+  // stop() must resolve each with a typed Cancelled outcome.
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
+
+  ServerConfig scfg;
+  scfg.queue_capacity = 4;
+  Server server(sched, *net, scfg);
+  const auto mk = [&](std::uint64_t id) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, id);
+    return in;
+  };
+  EXPECT_EQ(server.submit(0, mk(0)), Admit::Accepted);
+  EXPECT_EQ(server.submit(1, mk(1)), Admit::Accepted);
+  server.stop();  // never started
+  const std::vector<Completion> done = server.drain_completions();
+  ASSERT_EQ(done.size(), 2u);
+  for (const Completion& c : done) {
+    EXPECT_EQ(c.trace.outcome, Outcome::Cancelled);
+    EXPECT_EQ(c.output.size(), 0u);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.outcomes[static_cast<std::size_t>(Outcome::Cancelled)], 2u);
+  // Admission is closed after the cancel drain.
+  EXPECT_EQ(server.submit(2, mk(2)), Admit::Closed);
+}
+
+TEST(Server, ExpiredDeadlinesAreShedWithTypedOutcome) {
+  // Default policy (shed_expired): a request whose deadline already passed
+  // is dropped at dequeue — it never occupies a batch slot, but it still
+  // resolves with a typed ShedDeadline completion.
   auto net = small_net();
   core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
   runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
 
   ServerConfig scfg;
   scfg.policy.max_batch = 1;  // launch immediately
+  scfg.queue_capacity = 8;
+  scfg.block_when_full = true;
+  Server server(sched, *net, scfg);
+  server.start();
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, r);
+    ASSERT_EQ(server.submit(r, std::move(in),
+                            Clock::now() - milliseconds(1)),
+              Admit::Accepted);
+  }
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.outcomes[static_cast<std::size_t>(Outcome::ShedDeadline)],
+            3u);
+  EXPECT_EQ(stats.deadline_misses, 0u);  // shed, not served late
+  EXPECT_EQ(stats.batches, 0u);          // no batch ever formed
+  const std::vector<Completion> done = server.drain_completions();
+  ASSERT_EQ(done.size(), 3u);
+  for (const Completion& c : done) {
+    EXPECT_EQ(c.trace.outcome, Outcome::ShedDeadline);
+    EXPECT_FALSE(c.trace.deadline_met);
+    EXPECT_EQ(c.output.size(), 0u);  // never computed
+  }
+}
+
+TEST(Server, DeadlineMissesAreCounted) {
+  // shed_expired off restores serve-anyway semantics: expired requests ride
+  // a batch and complete Ok, counted as deadline misses.
+  auto net = small_net();
+  core::ConvolutionEngine engine(core::EnginePolicy::opt6loop());
+  runtime::BatchScheduler sched(engine, runtime::SchedulerConfig{});
+
+  ServerConfig scfg;
+  scfg.policy.max_batch = 1;  // launch immediately
+  scfg.policy.shed_expired = false;
   scfg.queue_capacity = 8;
   scfg.block_when_full = true;
   Server server(sched, *net, scfg);
@@ -438,8 +605,11 @@ TEST(Server, DeadlineMissesAreCounted) {
   const ServerStats stats = server.stats();
   EXPECT_EQ(stats.completed, 3u);
   EXPECT_EQ(stats.deadline_misses, 3u);
-  for (const Completion& c : server.drain_completions())
+  EXPECT_EQ(stats.outcomes[static_cast<std::size_t>(Outcome::Ok)], 3u);
+  for (const Completion& c : server.drain_completions()) {
+    EXPECT_EQ(c.trace.outcome, Outcome::Ok);
     EXPECT_FALSE(c.trace.deadline_met);
+  }
 }
 
 TEST(Server, RejectsWrongShapeSynchronously) {
@@ -648,6 +818,350 @@ TEST(Server, ReplannerWiredIntoServingLoop) {
   EXPECT_EQ(stats.plan_swaps_applied, rs.swaps_applied);
   EXPECT_EQ(stats.plan_priced_batch, rs.current_priced_batch);
   EXPECT_EQ(stats.backend_wins, rs.wins);
+}
+
+// ------------------------------------------------------- OverloadGovernor
+
+// Synthetic-time table tests: the whole state machine takes explicit `now`
+// arguments, so no real clock or sleeping is involved.
+
+TEST(OverloadGovernor, CoDelEntersAndExitsDropping) {
+  GovernorConfig g;
+  g.target_sojourn_ms = 5.0;
+  g.interval_ms = 100.0;
+  OverloadGovernor gov(g);
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+  const auto s = [](double ms) { return ms * 1e-3; };
+
+  // Idle governor admits freely.
+  EXPECT_EQ(gov.admit(at(0), 0, kNoDeadline), AdmitVerdict::Admit);
+
+  // Sojourn above target, but not yet for a full interval: still admitting.
+  gov.observe_batch(at(0), s(10), 4, 0.0);
+  EXPECT_EQ(gov.admit(at(50), 10, kNoDeadline), AdmitVerdict::Admit);
+  gov.observe_batch(at(99), s(10), 4, 0.0);
+  EXPECT_EQ(gov.admit(at(99), 10, kNoDeadline), AdmitVerdict::Admit);
+
+  // A full interval of continuously-above-target sojourn: dropping engages
+  // and the first rejection fires immediately.
+  gov.observe_batch(at(101), s(10), 4, 0.0);
+  EXPECT_EQ(gov.admit(at(101), 10, kNoDeadline),
+            AdmitVerdict::RejectOverload);
+  // The control law spaces the next rejection interval/sqrt(2) later;
+  // arrivals before that point pass.
+  EXPECT_EQ(gov.admit(at(102), 10, kNoDeadline), AdmitVerdict::Admit);
+
+  // One below-target reading proves the standing queue dissolved: exit.
+  gov.observe_batch(at(150), s(1), 4, 0.0);
+  EXPECT_EQ(gov.admit(at(300), 10, kNoDeadline), AdmitVerdict::Admit);
+
+  const GovernorStats st = gov.stats();
+  EXPECT_EQ(st.rejected_overload, 1u);
+  EXPECT_EQ(st.drop_intervals, 1u);
+  EXPECT_EQ(st.admitted, 5u);
+}
+
+TEST(OverloadGovernor, EmptyQueueExitsDroppingAtAdmission) {
+  // Wedge regression: under heavy rejection pressure drop_count_ grows
+  // until the control law rejects essentially every arrival — and with
+  // nothing admitted, no batch ever completes to deliver the below-target
+  // reading that exits dropping. An empty queue at an admission point is
+  // the admission-side proof the standing queue dissolved.
+  GovernorConfig g;
+  g.target_sojourn_ms = 5.0;
+  g.interval_ms = 100.0;
+  OverloadGovernor gov(g);
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+  gov.observe_batch(at(0), 0.010, 4, 0.0);
+  gov.observe_batch(at(101), 0.010, 4, 0.0);  // dropping engages
+  // Saturate the control law: many rejections shrink the drop spacing.
+  for (int k = 0; k < 100; ++k)
+    (void)gov.admit(at(200 + k), 10, kNoDeadline);
+  EXPECT_EQ(gov.admit(at(400), 10, kNoDeadline),
+            AdmitVerdict::RejectOverload);
+  // The queue drained: the next arrival must be admitted, not rejected.
+  EXPECT_EQ(gov.admit(at(500), 0, kNoDeadline), AdmitVerdict::Admit);
+  EXPECT_EQ(gov.admit(at(501), 10, kNoDeadline), AdmitVerdict::Admit);
+}
+
+TEST(OverloadGovernor, BriefSpikesNeverTriggerDropping) {
+  // Above-target readings interrupted by a below-target one restart the
+  // interval clock: batching jitter does not count as overload.
+  GovernorConfig g;
+  g.target_sojourn_ms = 5.0;
+  g.interval_ms = 100.0;
+  OverloadGovernor gov(g);
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+  for (int k = 0; k < 10; ++k) {
+    gov.observe_batch(at(k * 60), 0.010, 4, 0.0);      // above target
+    gov.observe_batch(at(k * 60 + 30), 0.001, 4, 0.0);  // dip below
+  }
+  EXPECT_EQ(gov.admit(at(700), 10, kNoDeadline), AdmitVerdict::Admit);
+  EXPECT_EQ(gov.stats().drop_intervals, 0u);
+}
+
+TEST(OverloadGovernor, DoomedDeadlinesRejectedUpFront) {
+  GovernorConfig g;
+  g.est_item_seconds = 0.010;  // 10 ms per item, as if priced via CostModel
+  g.doom_headroom = 1.0;
+  OverloadGovernor gov(g);
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  // 9 queued ahead -> earliest finish is 10 services = 100 ms out. A 50 ms
+  // deadline is unreachable; a 200 ms one is fine; no deadline never dooms.
+  EXPECT_EQ(gov.admit(t0, 9, t0 + milliseconds(50)),
+            AdmitVerdict::RejectDoomed);
+  EXPECT_EQ(gov.admit(t0, 9, t0 + milliseconds(200)), AdmitVerdict::Admit);
+  EXPECT_EQ(gov.admit(t0, 1000, kNoDeadline), AdmitVerdict::Admit);
+  EXPECT_EQ(gov.stats().rejected_doomed, 1u);
+
+  // The EWMA folds observed per-item compute into the estimate.
+  gov.observe_batch(t0, 0.0, 4, 0.080);  // 20 ms/item observed
+  const double est = gov.stats().est_item_seconds;
+  EXPECT_GT(est, 0.010);
+  EXPECT_LT(est, 0.020);
+}
+
+TEST(OverloadGovernor, LadderDegradesUnderSustainedDropAndRecovers) {
+  GovernorConfig g;
+  g.target_sojourn_ms = 5.0;
+  g.interval_ms = 50.0;
+  g.max_tier = 2;
+  g.degrade_after_ms = 100.0;
+  g.recover_after_ms = 100.0;
+  g.cooldown_ms = 1.0;
+  std::vector<int> moves;
+  OverloadGovernor gov(g, [&](int tier) { moves.push_back(tier); });
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+
+  gov.observe_batch(at(0), 0.010, 4, 0.0);    // above; interval clock starts
+  gov.observe_batch(at(51), 0.010, 4, 0.0);   // dropping; overload clock starts
+  gov.observe_batch(at(152), 0.010, 4, 0.0);  // 101 ms of drop -> tier 1
+  gov.observe_batch(at(253), 0.010, 4, 0.0);  // another window -> tier 2
+  gov.observe_batch(at(300), 0.001, 4, 0.0);  // calm; recovery clock starts
+  gov.observe_batch(at(401), 0.001, 4, 0.0);  // 101 ms calm -> tier 1
+  gov.observe_batch(at(502), 0.001, 4, 0.0);  // -> tier 0
+
+  EXPECT_EQ(moves, (std::vector<int>{1, 2, 1, 0}));
+  const GovernorStats st = gov.stats();
+  EXPECT_EQ(st.tier, 0);
+  EXPECT_EQ(st.tier_degrades, 2u);
+  EXPECT_EQ(st.tier_recoveries, 2u);
+}
+
+TEST(OverloadGovernor, SustainedDoomedRejectionDegradesWithoutBatches) {
+  // When the capacity estimate rejects every deadline-carrying arrival as
+  // doomed, no batch ever completes, so the CoDel dropping state starves.
+  // The ladder must still engage off the unbroken rejection streak — a
+  // cheaper tier is what would make those deadlines reachable again.
+  GovernorConfig g;
+  g.est_item_seconds = 1.0;  // learned slow service: 1 s/item
+  g.doom_headroom = 1.0;
+  g.max_tier = 2;
+  g.degrade_after_ms = 100.0;
+  g.recover_after_ms = 100.0;
+  g.cooldown_ms = 1.0;
+  std::vector<int> moves;
+  OverloadGovernor gov(g, [&](int tier) { moves.push_back(tier); });
+  const Clock::time_point t0 = Clock::time_point() + milliseconds(1000);
+  const auto at = [&](int ms) { return t0 + milliseconds(ms); };
+
+  // A 50 ms deadline with 4 queued ahead is hopeless at 1 s/item: every
+  // arrival is RejectDoomed, and after 100 ms of unbroken streak the ladder
+  // steps down (no observe_batch call ever happens).
+  for (int ms = 0; ms <= 260; ms += 20) {
+    EXPECT_EQ(gov.admit(at(ms), 4, at(ms + 50)), AdmitVerdict::RejectDoomed);
+  }
+  EXPECT_EQ(moves, (std::vector<int>{1, 2}));
+  EXPECT_EQ(gov.stats().tier_degrades, 2u);
+
+  // An admitted request breaks the streak; calm completions then walk the
+  // ladder back up.
+  EXPECT_EQ(gov.admit(at(300), 0, kNoDeadline), AdmitVerdict::Admit);
+  gov.observe_batch(at(301), 0.001, 4, 0.0);  // calm clock starts
+  gov.observe_batch(at(402), 0.001, 4, 0.0);  // -> tier 1
+  gov.observe_batch(at(503), 0.001, 4, 0.0);  // -> tier 0
+  EXPECT_EQ(moves, (std::vector<int>{1, 2, 1, 0}));
+  EXPECT_EQ(gov.stats().tier_recoveries, 2u);
+}
+
+TEST(OverloadGovernor, CostModelSeedIsPlausible) {
+  auto net = small_net();
+  core::CostModel model = make_model();
+  const core::BackendPlan plan = analytic_plan(*net, model, 1);
+  const double est = estimate_item_seconds(plan, model.machine().freq_ghz);
+  EXPECT_GT(est, 0.0);
+  EXPECT_LT(est, 10.0);  // a single small-CNN item is far under 10 s
+}
+
+// ---------------------------------------------- degradation ladder (live)
+
+TEST(Replanner, TierSwapInstallsCheaperPlanAndRecoversBitIdentical) {
+  auto net = small_net();
+  core::CostModel model = make_model();
+  core::BackendPlan base = analytic_plan(*net, model, 1);
+
+  core::ConvolutionEngine engine(base);
+  runtime::SchedulerConfig cfg;
+  cfg.threads = 2;
+  runtime::BatchScheduler sched(engine, cfg);
+
+  dnn::Tensor in(4, net->in_c(), net->in_h(), net->in_w());
+  in.randomize_batch(654, 0.0f, 1.0f);
+  const dnn::Tensor& out0 = sched.run(*net, in);
+  const std::vector<float> ref(out0.data(), out0.data() + out0.size());
+
+  ReplannerConfig rcfg;
+  Replanner rp(sched, *net, model, base, rcfg);
+  rp.set_tiers(default_degradation_tiers(base));
+  rp.start();
+
+  const auto wait_tier = [&](int tier) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (rp.current_tier() != tier &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(milliseconds(1));
+    return rp.current_tier() == tier;
+  };
+
+  rp.request_tier(1);
+  ASSERT_TRUE(wait_tier(1)) << "tier-1 swap never landed";
+  // Within a tier the plan is pinned: repeated runs are bit-identical.
+  const dnn::Tensor& a = sched.run(*net, in);
+  const std::vector<float> tier1(a.data(), a.data() + a.size());
+  const dnn::Tensor& b = sched.run(*net, in);
+  ASSERT_EQ(tier1.size(), b.size());
+  EXPECT_EQ(
+      std::memcmp(tier1.data(), b.data(), tier1.size() * sizeof(float)), 0);
+
+  // Climb back: tier 0 restores the exact base plan, bit for bit.
+  rp.request_tier(0);
+  ASSERT_TRUE(wait_tier(0)) << "recovery to tier 0 never landed";
+  const dnn::Tensor& c = sched.run(*net, in);
+  ASSERT_EQ(c.size(), ref.size());
+  EXPECT_EQ(std::memcmp(c.data(), ref.data(), ref.size() * sizeof(float)), 0);
+
+  const ReplanStats st = rp.stats();
+  EXPECT_EQ(st.current_tier, 0);
+  EXPECT_GE(st.tier_swaps, 2u);
+  rp.stop();
+}
+
+// --------------------------------------------------- chaos acceptance gate
+
+// The ISSUE's acceptance scenario, end to end: a 3x overload burst with
+// deterministic injected faults, a governor in front of the queue and the
+// degradation ladder wired to the replanner. Every submitted request must
+// resolve with exactly one typed outcome (nothing vanishes, nothing
+// deadlocks), the ladder must both degrade and recover, and the server must
+// shut down cleanly.
+TEST(Server, ChaosOverloadEveryRequestResolvesTyped) {
+  auto net = small_net();
+  core::CostModel model = make_model();
+  core::BackendPlan base = analytic_plan(*net, model, 1);
+
+  core::ConvolutionEngine engine(base);
+  runtime::FaultInjector injector(runtime::FaultPlan::chaos(42));
+  runtime::SchedulerConfig cfg;
+  cfg.threads = 2;
+  cfg.fault_injector = &injector;
+  // Far above any injected stall AND any legit batch time under TSan's
+  // ~10x slowdown: the wedges==0 assertion below means "the watchdog never
+  // false-positives on slow-but-live batches"; actual wedge detection is
+  // pinned by the Watchdog suite.
+  cfg.watchdog_timeout_s = 60.0;
+  runtime::BatchScheduler sched(engine, cfg);
+
+  ReplannerConfig rcfg;
+  Replanner rp(sched, *net, model, base, rcfg);
+  rp.set_tiers(default_degradation_tiers(base));
+  rp.start();
+
+  GovernorConfig gcfg;
+  gcfg.target_sojourn_ms = 10.0;
+  gcfg.interval_ms = 30.0;
+  gcfg.est_item_seconds =
+      estimate_item_seconds(base, model.machine().freq_ghz);
+  gcfg.max_tier = 2;
+  gcfg.degrade_after_ms = 60.0;
+  gcfg.recover_after_ms = 60.0;
+  gcfg.cooldown_ms = 20.0;
+  OverloadGovernor governor(gcfg,
+                            [&](int tier) { rp.request_tier(tier); });
+
+  std::array<std::atomic<std::uint64_t>, kOutcomeCount> delivered{};
+  ServerConfig scfg;
+  scfg.policy.max_batch = 4;
+  scfg.policy.max_wait = milliseconds(1);
+  scfg.queue_capacity = 64;
+  scfg.block_when_full = false;  // overload sheds, never blocks the client
+  scfg.replanner = &rp;
+  scfg.governor = &governor;
+  scfg.on_complete = [&](Completion&& c) {
+    delivered[static_cast<std::size_t>(c.trace.outcome)].fetch_add(1);
+  };
+  Server server(sched, *net, scfg);
+  server.start();
+
+  std::uint64_t submitted = 0, accepted = 0, rejected = 0;
+  const auto submit_one = [&](Clock::time_point deadline) {
+    dnn::Tensor in(1, net->in_c(), net->in_h(), net->in_w());
+    in.randomize_item(0, submitted);
+    const Admit a = server.submit(submitted++, std::move(in), deadline);
+    if (a == Admit::Accepted) {
+      ++accepted;
+    } else {
+      ASSERT_TRUE(a == Admit::Rejected || a == Admit::RejectedOverload);
+      ++rejected;
+    }
+  };
+
+  // Phase 1 — overload: pump bursts well past capacity until the ladder
+  // steps down (generous wall-clock bound; sanitizer builds run slow).
+  const auto degrade_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.stats().tier_degrades == 0 &&
+         std::chrono::steady_clock::now() < degrade_by) {
+    for (int i = 0; i < 16; ++i)
+      submit_one(Clock::now() + milliseconds(250));
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  EXPECT_GE(server.stats().tier_degrades, 1u) << "ladder never degraded";
+
+  // Phase 2 — calm: a trickle lets the queue drain, sojourn falls under
+  // target and the ladder climbs back.
+  const auto recover_by =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (server.stats().tier_recoveries == 0 &&
+         std::chrono::steady_clock::now() < recover_by) {
+    submit_one(kNoDeadline);
+    std::this_thread::sleep_for(milliseconds(25));
+  }
+  EXPECT_GE(server.stats().tier_recoveries, 1u) << "ladder never recovered";
+
+  server.stop();
+  rp.stop();
+
+  // The chaos gate: every submitted request resolved with exactly one typed
+  // outcome — completions for everything admitted, rejections for the rest.
+  std::uint64_t completions = 0;
+  for (const auto& d : delivered) completions += d.load();
+  EXPECT_EQ(completions, accepted);
+  const ServerStats st = server.stats();
+  EXPECT_EQ(st.completed, accepted);
+  std::uint64_t resolved = 0;
+  for (const auto& o : st.outcomes) resolved += o;
+  EXPECT_EQ(resolved, submitted);
+  EXPECT_EQ(st.outcomes[static_cast<std::size_t>(Outcome::RejectedOverload)],
+            rejected);
+  // Faults really were injected, and no batch wedged past the watchdog.
+  const runtime::FaultInjector::Stats fs = injector.stats();
+  EXPECT_GT(fs.task_stalls + fs.worker_slows + fs.item_failures, 0u);
+  EXPECT_EQ(st.watchdog_wedges, 0u);
 }
 
 }  // namespace
